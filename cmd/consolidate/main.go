@@ -1,0 +1,109 @@
+// Command consolidate runs the consolidation algorithms standalone on a
+// generated instance — the paper's Section III-B comparison as a tool.
+//
+// Usage:
+//
+//	consolidate -vms 100 -kind correlated -algo all
+//	consolidate -vms 20 -algo exact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"snooze/internal/consolidation"
+	"snooze/internal/metrics"
+	"snooze/internal/power"
+	"snooze/internal/types"
+	"snooze/internal/workload"
+)
+
+func main() {
+	vms := flag.Int("vms", 50, "number of VMs in the instance")
+	seed := flag.Int64("seed", 1, "instance seed")
+	kindName := flag.String("kind", "uniform", "demand distribution: uniform | correlated | anti-correlated")
+	algo := flag.String("algo", "all", "algorithm: aco | ffd-cpu | ffd-l1 | ffd-l2 | exact | all")
+	ants := flag.Int("ants", 0, "ACO ants (0 = default)")
+	cycles := flag.Int("cycles", 0, "ACO cycles (0 = default)")
+	flag.Parse()
+
+	var kind workload.InstanceKind
+	switch *kindName {
+	case "uniform":
+		kind = workload.UniformInstance
+	case "correlated":
+		kind = workload.CorrelatedInstance
+	case "anti-correlated":
+		kind = workload.AntiCorrelatedInstance
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kindName)
+		os.Exit(2)
+	}
+
+	inst := workload.NewInstance(workload.InstanceConfig{Seed: *seed, VMs: *vms, Kind: kind, Lo: 0.05, Hi: 0.45})
+	p := consolidation.Problem{VMs: inst.VMs, Nodes: inst.Nodes}
+	fmt.Printf("instance: %d VMs, %s demand, node capacity %v, lower bound %d hosts\n\n",
+		*vms, kind, inst.Capacity, p.LowerBound())
+
+	acoCfg := consolidation.DefaultACOConfig()
+	acoCfg.Seed = *seed
+	if *ants > 0 {
+		acoCfg.Ants = *ants
+	}
+	if *cycles > 0 {
+		acoCfg.Cycles = *cycles
+	}
+	algos := map[string]consolidation.Algorithm{
+		"aco":     consolidation.ACO{Config: acoCfg},
+		"ffd-cpu": consolidation.FFD{Key: consolidation.SortCPU},
+		"ffd-l1":  consolidation.FFD{Key: consolidation.SortL1},
+		"ffd-l2":  consolidation.FFD{Key: consolidation.SortL2},
+		"exact":   consolidation.Exact{},
+	}
+	var order []string
+	if *algo == "all" {
+		order = []string{"ffd-cpu", "ffd-l1", "ffd-l2", "aco"}
+		if *vms <= 24 {
+			order = append(order, "exact")
+		}
+	} else {
+		if _, ok := algos[*algo]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algo)
+			os.Exit(2)
+		}
+		order = []string{*algo}
+	}
+
+	model := power.DefaultModel()
+	demand := map[types.VMID]types.ResourceVector{}
+	specs := map[types.NodeID]types.NodeSpec{}
+	for _, vm := range p.VMs {
+		demand[vm.ID] = vm.Requested
+	}
+	for _, nd := range p.Nodes {
+		specs[nd.ID] = nd
+	}
+
+	tb := metrics.NewTable("algorithm", "hosts", "util", "power(W)", "optimal?", "time")
+	for _, name := range order {
+		a := algos[name]
+		start := time.Now()
+		r, err := a.Solve(p)
+		elapsed := time.Since(start)
+		if err != nil {
+			tb.AddRow(name, "ERR: "+err.Error(), "-", "-", "-", elapsed)
+			continue
+		}
+		if err := consolidation.Validate(p, r.Placement); err != nil {
+			fmt.Fprintf(os.Stderr, "%s produced an invalid placement: %v\n", name, err)
+			os.Exit(1)
+		}
+		tb.AddRow(name, r.HostsUsed,
+			consolidation.AvgHostUtilization(p, r.Placement),
+			power.PlacementPower(model, r.Placement, demand, specs),
+			r.Optimal, elapsed)
+	}
+	fmt.Print(tb.String())
+}

@@ -1,0 +1,101 @@
+// Command snoozectl is the CLI client for a snoozed control process — the
+// analogue of the paper's command line interface: it supports VM management
+// and "live visualizing and exporting of the hierarchy organization"
+// (Section II-A).
+//
+// Usage:
+//
+//	snoozectl -server http://localhost:7001 gl
+//	snoozectl -server http://localhost:7001 topology
+//	snoozectl -server http://localhost:7001 submit -n 4 -cpu 2 -mem 2048
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"snooze/internal/protocol"
+	"snooze/internal/rest"
+	"snooze/internal/types"
+)
+
+func main() {
+	server := flag.String("server", "http://localhost:7001", "control process base URL")
+	ep := flag.String("ep", "ep:0", "entry point bus address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	cli := rest.NewClient(2 * time.Minute)
+
+	discoverGL := func() string {
+		reply, err := cli.Call(*server, *ep, protocol.KindGLQuery, struct{}{})
+		fatalIf(err)
+		r := reply.(protocol.GLQueryResponse)
+		if !r.Known {
+			fatalIf(fmt.Errorf("no group leader known to entry point %s", *ep))
+		}
+		return r.Addr
+	}
+
+	switch args[0] {
+	case "gl":
+		fmt.Println(discoverGL())
+	case "topology":
+		fs := flag.NewFlagSet("topology", flag.ExitOnError)
+		deep := fs.Bool("deep", false, "include per-LC detail (GL fans out to GMs)")
+		fatalIf(fs.Parse(args[1:]))
+		gl := discoverGL()
+		reply, err := cli.Call(*server, gl, protocol.KindTopology, protocol.TopologyRequest{Deep: *deep})
+		fatalIf(err)
+		topo := reply.(protocol.TopologyResponse)
+		fmt.Printf("GL %s\n", topo.GL)
+		for _, gm := range topo.GMs {
+			s := gm.Summary
+			fmt.Printf("└─ GM %s (%s): %d active LCs, %d asleep, %d VMs, reserved %v of %v\n",
+				gm.GM, gm.Addr, s.ActiveLCs, s.AsleepLCs, s.VMs, s.Reserved, s.Total)
+			for _, lc := range gm.LCs {
+				fmt.Printf("   └─ LC %s [%s]: %d VMs, reserved %v of %v\n",
+					lc.ID, lc.Power, lc.VMs, lc.Reserved, lc.Capacity)
+			}
+		}
+	case "submit":
+		fs := flag.NewFlagSet("submit", flag.ExitOnError)
+		n := fs.Int("n", 1, "number of VMs")
+		cpu := fs.Float64("cpu", 1, "CPU cores per VM")
+		mem := fs.Float64("mem", 1024, "memory (MB) per VM")
+		prefix := fs.String("prefix", "vm", "VM ID prefix")
+		fatalIf(fs.Parse(args[1:]))
+		var vms []types.VMSpec
+		for i := 0; i < *n; i++ {
+			vms = append(vms, types.VMSpec{
+				ID:        types.VMID(fmt.Sprintf("%s-%d-%d", *prefix, time.Now().UnixNano()%100000, i)),
+				Requested: types.RV(*cpu, *mem, 10, 10),
+			})
+		}
+		gl := discoverGL()
+		reply, err := cli.Call(*server, gl, protocol.KindSubmit, protocol.SubmitRequest{VMs: vms})
+		fatalIf(err)
+		resp := reply.(protocol.SubmitResponse)
+		out, _ := json.MarshalIndent(resp, "", "  ")
+		fmt.Println(string(out))
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: snoozectl [-server URL] [-ep ADDR] gl|topology|submit [flags]")
+	os.Exit(2)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snoozectl:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,113 @@
+// Command snoozed runs Snooze components as a real (wall-clock) process
+// serving the control plane over HTTP — the deployment analogue of the
+// paper's Java RESTful web services.
+//
+// Two roles exist:
+//
+//   - control: hosts the manager processes (GL election happens among
+//     them), the coordination service and the entry points.
+//   - node: hosts one simulated physical node with its Local Controller.
+//
+// Processes discover each other through a peers file (JSON), standing in
+// for the paper's UDP multicast groups:
+//
+//	[
+//	  {"addr": "mgr:gm-00", "url": "http://ctrl:7001", "groups": []},
+//	  {"addr": "lc:n1", "url": "http://node1:7002", "groups": ["snooze.gl"]},
+//	  {"addr": "oob:lc:n1", "url": "http://node1:7002", "groups": []}
+//	]
+//
+// Example (three terminals):
+//
+//	snoozed -role control -listen :7001 -managers 3 -peers peers.json
+//	snoozed -role node -listen :7002 -node n1 -peers peers.json
+//	snoozectl -server http://localhost:7001 submit -n 4
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"snooze/internal/coord"
+	"snooze/internal/hierarchy"
+	"snooze/internal/hypervisor"
+	"snooze/internal/protocol"
+	"snooze/internal/rest"
+	"snooze/internal/simkernel"
+	"snooze/internal/transport"
+	"snooze/internal/types"
+)
+
+// peer is one entry of the peers file.
+type peer struct {
+	Addr   string   `json:"addr"`
+	URL    string   `json:"url"`
+	Groups []string `json:"groups"`
+}
+
+func main() {
+	role := flag.String("role", "control", "process role: control | node")
+	listen := flag.String("listen", ":7001", "HTTP listen address")
+	managers := flag.Int("managers", 3, "control role: number of manager processes (>=2: one becomes GL)")
+	nodeID := flag.String("node", "n1", "node role: node identifier")
+	cpu := flag.Float64("cpu", 8, "node role: CPU cores")
+	memMB := flag.Float64("mem", 32768, "node role: memory (MB)")
+	peersFile := flag.String("peers", "", "path to the peers JSON file")
+	flag.Parse()
+
+	rt := simkernel.NewWallRuntime()
+	bus := transport.NewBus(rt, transport.Config{})
+	gw := rest.NewGateway(bus, 30*time.Second)
+	if *peersFile != "" {
+		data, err := os.ReadFile(*peersFile)
+		if err != nil {
+			log.Fatalf("read peers: %v", err)
+		}
+		var peers []peer
+		if err := json.Unmarshal(data, &peers); err != nil {
+			log.Fatalf("parse peers: %v", err)
+		}
+		for _, p := range peers {
+			gw.AddPeer(transport.Address(p.Addr), p.URL, p.Groups...)
+		}
+		log.Printf("registered %d peers", len(peers))
+	}
+
+	switch *role {
+	case "control":
+		svc := coord.NewService(rt)
+		for i := 0; i < *managers; i++ {
+			id := types.GroupManagerID(fmt.Sprintf("gm-%02d", i))
+			cfg := hierarchy.DefaultManagerConfig(id, transport.Address("mgr:"+string(id)))
+			m := hierarchy.NewManager(rt, bus, svc, cfg)
+			if err := m.Start(); err != nil {
+				log.Fatalf("manager %s: %v", id, err)
+			}
+			log.Printf("manager %s started at bus address %s", id, cfg.Addr)
+		}
+		ep := hierarchy.NewEP(rt, bus, "ep:0", 0)
+		ep.Start()
+		log.Printf("entry point at bus address ep:0")
+	case "node":
+		spec := types.NodeSpec{ID: types.NodeID(*nodeID), Capacity: types.RV(*cpu, *memMB, 1000, 1000)}
+		node := hypervisor.NewNode(rt, spec, hypervisor.DefaultConfig())
+		lcAddr := transport.Address("lc:" + *nodeID)
+		lc := hierarchy.NewLC(rt, bus, node, lcAddr, func(types.NodeID) (*hypervisor.Node, bool) {
+			return nil, false // cross-process migration needs a shared data plane
+		}, hierarchy.DefaultLCConfig())
+		lc.Start()
+		log.Printf("node %s with LC at bus address %s (oob at %s)", *nodeID, lcAddr, hierarchy.OOBAddress(lcAddr))
+	default:
+		log.Fatalf("unknown role %q (want control|node)", *role)
+	}
+	_ = protocol.GroupGL // groups are wired through the peers file
+
+	srv := rest.NewServer(bus, 60*time.Second)
+	log.Printf("snoozed %s listening on %s", *role, *listen)
+	log.Fatal(http.ListenAndServe(*listen, srv.Handler()))
+}

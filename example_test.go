@@ -1,0 +1,71 @@
+package snooze_test
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"snooze"
+)
+
+// ExampleNewCluster boots a small hierarchy and submits VMs — the package's
+// quick-start as runnable documentation.
+func ExampleNewCluster() {
+	c := snooze.NewCluster(snooze.DefaultClusterConfig(snooze.Grid5000Topology(8, 2), 42))
+	c.Settle(30 * time.Second) // election, joins, heartbeats
+
+	resp, err := c.SubmitAndWait(snooze.NewGenerator(1, nil).Batch(4), 2*time.Minute)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("leader: %s\n", c.Leader().ID())
+	fmt.Printf("group managers: %d\n", len(c.GroupManagers()))
+	fmt.Printf("placed: %d of 4\n", len(resp.Placed))
+	// Output:
+	// leader: gm-00
+	// group managers: 2
+	// placed: 4 of 4
+}
+
+// ExampleSolveACO reproduces the paper's consolidation comparison on one
+// instance.
+func ExampleSolveACO() {
+	inst := snooze.NewInstance(snooze.InstanceConfig{Seed: 3, VMs: 18})
+	p := snooze.Problem{VMs: inst.VMs, Nodes: inst.Nodes}
+
+	ffd, _ := snooze.SolveFFD(p)
+	aco, _ := snooze.SolveACO(p, snooze.DefaultACOConfig())
+	opt, _ := snooze.SolveOptimal(p)
+
+	fmt.Printf("FFD: %d hosts\n", ffd.HostsUsed)
+	fmt.Printf("ACO: %d hosts\n", aco.HostsUsed)
+	fmt.Printf("optimal: %d hosts (proved: %v)\n", opt.HostsUsed, opt.Optimal)
+	// Output:
+	// FFD: 7 hosts
+	// ACO: 6 hosts
+	// optimal: 6 hosts (proved: true)
+}
+
+// ExampleCluster_PowerStates shows the energy manager suspending idle nodes.
+func ExampleCluster_PowerStates() {
+	cfg := snooze.DefaultClusterConfig(snooze.Grid5000Topology(4, 1), 7)
+	cfg.Manager.EnergyEnabled = true
+	cfg.Manager.IdleThreshold = 20 * time.Second
+	c := snooze.NewCluster(cfg)
+	c.Settle(2 * time.Minute) // no VMs: every node goes idle and suspends
+
+	states := c.PowerStates()
+	var names []string
+	for st := range states {
+		names = append(names, st.String())
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if n == "suspended" {
+			fmt.Printf("suspended nodes: %d\n", states[snooze.PowerSuspendedState])
+		}
+	}
+	// Output:
+	// suspended nodes: 4
+}

@@ -1,0 +1,45 @@
+// Autorole: the paper's Section V future work, running — "the decisions when
+// a node should play the role of GM or LC in the hierarchy will be taken by
+// the framework instead of the system administrator upon configuration."
+// The cluster starts deliberately under-provisioned (one GM for 32 nodes);
+// the autorole controller observes the LC-per-GM ratio and activates
+// manager roles until the hierarchy is properly shaped.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"snooze"
+	"snooze/internal/hierarchy"
+)
+
+func main() {
+	top := snooze.Grid5000Topology(32, 1) // 32 nodes, ONE group manager
+	cfg := snooze.DefaultClusterConfig(top, 3)
+	cfg.AutoRole = &hierarchy.AutoRoleConfig{
+		TargetRatio: 8, // the framework wants ≤8 LCs per GM
+		Period:      15 * time.Second,
+	}
+	c := snooze.NewCluster(cfg)
+
+	for step := 0; step < 6; step++ {
+		c.Settle(45 * time.Second)
+		fmt.Printf("[t=%6v] managers=%d (GMs=%d, spawned by framework=%d)\n",
+			c.Kernel.Now().Round(time.Second), len(c.Managers),
+			len(c.GroupManagers()), c.AutoRole.Spawned())
+	}
+
+	// The auto-shaped hierarchy serves normally.
+	resp, err := c.SubmitAndWait(snooze.NewGenerator(1, nil).Batch(16), 2*time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsubmitted 16 VMs through the auto-shaped hierarchy: %d placed\n", len(resp.Placed))
+	counts := map[string]int{}
+	for _, lc := range c.LCs {
+		counts[string(lc.GM())]++
+	}
+	fmt.Println("LCs per GM:", counts)
+}

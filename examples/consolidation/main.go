@@ -1,0 +1,40 @@
+// Consolidation: the paper's Section III-B comparison as a library call —
+// ACO vs First-Fit Decreasing vs the exact optimum on a generated instance,
+// including the energy impact of the packing.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"snooze"
+)
+
+func main() {
+	inst := snooze.NewInstance(snooze.InstanceConfig{Seed: 3, VMs: 18})
+	p := snooze.Problem{VMs: inst.VMs, Nodes: inst.Nodes}
+	fmt.Printf("instance: %d VMs on up to %d hosts (lower bound: %d)\n\n",
+		len(p.VMs), len(p.Nodes), p.LowerBound())
+
+	ffd, err := snooze.SolveFFD(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	aco, err := snooze.SolveACO(p, snooze.DefaultACOConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := snooze.SolveOptimal(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("FFD (CPU presort): %d hosts\n", ffd.HostsUsed)
+	fmt.Printf("ACO:               %d hosts (cycles run: %d)\n", aco.HostsUsed, aco.Cycles)
+	fmt.Printf("optimal (B&B):     %d hosts (proved: %v)\n\n", opt.HostsUsed, opt.Optimal)
+
+	saved := 100 * float64(ffd.HostsUsed-aco.HostsUsed) / float64(ffd.HostsUsed)
+	dev := 100 * float64(aco.HostsUsed-opt.HostsUsed) / float64(opt.HostsUsed)
+	fmt.Printf("ACO saves %.1f%% of hosts vs FFD and deviates %.1f%% from optimal\n", saved, dev)
+	fmt.Println("(paper, Section III-B: 4.7% hosts conserved on average, 1.1% deviation)")
+}

@@ -1,0 +1,58 @@
+// Quickstart: boot a simulated Snooze hierarchy, submit a batch of VMs and
+// print where they landed plus the hierarchy layout — the 60-second tour of
+// the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"snooze"
+)
+
+func main() {
+	// A 16-node cluster managed by 2 group managers (one extra manager
+	// process is spawned and promoted to group leader by the election).
+	top := snooze.Grid5000Topology(16, 2)
+	c := snooze.NewCluster(snooze.DefaultClusterConfig(top, 42))
+
+	// Let the hierarchy self-organize: leader election, LC joins,
+	// first heartbeats.
+	c.Settle(30 * time.Second)
+	fmt.Printf("hierarchy formed: leader=%s, %d group managers, %d local controllers\n",
+		c.Leader().ID(), len(c.GroupManagers()), len(c.LCs))
+
+	// Submit 12 VMs drawn from the default small/medium/large mix.
+	gen := snooze.NewGenerator(7, nil)
+	resp, err := c.SubmitAndWait(gen.Batch(12), 2*time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var ids []string
+	for vm := range resp.Placed {
+		ids = append(ids, string(vm))
+	}
+	sort.Strings(ids)
+	for _, vm := range ids {
+		fmt.Printf("  %-16s -> %s\n", vm, resp.Placed[snooze.VMID(vm)])
+	}
+	if len(resp.Unplaced) > 0 {
+		fmt.Printf("  unplaced: %v\n", resp.Unplaced)
+	}
+
+	// Let the VMs boot, then show the hierarchy as the CLI would.
+	c.Settle(10 * time.Second)
+	topo, err := c.TopologyAndWait(time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nGL %s\n", topo.GL)
+	for _, gm := range topo.GMs {
+		s := gm.Summary
+		fmt.Printf("└─ GM %s: %d LCs, %d VMs, reserved %v\n", gm.GM, s.ActiveLCs, s.VMs, s.Reserved)
+	}
+	fmt.Printf("\n%d VMs running; cluster energy so far: %.1f kJ\n",
+		c.RunningVMs(), c.TotalEnergyJoules()/1000)
+}

@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"snooze/internal/hierarchy"
+	"snooze/internal/workload"
+)
+
+func TestAutoRoleGrowsManagerPopulation(t *testing.T) {
+	// 32 LCs with only 1 initial GM and a target ratio of 8 LCs/GM: the
+	// controller must activate additional managers until ~4 GMs serve the
+	// hierarchy (Section V future work).
+	top := workload.Grid5000Topology(32, 1)
+	cfg := DefaultConfig(top, 51)
+	cfg.AutoRole = &hierarchy.AutoRoleConfig{
+		TargetRatio: 8,
+		Period:      15 * time.Second,
+	}
+	c := New(cfg)
+	c.Settle(5 * time.Minute)
+
+	if c.AutoRole.Spawned() == 0 {
+		t.Fatal("autorole never spawned a manager")
+	}
+	gms := len(c.GroupManagers())
+	if gms < 4 {
+		t.Fatalf("GMs after reconciliation: %d, want >= 4", gms)
+	}
+	if c.AutoRole.Reconciliations() == 0 {
+		t.Fatal("no reconciliation rounds recorded")
+	}
+	// The hierarchy still serves submissions with the grown population.
+	gen := workload.NewGenerator(1, nil)
+	resp, err := c.SubmitAndWait(gen.Batch(10), 2*time.Minute)
+	if err != nil || len(resp.Placed) != 10 {
+		t.Fatalf("submit with auto-grown hierarchy: %+v %v", resp, err)
+	}
+}
+
+func TestAutoRoleShrinksWhenLCsVanish(t *testing.T) {
+	top := workload.Grid5000Topology(32, 1)
+	cfg := DefaultConfig(top, 52)
+	cfg.AutoRole = &hierarchy.AutoRoleConfig{
+		TargetRatio: 8,
+		Period:      15 * time.Second,
+	}
+	c := New(cfg)
+	c.Settle(5 * time.Minute)
+	grown := len(c.GroupManagers())
+	if grown < 4 {
+		t.Fatalf("fixture: only %d GMs", grown)
+	}
+	// Fail most of the nodes; the ratio collapses and spawned managers
+	// must retire.
+	i := 0
+	for id := range c.Nodes {
+		if i >= 28 {
+			break
+		}
+		c.FailNode(id)
+		i++
+	}
+	c.Settle(5 * time.Minute)
+	if got := len(c.GroupManagers()); got >= grown {
+		t.Fatalf("manager population did not shrink: %d -> %d", grown, got)
+	}
+}
+
+func TestAutoRoleRespectsMaxManagers(t *testing.T) {
+	top := workload.Grid5000Topology(32, 1)
+	cfg := DefaultConfig(top, 53)
+	cfg.AutoRole = &hierarchy.AutoRoleConfig{
+		TargetRatio: 4,
+		MaxManagers: 3,
+		Period:      15 * time.Second,
+	}
+	c := New(cfg)
+	c.Settle(5 * time.Minute)
+	if got := len(c.Managers); got > 3+2 { // initial 2 + at most 1 spawn to reach cap
+		t.Fatalf("manager population exceeded cap: %d", got)
+	}
+	if got := len(c.GroupManagers()); got > 2 { // cap 3 managers = GL + 2 GMs
+		t.Fatalf("GMs exceed MaxManagers-1: %d", got)
+	}
+}
+
+func TestAutoRoleStop(t *testing.T) {
+	top := workload.Grid5000Topology(8, 1)
+	cfg := DefaultConfig(top, 54)
+	cfg.AutoRole = &hierarchy.AutoRoleConfig{TargetRatio: 2, Period: 10 * time.Second}
+	c := New(cfg)
+	c.Settle(time.Minute)
+	c.AutoRole.Stop()
+	before := c.AutoRole.Reconciliations()
+	c.Settle(2 * time.Minute)
+	if c.AutoRole.Reconciliations() != before {
+		t.Fatal("reconciliation continued after Stop")
+	}
+}
+
+func TestRebalanceSpreadsLCsAfterGrowth(t *testing.T) {
+	top := workload.Grid5000Topology(32, 1)
+	cfg := DefaultConfig(top, 55)
+	cfg.AutoRole = &hierarchy.AutoRoleConfig{TargetRatio: 8, Period: 15 * time.Second}
+	c := New(cfg)
+	c.Settle(8 * time.Minute) // grow + rebalance rounds
+	counts := map[string]int{}
+	for _, lc := range c.LCs {
+		counts[string(lc.GM())]++
+	}
+	if len(counts) < 3 {
+		t.Fatalf("LCs still concentrated: %v", counts)
+	}
+	for gm, n := range counts {
+		if n > 14 {
+			t.Fatalf("GM %s still over-subscribed with %d LCs: %v", gm, n, counts)
+		}
+	}
+	if c.Metrics.Count("gl.rebalances") == 0 {
+		t.Fatal("no rebalance rounds recorded")
+	}
+	if c.Metrics.Count("gm.lcs-shed") == 0 {
+		t.Fatal("no LCs shed")
+	}
+}

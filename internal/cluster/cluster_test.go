@@ -1,0 +1,312 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"snooze/internal/hierarchy"
+	"snooze/internal/types"
+	"snooze/internal/workload"
+)
+
+func smallCluster(t *testing.T, nodes, gms int, seed int64) *Cluster {
+	t.Helper()
+	top := workload.Grid5000Topology(nodes, gms)
+	c := New(DefaultConfig(top, seed))
+	c.Settle(30 * time.Second)
+	return c
+}
+
+func vmSpec(id string, cpu, mem float64) types.VMSpec {
+	return types.VMSpec{ID: types.VMID(id), Requested: types.RV(cpu, mem, 10, 10)}
+}
+
+func TestHierarchyFormsOneLeader(t *testing.T) {
+	c := smallCluster(t, 8, 2, 1)
+	leaders := 0
+	for _, m := range c.Managers {
+		if m.Role() == hierarchy.RoleGL {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("leaders: %d", leaders)
+	}
+	if got := len(c.GroupManagers()); got != 2 {
+		t.Fatalf("GMs: %d", got)
+	}
+	// Every LC is assigned to some GM.
+	for id, lc := range c.LCs {
+		if lc.GM() == "" {
+			t.Fatalf("LC %s unassigned", id)
+		}
+	}
+	// The GL knows both GMs.
+	if got := c.Leader().GMCount(); got != 2 {
+		t.Fatalf("GL sees %d GMs", got)
+	}
+}
+
+func TestLCsSpreadAcrossGMs(t *testing.T) {
+	c := smallCluster(t, 16, 4, 2)
+	counts := map[string]int{}
+	for _, lc := range c.LCs {
+		counts[string(lc.GM())]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("LCs concentrated on %d GMs: %v", len(counts), counts)
+	}
+	for gm, n := range counts {
+		if n < 2 || n > 6 {
+			t.Fatalf("unbalanced assignment %s=%d: %v", gm, n, counts)
+		}
+	}
+}
+
+func TestSubmitPlacesVMs(t *testing.T) {
+	c := smallCluster(t, 8, 2, 3)
+	var vms []types.VMSpec
+	for i := 0; i < 10; i++ {
+		vms = append(vms, vmSpec(fmt.Sprintf("v%02d", i), 2, 4096))
+	}
+	resp, err := c.SubmitAndWait(vms, 2*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Placed) != 10 || len(resp.Unplaced) != 0 {
+		t.Fatalf("placed=%d unplaced=%v", len(resp.Placed), resp.Unplaced)
+	}
+	c.Settle(10 * time.Second) // VM boot delay
+	if got := c.RunningVMs(); got != 10 {
+		t.Fatalf("running VMs: %d", got)
+	}
+	// Every placed VM lives on exactly one node. (It need not be the node
+	// the GL reported: overload relocation may have rebalanced since.)
+	for vm := range resp.Placed {
+		hosts := 0
+		for _, node := range c.Nodes {
+			if node.HasVM(vm) {
+				hosts++
+			}
+		}
+		if hosts != 1 {
+			t.Fatalf("VM %s on %d nodes", vm, hosts)
+		}
+	}
+}
+
+func TestSubmitRejectsOversized(t *testing.T) {
+	c := smallCluster(t, 4, 1, 4)
+	resp, err := c.SubmitAndWait([]types.VMSpec{vmSpec("huge", 100, 999999)}, 4*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Placed) != 0 || len(resp.Unplaced) != 1 {
+		t.Fatalf("oversized VM outcome: %+v", resp)
+	}
+}
+
+func TestSubmitFillsCluster(t *testing.T) {
+	// 4 nodes × 8 CPU; submit 5 VMs of 8 CPU: exactly 4 place.
+	c := smallCluster(t, 4, 1, 5)
+	var vms []types.VMSpec
+	for i := 0; i < 5; i++ {
+		vms = append(vms, vmSpec(fmt.Sprintf("big%d", i), 8, 1024))
+	}
+	resp, err := c.SubmitAndWait(vms, 4*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Placed) != 4 || len(resp.Unplaced) != 1 {
+		t.Fatalf("placed=%d unplaced=%d", len(resp.Placed), len(resp.Unplaced))
+	}
+}
+
+func TestGLFailover(t *testing.T) {
+	c := smallCluster(t, 8, 2, 6)
+	old := c.CrashLeader()
+	if old == nil {
+		t.Fatal("no leader to crash")
+	}
+	// Election TTL (6s) + heartbeats: settle well past it.
+	c.Settle(45 * time.Second)
+	nl := c.Leader()
+	if nl == nil {
+		t.Fatal("no new leader elected")
+	}
+	if nl == old {
+		t.Fatal("crashed leader still leads")
+	}
+	// The system keeps serving submissions after failover.
+	resp, err := c.SubmitAndWait([]types.VMSpec{vmSpec("after-failover", 1, 1024)}, 4*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Placed) != 1 {
+		t.Fatalf("post-failover placement: %+v", resp)
+	}
+}
+
+func TestGMFailureLCsRejoin(t *testing.T) {
+	c := smallCluster(t, 8, 2, 7)
+	gms := c.GroupManagers()
+	victim := gms[0]
+	// Count LCs assigned to the victim.
+	var orphans []types.NodeID
+	for id, lc := range c.LCs {
+		if lc.GM() == victim.Addr() {
+			orphans = append(orphans, id)
+		}
+	}
+	if len(orphans) == 0 {
+		t.Fatal("victim GM manages no LCs; bad fixture")
+	}
+	victim.Crash()
+	// LC GM timeout (10s) + rejoin via GL heartbeat.
+	c.Settle(60 * time.Second)
+	for _, id := range orphans {
+		got := c.LCs[id].GM()
+		if got == "" || got == victim.Addr() {
+			t.Fatalf("LC %s did not rejoin (gm=%q)", id, got)
+		}
+	}
+	// GL pruned the dead GM.
+	if got := c.Leader().GMCount(); got != 1 {
+		t.Fatalf("GL sees %d GMs after GM crash", got)
+	}
+}
+
+func TestLCFailureInvalidated(t *testing.T) {
+	top := workload.Grid5000Topology(6, 1)
+	cfg := DefaultConfig(top, 8)
+	cfg.Manager.RescheduleOnLCFailure = true
+	c := New(cfg)
+	c.Settle(30 * time.Second)
+
+	resp, err := c.SubmitAndWait([]types.VMSpec{vmSpec("v1", 2, 2048), vmSpec("v2", 2, 2048)}, 2*time.Minute)
+	if err != nil || len(resp.Placed) != 2 {
+		t.Fatalf("submit: %+v %v", resp, err)
+	}
+	c.Settle(10 * time.Second)
+
+	// Fail the node hosting v1.
+	victim := resp.Placed["v1"]
+	c.FailNode(victim)
+	c.Settle(90 * time.Second)
+
+	// The VM was rescheduled onto a surviving node (snapshot recovery).
+	found := false
+	for id, node := range c.Nodes {
+		if id == victim {
+			continue
+		}
+		if node.HasVM("v1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("v1 not rescheduled after LC failure")
+	}
+	if c.Metrics.Count("gm.lc-failures") == 0 {
+		t.Fatal("LC failure not detected")
+	}
+}
+
+func TestEnergyIdleSuspend(t *testing.T) {
+	top := workload.Grid5000Topology(6, 1)
+	cfg := DefaultConfig(top, 9)
+	cfg.Manager.EnergyEnabled = true
+	cfg.Manager.IdleThreshold = 20 * time.Second
+	c := New(cfg)
+	c.Settle(2 * time.Minute)
+
+	states := c.PowerStates()
+	if states[types.PowerSuspended] == 0 {
+		t.Fatalf("no nodes suspended despite idleness: %v", states)
+	}
+	if c.Metrics.Count("gm.suspends") == 0 {
+		t.Fatal("no suspend commands issued")
+	}
+}
+
+func TestEnergyWakeOnDemand(t *testing.T) {
+	top := workload.Grid5000Topology(3, 1)
+	cfg := DefaultConfig(top, 10)
+	cfg.Manager.EnergyEnabled = true
+	cfg.Manager.IdleThreshold = 15 * time.Second
+	c := New(cfg)
+	c.Settle(2 * time.Minute) // all nodes suspend (no VMs)
+
+	if got := c.PowerStates()[types.PowerSuspended]; got == 0 {
+		t.Fatalf("fixture: no suspended nodes: %v", c.PowerStates())
+	}
+	// Submission must wake capacity and place.
+	resp, err := c.SubmitAndWait([]types.VMSpec{vmSpec("wakeup", 2, 2048)}, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Placed) != 1 {
+		t.Fatalf("wake-on-demand placement failed: %+v", resp)
+	}
+	if c.Metrics.Count("gm.wakes") == 0 {
+		t.Fatal("no wake commands issued")
+	}
+	c.Settle(10 * time.Second)
+	if c.RunningVMs() != 1 {
+		t.Fatalf("running VMs: %d", c.RunningVMs())
+	}
+}
+
+func TestTopologyExport(t *testing.T) {
+	c := smallCluster(t, 8, 2, 11)
+	top, err := c.TopologyAndWait(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.GL == "" || len(top.GMs) != 2 {
+		t.Fatalf("topology: %+v", top)
+	}
+	totalLCs := 0
+	for _, gm := range top.GMs {
+		totalLCs += gm.Summary.ActiveLCs + gm.Summary.AsleepLCs
+	}
+	if totalLCs != 8 {
+		t.Fatalf("topology LC count: %d", totalLCs)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (placed int, energy float64) {
+		c := smallCluster(t, 8, 2, 42)
+		var vms []types.VMSpec
+		for i := 0; i < 12; i++ {
+			vms = append(vms, vmSpec(fmt.Sprintf("v%02d", i), 2, 2048))
+		}
+		resp, err := c.SubmitAndWait(vms, 2*time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Settle(time.Minute)
+		return len(resp.Placed), c.TotalEnergyJoules()
+	}
+	p1, e1 := run()
+	p2, e2 := run()
+	if p1 != p2 || e1 != e2 {
+		t.Fatalf("non-deterministic: (%d, %v) vs (%d, %v)", p1, e1, p2, e2)
+	}
+}
+
+func TestScalesTo144Nodes(t *testing.T) {
+	// The paper's testbed scale: 144 LCs, 12 GMs, 100 VMs (500 in the
+	// bench; kept smaller here for test runtime).
+	c := smallCluster(t, 144, 12, 12)
+	gen := workload.NewGenerator(12, nil)
+	resp, err := c.SubmitAndWait(gen.Batch(100), 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Placed) != 100 {
+		t.Fatalf("placed %d/100 (unplaced: %d)", len(resp.Placed), len(resp.Unplaced))
+	}
+}

@@ -1,0 +1,289 @@
+package consolidation
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"snooze/internal/types"
+)
+
+// DistributedACO is the distributed variant of the consolidation algorithm
+// the paper lists as future work (Section V: "a distributed version of the
+// algorithm will be developed"). It mirrors how consolidation would run
+// across Snooze's Group Managers:
+//
+//  1. Partition: hosts are split into groups of GroupSize (one per GM) and
+//     every VM is attributed to its group (for a fresh instance, VMs are
+//     dealt round-robin; for a live system the grouping is the GM
+//     membership).
+//  2. Local phase: each group runs the centralized ACO on its own VMs and
+//     hosts, in parallel — no cross-group communication, exactly the
+//     scalability argument of Section III ("distributed nature-inspired VM
+//     consolidation approaches to enhance scalability").
+//  3. Exchange phase: groups are ordered by how empty their least-utilized
+//     host is; a fixed number of rounds migrates the VMs of each group's
+//     emptiest host into residual capacity of other groups (the
+//     inter-group handoff a GL-coordinated reconfiguration would perform),
+//     releasing whole hosts that the local phase could not free.
+//
+// The result is a valid global placement whose quality approaches the
+// centralized algorithm while each ACO instance only sees 1/k of the
+// problem.
+type DistributedACO struct {
+	Config ACOConfig
+	// GroupSize is the number of hosts per group (a GM's LC count).
+	// Values < 2 default to 16.
+	GroupSize int
+	// ExchangeRounds bounds the inter-group host-release rounds; 0 means
+	// one round per group.
+	ExchangeRounds int
+}
+
+// Name implements Algorithm.
+func (DistributedACO) Name() string { return "aco-distributed" }
+
+type acoGroup struct {
+	nodes []types.NodeSpec
+	vms   []types.VMSpec
+}
+
+// Solve implements Algorithm.
+func (d DistributedACO) Solve(p Problem) (Result, error) {
+	groupSize := d.GroupSize
+	if groupSize < 2 {
+		groupSize = 16
+	}
+	nodes := sortedNodes(p)
+	if len(p.VMs) == 0 {
+		return Result{Placement: types.Placement{}}, nil
+	}
+	if len(nodes) == 0 {
+		return Result{}, fmt.Errorf("%w: no hosts", ErrInfeasible)
+	}
+	for _, vm := range p.VMs {
+		if !fitsAny(vm, nodes) {
+			return Result{}, fmt.Errorf("%w: %s", ErrInfeasible, vm.ID)
+		}
+	}
+
+	// 1. Partition hosts, deal VMs round-robin (largest first so every
+	// group receives a comparable mix).
+	var groups []*acoGroup
+	for i := 0; i < len(nodes); i += groupSize {
+		end := i + groupSize
+		if end > len(nodes) {
+			end = len(nodes)
+		}
+		groups = append(groups, &acoGroup{nodes: nodes[i:end]})
+	}
+	vms := append([]types.VMSpec(nil), p.VMs...)
+	sort.Slice(vms, func(i, j int) bool {
+		ni, nj := vms[i].Requested.Norm1(), vms[j].Requested.Norm1()
+		if ni != nj {
+			return ni > nj
+		}
+		return vms[i].ID < vms[j].ID
+	})
+	// Deal round-robin but never give a group more VMs than it has hosts
+	// (the tail group may be smaller than GroupSize).
+	gi := 0
+	for _, vm := range vms {
+		placedInGroup := false
+		for tries := 0; tries < len(groups); tries++ {
+			g := groups[(gi+tries)%len(groups)]
+			if len(g.vms) < len(g.nodes) {
+				g.vms = append(g.vms, vm)
+				gi = (gi + tries + 1) % len(groups)
+				placedInGroup = true
+				break
+			}
+		}
+		if !placedInGroup {
+			// More VMs than hosts overall: give it to the round-robin
+			// group anyway; the local solver (or the global fallback)
+			// decides feasibility.
+			groups[gi].vms = append(groups[gi].vms, vm)
+			gi = (gi + 1) % len(groups)
+		}
+	}
+
+	// 2. Local phase, in parallel.
+	placements := make([]types.Placement, len(groups))
+	errs := make([]error, len(groups))
+	var wg sync.WaitGroup
+	for gi, g := range groups {
+		wg.Add(1)
+		go func(gi int, g *acoGroup) {
+			defer wg.Done()
+			if len(g.vms) == 0 {
+				placements[gi] = types.Placement{}
+				return
+			}
+			cfg := d.Config
+			if cfg.Ants <= 0 || cfg.Cycles <= 0 {
+				cfg = DefaultACOConfig()
+			}
+			cfg.Seed = cfg.Seed*31 + int64(gi) // independent colonies
+			r, err := (ACO{Config: cfg}).Solve(Problem{VMs: g.vms, Nodes: g.nodes})
+			placements[gi], errs[gi] = r.Placement, err
+		}(gi, g)
+	}
+	wg.Wait()
+	global := types.Placement{}
+	for gi, pl := range placements {
+		if errs[gi] != nil {
+			continue // group failed locally; its VMs go to the fallback
+		}
+		for vm, n := range pl {
+			global[vm] = n
+		}
+	}
+	// Global fallback: first-fit any VMs a local colony could not pack
+	// into the cluster-wide residual capacity.
+	if err := fallbackPlace(global, vms, nodes); err != nil {
+		return Result{}, err
+	}
+
+	// 3. Exchange phase: try to release each group's emptiest host by
+	// rehoming its VMs into residual capacity anywhere in the cluster.
+	specByID := make(map[types.VMID]types.VMSpec, len(p.VMs))
+	for _, vm := range p.VMs {
+		specByID[vm.ID] = vm
+	}
+	capByNode := make(map[types.NodeID]types.ResourceVector, len(nodes))
+	for _, n := range nodes {
+		capByNode[n.ID] = n.Capacity
+	}
+	rounds := d.ExchangeRounds
+	if rounds <= 0 {
+		rounds = len(groups)
+	}
+	for round := 0; round < rounds; round++ {
+		if !releaseOneHost(global, specByID, capByNode) {
+			break
+		}
+	}
+
+	return Result{
+		Placement: global,
+		HostsUsed: global.NodesUsed(),
+		Cycles:    len(groups),
+	}, nil
+}
+
+// fallbackPlace first-fits every VM missing from placement into residual
+// capacity, preferring already-occupied hosts.
+func fallbackPlace(placement types.Placement, vms []types.VMSpec, nodes []types.NodeSpec) error {
+	load := make(map[types.NodeID]types.ResourceVector)
+	specByID := make(map[types.VMID]types.VMSpec, len(vms))
+	for _, vm := range vms {
+		specByID[vm.ID] = vm
+	}
+	for vm, n := range placement {
+		load[n] = load[n].Add(specByID[vm].Requested)
+	}
+	for _, vm := range vms {
+		if _, ok := placement[vm.ID]; ok {
+			continue
+		}
+		placed := false
+		// Occupied hosts first (keeps free hosts free), then empty ones.
+		for pass := 0; pass < 2 && !placed; pass++ {
+			for _, n := range nodes {
+				_, occupied := load[n.ID]
+				if (pass == 0) != occupied {
+					continue
+				}
+				if vm.Requested.FitsIn(n.Capacity.Sub(load[n.ID])) {
+					placement[vm.ID] = n.ID
+					load[n.ID] = load[n.ID].Add(vm.Requested)
+					placed = true
+					break
+				}
+			}
+		}
+		if !placed {
+			return fmt.Errorf("%w: %s (distributed fallback)", ErrInfeasible, vm.ID)
+		}
+	}
+	return nil
+}
+
+// releaseOneHost finds the least-loaded occupied host whose VMs all fit
+// elsewhere, migrates them, and reports whether a host was freed.
+func releaseOneHost(placement types.Placement, specs map[types.VMID]types.VMSpec, capacity map[types.NodeID]types.ResourceVector) bool {
+	load := make(map[types.NodeID]types.ResourceVector)
+	byNode := make(map[types.NodeID][]types.VMID)
+	for vm, n := range placement {
+		load[n] = load[n].Add(specs[vm].Requested)
+		byNode[n] = append(byNode[n], vm)
+	}
+	// Candidate donors: occupied hosts, least L1-utilized first.
+	type cand struct {
+		id   types.NodeID
+		util float64
+	}
+	var donors []cand
+	for n, l := range load {
+		donors = append(donors, cand{id: n, util: l.UtilizationL1(capacity[n])})
+	}
+	sort.Slice(donors, func(i, j int) bool {
+		if donors[i].util != donors[j].util {
+			return donors[i].util < donors[j].util
+		}
+		return donors[i].id < donors[j].id
+	})
+	// Receivers: most-utilized first so releases concentrate free hosts.
+	for _, donor := range donors {
+		vms := append([]types.VMID(nil), byNode[donor.id]...)
+		sort.Slice(vms, func(i, j int) bool {
+			ni, nj := specs[vms[i]].Requested.Norm1(), specs[vms[j]].Requested.Norm1()
+			if ni != nj {
+				return ni > nj
+			}
+			return vms[i] < vms[j]
+		})
+		trialLoad := make(map[types.NodeID]types.ResourceVector, len(load))
+		for n, l := range load {
+			trialLoad[n] = l
+		}
+		moves := make(map[types.VMID]types.NodeID, len(vms))
+		ok := true
+		for _, vm := range vms {
+			var recv []cand
+			for n, l := range trialLoad {
+				if n == donor.id {
+					continue
+				}
+				recv = append(recv, cand{id: n, util: l.UtilizationL1(capacity[n])})
+			}
+			sort.Slice(recv, func(i, j int) bool {
+				if recv[i].util != recv[j].util {
+					return recv[i].util > recv[j].util
+				}
+				return recv[i].id < recv[j].id
+			})
+			placed := false
+			for _, r := range recv {
+				if specs[vm].Requested.FitsIn(capacity[r.id].Sub(trialLoad[r.id])) {
+					trialLoad[r.id] = trialLoad[r.id].Add(specs[vm].Requested)
+					moves[vm] = r.id
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				ok = false
+				break
+			}
+		}
+		if ok && len(moves) > 0 {
+			for vm, to := range moves {
+				placement[vm] = to
+			}
+			return true
+		}
+	}
+	return false
+}

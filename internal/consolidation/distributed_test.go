@@ -1,0 +1,129 @@
+package consolidation
+
+import (
+	"errors"
+	"testing"
+
+	"snooze/internal/types"
+	"snooze/internal/workload"
+)
+
+func TestDistributedACOValid(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		p := uniformProblem(seed, 120, workload.UniformInstance)
+		r, err := (DistributedACO{GroupSize: 20}).Solve(p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := Validate(p, r.Placement); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r.HostsUsed < p.LowerBound() {
+			t.Fatalf("seed %d: below lower bound", seed)
+		}
+	}
+}
+
+func TestDistributedACONearCentralized(t *testing.T) {
+	// Distributed quality must stay within a modest factor of centralized
+	// ACO — the scalability/quality trade the paper's future work targets.
+	p := uniformProblem(9, 120, workload.UniformInstance)
+	central, err := (ACO{}).Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := (DistributedACO{GroupSize: 24}).Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(dist.HostsUsed) > 1.25*float64(central.HostsUsed)+1 {
+		t.Fatalf("distributed %d hosts vs centralized %d", dist.HostsUsed, central.HostsUsed)
+	}
+}
+
+func TestDistributedACOBeatsNoExchange(t *testing.T) {
+	// The exchange phase must not hurt, and usually releases hosts the
+	// local phase stranded.
+	p := uniformProblem(5, 90, workload.UniformInstance)
+	with, err := (DistributedACO{GroupSize: 15, ExchangeRounds: 10}).Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ExchangeRounds: -1 is coerced to default; emulate "none" via 0-size
+	// comparison using one round of a fresh run minus releases is not
+	// directly expressible, so compare against group-count lower rounds.
+	minimal, err := (DistributedACO{GroupSize: 15, ExchangeRounds: 1}).Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.HostsUsed > minimal.HostsUsed {
+		t.Fatalf("more exchange rounds made it worse: %d vs %d", with.HostsUsed, minimal.HostsUsed)
+	}
+}
+
+func TestDistributedACOEdgeCases(t *testing.T) {
+	if r, err := (DistributedACO{}).Solve(Problem{Nodes: tinyProblem().Nodes}); err != nil || len(r.Placement) != 0 {
+		t.Fatalf("empty: %+v %v", r, err)
+	}
+	if _, err := (DistributedACO{}).Solve(Problem{VMs: tinyProblem().VMs}); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("no hosts: %v", err)
+	}
+	p := tinyProblem()
+	p.VMs[0].Requested = types.RV(1000, 1, 1, 1)
+	if _, err := (DistributedACO{}).Solve(p); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("oversized: %v", err)
+	}
+	// Tiny group size coerces to a sane default rather than panicking.
+	small := uniformProblem(2, 30, workload.UniformInstance)
+	r, err := (DistributedACO{GroupSize: 1}).Solve(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(small, r.Placement); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributedACODeterministic(t *testing.T) {
+	p := uniformProblem(7, 80, workload.CorrelatedInstance)
+	cfg := DefaultACOConfig()
+	cfg.Seed = 3
+	a, err := (DistributedACO{Config: cfg, GroupSize: 16}).Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (DistributedACO{Config: cfg, GroupSize: 16}).Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.HostsUsed != b.HostsUsed {
+		t.Fatalf("non-deterministic: %d vs %d", a.HostsUsed, b.HostsUsed)
+	}
+	for vm, n := range a.Placement {
+		if b.Placement[vm] != n {
+			t.Fatalf("placement differs for %s", vm)
+		}
+	}
+}
+
+func TestReleaseOneHost(t *testing.T) {
+	capv := types.RV(8, 16384, 1000, 1000)
+	specs := map[types.VMID]types.VMSpec{
+		"a": {ID: "a", Requested: capv.Scale(0.25)},
+		"b": {ID: "b", Requested: capv.Scale(0.25)},
+		"c": {ID: "c", Requested: capv.Scale(0.5)},
+	}
+	capacity := map[types.NodeID]types.ResourceVector{"n1": capv, "n2": capv}
+	// n1 holds a+b (50%), n2 holds c (50%): releasing n1 moves a,b to n2.
+	placement := types.Placement{"a": "n1", "b": "n1", "c": "n2"}
+	if !releaseOneHost(placement, specs, capacity) {
+		t.Fatal("release failed")
+	}
+	if placement.NodesUsed() != 1 {
+		t.Fatalf("hosts after release: %d", placement.NodesUsed())
+	}
+	// Nothing more to release (single host).
+	if releaseOneHost(placement, specs, capacity) {
+		t.Fatal("released the last host")
+	}
+}

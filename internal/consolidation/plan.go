@@ -1,0 +1,83 @@
+package consolidation
+
+import (
+	"sort"
+
+	"snooze/internal/types"
+)
+
+// Plan converts a target placement into an ordered migration sequence from
+// the current placement. The order matters: a naive sequence can transiently
+// overcommit a destination that is itself waiting to be drained. Plan emits
+// moves greedily, always picking a migration whose destination currently has
+// room; cyclic dependencies that admit no safe order (rare in consolidation,
+// which empties hosts rather than swapping) are appended at the end as
+// best-effort moves the executor may retry.
+//
+// VMs present in current but absent from target are left untouched; VMs in
+// target but not in current are ignored (they are placements, not
+// migrations).
+func Plan(current, target types.Placement, specs map[types.VMID]types.VMSpec, nodes []types.NodeSpec) []types.Migration {
+	capacity := make(map[types.NodeID]types.ResourceVector, len(nodes))
+	for _, n := range nodes {
+		capacity[n.ID] = n.Capacity
+	}
+	// Current reservation per node.
+	load := make(map[types.NodeID]types.ResourceVector)
+	for vm, node := range current {
+		if spec, ok := specs[vm]; ok {
+			load[node] = load[node].Add(spec.Requested)
+		}
+	}
+	// Pending moves, deterministic order.
+	var pending []types.Migration
+	for vm, from := range current {
+		to, ok := target[vm]
+		if !ok || to == from {
+			continue
+		}
+		pending = append(pending, types.Migration{VM: vm, From: from, To: to})
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i].VM < pending[j].VM })
+
+	var plan []types.Migration
+	for len(pending) > 0 {
+		progressed := false
+		rest := pending[:0]
+		for _, m := range pending {
+			spec, ok := specs[m.VM]
+			if !ok {
+				continue // unknown VM: drop silently
+			}
+			free := capacity[m.To].Sub(load[m.To])
+			if spec.Requested.FitsIn(free) {
+				plan = append(plan, m)
+				load[m.To] = load[m.To].Add(spec.Requested)
+				load[m.From] = load[m.From].Sub(spec.Requested).Max(types.ResourceVector{})
+				progressed = true
+			} else {
+				rest = append(rest, m)
+			}
+		}
+		pending = rest
+		if !progressed {
+			// Deadlocked cycle: emit remaining moves unordered.
+			plan = append(plan, pending...)
+			break
+		}
+	}
+	return plan
+}
+
+// MigrationCost estimates the total data moved by a plan in megabytes
+// (pre-copy transfers the VM's memory), the cost metric consolidation
+// policies weigh against the energy savings of freed hosts.
+func MigrationCost(plan []types.Migration, specs map[types.VMID]types.VMSpec) float64 {
+	var mb float64
+	for _, m := range plan {
+		if spec, ok := specs[m.VM]; ok {
+			mb += spec.Requested.Memory
+		}
+	}
+	return mb
+}

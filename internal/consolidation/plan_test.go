@@ -1,0 +1,145 @@
+package consolidation
+
+import (
+	"testing"
+
+	"snooze/internal/types"
+	"snooze/internal/workload"
+)
+
+func planFixture() (map[types.VMID]types.VMSpec, []types.NodeSpec) {
+	capv := types.RV(8, 16384, 1000, 1000)
+	specs := map[types.VMID]types.VMSpec{
+		"a": {ID: "a", Requested: capv.Scale(0.5)},
+		"b": {ID: "b", Requested: capv.Scale(0.5)},
+		"c": {ID: "c", Requested: capv.Scale(0.5)},
+	}
+	nodes := []types.NodeSpec{
+		{ID: "n1", Capacity: capv},
+		{ID: "n2", Capacity: capv},
+		{ID: "n3", Capacity: capv},
+	}
+	return specs, nodes
+}
+
+func TestPlanSimpleMove(t *testing.T) {
+	specs, nodes := planFixture()
+	current := types.Placement{"a": "n1", "b": "n2", "c": "n3"}
+	target := types.Placement{"a": "n1", "b": "n1", "c": "n3"}
+	plan := Plan(current, target, specs, nodes)
+	if len(plan) != 1 || plan[0].VM != "b" || plan[0].From != "n2" || plan[0].To != "n1" {
+		t.Fatalf("plan: %+v", plan)
+	}
+}
+
+func TestPlanNoMovesWhenEqual(t *testing.T) {
+	specs, nodes := planFixture()
+	p := types.Placement{"a": "n1", "b": "n2", "c": "n3"}
+	if plan := Plan(p, p, specs, nodes); len(plan) != 0 {
+		t.Fatalf("plan: %+v", plan)
+	}
+}
+
+func TestPlanOrdersByCapacity(t *testing.T) {
+	// n1 holds a+b (full); target wants c -> n1 impossible until one
+	// leaves. Plan must drain n1 first.
+	specs, nodes := planFixture()
+	current := types.Placement{"a": "n1", "b": "n1", "c": "n2"}
+	target := types.Placement{"a": "n3", "b": "n1", "c": "n1"}
+	plan := Plan(current, target, specs, nodes)
+	if len(plan) != 2 {
+		t.Fatalf("plan: %+v", plan)
+	}
+	if plan[0].VM != "a" || plan[1].VM != "c" {
+		t.Fatalf("order: %+v", plan)
+	}
+	// Replay the plan verifying capacity at each step.
+	load := map[types.NodeID]types.ResourceVector{}
+	for vm, n := range current {
+		load[n] = load[n].Add(specs[vm].Requested)
+	}
+	capByID := map[types.NodeID]types.ResourceVector{}
+	for _, n := range nodes {
+		capByID[n.ID] = n.Capacity
+	}
+	for _, m := range plan {
+		newLoad := load[m.To].Add(specs[m.VM].Requested)
+		if !newLoad.FitsIn(capByID[m.To]) {
+			t.Fatalf("step %+v overcommits %s", m, m.To)
+		}
+		load[m.To] = newLoad
+		load[m.From] = load[m.From].Sub(specs[m.VM].Requested)
+	}
+}
+
+func TestPlanCycleFallsBackToUnordered(t *testing.T) {
+	// a on n1, b on n2, both full nodes, target swaps them: no safe order
+	// exists. Plan must still return both moves (best effort).
+	capv := types.RV(8, 16384, 1000, 1000)
+	specs := map[types.VMID]types.VMSpec{
+		"a": {ID: "a", Requested: capv},
+		"b": {ID: "b", Requested: capv},
+	}
+	nodes := []types.NodeSpec{{ID: "n1", Capacity: capv}, {ID: "n2", Capacity: capv}}
+	current := types.Placement{"a": "n1", "b": "n2"}
+	target := types.Placement{"a": "n2", "b": "n1"}
+	plan := Plan(current, target, specs, nodes)
+	if len(plan) != 2 {
+		t.Fatalf("cycle plan: %+v", plan)
+	}
+}
+
+func TestPlanIgnoresUnknownAndNewVMs(t *testing.T) {
+	specs, nodes := planFixture()
+	current := types.Placement{"a": "n1", "ghost": "n2"}
+	target := types.Placement{"a": "n2", "ghost": "n3", "newvm": "n3"}
+	plan := Plan(current, target, specs, nodes)
+	for _, m := range plan {
+		if m.VM == "ghost" || m.VM == "newvm" {
+			t.Fatalf("plan moved %s: %+v", m.VM, plan)
+		}
+	}
+	if len(plan) != 1 || plan[0].VM != "a" {
+		t.Fatalf("plan: %+v", plan)
+	}
+}
+
+func TestMigrationCost(t *testing.T) {
+	specs, _ := planFixture()
+	plan := []types.Migration{{VM: "a"}, {VM: "b"}, {VM: "unknown"}}
+	want := specs["a"].Requested.Memory + specs["b"].Requested.Memory
+	if got := MigrationCost(plan, specs); got != want {
+		t.Fatalf("cost: %v want %v", got, want)
+	}
+	if got := MigrationCost(nil, specs); got != 0 {
+		t.Fatalf("empty plan cost: %v", got)
+	}
+}
+
+func TestPlanConsolidationEndToEnd(t *testing.T) {
+	// Consolidate a spread placement with ACO, then plan the migrations and
+	// verify the plan transforms current into target.
+	p := uniformProblem(11, 30, workload.UniformInstance)
+	current := types.Placement{}
+	for i, vm := range p.VMs {
+		current[vm.ID] = p.Nodes[i].ID // one VM per node
+	}
+	r, err := (ACO{}).Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := map[types.VMID]types.VMSpec{}
+	for _, vm := range p.VMs {
+		specs[vm.ID] = vm
+	}
+	plan := Plan(current, r.Placement, specs, p.Nodes)
+	got := current.Clone()
+	for _, m := range plan {
+		got[m.VM] = m.To
+	}
+	for vm, n := range r.Placement {
+		if got[vm] != n {
+			t.Fatalf("plan does not reach target for %s: %s != %s", vm, got[vm], n)
+		}
+	}
+}

@@ -1,0 +1,476 @@
+// Package coord is the coordination substrate standing in for Apache
+// ZooKeeper, which the paper's leader-election scheme is "built on top of"
+// (Section II-D). It implements the subset of ZooKeeper semantics the
+// election recipe needs: a hierarchical znode namespace, sessions with
+// liveness-based expiry, ephemeral and sequential znodes, and one-shot
+// watches on node existence and children.
+//
+// Like ZooKeeper, ephemeral znodes are deleted when their owning session
+// expires — that property is exactly what converts a Group Manager crash
+// into a leader-election trigger. The service runs on a simkernel.Runtime so
+// session expiry is deterministic in simulation and real-time in deployment.
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"snooze/internal/simkernel"
+)
+
+// Errors returned by the service, mirroring ZooKeeper's error model.
+var (
+	ErrNoNode         = errors.New("coord: node does not exist")
+	ErrNodeExists     = errors.New("coord: node already exists")
+	ErrNotEmpty       = errors.New("coord: node has children")
+	ErrSessionExpired = errors.New("coord: session expired")
+	ErrBadPath        = errors.New("coord: invalid path")
+)
+
+// CreateFlag selects znode creation modes.
+type CreateFlag int
+
+// Creation flags; combine with bitwise OR.
+const (
+	// FlagEphemeral ties the znode lifetime to the creating session.
+	FlagEphemeral CreateFlag = 1 << iota
+	// FlagSequential appends a monotonically increasing, zero-padded
+	// sequence number to the path.
+	FlagSequential
+)
+
+// EventType describes what a watch observed.
+type EventType int
+
+// Watch event types.
+const (
+	EventCreated EventType = iota
+	EventDeleted
+	EventDataChanged
+	EventChildrenChanged
+	// EventSessionExpired is delivered to all of an expired session's
+	// pending watches so waiters do not hang forever.
+	EventSessionExpired
+)
+
+// String implements fmt.Stringer.
+func (e EventType) String() string {
+	switch e {
+	case EventCreated:
+		return "created"
+	case EventDeleted:
+		return "deleted"
+	case EventDataChanged:
+		return "data-changed"
+	case EventChildrenChanged:
+		return "children-changed"
+	case EventSessionExpired:
+		return "session-expired"
+	default:
+		return fmt.Sprintf("EventType(%d)", int(e))
+	}
+}
+
+// Event is delivered to watch callbacks.
+type Event struct {
+	Type EventType
+	Path string
+}
+
+// Watcher receives exactly one event (watches are one-shot, as in ZooKeeper).
+type Watcher func(Event)
+
+type znode struct {
+	data      []byte
+	owner     *Session // non-nil for ephemeral nodes
+	children  map[string]*znode
+	seq       int // next child sequence number
+	dataWatch []watchReg
+	childWach []watchReg
+	existWach []watchReg // watches set on a path that does not exist yet
+}
+
+type watchReg struct {
+	session *Session
+	fn      Watcher
+}
+
+func newZnode() *znode {
+	return &znode{children: make(map[string]*znode)}
+}
+
+// Service is the in-memory coordination service. All methods are safe for
+// concurrent use.
+type Service struct {
+	rt         simkernel.Runtime
+	mu         sync.Mutex
+	root       *znode
+	sessionSeq int
+	// pendingExist holds watches for paths that do not exist yet,
+	// keyed by path.
+	pendingExist map[string][]watchReg
+}
+
+// NewService creates a coordination service on the given runtime.
+func NewService(rt simkernel.Runtime) *Service {
+	return &Service{
+		rt:           rt,
+		root:         newZnode(),
+		pendingExist: make(map[string][]watchReg),
+	}
+}
+
+// Session is a client connection whose liveness governs its ephemeral nodes.
+type Session struct {
+	svc     *Service
+	id      int
+	ttl     time.Duration
+	expiry  simkernel.Canceler
+	expired bool
+	onExp   func()
+}
+
+// ID returns the session's unique identifier.
+func (s *Session) ID() int { return s.id }
+
+// NewSession opens a session with the given TTL. If the session is not
+// Ping()ed within TTL it expires: its ephemeral nodes are deleted (firing
+// watches) and onExpired (optional) is called. TTL <= 0 means the session
+// never expires on its own (useful in tests).
+func (s *Service) NewSession(ttl time.Duration, onExpired func()) *Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sessionSeq++
+	sess := &Session{svc: s, id: s.sessionSeq, ttl: ttl, onExp: onExpired}
+	if ttl > 0 {
+		sess.expiry = s.rt.After(ttl, func() { s.expire(sess) })
+	}
+	return sess
+}
+
+// Ping refreshes the session's liveness timer, like a ZooKeeper heartbeat.
+func (sess *Session) Ping() error {
+	s := sess.svc
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sess.expired {
+		return ErrSessionExpired
+	}
+	if sess.ttl > 0 {
+		if sess.expiry != nil {
+			sess.expiry.Cancel()
+		}
+		sess.expiry = s.rt.After(sess.ttl, func() { s.expire(sess) })
+	}
+	return nil
+}
+
+// Close expires the session immediately (graceful disconnect).
+func (sess *Session) Close() { sess.svc.expire(sess) }
+
+// Expired reports whether the session has expired.
+func (sess *Session) Expired() bool {
+	sess.svc.mu.Lock()
+	defer sess.svc.mu.Unlock()
+	return sess.expired
+}
+
+func (s *Service) expire(sess *Session) {
+	s.mu.Lock()
+	if sess.expired {
+		s.mu.Unlock()
+		return
+	}
+	sess.expired = true
+	if sess.expiry != nil {
+		sess.expiry.Cancel()
+	}
+	// Delete all ephemeral nodes owned by this session, collecting watch
+	// notifications.
+	var notify []func()
+	notify = append(notify, s.deleteOwnedLocked(s.root, "", sess)...)
+	onExp := sess.onExp
+	s.mu.Unlock()
+	for _, fn := range notify {
+		fn()
+	}
+	if onExp != nil {
+		s.rt.After(0, onExp)
+	}
+}
+
+// deleteOwnedLocked removes ephemeral nodes owned by sess depth-first,
+// returning watch notifications to fire after unlock.
+func (s *Service) deleteOwnedLocked(n *znode, path string, sess *Session) []func() {
+	var notify []func()
+	for name, child := range n.children {
+		childPath := path + "/" + name
+		notify = append(notify, s.deleteOwnedLocked(child, childPath, sess)...)
+		if child.owner == sess && len(child.children) == 0 {
+			delete(n.children, name)
+			notify = append(notify, s.fireDeleteLocked(child, childPath)...)
+			notify = append(notify, s.fireWatchesLocked(n.childWach, Event{Type: EventChildrenChanged, Path: path})...)
+			n.childWach = nil
+		}
+	}
+	return notify
+}
+
+// ---------------------------------------------------------------------------
+// Path handling
+// ---------------------------------------------------------------------------
+
+func splitPath(path string) ([]string, error) {
+	if !strings.HasPrefix(path, "/") || strings.Contains(path, "//") {
+		return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
+	}
+	path = strings.TrimSuffix(path, "/")
+	if path == "" {
+		return nil, nil // root
+	}
+	return strings.Split(path[1:], "/"), nil
+}
+
+// lookupLocked returns the node at path, or nil.
+func (s *Service) lookupLocked(parts []string) *znode {
+	n := s.root
+	for _, p := range parts {
+		child, ok := n.children[p]
+		if !ok {
+			return nil
+		}
+		n = child
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// Operations
+// ---------------------------------------------------------------------------
+
+// Create creates a znode at path with the given data. The parent must exist
+// (create parents explicitly, as in ZooKeeper). With FlagSequential the
+// actual created path gets a 10-digit suffix and is returned. sess may be
+// nil for persistent nodes created by infrastructure code.
+func (s *Service) Create(sess *Session, path string, data []byte, flags CreateFlag) (string, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return "", err
+	}
+	if len(parts) == 0 {
+		return "", fmt.Errorf("%w: cannot create root", ErrBadPath)
+	}
+	if flags&FlagEphemeral != 0 && sess == nil {
+		return "", fmt.Errorf("%w: ephemeral node needs a session", ErrBadPath)
+	}
+	s.mu.Lock()
+	if sess != nil && sess.expired {
+		s.mu.Unlock()
+		return "", ErrSessionExpired
+	}
+	parent := s.lookupLocked(parts[:len(parts)-1])
+	if parent == nil {
+		s.mu.Unlock()
+		return "", fmt.Errorf("%w: parent of %s", ErrNoNode, path)
+	}
+	name := parts[len(parts)-1]
+	if flags&FlagSequential != 0 {
+		name = fmt.Sprintf("%s%010d", name, parent.seq)
+		parent.seq++
+	}
+	if _, exists := parent.children[name]; exists {
+		s.mu.Unlock()
+		return "", fmt.Errorf("%w: %s", ErrNodeExists, path)
+	}
+	n := newZnode()
+	n.data = append([]byte(nil), data...)
+	if flags&FlagEphemeral != 0 {
+		n.owner = sess
+	}
+	parent.children[name] = n
+	created := "/" + strings.Join(append(parts[:len(parts)-1], name), "/")
+
+	var notify []func()
+	notify = append(notify, s.fireWatchesLocked(parent.childWach, Event{Type: EventChildrenChanged, Path: parentPath(created)})...)
+	parent.childWach = nil
+	if regs, ok := s.pendingExist[created]; ok {
+		notify = append(notify, s.fireWatchesLocked(regs, Event{Type: EventCreated, Path: created})...)
+		delete(s.pendingExist, created)
+	}
+	s.mu.Unlock()
+	for _, fn := range notify {
+		fn()
+	}
+	return created, nil
+}
+
+func parentPath(path string) string {
+	i := strings.LastIndex(path, "/")
+	if i <= 0 {
+		return "/"
+	}
+	return path[:i]
+}
+
+// Delete removes the znode at path; it must have no children.
+func (s *Service) Delete(path string) error {
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("%w: cannot delete root", ErrBadPath)
+	}
+	s.mu.Lock()
+	parent := s.lookupLocked(parts[:len(parts)-1])
+	if parent == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNoNode, path)
+	}
+	name := parts[len(parts)-1]
+	n, ok := parent.children[name]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNoNode, path)
+	}
+	if len(n.children) > 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotEmpty, path)
+	}
+	delete(parent.children, name)
+	var notify []func()
+	notify = append(notify, s.fireDeleteLocked(n, path)...)
+	notify = append(notify, s.fireWatchesLocked(parent.childWach, Event{Type: EventChildrenChanged, Path: parentPath(path)})...)
+	parent.childWach = nil
+	s.mu.Unlock()
+	for _, fn := range notify {
+		fn()
+	}
+	return nil
+}
+
+func (s *Service) fireDeleteLocked(n *znode, path string) []func() {
+	var notify []func()
+	ev := Event{Type: EventDeleted, Path: path}
+	notify = append(notify, s.fireWatchesLocked(n.dataWatch, ev)...)
+	notify = append(notify, s.fireWatchesLocked(n.existWach, ev)...)
+	n.dataWatch, n.existWach = nil, nil
+	return notify
+}
+
+// fireWatchesLocked converts registrations into deferred callbacks, dropping
+// watches whose session has expired.
+func (s *Service) fireWatchesLocked(regs []watchReg, ev Event) []func() {
+	var out []func()
+	for _, reg := range regs {
+		if reg.session != nil && reg.session.expired {
+			continue
+		}
+		fn := reg.fn
+		out = append(out, func() { s.rt.After(0, func() { fn(ev) }) })
+	}
+	return out
+}
+
+// Exists reports whether path exists. If watch is non-nil it fires once on
+// the next create/delete/data change of the path.
+func (s *Service) Exists(sess *Session, path string, watch Watcher) (bool, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.lookupLocked(parts)
+	if watch != nil {
+		reg := watchReg{session: sess, fn: watch}
+		if n != nil {
+			n.dataWatch = append(n.dataWatch, reg)
+		} else {
+			s.pendingExist[path] = append(s.pendingExist[path], reg)
+		}
+	}
+	return n != nil, nil
+}
+
+// Get returns the data stored at path.
+func (s *Service) Get(path string) ([]byte, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.lookupLocked(parts)
+	if n == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoNode, path)
+	}
+	return append([]byte(nil), n.data...), nil
+}
+
+// Set replaces the data at path, firing data watches.
+func (s *Service) Set(path string, data []byte) error {
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	n := s.lookupLocked(parts)
+	if n == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNoNode, path)
+	}
+	n.data = append([]byte(nil), data...)
+	notify := s.fireWatchesLocked(n.dataWatch, Event{Type: EventDataChanged, Path: path})
+	n.dataWatch = nil
+	s.mu.Unlock()
+	for _, fn := range notify {
+		fn()
+	}
+	return nil
+}
+
+// Children returns the sorted child names of path. If watch is non-nil it
+// fires once on the next membership change.
+func (s *Service) Children(sess *Session, path string, watch Watcher) ([]string, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.lookupLocked(parts)
+	if n == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoNode, path)
+	}
+	if watch != nil {
+		n.childWach = append(n.childWach, watchReg{session: sess, fn: watch})
+	}
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// EnsurePath creates every missing component of path as a persistent node
+// (mkdir -p). Existing components are left untouched.
+func (s *Service) EnsurePath(path string) error {
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	cur := ""
+	for _, p := range parts {
+		cur += "/" + p
+		if _, err := s.Create(nil, cur, nil, 0); err != nil && !errors.Is(err, ErrNodeExists) {
+			return err
+		}
+	}
+	return nil
+}

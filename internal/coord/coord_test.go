@@ -1,0 +1,278 @@
+package coord
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"snooze/internal/simkernel"
+)
+
+func newSvc() (*Service, *simkernel.Kernel) {
+	k := simkernel.New(1)
+	return NewService(k), k
+}
+
+func TestCreateGetSet(t *testing.T) {
+	s, _ := newSvc()
+	if _, err := s.Create(nil, "/a", []byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.Get("/a")
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("Get: %q %v", data, err)
+	}
+	if err := s.Set("/a", []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = s.Get("/a")
+	if string(data) != "world" {
+		t.Fatalf("after Set: %q", data)
+	}
+}
+
+func TestCreateErrors(t *testing.T) {
+	s, _ := newSvc()
+	if _, err := s.Create(nil, "/a/b", nil, 0); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("missing parent: %v", err)
+	}
+	if _, err := s.Create(nil, "bad", nil, 0); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("bad path: %v", err)
+	}
+	if _, err := s.Create(nil, "/", nil, 0); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("root create: %v", err)
+	}
+	s.Create(nil, "/a", nil, 0)
+	if _, err := s.Create(nil, "/a", nil, 0); !errors.Is(err, ErrNodeExists) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if _, err := s.Create(nil, "/e", nil, FlagEphemeral); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("ephemeral without session: %v", err)
+	}
+}
+
+func TestGetSetDeleteErrors(t *testing.T) {
+	s, _ := newSvc()
+	if _, err := s.Get("/nope"); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("Get missing: %v", err)
+	}
+	if err := s.Set("/nope", nil); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("Set missing: %v", err)
+	}
+	if err := s.Delete("/nope"); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("Delete missing: %v", err)
+	}
+	s.Create(nil, "/p", nil, 0)
+	s.Create(nil, "/p/c", nil, 0)
+	if err := s.Delete("/p"); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("Delete non-empty: %v", err)
+	}
+	if err := s.Delete("/p/c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("/p"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialNodes(t *testing.T) {
+	s, _ := newSvc()
+	s.Create(nil, "/election", nil, 0)
+	p1, err := s.Create(nil, "/election/n-", nil, FlagSequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := s.Create(nil, "/election/n-", nil, FlagSequential)
+	if p1 != "/election/n-0000000000" || p2 != "/election/n-0000000001" {
+		t.Fatalf("sequential paths: %s %s", p1, p2)
+	}
+	kids, _ := s.Children(nil, "/election", nil)
+	if len(kids) != 2 || kids[0] != "n-0000000000" {
+		t.Fatalf("children: %v", kids)
+	}
+}
+
+func TestEphemeralDeletedOnExpiry(t *testing.T) {
+	s, k := newSvc()
+	s.Create(nil, "/live", nil, 0)
+	expired := false
+	sess := s.NewSession(100*time.Millisecond, func() { expired = true })
+	if _, err := s.Create(sess, "/live/me", nil, FlagEphemeral); err != nil {
+		t.Fatal(err)
+	}
+	// Pings keep it alive.
+	for i := 0; i < 5; i++ {
+		k.Run(k.Now() + 50*time.Millisecond)
+		if err := sess.Ping(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ok, _ := s.Exists(nil, "/live/me", nil); !ok {
+		t.Fatal("node vanished while pinged")
+	}
+	// Stop pinging → expiry.
+	k.Run(k.Now() + 200*time.Millisecond)
+	if ok, _ := s.Exists(nil, "/live/me", nil); ok {
+		t.Fatal("ephemeral survived expiry")
+	}
+	if !expired || !sess.Expired() {
+		t.Fatal("expiry callback/flag missing")
+	}
+	if err := sess.Ping(); !errors.Is(err, ErrSessionExpired) {
+		t.Fatalf("Ping after expiry: %v", err)
+	}
+	if _, err := s.Create(sess, "/live/again", nil, FlagEphemeral); !errors.Is(err, ErrSessionExpired) {
+		t.Fatalf("Create after expiry: %v", err)
+	}
+}
+
+func TestSessionClose(t *testing.T) {
+	s, k := newSvc()
+	s.Create(nil, "/g", nil, 0)
+	sess := s.NewSession(0, nil) // never self-expires
+	s.Create(sess, "/g/e", nil, FlagEphemeral)
+	k.Run(time.Hour)
+	if ok, _ := s.Exists(nil, "/g/e", nil); !ok {
+		t.Fatal("ttl=0 session expired on its own")
+	}
+	sess.Close()
+	if ok, _ := s.Exists(nil, "/g/e", nil); ok {
+		t.Fatal("Close did not delete ephemerals")
+	}
+	sess.Close() // idempotent
+}
+
+func TestExistsWatchOnCreateAndDelete(t *testing.T) {
+	s, k := newSvc()
+	var events []Event
+	// Watch a path that does not exist yet.
+	ok, err := s.Exists(nil, "/x", func(e Event) { events = append(events, e) })
+	if err != nil || ok {
+		t.Fatalf("Exists: %v %v", ok, err)
+	}
+	s.Create(nil, "/x", nil, 0)
+	k.Run(time.Second)
+	if len(events) != 1 || events[0].Type != EventCreated || events[0].Path != "/x" {
+		t.Fatalf("create watch: %v", events)
+	}
+	// Watch existing node for deletion; watches are one-shot.
+	s.Exists(nil, "/x", func(e Event) { events = append(events, e) })
+	s.Delete("/x")
+	k.Run(2 * time.Second)
+	if len(events) != 2 || events[1].Type != EventDeleted {
+		t.Fatalf("delete watch: %v", events)
+	}
+	// No further events after one-shot fired.
+	s.Create(nil, "/x", nil, 0)
+	k.Run(3 * time.Second)
+	if len(events) != 2 {
+		t.Fatalf("one-shot violated: %v", events)
+	}
+}
+
+func TestDataWatch(t *testing.T) {
+	s, k := newSvc()
+	s.Create(nil, "/d", []byte("v1"), 0)
+	var ev *Event
+	s.Exists(nil, "/d", func(e Event) { ev = &e })
+	s.Set("/d", []byte("v2"))
+	k.Run(time.Second)
+	if ev == nil || ev.Type != EventDataChanged {
+		t.Fatalf("data watch: %v", ev)
+	}
+}
+
+func TestChildrenWatch(t *testing.T) {
+	s, k := newSvc()
+	s.Create(nil, "/p", nil, 0)
+	var events []Event
+	kids, err := s.Children(nil, "/p", func(e Event) { events = append(events, e) })
+	if err != nil || len(kids) != 0 {
+		t.Fatalf("Children: %v %v", kids, err)
+	}
+	s.Create(nil, "/p/a", nil, 0)
+	k.Run(time.Second)
+	if len(events) != 1 || events[0].Type != EventChildrenChanged {
+		t.Fatalf("children watch on create: %v", events)
+	}
+	// Re-arm and check delete fires too.
+	s.Children(nil, "/p", func(e Event) { events = append(events, e) })
+	s.Delete("/p/a")
+	k.Run(2 * time.Second)
+	if len(events) != 2 {
+		t.Fatalf("children watch on delete: %v", events)
+	}
+	if _, err := s.Children(nil, "/nope", nil); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("Children missing: %v", err)
+	}
+}
+
+func TestWatchFiresOnSessionExpiry(t *testing.T) {
+	s, k := newSvc()
+	s.Create(nil, "/el", nil, 0)
+	sess := s.NewSession(50*time.Millisecond, nil)
+	path, _ := s.Create(sess, "/el/m-", []byte("gm1"), FlagEphemeral|FlagSequential)
+	var got *Event
+	s.Exists(nil, path, func(e Event) { got = &e })
+	k.Run(time.Second) // session expires, ephemeral deleted
+	if got == nil || got.Type != EventDeleted {
+		t.Fatalf("expiry watch: %v", got)
+	}
+	kids, _ := s.Children(nil, "/el", nil)
+	if len(kids) != 0 {
+		t.Fatalf("ephemeral remained: %v", kids)
+	}
+}
+
+func TestExpiredSessionWatchesDropped(t *testing.T) {
+	s, k := newSvc()
+	s.Create(nil, "/w", nil, 0)
+	sess := s.NewSession(10*time.Millisecond, nil)
+	fired := false
+	s.Exists(sess, "/w", func(Event) { fired = true })
+	k.Run(time.Second) // session expires first
+	s.Set("/w", []byte("x"))
+	k.Run(2 * time.Second)
+	if fired {
+		t.Fatal("watch from expired session fired")
+	}
+}
+
+func TestEnsurePath(t *testing.T) {
+	s, _ := newSvc()
+	if err := s.EnsurePath("/a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := s.Exists(nil, "/a/b/c", nil); !ok {
+		t.Fatal("EnsurePath did not create")
+	}
+	// Idempotent.
+	if err := s.EnsurePath("/a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EnsurePath("bad//path"); err == nil {
+		t.Fatal("EnsurePath accepted bad path")
+	}
+}
+
+func TestSessionIDsUnique(t *testing.T) {
+	s, _ := newSvc()
+	a, b := s.NewSession(0, nil), s.NewSession(0, nil)
+	if a.ID() == b.ID() {
+		t.Fatal("duplicate session IDs")
+	}
+}
+
+func TestDeepEphemeralCleanup(t *testing.T) {
+	s, k := newSvc()
+	s.EnsurePath("/top/mid")
+	sess := s.NewSession(20*time.Millisecond, nil)
+	s.Create(sess, "/top/mid/leaf", nil, FlagEphemeral)
+	k.Run(time.Second)
+	if ok, _ := s.Exists(nil, "/top/mid/leaf", nil); ok {
+		t.Fatal("deep ephemeral not cleaned")
+	}
+	if ok, _ := s.Exists(nil, "/top/mid", nil); !ok {
+		t.Fatal("persistent parent removed")
+	}
+}

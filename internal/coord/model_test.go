@@ -1,0 +1,156 @@
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"snooze/internal/simkernel"
+)
+
+// Model-based property test: random sequences of Create/Set/Delete against
+// the service must agree with a plain-map reference model (ignoring
+// sessions/watches, which have their own tests).
+
+type modelOp struct {
+	kind string // create | set | delete | get | children
+	path string
+	data byte
+}
+
+func randomOps(rng *rand.Rand, n int) []modelOp {
+	paths := []string{"/a", "/b", "/a/x", "/a/y", "/b/z", "/a/x/deep"}
+	kinds := []string{"create", "set", "delete", "get", "children"}
+	ops := make([]modelOp, n)
+	for i := range ops {
+		ops[i] = modelOp{
+			kind: kinds[rng.Intn(len(kinds))],
+			path: paths[rng.Intn(len(paths))],
+			data: byte(rng.Intn(256)),
+		}
+	}
+	return ops
+}
+
+func parentOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			if i == 0 {
+				return "/"
+			}
+			return path[:i]
+		}
+	}
+	return "/"
+}
+
+func TestModelEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := simkernel.New(seed)
+		svc := NewService(k)
+		model := map[string]byte{} // path -> data
+
+		modelHasChildren := func(path string) bool {
+			prefix := path + "/"
+			for p := range model {
+				if len(p) > len(prefix) && p[:len(prefix)] == prefix {
+					return true
+				}
+			}
+			return false
+		}
+		for i, op := range randomOps(rng, 120) {
+			switch op.kind {
+			case "create":
+				_, gotErr := svc.Create(nil, op.path, []byte{op.data}, 0)
+				_, exists := model[op.path]
+				parent := parentOf(op.path)
+				_, parentOK := model[parent]
+				if parent == "/" {
+					parentOK = true
+				}
+				wantErr := exists || !parentOK
+				if (gotErr != nil) != wantErr {
+					t.Logf("op %d create %s: got %v want err=%v", i, op.path, gotErr, wantErr)
+					return false
+				}
+				if gotErr == nil {
+					model[op.path] = op.data
+				}
+			case "set":
+				gotErr := svc.Set(op.path, []byte{op.data})
+				_, exists := model[op.path]
+				if (gotErr != nil) != !exists {
+					return false
+				}
+				if gotErr == nil {
+					model[op.path] = op.data
+				}
+			case "delete":
+				gotErr := svc.Delete(op.path)
+				_, exists := model[op.path]
+				wantErr := !exists || modelHasChildren(op.path)
+				if (gotErr != nil) != wantErr {
+					return false
+				}
+				if gotErr == nil {
+					delete(model, op.path)
+				}
+				if wantErr && exists && modelHasChildren(op.path) {
+					if !errors.Is(gotErr, ErrNotEmpty) {
+						return false
+					}
+				}
+			case "get":
+				data, gotErr := svc.Get(op.path)
+				want, exists := model[op.path]
+				if (gotErr != nil) != !exists {
+					return false
+				}
+				if gotErr == nil && (len(data) != 1 || data[0] != want) {
+					return false
+				}
+			case "children":
+				kids, gotErr := svc.Children(nil, op.path, nil)
+				_, exists := model[op.path]
+				if (gotErr != nil) != !exists {
+					return false
+				}
+				if gotErr == nil {
+					var want []string
+					prefix := op.path + "/"
+					for p := range model {
+						if len(p) > len(prefix) && p[:len(prefix)] == prefix {
+							rest := p[len(prefix):]
+							if !containsSlash(rest) {
+								want = append(want, rest)
+							}
+						}
+					}
+					sort.Strings(want)
+					if fmt.Sprint(kids) != fmt.Sprint(want) {
+						t.Logf("children(%s): got %v want %v", op.path, kids, want)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func containsSlash(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,183 @@
+// Package faults orchestrates fault-injection scenarios against a simulated
+// cluster: timed crash failures of the GL, GMs and nodes, message loss and
+// network partitions. Experiment E3 (fault tolerance, Section II-F) and E6
+// (self-healing latency) are driven by these scenarios.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"snooze/internal/cluster"
+	"snooze/internal/hierarchy"
+	"snooze/internal/transport"
+	"snooze/internal/types"
+)
+
+// Action is one fault (or repair) applied to a cluster.
+type Action interface {
+	Apply(c *cluster.Cluster)
+	Describe() string
+}
+
+// CrashGL fail-stops the current Group Leader.
+type CrashGL struct{}
+
+// Apply implements Action.
+func (CrashGL) Apply(c *cluster.Cluster) { c.CrashLeader() }
+
+// Describe implements Action.
+func (CrashGL) Describe() string { return "crash group leader" }
+
+// CrashGMs fail-stops up to N current Group Managers (deterministic order).
+type CrashGMs struct {
+	N int
+}
+
+// Apply implements Action.
+func (a CrashGMs) Apply(c *cluster.Cluster) {
+	gms := c.GroupManagers()
+	sort.Slice(gms, func(i, j int) bool { return gms[i].ID() < gms[j].ID() })
+	n := a.N
+	if n <= 0 {
+		n = 1
+	}
+	for i := 0; i < n && i < len(gms); i++ {
+		gms[i].Crash()
+	}
+}
+
+// Describe implements Action.
+func (a CrashGMs) Describe() string { return fmt.Sprintf("crash %d group manager(s)", a.N) }
+
+// FailNodes crash-stops the named nodes (LCs die with them).
+type FailNodes struct {
+	IDs []types.NodeID
+}
+
+// Apply implements Action.
+func (a FailNodes) Apply(c *cluster.Cluster) {
+	for _, id := range a.IDs {
+		c.FailNode(id)
+	}
+}
+
+// Describe implements Action.
+func (a FailNodes) Describe() string { return fmt.Sprintf("fail %d node(s)", len(a.IDs)) }
+
+// SetLoss injects uniform message loss on the bus.
+type SetLoss struct {
+	Probability float64
+}
+
+// Apply implements Action.
+func (a SetLoss) Apply(c *cluster.Cluster) { c.Bus.SetDropProbability(a.Probability) }
+
+// Describe implements Action.
+func (a SetLoss) Describe() string { return fmt.Sprintf("message loss %.0f%%", a.Probability*100) }
+
+// Partition splits the named addresses into partition group 1 (everything
+// else stays in group 0).
+type Partition struct {
+	Addrs []string
+}
+
+// Apply implements Action.
+func (a Partition) Apply(c *cluster.Cluster) {
+	for _, addr := range a.Addrs {
+		c.Bus.SetPartition(transport.Address(addr), 1)
+	}
+}
+
+// Describe implements Action.
+func (a Partition) Describe() string { return fmt.Sprintf("partition %d component(s)", len(a.Addrs)) }
+
+// Heal clears all partitions and message loss.
+type Heal struct{}
+
+// Apply implements Action.
+func (Heal) Apply(c *cluster.Cluster) {
+	c.Bus.ClearPartitions()
+	c.Bus.SetDropProbability(0)
+}
+
+// Describe implements Action.
+func (Heal) Describe() string { return "heal partitions and loss" }
+
+// Event is one scheduled fault.
+type Event struct {
+	At     time.Duration
+	Action Action
+}
+
+// Scenario is a timed fault schedule.
+type Scenario struct {
+	Events []Event
+	// Log receives a line per applied fault (may be nil).
+	Log func(at time.Duration, desc string)
+}
+
+// Install schedules every event on the cluster's kernel (at absolute virtual
+// times). Call before running the experiment workload.
+func (s Scenario) Install(c *cluster.Cluster) {
+	for _, ev := range s.Events {
+		ev := ev
+		c.Kernel.At(ev.At, func() {
+			ev.Action.Apply(c)
+			if s.Log != nil {
+				s.Log(ev.At, ev.Action.Describe())
+			}
+		})
+	}
+}
+
+// GLFailover is the canonical E3 scenario: kill the GL at tGL, then one GM
+// at tGM.
+func GLFailover(tGL, tGM time.Duration) Scenario {
+	return Scenario{Events: []Event{
+		{At: tGL, Action: CrashGL{}},
+		{At: tGM, Action: CrashGMs{N: 1}},
+	}}
+}
+
+// HealLatency measures self-healing after a GL crash: returns the virtual
+// time from the crash until a new GL is elected AND every surviving LC is
+// re-assigned to a live GM. The cluster must already be settled.
+func HealLatency(c *cluster.Cluster, maxSim time.Duration) (time.Duration, error) {
+	start := c.Kernel.Now()
+	old := c.CrashLeader()
+	if old == nil {
+		return 0, fmt.Errorf("faults: no leader to crash")
+	}
+	deadline := start + maxSim
+	for c.Kernel.Now() < deadline {
+		if !c.Kernel.Step() {
+			break
+		}
+		if healed(c, old) {
+			return c.Kernel.Now() - start, nil
+		}
+	}
+	return 0, fmt.Errorf("faults: cluster did not heal within %v", maxSim)
+}
+
+func healed(c *cluster.Cluster, crashed *hierarchy.Manager) bool {
+	nl := c.Leader()
+	if nl == nil || nl == crashed {
+		return false
+	}
+	liveGMs := map[string]bool{}
+	for _, m := range c.GroupManagers() {
+		liveGMs[string(m.Addr())] = true
+	}
+	if len(liveGMs) == 0 {
+		return false
+	}
+	for _, lc := range c.LCs {
+		if !liveGMs[string(lc.GM())] {
+			return false
+		}
+	}
+	return true
+}

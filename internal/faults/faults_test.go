@@ -1,0 +1,114 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"snooze/internal/cluster"
+	"snooze/internal/types"
+	"snooze/internal/workload"
+)
+
+func testCluster(t *testing.T, nodes, gms int, seed int64) *cluster.Cluster {
+	t.Helper()
+	c := cluster.New(cluster.DefaultConfig(workload.Grid5000Topology(nodes, gms), seed))
+	c.Settle(30 * time.Second)
+	return c
+}
+
+func TestScenarioInstallAppliesInOrder(t *testing.T) {
+	c := testCluster(t, 8, 2, 1)
+	var log []string
+	s := Scenario{
+		Events: []Event{
+			{At: c.Kernel.Now() + 10*time.Second, Action: CrashGL{}},
+			{At: c.Kernel.Now() + 20*time.Second, Action: CrashGMs{N: 1}},
+		},
+		Log: func(at time.Duration, desc string) { log = append(log, desc) },
+	}
+	s.Install(c)
+	c.Settle(2 * time.Minute)
+	if len(log) != 2 || log[0] != "crash group leader" || !strings.Contains(log[1], "group manager") {
+		t.Fatalf("log: %v", log)
+	}
+	if c.Leader() == nil {
+		t.Fatal("no leader after scenario + healing window")
+	}
+}
+
+func TestHealLatencyMeasures(t *testing.T) {
+	c := testCluster(t, 8, 2, 2)
+	heal, err := HealLatency(c, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Healing is bounded by session TTL (6s) + heartbeat/joining rounds;
+	// it cannot be instantaneous nor take minutes.
+	if heal < 5*time.Second || heal > 2*time.Minute {
+		t.Fatalf("heal latency out of plausible range: %v", heal)
+	}
+}
+
+func TestHealLatencyNoLeader(t *testing.T) {
+	c := testCluster(t, 4, 1, 3)
+	c.CrashLeader()
+	c.Settle(time.Minute)
+	// Crash the new leader too, then immediately ask again — eventually no
+	// candidates remain.
+	c.CrashLeader()
+	if l := c.Leader(); l != nil {
+		t.Fatalf("leader survived double crash: %v", l.ID())
+	}
+	if _, err := HealLatency(c, time.Second); err == nil {
+		t.Fatal("expected error with no leader")
+	}
+}
+
+func TestFailNodesAndLoss(t *testing.T) {
+	c := testCluster(t, 4, 1, 4)
+	FailNodes{IDs: []types.NodeID{"lc-0000"}}.Apply(c)
+	if c.Nodes["lc-0000"].Power() != types.PowerFailed {
+		t.Fatal("node not failed")
+	}
+	SetLoss{Probability: 0.5}.Apply(c)
+	Heal{}.Apply(c) // clears loss
+	c.Settle(time.Minute)
+	if c.Leader() == nil {
+		t.Fatal("cluster should still have a leader")
+	}
+}
+
+func TestPartitionIsolatesGL(t *testing.T) {
+	c := testCluster(t, 8, 2, 5)
+	gl := c.Leader()
+	Partition{Addrs: []string{string(gl.Addr())}}.Apply(c)
+	c.Settle(90 * time.Second)
+	// The partitioned GL's election session expires (it cannot reach the
+	// coordination service in a real deployment; here the session survives
+	// but its heartbeats do not) — at minimum, a submission through the
+	// majority side must still be served after healing.
+	Heal{}.Apply(c)
+	c.Settle(30 * time.Second)
+	resp, err := c.SubmitAndWait([]types.VMSpec{{ID: "p-vm", Requested: types.RV(1, 1024, 10, 10)}}, 5*time.Minute)
+	if err != nil || len(resp.Placed) != 1 {
+		t.Fatalf("post-heal submit: %+v %v", resp, err)
+	}
+}
+
+func TestDescribeStrings(t *testing.T) {
+	actions := []Action{CrashGL{}, CrashGMs{N: 2}, FailNodes{IDs: []types.NodeID{"a"}},
+		SetLoss{Probability: 0.1}, Partition{Addrs: []string{"x"}}, Heal{}}
+	for _, a := range actions {
+		if a.Describe() == "" {
+			t.Fatalf("%T: empty description", a)
+		}
+	}
+}
+
+func TestGLFailoverScenarioConstructor(t *testing.T) {
+	s := GLFailover(time.Minute, 2*time.Minute)
+	if len(s.Events) != 2 || s.Events[0].At != time.Minute {
+		t.Fatalf("scenario: %+v", s)
+	}
+}

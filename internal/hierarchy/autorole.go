@@ -1,0 +1,198 @@
+package hierarchy
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"snooze/internal/protocol"
+	"snooze/internal/simkernel"
+	"snooze/internal/transport"
+)
+
+// AutoRole implements the paper's first future-work item (Section V): "we
+// plan to make the system even more autonomic by removing the distinction
+// between GMs and LCs. Consequently, the decisions when a node should play
+// the role of GM or LC in the hierarchy will be taken by the framework
+// instead of the system administrator upon configuration."
+//
+// AutoRole observes the hierarchy (GL heartbeats + topology queries) and
+// keeps the manager population proportional to the LC population: when the
+// LC-per-GM ratio exceeds the target it spawns additional manager processes
+// through the injected factory (in a deployment: activating the manager
+// binary on a node currently acting only as LC); when the hierarchy shrinks
+// it gracefully retires managers it previously spawned.
+type AutoRoleConfig struct {
+	// TargetRatio is the desired number of LCs per GM (default 16).
+	TargetRatio int
+	// MinManagers is the managers floor, GL included (default 2: a GL and
+	// one GM — the smallest serving hierarchy).
+	MinManagers int
+	// MaxManagers caps the population (0 = unlimited).
+	MaxManagers int
+	// Period is the reconciliation interval (default 30s).
+	Period time.Duration
+	// CallTimeout bounds topology queries.
+	CallTimeout time.Duration
+}
+
+// ManagerFactory creates (and starts) a new manager process with the given
+// index; the cluster glue co-locates it with spare node capacity.
+type ManagerFactory func(index int) (*Manager, error)
+
+// AutoRole is the reconciliation controller.
+type AutoRole struct {
+	rt    simkernel.Runtime
+	bus   *transport.Bus
+	cfg   AutoRoleConfig
+	spawn ManagerFactory
+	addr  transport.Address
+
+	mu       sync.Mutex
+	glAddr   transport.Address
+	epoch    uint64
+	spawned  []*Manager
+	next     int
+	ticker   *simkernel.Ticker
+	stopped  bool
+	reconcls uint64
+}
+
+// NewAutoRole creates the controller; call Start to begin reconciling.
+func NewAutoRole(rt simkernel.Runtime, bus *transport.Bus, addr transport.Address, spawn ManagerFactory, cfg AutoRoleConfig) *AutoRole {
+	if cfg.TargetRatio <= 0 {
+		cfg.TargetRatio = 16
+	}
+	if cfg.MinManagers < 2 {
+		cfg.MinManagers = 2
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = 30 * time.Second
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 10 * time.Second
+	}
+	return &AutoRole{rt: rt, bus: bus, cfg: cfg, spawn: spawn, addr: addr}
+}
+
+// Start subscribes to GL heartbeats and arms the reconciliation ticker.
+func (a *AutoRole) Start() {
+	a.bus.Register(a.addr, a.handle)
+	a.bus.JoinGroup(protocol.GroupGL, a.addr)
+	a.ticker = simkernel.NewTicker(a.rt, a.cfg.Period, a.reconcile)
+	a.ticker.Start()
+}
+
+// Stop halts reconciliation (spawned managers keep running).
+func (a *AutoRole) Stop() {
+	a.mu.Lock()
+	a.stopped = true
+	a.mu.Unlock()
+	if a.ticker != nil {
+		a.ticker.Stop()
+	}
+	a.bus.LeaveGroup(protocol.GroupGL, a.addr)
+	a.bus.Unregister(a.addr)
+}
+
+// Spawned returns the number of managers this controller has added.
+func (a *AutoRole) Spawned() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.spawned)
+}
+
+// Reconciliations returns how many reconcile rounds have run.
+func (a *AutoRole) Reconciliations() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.reconcls
+}
+
+func (a *AutoRole) handle(req *transport.Request) {
+	if req.Kind != protocol.KindGLHeartbeat {
+		return
+	}
+	hb, ok := req.Payload.(protocol.GLHeartbeat)
+	if !ok {
+		return
+	}
+	a.mu.Lock()
+	if hb.Epoch >= a.epoch {
+		a.glAddr = transport.Address(hb.Addr)
+		a.epoch = hb.Epoch
+	}
+	a.mu.Unlock()
+}
+
+// reconcile queries the GL's topology and adjusts the manager population.
+func (a *AutoRole) reconcile() {
+	a.mu.Lock()
+	gl := a.glAddr
+	stopped := a.stopped
+	a.mu.Unlock()
+	if stopped || gl == "" {
+		return
+	}
+	a.bus.Call(a.addr, gl, protocol.KindTopology, struct{}{}, a.cfg.CallTimeout,
+		func(reply any, err error) {
+			if err != nil {
+				return
+			}
+			topo, ok := reply.(protocol.TopologyResponse)
+			if !ok {
+				return
+			}
+			a.adjust(topo)
+		})
+}
+
+func (a *AutoRole) adjust(topo protocol.TopologyResponse) {
+	lcs := 0
+	for _, gm := range topo.GMs {
+		lcs += gm.Summary.ActiveLCs + gm.Summary.AsleepLCs
+	}
+	managersAlive := len(topo.GMs) + 1 // + the GL itself
+	want := lcs/a.cfg.TargetRatio + 1  // GMs needed for the ratio
+	if lcs%a.cfg.TargetRatio != 0 {
+		want++
+	}
+	if want < a.cfg.MinManagers {
+		want = a.cfg.MinManagers
+	}
+	if a.cfg.MaxManagers > 0 && want > a.cfg.MaxManagers {
+		want = a.cfg.MaxManagers
+	}
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.stopped {
+		return
+	}
+	a.reconcls++
+	switch {
+	case managersAlive < want:
+		// Grow: activate manager roles until the ratio is met.
+		for i := managersAlive; i < want; i++ {
+			m, err := a.spawn(a.next)
+			a.next++
+			if err != nil || m == nil {
+				return
+			}
+			a.spawned = append(a.spawned, m)
+		}
+	case managersAlive > want && len(a.spawned) > 0:
+		// Shrink: retire the most recently spawned manager gracefully (its
+		// LCs rejoin through the GL; the election handles a retiring GL).
+		excess := managersAlive - want
+		for excess > 0 && len(a.spawned) > 0 {
+			m := a.spawned[len(a.spawned)-1]
+			a.spawned = a.spawned[:len(a.spawned)-1]
+			a.rt.After(0, m.Stop)
+			excess--
+		}
+	}
+}
+
+// AutoManagerID names managers created by AutoRole.
+func AutoManagerID(index int) string { return fmt.Sprintf("gm-auto-%02d", index) }

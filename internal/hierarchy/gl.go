@@ -1,0 +1,358 @@
+package hierarchy
+
+import (
+	"sort"
+
+	"snooze/internal/protocol"
+	"snooze/internal/transport"
+	"snooze/internal/types"
+)
+
+// This file implements the Group Leader role: GL heartbeats, GM bookkeeping,
+// LC→GM assignment and VM submission dispatching (Sections II-A, II-C).
+
+// becomeGLLocked promotes this manager to Group Leader.
+func (m *Manager) becomeGLLocked() {
+	if m.role == RoleGL {
+		return
+	}
+	m.role = RoleGL
+	m.epoch++
+	m.mark("gl.promotions", 1)
+	// GM-side state is abandoned: "GL and GMs do not host VMs" and the
+	// paper's promoted GM sheds its LCs, which rejoin through the new GL.
+	m.lcs = make(map[types.NodeID]*lcRecord)
+	m.glAddr = ""
+	failPendingLocked(m)
+	m.gms = make(map[types.GroupManagerID]*gmRecord)
+	m.stopTickersLocked()
+	m.addTicker(m.cfg.HeartbeatPeriod, m.glHeartbeatTick)
+	m.addTicker(m.cfg.GMTimeout/3, m.glSweepTick)
+	// Announce leadership immediately: a fast first heartbeat shortens the
+	// healing window after GL failover (Section II-E).
+	m.rt.After(0, m.glHeartbeatTick)
+}
+
+func failPendingLocked(m *Manager) {
+	pending := m.pending
+	m.pending = nil
+	for _, p := range pending {
+		p := p
+		m.rt.After(0, func() { p.respond("", false) })
+	}
+}
+
+// glHeartbeatTick multicasts the GL heartbeat on GroupGL; EPs and unassigned
+// LCs listen (Section II-D).
+func (m *Manager) glHeartbeatTick() {
+	m.mu.Lock()
+	if m.role != RoleGL || m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	epoch := m.epoch
+	m.mu.Unlock()
+	hb := protocol.GLHeartbeat{Addr: string(m.cfg.Addr), Epoch: epoch}
+	m.bus.Multicast(m.cfg.Addr, protocol.GroupGL, protocol.KindGLHeartbeat, hb)
+}
+
+// glSweepTick prunes GMs whose summaries stopped arriving: "GM failures are
+// detected by the GL based on missing heartbeats, and its contact
+// information is gracefully removed in order to prevent new VMs from being
+// scheduled on it" (Section II-E). It also rebalances LC assignments when
+// the population is badly skewed (e.g. after autonomic role assignment
+// grows the GM population, Section V).
+func (m *Manager) glSweepTick() {
+	m.mu.Lock()
+	if m.role != RoleGL || m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	now := m.rt.Now()
+	for id, gm := range m.gms {
+		if now-gm.lastSeen > m.cfg.GMTimeout {
+			delete(m.gms, id)
+			m.mark("gl.gm-failures", 1)
+		}
+	}
+	// Rebalance: if the most-loaded GM manages at least 4 more LCs than
+	// the least-loaded one, ask it to shed half the difference.
+	var minGM, maxGM *gmRecord
+	for _, gm := range m.gms {
+		n := gm.summary.ActiveLCs + gm.summary.AsleepLCs
+		if minGM == nil || n < minGM.summary.ActiveLCs+minGM.summary.AsleepLCs ||
+			(n == minGM.summary.ActiveLCs+minGM.summary.AsleepLCs && gm.id < minGM.id) {
+			minGM = gm
+		}
+		if maxGM == nil || n > maxGM.summary.ActiveLCs+maxGM.summary.AsleepLCs ||
+			(n == maxGM.summary.ActiveLCs+maxGM.summary.AsleepLCs && gm.id < maxGM.id) {
+			maxGM = gm
+		}
+	}
+	var shedAddr transport.Address
+	shed := 0
+	if minGM != nil && maxGM != nil && minGM != maxGM {
+		lo := minGM.summary.ActiveLCs + minGM.summary.AsleepLCs
+		hi := maxGM.summary.ActiveLCs + maxGM.summary.AsleepLCs
+		if hi-lo >= 4 {
+			shed = (hi - lo) / 2
+			shedAddr = maxGM.addr
+			// Optimistically shrink the summary so the next sweep does not
+			// re-issue before fresh summaries arrive.
+			maxGM.summary.ActiveLCs -= shed
+		}
+	}
+	m.mu.Unlock()
+	if shed > 0 {
+		m.mark("gl.rebalances", 1)
+		m.bus.Call(m.cfg.Addr, shedAddr, protocol.KindShed, protocol.ShedRequest{Count: shed}, m.cfg.CallTimeout,
+			func(any, error) {})
+	}
+}
+
+// glOnGMJoin enrolls a GM.
+func (m *Manager) glOnGMJoin(req *transport.Request) {
+	join, ok := req.Payload.(protocol.GMJoinRequest)
+	if !ok {
+		req.Respond(protocol.GMJoinResponse{})
+		return
+	}
+	m.mu.Lock()
+	if m.role != RoleGL || m.stopped {
+		m.mu.Unlock()
+		req.Respond(protocol.GMJoinResponse{})
+		return
+	}
+	rec, exists := m.gms[join.GM]
+	if !exists {
+		rec = &gmRecord{id: join.GM}
+		m.gms[join.GM] = rec
+	}
+	rec.addr = transport.Address(join.Addr)
+	rec.lastSeen = m.rt.Now()
+	m.mu.Unlock()
+	m.mark("gl.gm-joins", 1)
+	req.Respond(protocol.GMJoinResponse{Accepted: true})
+}
+
+// glOnSummary ingests a GM summary (doubles as GM→GL heartbeat).
+func (m *Manager) glOnSummary(req *transport.Request) {
+	up, ok := req.Payload.(protocol.SummaryUpdate)
+	if !ok {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.role != RoleGL || m.stopped {
+		return
+	}
+	rec, exists := m.gms[up.Summary.GM]
+	if !exists {
+		rec = &gmRecord{id: up.Summary.GM, addr: transport.Address(up.Addr)}
+		m.gms[up.Summary.GM] = rec
+	}
+	rec.summary = up.Summary
+	rec.lastSeen = m.rt.Now()
+}
+
+// glOnLCAssign assigns an LC to a GM. The default policy follows the paper's
+// "least loaded GM" suggestion with a deterministic tie-break, so LCs spread
+// across GMs as the hierarchy grows (Section II-D).
+func (m *Manager) glOnLCAssign(req *transport.Request) {
+	_, ok := req.Payload.(protocol.LCAssignRequest)
+	if !ok {
+		req.RespondErr(errBadPayload)
+		return
+	}
+	m.mu.Lock()
+	if m.role != RoleGL || m.stopped || len(m.gms) == 0 {
+		m.mu.Unlock()
+		req.Respond(protocol.LCAssignResponse{})
+		return
+	}
+	// Least-loaded by managed LC count, then by ID.
+	var best *gmRecord
+	for _, gm := range m.gms {
+		if best == nil {
+			best = gm
+			continue
+		}
+		bl := best.summary.ActiveLCs + best.summary.AsleepLCs
+		gl := gm.summary.ActiveLCs + gm.summary.AsleepLCs
+		if gl < bl || (gl == bl && gm.id < best.id) {
+			best = gm
+		}
+	}
+	// Optimistically count the assignment so a burst of joining LCs
+	// spreads instead of piling onto one GM before its next summary.
+	best.summary.ActiveLCs++
+	resp := protocol.LCAssignResponse{GM: best.id, Addr: string(best.addr)}
+	m.mu.Unlock()
+	m.mark("gl.lc-assignments", 1)
+	req.Respond(resp)
+}
+
+// glOnSubmit dispatches a VM submission: per VM, the dispatch policy ranks
+// candidate GMs from the (inexact) summaries and the GL probes them linearly
+// with placement requests (Section II-C).
+func (m *Manager) glOnSubmit(req *transport.Request) {
+	sub, ok := req.Payload.(protocol.SubmitRequest)
+	if !ok {
+		req.RespondErr(errBadPayload)
+		return
+	}
+	start := m.rt.Now()
+	m.mu.Lock()
+	if m.role != RoleGL || m.stopped {
+		m.mu.Unlock()
+		req.Respond(protocol.SubmitResponse{Unplaced: vmIDs(sub.VMs)})
+		return
+	}
+	m.mu.Unlock()
+	m.mark("gl.submissions", int64(len(sub.VMs)))
+
+	resp := protocol.SubmitResponse{Placed: make(map[types.VMID]types.NodeID)}
+	if len(sub.VMs) == 0 {
+		req.Respond(resp)
+		return
+	}
+	// VMs are dispatched one after another, as in the Snooze GL where a
+	// submission's VMs flow through the dispatching policy sequentially;
+	// this is what makes submission time scale with the batch size (E1).
+	var next func(i int)
+	next = func(i int) {
+		if i >= len(sub.VMs) {
+			m.observe("gl.submit-latency", m.rt.Now()-start)
+			req.Respond(resp)
+			return
+		}
+		spec := sub.VMs[i]
+		m.dispatchVM(spec, func(node types.NodeID, ok bool) {
+			if ok {
+				resp.Placed[spec.ID] = node
+			} else {
+				resp.Unplaced = append(resp.Unplaced, spec.ID)
+			}
+			next(i + 1)
+		})
+	}
+	next(0)
+}
+
+// dispatchVM runs the GL's linear search over candidate GMs for one VM.
+func (m *Manager) dispatchVM(spec types.VMSpec, cb func(node types.NodeID, ok bool)) {
+	m.mu.Lock()
+	if m.role != RoleGL || m.stopped {
+		m.mu.Unlock()
+		cb("", false)
+		return
+	}
+	summaries := make([]types.GroupSummary, 0, len(m.gms))
+	addrs := make(map[types.GroupManagerID]transport.Address, len(m.gms))
+	for _, gm := range m.gms {
+		summaries = append(summaries, gm.summary)
+		addrs[gm.id] = gm.addr
+	}
+	sort.Slice(summaries, func(i, j int) bool { return summaries[i].GM < summaries[j].GM })
+	candidates := m.cfg.Dispatch.Candidates(spec, summaries)
+	m.mu.Unlock()
+
+	if len(candidates) == 0 {
+		m.mark("gl.dispatch-no-candidates", 1)
+		cb("", false)
+		return
+	}
+	var probe func(i int)
+	probe = func(i int) {
+		if i >= len(candidates) {
+			m.mark("gl.dispatch-exhausted", 1)
+			cb("", false)
+			return
+		}
+		addr := addrs[candidates[i]]
+		preq := protocol.PlaceRequest{VMs: []types.VMSpec{spec}}
+		m.bus.Call(m.cfg.Addr, addr, protocol.KindPlace, preq, m.cfg.CallTimeout, func(reply any, err error) {
+			if err == nil {
+				if pr, ok := reply.(protocol.PlaceResponse); ok {
+					if node, placed := pr.Placed[spec.ID]; placed {
+						m.observeValue("gl.probe-depth", float64(i+1))
+						// Optimistically shrink the GM's summary so
+						// subsequent dispatches in the same burst see the
+						// committed capacity.
+						m.mu.Lock()
+						if gm, ok := m.gms[candidates[i]]; ok {
+							gm.summary.Reserved = gm.summary.Reserved.Add(spec.Requested)
+							gm.summary.VMs++
+						}
+						m.mu.Unlock()
+						cb(node, true)
+						return
+					}
+				}
+			}
+			probe(i + 1)
+		})
+	}
+	probe(0)
+}
+
+// glOnTopology exports the hierarchy for CLI visualization (Section II-A).
+// A deep request fans out to every GM for per-LC detail.
+func (m *Manager) glOnTopology(req *transport.Request) {
+	tr, _ := req.Payload.(protocol.TopologyRequest) // zero value = shallow
+	m.mu.Lock()
+	if m.role != RoleGL || m.stopped {
+		m.mu.Unlock()
+		req.RespondErr(errNotLeader)
+		return
+	}
+	resp := protocol.TopologyResponse{GL: string(m.cfg.Addr)}
+	addrs := make([]transport.Address, 0, len(m.gms))
+	for _, gm := range m.gms {
+		resp.GMs = append(resp.GMs, protocol.TopologyGM{GM: gm.id, Addr: string(gm.addr), Summary: gm.summary})
+		addrs = append(addrs, gm.addr)
+	}
+	m.mu.Unlock()
+	sort.Slice(resp.GMs, func(i, j int) bool { return resp.GMs[i].GM < resp.GMs[j].GM })
+	if !tr.Deep || len(resp.GMs) == 0 {
+		req.Respond(resp)
+		return
+	}
+	// Deep export: collect each GM's LC inventory; unreachable GMs simply
+	// contribute no detail.
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	remaining := len(resp.GMs)
+	gate := make(chan struct{}, 1)
+	gate <- struct{}{}
+	for i := range resp.GMs {
+		i := i
+		m.bus.Call(m.cfg.Addr, transport.Address(resp.GMs[i].Addr), protocol.KindLCList, struct{}{}, m.cfg.CallTimeout,
+			func(reply any, err error) {
+				<-gate
+				if err == nil {
+					if lr, ok := reply.(protocol.LCListResponse); ok {
+						resp.GMs[i].LCs = lr.LCs
+					}
+				}
+				remaining--
+				done := remaining == 0
+				gate <- struct{}{}
+				if done {
+					req.Respond(resp)
+				}
+			})
+	}
+}
+
+var errNotLeader = fmtErr("hierarchy: not the group leader")
+
+type fmtErr string
+
+func (e fmtErr) Error() string { return string(e) }
+
+// GMCount returns the number of enrolled GMs (GL role instrumentation).
+func (m *Manager) GMCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.gms)
+}

@@ -1,0 +1,786 @@
+package hierarchy
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"snooze/internal/consolidation"
+	"snooze/internal/protocol"
+	"snooze/internal/resource"
+	"snooze/internal/scheduling"
+	"snooze/internal/transport"
+	"snooze/internal/types"
+)
+
+// This file implements the Group Manager role: monitoring reception, demand
+// estimation, VM placement, overload/underload relocation, energy
+// management and periodic reconfiguration (Sections II-B, II-C, III).
+
+// becomeGMLocked (re)activates the GM role against the given GL address.
+func (m *Manager) becomeGMLocked(gl transport.Address) {
+	wasGL := m.role == RoleGL
+	sameGL := m.role == RoleGM && m.glAddr == gl
+	m.role = RoleGM
+	m.glAddr = gl
+	m.joined = false
+	if wasGL {
+		// Demotion: drop GL-side state; our LCs (if any linger from an
+		// earlier GM stint) will re-register through monitoring.
+		m.gms = make(map[types.GroupManagerID]*gmRecord)
+	}
+	if !sameGL {
+		m.mark("gm.gl-changes", 1)
+	}
+	m.stopTickersLocked()
+	m.addTicker(m.cfg.HeartbeatPeriod, m.gmHeartbeatTick)
+	m.addTicker(m.cfg.SummaryPeriod, m.gmSummaryTick)
+	m.addTicker(m.cfg.LCTimeout/3, m.gmSweepTick)
+	if m.cfg.EnergyEnabled {
+		m.addTicker(m.cfg.IdleThreshold/2, m.gmEnergyTick)
+	}
+	if m.cfg.Reconfig != nil && m.cfg.ReconfigPeriod > 0 {
+		m.addTicker(m.cfg.ReconfigPeriod, m.gmReconfigTick)
+	}
+	// Join the GL immediately (heartbeat-paced retries cover failures).
+	m.rt.After(0, m.gmJoinGL)
+}
+
+// gmJoinGL enrolls this GM with the current GL.
+func (m *Manager) gmJoinGL() {
+	m.mu.Lock()
+	gl := m.glAddr
+	stopped := m.stopped || m.role != RoleGM
+	m.mu.Unlock()
+	if stopped || gl == "" {
+		return
+	}
+	req := protocol.GMJoinRequest{GM: m.cfg.ID, Addr: string(m.cfg.Addr)}
+	m.bus.Call(m.cfg.Addr, gl, protocol.KindGMJoin, req, m.cfg.CallTimeout, func(reply any, err error) {
+		if err != nil {
+			return // summary ticks retry enrollment implicitly
+		}
+		if ack, ok := reply.(protocol.GMJoinResponse); ok && ack.Accepted {
+			m.mu.Lock()
+			m.joined = true
+			m.mu.Unlock()
+			m.mark("gm.joins", 1)
+		}
+	})
+}
+
+// gmHeartbeatTick multicasts the GM heartbeat to this GM's LC group.
+func (m *Manager) gmHeartbeatTick() {
+	m.mu.Lock()
+	active := m.role == RoleGM && !m.stopped
+	m.mu.Unlock()
+	if !active {
+		return
+	}
+	hb := protocol.GMHeartbeat{GM: m.cfg.ID, Addr: string(m.cfg.Addr)}
+	m.bus.Multicast(m.cfg.Addr, protocol.GroupGMPrefix+string(m.cfg.ID), protocol.KindGMHeartbeat, hb)
+}
+
+// gmSummaryTick pushes the aggregated group summary to the GL; it doubles as
+// the GM's heartbeat to the GL (Section II-B).
+func (m *Manager) gmSummaryTick() {
+	m.mu.Lock()
+	if m.role != RoleGM || m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	gl := m.glAddr
+	joined := m.joined
+	summary := m.summaryLocked()
+	m.mu.Unlock()
+	if gl == "" {
+		return
+	}
+	if !joined {
+		m.gmJoinGL()
+	}
+	_ = m.bus.Send(m.cfg.Addr, gl, protocol.KindSummary, protocol.SummaryUpdate{Summary: summary, Addr: string(m.cfg.Addr)})
+}
+
+// summaryLocked aggregates used/total capacity over the GM's LCs, counting
+// sleeping LCs as wakeable capacity.
+func (m *Manager) summaryLocked() types.GroupSummary {
+	s := types.GroupSummary{GM: m.cfg.ID}
+	for _, lc := range m.lcs {
+		s.Total = s.Total.Add(lc.status.Spec.Capacity)
+		if lc.sleeping {
+			s.AsleepLCs++
+			continue
+		}
+		s.ActiveLCs++
+		s.Used = s.Used.Add(lc.status.Used)
+		s.Reserved = s.Reserved.Add(lc.status.Reserved)
+		s.VMs += len(lc.vms)
+	}
+	return s
+}
+
+// gmOnLCJoin admits an LC into this group (Section II-D, final step of the
+// LC join protocol).
+func (m *Manager) gmOnLCJoin(req *transport.Request) {
+	join, ok := req.Payload.(protocol.LCJoinRequest)
+	if !ok {
+		req.Respond(protocol.LCJoinResponse{})
+		return
+	}
+	m.mu.Lock()
+	if m.role != RoleGM || m.stopped {
+		m.mu.Unlock()
+		req.Respond(protocol.LCJoinResponse{})
+		return
+	}
+	id := join.Status.Spec.ID
+	rec, exists := m.lcs[id]
+	if !exists {
+		rec = &lcRecord{id: id, history: make(map[types.VMID]*resource.History)}
+		m.lcs[id] = rec
+	}
+	rec.addr = transport.Address(join.Addr)
+	rec.oob = transport.Address(join.OOB)
+	rec.status = join.Status
+	rec.vms = join.VMs
+	rec.lastSeen = m.rt.Now()
+	rec.sleeping = false
+	rec.waking = false
+	m.mu.Unlock()
+	m.mark("gm.lc-joins", 1)
+	req.Respond(protocol.LCJoinResponse{Accepted: true})
+	// Fresh capacity may satisfy queued placements.
+	m.drainPending()
+}
+
+// gmOnMonitor ingests an LC monitoring report: store status, update per-VM
+// utilization histories and refresh the demand estimates used by schedulers
+// (Section II-B).
+func (m *Manager) gmOnMonitor(req *transport.Request) {
+	rep, ok := req.Payload.(protocol.MonitorReport)
+	if !ok {
+		return
+	}
+	m.mu.Lock()
+	if m.role != RoleGM || m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	id := rep.Status.Spec.ID
+	rec, exists := m.lcs[id]
+	if !exists {
+		// Unknown LC (e.g. we were promoted and demoted again): admit it
+		// implicitly — monitoring proves liveness.
+		rec = &lcRecord{id: id, history: make(map[types.VMID]*resource.History)}
+		m.lcs[id] = rec
+		rec.addr = transport.Address(req.From)
+		rec.oob = OOBAddress(req.From)
+	}
+	if rec.sleeping && rep.Status.Generation <= rec.sleepGen {
+		// Stale report that was in flight when we ordered the suspend; a
+		// genuinely woken node reports a higher generation.
+		m.mu.Unlock()
+		return
+	}
+	rec.lastSeen = m.rt.Now()
+	rec.sleeping = false
+	rec.waking = false
+	rec.status = rep.Status
+	rec.vms = rep.VMs
+	live := make(map[types.VMID]struct{}, len(rep.VMs))
+	for _, vm := range rep.VMs {
+		live[vm.Spec.ID] = struct{}{}
+		h, ok := rec.history[vm.Spec.ID]
+		if !ok {
+			h = resource.NewHistory(m.cfg.HistoryLen)
+			rec.history[vm.Spec.ID] = h
+		}
+		h.Push(vm.Used)
+	}
+	for id := range rec.history {
+		if _, ok := live[id]; !ok {
+			delete(rec.history, id)
+		}
+	}
+	m.mu.Unlock()
+	m.drainPending()
+}
+
+// estimateLocked returns the demand estimate for one VM on one LC.
+func (m *Manager) estimateLocked(rec *lcRecord, vm types.VMStatus) types.ResourceVector {
+	if h, ok := rec.history[vm.Spec.ID]; ok && h.Len() > 0 {
+		return h.Estimate(m.cfg.Estimator)
+	}
+	return vm.Used
+}
+
+// activeStatusesLocked snapshots the schedulable LC statuses.
+func (m *Manager) activeStatusesLocked() []types.NodeStatus {
+	out := make([]types.NodeStatus, 0, len(m.lcs))
+	for _, lc := range m.lcs {
+		if lc.sleeping || lc.busy > 0 {
+			continue
+		}
+		out = append(out, lc.status)
+	}
+	return out
+}
+
+// gmOnPlace serves the GL's placement probe: run the placement policy per VM
+// against current LC statuses, issue StartVM commands, and respond with the
+// outcome. VMs that fit no active LC wait for a wake when energy management
+// is on (Section III: LCs "are woken up by the GM in case ... not enough
+// capacity is available").
+func (m *Manager) gmOnPlace(req *transport.Request) {
+	pr, ok := req.Payload.(protocol.PlaceRequest)
+	if !ok {
+		req.RespondErr(errBadPayload)
+		return
+	}
+	m.mu.Lock()
+	if m.role != RoleGM || m.stopped {
+		m.mu.Unlock()
+		req.Respond(protocol.PlaceResponse{Unplaced: vmIDs(pr.VMs)})
+		return
+	}
+	m.mu.Unlock()
+
+	resp := protocol.PlaceResponse{Placed: make(map[types.VMID]types.NodeID)}
+	remaining := len(pr.VMs)
+	if remaining == 0 {
+		req.Respond(resp)
+		return
+	}
+	var respMu = make(chan struct{}, 1)
+	respMu <- struct{}{}
+	finishOne := func(id types.VMID, node types.NodeID, ok bool) {
+		<-respMu
+		if ok {
+			resp.Placed[id] = node
+		} else {
+			resp.Unplaced = append(resp.Unplaced, id)
+		}
+		remaining--
+		done := remaining == 0
+		respMu <- struct{}{}
+		if done {
+			req.Respond(resp)
+		}
+	}
+	for _, spec := range pr.VMs {
+		spec := spec
+		m.placeVM(spec, func(node types.NodeID, ok bool) { finishOne(spec.ID, node, ok) })
+	}
+}
+
+// placeVM runs one VM through the placement policy; cb is invoked exactly
+// once with the outcome.
+func (m *Manager) placeVM(spec types.VMSpec, cb func(node types.NodeID, ok bool)) {
+	m.mu.Lock()
+	if m.stopped || m.role != RoleGM {
+		m.mu.Unlock()
+		cb("", false)
+		return
+	}
+	nodeID, ok := m.cfg.Placement.Place(spec, m.activeStatusesLocked())
+	if !ok {
+		// No active LC fits. Queue for a wake if energy management can
+		// create capacity, else fail fast.
+		if m.cfg.EnergyEnabled && m.sleepingLocked() > 0 {
+			m.pending = append(m.pending, pendingPlacement{
+				spec:     spec,
+				deadline: m.rt.Now() + m.cfg.PendingTimeout,
+				respond:  cb,
+			})
+			m.wakeOneLocked()
+			m.mu.Unlock()
+			m.mark("gm.place-queued", 1)
+			return
+		}
+		m.mu.Unlock()
+		cb("", false)
+		return
+	}
+	rec := m.lcs[nodeID]
+	// Optimistic reservation so concurrent placements see the load.
+	rec.status.Reserved = rec.status.Reserved.Add(spec.Requested)
+	rec.status.VMs = append(rec.status.VMs, spec.ID)
+	addr := rec.addr
+	m.mu.Unlock()
+
+	m.bus.Call(m.cfg.Addr, addr, protocol.KindStartVM, protocol.StartVMRequest{Spec: spec}, m.cfg.CallTimeout,
+		func(reply any, err error) {
+			ack, isAck := reply.(protocol.StartVMResponse)
+			if err != nil || !isAck || !ack.OK {
+				// Roll back the optimistic reservation and report failure.
+				m.mu.Lock()
+				if rec, ok := m.lcs[nodeID]; ok {
+					rec.status.Reserved = rec.status.Reserved.Sub(spec.Requested).Max(types.ResourceVector{})
+					rec.status.VMs = removeVMID(rec.status.VMs, spec.ID)
+				}
+				m.mu.Unlock()
+				m.mark("gm.place-failed", 1)
+				cb("", false)
+				return
+			}
+			m.mark("gm.place-ok", 1)
+			cb(nodeID, true)
+		})
+}
+
+func (m *Manager) sleepingLocked() int {
+	n := 0
+	for _, lc := range m.lcs {
+		if lc.sleeping {
+			n++
+		}
+	}
+	return n
+}
+
+// wakeOneLocked sends an out-of-band wake to one sleeping LC (deterministic
+// choice: lowest node ID not already waking).
+func (m *Manager) wakeOneLocked() {
+	var best *lcRecord
+	for _, lc := range m.lcs {
+		if lc.sleeping && !lc.waking {
+			if best == nil || lc.id < best.id {
+				best = lc
+			}
+		}
+	}
+	if best == nil {
+		return
+	}
+	best.waking = true
+	oob := best.oob
+	m.mark("gm.wakes", 1)
+	m.rt.After(0, func() {
+		m.bus.Call(m.cfg.Addr, oob, protocol.KindWakeHost, struct{}{}, m.cfg.CallTimeout, func(any, error) {})
+	})
+}
+
+// drainPending retries queued placements (after a join, monitor report or
+// wake) and expires entries past their deadline.
+func (m *Manager) drainPending() {
+	m.mu.Lock()
+	if len(m.pending) == 0 || m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	queue := m.pending
+	m.pending = nil
+	now := m.rt.Now()
+	m.mu.Unlock()
+
+	for _, p := range queue {
+		p := p
+		if now > p.deadline {
+			m.mark("gm.place-expired", 1)
+			p.respond("", false)
+			continue
+		}
+		m.mu.Lock()
+		nodeID, ok := m.cfg.Placement.Place(p.spec, m.activeStatusesLocked())
+		if !ok {
+			// Still no room: requeue.
+			m.pending = append(m.pending, p)
+			m.mu.Unlock()
+			continue
+		}
+		rec := m.lcs[nodeID]
+		rec.status.Reserved = rec.status.Reserved.Add(p.spec.Requested)
+		rec.status.VMs = append(rec.status.VMs, p.spec.ID)
+		addr := rec.addr
+		m.mu.Unlock()
+		m.bus.Call(m.cfg.Addr, addr, protocol.KindStartVM, protocol.StartVMRequest{Spec: p.spec}, m.cfg.CallTimeout,
+			func(reply any, err error) {
+				ack, isAck := reply.(protocol.StartVMResponse)
+				if err != nil || !isAck || !ack.OK {
+					m.mu.Lock()
+					if rec, ok := m.lcs[nodeID]; ok {
+						rec.status.Reserved = rec.status.Reserved.Sub(p.spec.Requested).Max(types.ResourceVector{})
+						rec.status.VMs = removeVMID(rec.status.VMs, p.spec.ID)
+					}
+					m.mu.Unlock()
+					p.respond("", false)
+					return
+				}
+				p.respond(nodeID, true)
+			})
+	}
+}
+
+// gmOnAnomaly handles an LC overload/underload report by running the
+// corresponding relocation policy and executing its moves (Section II-C).
+func (m *Manager) gmOnAnomaly(req *transport.Request) {
+	rep, ok := req.Payload.(protocol.AnomalyReport)
+	if !ok {
+		return
+	}
+	m.mark("gm.anomalies-received", 1)
+	m.mu.Lock()
+	if m.role != RoleGM || m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	src, exists := m.lcs[rep.Status.Spec.ID]
+	if !exists || src.sleeping || src.busy > 0 {
+		m.mu.Unlock()
+		return
+	}
+	// Estimate demand for the source VMs.
+	vms := make([]types.VMStatus, len(rep.VMs))
+	copy(vms, rep.VMs)
+	for i := range vms {
+		vms[i].Used = m.estimateLocked(src, vms[i])
+	}
+	others := make([]types.NodeStatus, 0, len(m.lcs))
+	for _, lc := range m.lcs {
+		if lc.id == src.id || lc.sleeping || lc.busy > 0 {
+			continue
+		}
+		others = append(others, lc.status)
+	}
+	var policy = m.cfg.Overload
+	if rep.Kind == protocol.AnomalyUnderload {
+		policy = m.cfg.Underload
+	}
+	moves := policy.Relocate(rep.Status, vms, others)
+	if len(moves) == 0 {
+		// An unresolvable overload wakes sleeping capacity (Section III:
+		// "LCs are woken up by the GM in case ... overload situations on
+		// the LCs occur").
+		if rep.Kind == protocol.AnomalyOverload && m.cfg.EnergyEnabled {
+			m.wakeOneLocked()
+		}
+		m.mu.Unlock()
+		return
+	}
+	m.mark("gm.relocations", int64(len(moves)))
+	if rep.Kind == protocol.AnomalyOverload {
+		m.mark("gm.overload-events", 1)
+	} else {
+		m.mark("gm.underload-events", 1)
+	}
+	m.executeMovesLocked(moves)
+	m.mu.Unlock()
+}
+
+// executeMovesLocked issues migrations for the given moves, maintaining busy
+// markers so schedulers leave the endpoints alone mid-transfer.
+func (m *Manager) executeMovesLocked(moves []scheduling.Move) {
+	for _, mv := range moves {
+		src, okS := m.lcs[mv.From]
+		dst, okD := m.lcs[mv.To]
+		if !okS || !okD {
+			continue
+		}
+		src.busy++
+		dst.busy++
+		// Reflect the reservation shift optimistically.
+		var spec types.VMSpec
+		for _, vm := range src.vms {
+			if vm.Spec.ID == mv.VM {
+				spec = vm.Spec
+				break
+			}
+		}
+		dst.status.Reserved = dst.status.Reserved.Add(spec.Requested)
+		mreq := protocol.MigrateVMRequest{VM: mv.VM, DestNode: mv.To, DestAddr: string(dst.addr)}
+		srcAddr := src.addr
+		from, to := mv.From, mv.To
+		m.rt.After(0, func() {
+			m.bus.Call(m.cfg.Addr, srcAddr, protocol.KindMigrateVM, mreq, m.cfg.CallTimeout,
+				func(reply any, err error) {
+					m.mu.Lock()
+					if s, ok := m.lcs[from]; ok && s.busy > 0 {
+						s.busy--
+					}
+					if d, ok := m.lcs[to]; ok {
+						if d.busy > 0 {
+							d.busy--
+						}
+					}
+					m.mu.Unlock()
+					ack, isAck := reply.(protocol.MigrateVMResponse)
+					if err != nil || !isAck || !ack.OK {
+						m.mark("gm.migrations-failed", 1)
+						return
+					}
+					m.mark("gm.migrations-ok", 1)
+				})
+		})
+	}
+}
+
+// gmSweepTick detects failed LCs ("GM failures are detected by the GL based
+// on missing heartbeats" — symmetrically, LC heartbeats here) and invalidates
+// them; optionally their VMs are rescheduled from snapshots (Section II-E).
+func (m *Manager) gmSweepTick() {
+	m.mu.Lock()
+	if m.role != RoleGM || m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	now := m.rt.Now()
+	var lost []types.VMSpec
+	for id, lc := range m.lcs {
+		if lc.sleeping || lc.waking {
+			continue // deliberate sleep: heartbeat silence is expected
+		}
+		if now-lc.lastSeen > m.cfg.LCTimeout {
+			if m.cfg.RescheduleOnLCFailure {
+				for _, vm := range lc.vms {
+					lost = append(lost, vm.Spec)
+				}
+			}
+			delete(m.lcs, id)
+			m.mark("gm.lc-failures", 1)
+		}
+	}
+	m.mu.Unlock()
+	sort.Slice(lost, func(i, j int) bool { return lost[i].ID < lost[j].ID })
+	for _, spec := range lost {
+		spec := spec
+		m.mark("gm.vm-reschedules", 1)
+		m.placeVM(spec, func(types.NodeID, bool) {})
+	}
+}
+
+// gmEnergyTick suspends LCs that have been idle past the administrator's
+// threshold (Section III) and wakes capacity when placements are queued.
+func (m *Manager) gmEnergyTick() {
+	m.mu.Lock()
+	if m.role != RoleGM || m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	now := m.rt.Now()
+	type target struct {
+		addr transport.Address
+		id   types.NodeID
+	}
+	var toSuspend []target
+	for _, lc := range m.lcs {
+		if lc.sleeping || lc.waking || lc.busy > 0 || len(lc.status.VMs) > 0 {
+			continue
+		}
+		if lc.status.Power != types.PowerOn || !lc.status.Idle {
+			continue
+		}
+		if now-time.Duration(lc.status.IdleSince) >= m.cfg.IdleThreshold {
+			toSuspend = append(toSuspend, target{addr: lc.addr, id: lc.id})
+			lc.sleeping = true
+			lc.sleepGen = lc.status.Generation
+			lc.status.Power = types.PowerSuspended
+		}
+	}
+	pendingLeft := len(m.pending)
+	m.mu.Unlock()
+	sort.Slice(toSuspend, func(i, j int) bool { return toSuspend[i].id < toSuspend[j].id })
+	for _, t := range toSuspend {
+		m.mark("gm.suspends", 1)
+		m.bus.Call(m.cfg.Addr, t.addr, protocol.KindSuspendHost, struct{}{}, m.cfg.CallTimeout,
+			func(reply any, err error) {
+				if err != nil {
+					// Suspend refused (e.g. a VM landed meanwhile): unmark.
+					m.mu.Lock()
+					if rec, ok := m.lcs[t.id]; ok {
+						rec.sleeping = false
+						rec.status.Power = types.PowerOn
+					}
+					m.mu.Unlock()
+				}
+			})
+	}
+	if pendingLeft > 0 {
+		m.mu.Lock()
+		m.wakeOneLocked()
+		m.mu.Unlock()
+		m.drainPending()
+	}
+}
+
+// gmReconfigTick runs the configured consolidation algorithm over this GM's
+// moderately loaded LCs and executes the resulting migration plan —
+// the periodic "reconfiguration" policy family of Section II-C.
+func (m *Manager) gmReconfigTick() {
+	m.mu.Lock()
+	if m.role != RoleGM || m.stopped || m.cfg.Reconfig == nil {
+		m.mu.Unlock()
+		return
+	}
+	// Build the consolidation problem: active, non-busy LCs and their VMs
+	// with estimated demand.
+	var problem consolidation.Problem
+	current := types.Placement{}
+	specs := map[types.VMID]types.VMSpec{}
+	for _, lc := range m.lcs {
+		if lc.sleeping || lc.busy > 0 || lc.status.Power != types.PowerOn {
+			continue
+		}
+		problem.Nodes = append(problem.Nodes, lc.status.Spec)
+		for _, vm := range lc.vms {
+			if vm.State != types.VMRunning {
+				continue
+			}
+			spec := vm.Spec
+			est := m.estimateLocked(lc, vm)
+			// Consolidate on max(estimate, reservation-scaled demand) to
+			// stay admission-safe: the hypervisor checks reservations.
+			spec.Requested = vm.Spec.Requested
+			_ = est
+			problem.VMs = append(problem.VMs, spec)
+			current[vm.Spec.ID] = lc.id
+			specs[vm.Spec.ID] = spec
+		}
+	}
+	if len(problem.VMs) == 0 || len(problem.Nodes) < 2 {
+		m.mu.Unlock()
+		return
+	}
+	m.mu.Unlock()
+
+	result, err := m.cfg.Reconfig.Solve(problem)
+	if err != nil {
+		return
+	}
+	plan := consolidation.Plan(current, result.Placement, specs, problem.Nodes)
+	if len(plan) == 0 {
+		return
+	}
+	m.mark("gm.reconfig-rounds", 1)
+	m.mark("gm.reconfig-migrations", int64(len(plan)))
+	moves := make([]scheduling.Move, 0, len(plan))
+	for _, mg := range plan {
+		moves = append(moves, scheduling.Move{VM: mg.VM, From: mg.From, To: mg.To})
+	}
+	m.mu.Lock()
+	m.executeMovesLocked(moves)
+	m.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+var errBadPayload = fmt.Errorf("hierarchy: bad payload type")
+
+func vmIDs(specs []types.VMSpec) []types.VMID {
+	out := make([]types.VMID, len(specs))
+	for i, s := range specs {
+		out[i] = s.ID
+	}
+	return out
+}
+
+func removeVMID(ids []types.VMID, id types.VMID) []types.VMID {
+	for i, v := range ids {
+		if v == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+// LCCount returns (active, sleeping) LC counts — experiment instrumentation.
+func (m *Manager) LCCount() (active, sleeping int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, lc := range m.lcs {
+		if lc.sleeping {
+			sleeping++
+		} else {
+			active++
+		}
+	}
+	return
+}
+
+// gmOnShed serves the GL's rebalancing request: release up to Count of this
+// GM's LCs back into the hierarchy. Quiet LCs (no VMs, not sleeping or
+// mid-migration) are preferred; each released LC gets a rejoin command and
+// is dropped from this GM's bookkeeping.
+func (m *Manager) gmOnShed(req *transport.Request) {
+	sr, ok := req.Payload.(protocol.ShedRequest)
+	if !ok {
+		req.RespondErr(errBadPayload)
+		return
+	}
+	m.mu.Lock()
+	if m.role != RoleGM || m.stopped || sr.Count <= 0 {
+		m.mu.Unlock()
+		req.Respond(protocol.ShedResponse{})
+		return
+	}
+	type cand struct {
+		id   types.NodeID
+		addr transport.Address
+		vms  int
+	}
+	var cands []cand
+	for _, lc := range m.lcs {
+		if lc.sleeping || lc.waking || lc.busy > 0 {
+			continue
+		}
+		cands = append(cands, cand{id: lc.id, addr: lc.addr, vms: len(lc.vms)})
+	}
+	// Fewest VMs first (their monitoring history is cheapest to lose),
+	// then by ID for determinism.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].vms != cands[j].vms {
+			return cands[i].vms < cands[j].vms
+		}
+		return cands[i].id < cands[j].id
+	})
+	released := 0
+	var toNotify []transport.Address
+	for _, c := range cands {
+		if released >= sr.Count {
+			break
+		}
+		delete(m.lcs, c.id)
+		toNotify = append(toNotify, c.addr)
+		released++
+	}
+	m.mu.Unlock()
+	for _, addr := range toNotify {
+		m.bus.Call(m.cfg.Addr, addr, protocol.KindRejoin, struct{}{}, m.cfg.CallTimeout, func(any, error) {})
+	}
+	m.mark("gm.lcs-shed", int64(released))
+	req.Respond(protocol.ShedResponse{Released: released})
+}
+
+// gmOnLCList serves the deep-topology export: this GM's LC inventory.
+func (m *Manager) gmOnLCList(req *transport.Request) {
+	m.mu.Lock()
+	resp := protocol.LCListResponse{}
+	for _, lc := range m.lcs {
+		resp.LCs = append(resp.LCs, protocol.TopologyLC{
+			ID:       lc.id,
+			Power:    lc.status.Power.String(),
+			VMs:      len(lc.status.VMs),
+			Reserved: lc.status.Reserved,
+			Capacity: lc.status.Spec.Capacity,
+		})
+	}
+	m.mu.Unlock()
+	sort.Slice(resp.LCs, func(i, j int) bool { return resp.LCs[i].ID < resp.LCs[j].ID })
+	req.Respond(resp)
+}
+
+// LCBusy exposes the per-LC in-flight migration counters (experiment and
+// test instrumentation).
+func (m *Manager) LCBusy() map[types.NodeID]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[types.NodeID]int, len(m.lcs))
+	for id, lc := range m.lcs {
+		if lc.busy != 0 {
+			out[id] = lc.busy
+		}
+	}
+	return out
+}

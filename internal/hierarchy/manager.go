@@ -1,0 +1,344 @@
+package hierarchy
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"snooze/internal/consolidation"
+	"snooze/internal/coord"
+	"snooze/internal/election"
+	"snooze/internal/metrics"
+	"snooze/internal/protocol"
+	"snooze/internal/resource"
+	"snooze/internal/scheduling"
+	"snooze/internal/simkernel"
+	"snooze/internal/transport"
+	"snooze/internal/types"
+)
+
+// Role is a Manager's current hierarchy role.
+type Role int
+
+// Manager roles. The paper's self-organization promotes a GM to GL
+// dynamically during leader election (Section II-D); there is no statically
+// configured leader.
+const (
+	RoleIdle Role = iota
+	RoleGM
+	RoleGL
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleIdle:
+		return "idle"
+	case RoleGM:
+		return "GM"
+	case RoleGL:
+		return "GL"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// ManagerConfig parameterizes a Manager (GM/GL process).
+type ManagerConfig struct {
+	ID   types.GroupManagerID
+	Addr transport.Address
+
+	// Timers.
+	HeartbeatPeriod time.Duration // GM→LC group and GL→GroupGL heartbeats
+	SummaryPeriod   time.Duration // GM→GL summary push
+	LCTimeout       time.Duration // declare LC dead (Section II-E)
+	GMTimeout       time.Duration // GL declares GM dead
+	CallTimeout     time.Duration // placement probe RPCs
+	SessionTTL      time.Duration // election session TTL (failure detection)
+
+	// Policies (Section II-C).
+	Dispatch  scheduling.DispatchPolicy
+	Placement scheduling.PlacementPolicy
+	Overload  scheduling.RelocationPolicy
+	Underload scheduling.RelocationPolicy
+
+	// Demand estimation (Section II-B).
+	Estimator  resource.Estimator
+	HistoryLen int
+
+	// Energy management (Section III).
+	EnergyEnabled  bool
+	IdleThreshold  time.Duration // idle time before suspend
+	PendingTimeout time.Duration // how long a placement may wait for a wake
+
+	// Reconfiguration (periodic consolidation, Section II-C). Nil disables.
+	Reconfig       consolidation.Algorithm
+	ReconfigPeriod time.Duration
+
+	// RescheduleOnLCFailure re-places the VMs of a failed LC on the
+	// surviving LCs (the hypervisor-snapshot recovery of Section II-E).
+	RescheduleOnLCFailure bool
+
+	// ElectionBase is the coordination path of the GL election.
+	ElectionBase string
+
+	// Metrics receives counters and latency series (may be nil).
+	Metrics *metrics.Registry
+}
+
+// DefaultManagerConfig returns the configuration used by the experiments.
+func DefaultManagerConfig(id types.GroupManagerID, addr transport.Address) ManagerConfig {
+	return ManagerConfig{
+		ID:              id,
+		Addr:            addr,
+		HeartbeatPeriod: 2 * time.Second,
+		SummaryPeriod:   4 * time.Second,
+		LCTimeout:       12 * time.Second,
+		GMTimeout:       12 * time.Second,
+		CallTimeout:     90 * time.Second,
+		SessionTTL:      6 * time.Second,
+		Dispatch:        &scheduling.RoundRobinDispatch{},
+		Placement:       scheduling.FirstFit{},
+		Overload:        scheduling.OverloadRelocation{},
+		Underload:       scheduling.UnderloadRelocation{},
+		Estimator:       resource.LastValue{},
+		HistoryLen:      20,
+		EnergyEnabled:   false,
+		IdleThreshold:   30 * time.Second,
+		PendingTimeout:  60 * time.Second,
+		ReconfigPeriod:  0,
+		ElectionBase:    "/snooze/election",
+	}
+}
+
+// lcRecord is the GM's view of one Local Controller.
+type lcRecord struct {
+	id       types.NodeID
+	addr     transport.Address
+	oob      transport.Address
+	status   types.NodeStatus
+	vms      []types.VMStatus
+	history  map[types.VMID]*resource.History
+	lastSeen time.Duration
+	sleeping bool   // suspended by the energy manager (deliberate, not a failure)
+	sleepGen uint64 // node generation when suspend was ordered; fences stale reports
+	waking   bool
+	busy     int // in-flight migrations involving this LC
+}
+
+// gmRecord is the GL's view of one Group Manager.
+type gmRecord struct {
+	id       types.GroupManagerID
+	addr     transport.Address
+	summary  types.GroupSummary
+	lastSeen time.Duration
+}
+
+// pendingPlacement is a VM waiting for capacity (typically a wake).
+type pendingPlacement struct {
+	spec     types.VMSpec
+	deadline time.Duration
+	respond  func(node types.NodeID, ok bool)
+}
+
+// Manager is one GM/GL process. It enrolls in the GL election at Start; the
+// election outcome selects which role's state machine is active.
+type Manager struct {
+	rt   simkernel.Runtime
+	bus  *transport.Bus
+	cfg  ManagerConfig
+	cand *election.Candidate
+
+	mu   sync.Mutex
+	role Role
+	// GM state.
+	glAddr  transport.Address
+	joined  bool
+	lcs     map[types.NodeID]*lcRecord
+	pending []pendingPlacement
+	// GL state.
+	gms   map[types.GroupManagerID]*gmRecord
+	epoch uint64
+
+	tickers []*simkernel.Ticker
+	stopped bool
+}
+
+// NewManager creates a Manager. svc is the coordination service used for
+// leader election.
+func NewManager(rt simkernel.Runtime, bus *transport.Bus, svc *coord.Service, cfg ManagerConfig) *Manager {
+	if cfg.Dispatch == nil {
+		cfg.Dispatch = &scheduling.RoundRobinDispatch{}
+	}
+	if cfg.Placement == nil {
+		cfg.Placement = scheduling.FirstFit{}
+	}
+	if cfg.Overload == nil {
+		cfg.Overload = scheduling.OverloadRelocation{}
+	}
+	if cfg.Underload == nil {
+		cfg.Underload = scheduling.UnderloadRelocation{}
+	}
+	if cfg.Estimator == nil {
+		cfg.Estimator = resource.LastValue{}
+	}
+	if cfg.HistoryLen <= 0 {
+		cfg.HistoryLen = 20
+	}
+	if cfg.ElectionBase == "" {
+		cfg.ElectionBase = "/snooze/election"
+	}
+	m := &Manager{
+		rt:  rt,
+		bus: bus,
+		cfg: cfg,
+		lcs: make(map[types.NodeID]*lcRecord),
+		gms: make(map[types.GroupManagerID]*gmRecord),
+	}
+	m.cand = election.NewCandidate(svc, rt, election.Config{
+		Base:       cfg.ElectionBase,
+		ID:         string(cfg.Addr),
+		SessionTTL: cfg.SessionTTL,
+		Listener:   m.onElection,
+	})
+	return m
+}
+
+// ID returns the manager's identifier.
+func (m *Manager) ID() types.GroupManagerID { return m.cfg.ID }
+
+// Addr returns the manager's bus address.
+func (m *Manager) Addr() transport.Address { return m.cfg.Addr }
+
+// Role returns the current role.
+func (m *Manager) Role() Role {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.role
+}
+
+// Start registers on the bus and joins the GL election ("when a GM first
+// attempts to join the system, a leader election algorithm is triggered",
+// Section II-D).
+func (m *Manager) Start() error {
+	m.bus.Register(m.cfg.Addr, m.handle)
+	return m.cand.Join()
+}
+
+// Stop halts all periodic work and resigns from the election.
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	m.stopped = true
+	m.role = RoleIdle
+	tickers := m.tickers
+	m.tickers = nil
+	m.mu.Unlock()
+	for _, t := range tickers {
+		t.Stop()
+	}
+	m.cand.Resign()
+	m.bus.Unregister(m.cfg.Addr)
+}
+
+// Crash simulates a fail-stop crash: the process vanishes without resigning
+// gracefully — the election notices via session expiry, peers via missing
+// heartbeats. Used by the fault-injection experiments.
+func (m *Manager) Crash() {
+	m.mu.Lock()
+	m.stopped = true
+	m.role = RoleIdle
+	tickers := m.tickers
+	m.tickers = nil
+	m.mu.Unlock()
+	for _, t := range tickers {
+		t.Stop()
+	}
+	m.cand.Abandon()
+	m.bus.SetDown(m.cfg.Addr, true)
+}
+
+// mark records a counter if metrics are configured.
+func (m *Manager) mark(name string, delta int64) {
+	if m.cfg.Metrics != nil {
+		m.cfg.Metrics.Inc(name, delta)
+	}
+}
+
+func (m *Manager) observe(name string, d time.Duration) {
+	if m.cfg.Metrics != nil {
+		m.cfg.Metrics.ObserveDuration(name, d)
+	}
+}
+
+func (m *Manager) observeValue(name string, v float64) {
+	if m.cfg.Metrics != nil {
+		m.cfg.Metrics.Observe(name, v)
+	}
+}
+
+// onElection reacts to election transitions: follower → run the GM role
+// against the new leader; leader → promote to GL (Section II-E: "When an
+// existing GM becomes the new leader it switches to GL mode").
+func (m *Manager) onElection(st election.State, leaderID string) {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	switch st {
+	case election.StateLeader:
+		m.becomeGLLocked()
+		m.mu.Unlock()
+	case election.StateFollower:
+		m.becomeGMLocked(transport.Address(leaderID))
+		m.mu.Unlock()
+	default:
+		m.mu.Unlock()
+	}
+}
+
+// stopTickersLocked halts the current role's periodic work.
+func (m *Manager) stopTickersLocked() {
+	for _, t := range m.tickers {
+		t.Stop()
+	}
+	m.tickers = nil
+}
+
+func (m *Manager) addTicker(period time.Duration, fn func()) {
+	t := simkernel.NewTicker(m.rt, period, fn)
+	m.tickers = append(m.tickers, t)
+	t.Start()
+}
+
+// handle dispatches inbound messages to the active role.
+func (m *Manager) handle(req *transport.Request) {
+	switch req.Kind {
+	// GL-role messages.
+	case protocol.KindGMJoin:
+		m.glOnGMJoin(req)
+	case protocol.KindSummary:
+		m.glOnSummary(req)
+	case protocol.KindLCAssign:
+		m.glOnLCAssign(req)
+	case protocol.KindSubmit:
+		m.glOnSubmit(req)
+	case protocol.KindTopology:
+		m.glOnTopology(req)
+	// GM-role messages.
+	case protocol.KindLCJoin:
+		m.gmOnLCJoin(req)
+	case protocol.KindMonitor:
+		m.gmOnMonitor(req)
+	case protocol.KindAnomaly:
+		m.gmOnAnomaly(req)
+	case protocol.KindPlace:
+		m.gmOnPlace(req)
+	case protocol.KindShed:
+		m.gmOnShed(req)
+	case protocol.KindLCList:
+		m.gmOnLCList(req)
+	default:
+		req.RespondErr(fmt.Errorf("manager %s: unknown message kind %q", m.cfg.ID, req.Kind))
+	}
+}

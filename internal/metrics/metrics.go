@@ -1,0 +1,204 @@
+// Package metrics provides the lightweight counters, gauges and duration
+// histograms used to instrument the hierarchy and to print the experiment
+// tables in EXPERIMENTS.md. It is intentionally minimal (stdlib only) and
+// safe for concurrent use.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Registry is a named collection of metrics.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]int64
+	series map[string][]float64
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counts: make(map[string]int64), series: make(map[string][]float64)}
+}
+
+// Inc adds delta to the named counter.
+func (r *Registry) Inc(name string, delta int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counts[name] += delta
+}
+
+// Count returns the counter's current value.
+func (r *Registry) Count(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counts[name]
+}
+
+// Observe appends a sample to the named series.
+func (r *Registry) Observe(name string, v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.series[name] = append(r.series[name], v)
+}
+
+// ObserveDuration appends a duration sample in milliseconds.
+func (r *Registry) ObserveDuration(name string, d time.Duration) {
+	r.Observe(name, float64(d)/float64(time.Millisecond))
+}
+
+// Series returns a copy of the named series.
+func (r *Registry) Series(name string) []float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]float64(nil), r.series[name]...)
+}
+
+// Names returns all metric names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := map[string]struct{}{}
+	for n := range r.counts {
+		seen[n] = struct{}{}
+	}
+	for n := range r.series {
+		seen[n] = struct{}{}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Summary describes a series statistically.
+type Summary struct {
+	N              int
+	Mean, Min, Max float64
+	P50, P95, P99  float64
+	Stddev         float64
+}
+
+// Summarize computes a Summary of the named series.
+func (r *Registry) Summarize(name string) Summary {
+	return Summarize(r.Series(name))
+}
+
+// Summarize computes summary statistics for the samples.
+func Summarize(samples []float64) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	var sum, sumsq float64
+	for _, v := range s {
+		sum += v
+		sumsq += v * v
+	}
+	n := float64(len(s))
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		N:      len(s),
+		Mean:   mean,
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		P50:    quantile(s, 0.50),
+		P95:    quantile(s, 0.95),
+		P99:    quantile(s, 0.99),
+		Stddev: math.Sqrt(variance),
+	}
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := q * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// ---------------------------------------------------------------------------
+// Table rendering (experiment output)
+// ---------------------------------------------------------------------------
+
+// Table accumulates rows and renders a fixed-width text table, the format
+// the benches print for each reproduced figure/table.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; values are formatted with %v (floats get %.2f).
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case time.Duration:
+			row[i] = v.Round(time.Microsecond).String()
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounters(t *testing.T) {
+	r := NewRegistry()
+	if r.Count("x") != 0 {
+		t.Fatal("zero default")
+	}
+	r.Inc("x", 2)
+	r.Inc("x", 3)
+	if r.Count("x") != 5 {
+		t.Fatalf("count: %d", r.Count("x"))
+	}
+}
+
+func TestSeriesAndNames(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("lat", 1)
+	r.Observe("lat", 2)
+	r.ObserveDuration("dur", 3*time.Millisecond)
+	r.Inc("c", 1)
+	got := r.Series("lat")
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("series: %v", got)
+	}
+	if d := r.Series("dur"); len(d) != 1 || d[0] != 3 {
+		t.Fatalf("duration series: %v", d)
+	}
+	names := r.Names()
+	if len(names) != 3 || names[0] != "c" || names[1] != "dur" || names[2] != "lat" {
+		t.Fatalf("names: %v", names)
+	}
+	// Series returns a copy.
+	got[0] = 99
+	if r.Series("lat")[0] == 99 {
+		t.Fatal("Series exposes internal slice")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.P50 != 3 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("stddev: %v", s.Stddev)
+	}
+	if s.P95 < s.P50 || s.P99 < s.P95 || s.P99 > s.Max {
+		t.Fatalf("quantile ordering: %+v", s)
+	}
+	if got := Summarize(nil); got.N != 0 || got.Mean != 0 {
+		t.Fatalf("empty summary: %+v", got)
+	}
+	one := Summarize([]float64{7})
+	if one.P50 != 7 || one.P99 != 7 || one.Stddev != 0 {
+		t.Fatalf("single-sample summary: %+v", one)
+	}
+}
+
+func TestRegistrySummarize(t *testing.T) {
+	r := NewRegistry()
+	for i := 1; i <= 100; i++ {
+		r.Observe("v", float64(i))
+	}
+	s := r.Summarize("v")
+	if s.N != 100 || math.Abs(s.Mean-50.5) > 1e-9 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if math.Abs(s.P95-95.05) > 0.5 {
+		t.Fatalf("p95: %v", s.P95)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Inc("c", 1)
+				r.Observe("s", float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Count("c") != 8000 {
+		t.Fatalf("count: %d", r.Count("c"))
+	}
+	if len(r.Series("s")) != 8000 {
+		t.Fatalf("series len: %d", len(r.Series("s")))
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "hosts", "util")
+	tb.AddRow("aco", 42, 0.87654)
+	tb.AddRow("ffd-cpu", 44, float32(0.8))
+	tb.AddRow("exact", 41, 5*time.Millisecond)
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines: %d\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[0], "util") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.Contains(out, "0.88") {
+		t.Fatalf("float formatting missing: %s", out)
+	}
+	if !strings.Contains(out, "5ms") {
+		t.Fatalf("duration formatting missing: %s", out)
+	}
+	// Column alignment: every line has the same prefix width for column 2.
+	if !strings.Contains(lines[1], "----") {
+		t.Fatalf("separator: %q", lines[1])
+	}
+}

@@ -1,0 +1,95 @@
+package protocol
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// The REST transport (internal/rest) carries payloads as JSON tagged with
+// the message kind. DecodeRequest / DecodeReply rebuild the concrete typed
+// values the component handlers expect, so component code is oblivious to
+// whether a message travelled in-process or over HTTP.
+
+// DecodeRequest decodes a request payload for the given message kind.
+func DecodeRequest(kind string, data json.RawMessage) (any, error) {
+	switch kind {
+	case KindGLHeartbeat:
+		return decode[GLHeartbeat](data)
+	case KindGMHeartbeat:
+		return decode[GMHeartbeat](data)
+	case KindGMJoin:
+		return decode[GMJoinRequest](data)
+	case KindSummary:
+		return decode[SummaryUpdate](data)
+	case KindLCAssign:
+		return decode[LCAssignRequest](data)
+	case KindLCJoin:
+		return decode[LCJoinRequest](data)
+	case KindMonitor:
+		return decode[MonitorReport](data)
+	case KindAnomaly:
+		return decode[AnomalyReport](data)
+	case KindSubmit:
+		return decode[SubmitRequest](data)
+	case KindPlace:
+		return decode[PlaceRequest](data)
+	case KindStartVM:
+		return decode[StartVMRequest](data)
+	case KindStopVM:
+		return decode[StopVMRequest](data)
+	case KindMigrateVM:
+		return decode[MigrateVMRequest](data)
+	case KindShed:
+		return decode[ShedRequest](data)
+	case KindTopology:
+		return decode[TopologyRequest](data)
+	case KindSuspendHost, KindWakeHost, KindGLQuery, KindRejoin, KindLCList:
+		return struct{}{}, nil
+	default:
+		return nil, fmt.Errorf("protocol: unknown request kind %q", kind)
+	}
+}
+
+// DecodeReply decodes a response payload for the given message kind.
+func DecodeReply(kind string, data json.RawMessage) (any, error) {
+	switch kind {
+	case KindGMJoin:
+		return decode[GMJoinResponse](data)
+	case KindLCAssign:
+		return decode[LCAssignResponse](data)
+	case KindLCJoin:
+		return decode[LCJoinResponse](data)
+	case KindSubmit:
+		return decode[SubmitResponse](data)
+	case KindPlace:
+		return decode[PlaceResponse](data)
+	case KindStartVM:
+		return decode[StartVMResponse](data)
+	case KindMigrateVM:
+		return decode[MigrateVMResponse](data)
+	case KindGLQuery:
+		return decode[GLQueryResponse](data)
+	case KindTopology:
+		return decode[TopologyResponse](data)
+	case KindShed:
+		return decode[ShedResponse](data)
+	case KindLCList:
+		return decode[LCListResponse](data)
+	case KindGLHeartbeat, KindGMHeartbeat, KindSummary, KindMonitor, KindAnomaly,
+		KindStopVM, KindSuspendHost, KindWakeHost, KindRejoin:
+		return struct{}{}, nil
+	default:
+		return nil, fmt.Errorf("protocol: unknown reply kind %q", kind)
+	}
+}
+
+func decode[T any](data json.RawMessage) (any, error) {
+	var v T
+	if len(data) == 0 {
+		return v, nil
+	}
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}

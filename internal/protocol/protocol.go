@@ -1,0 +1,261 @@
+// Package protocol defines the control-plane messages exchanged between
+// Snooze components. The paper implements components as "Java RESTful web
+// services" (Section II-A); here every message is a JSON-codable struct so
+// the identical payloads flow over the in-process bus (simulation) and the
+// net/http REST services (deployment, internal/rest).
+package protocol
+
+import (
+	"snooze/internal/types"
+)
+
+// Message kinds. The naming convention is "<receiver-role>.<operation>".
+const (
+	// KindGLHeartbeat is multicast by the Group Leader on GroupGL
+	// (Section II-D: LCs and EPs "listen for GL heartbeats").
+	KindGLHeartbeat = "gl.heartbeat"
+	// KindGMHeartbeat is multicast by a GM to its LC group.
+	KindGMHeartbeat = "gm.heartbeat"
+	// KindGMJoin is sent by a GM to the GL after the election resolves.
+	KindGMJoin = "gl.gm-join"
+	// KindSummary carries a GM's aggregated resource summary to the GL and
+	// doubles as the GM's heartbeat to the GL (Section II-B).
+	KindSummary = "gl.summary"
+	// KindLCAssign is sent by an unassigned LC to the GL to request a GM
+	// assignment (Section II-D).
+	KindLCAssign = "gl.lc-assign"
+	// KindLCJoin is sent by an LC to its assigned GM.
+	KindLCJoin = "gm.lc-join"
+	// KindMonitor carries an LC's periodic monitoring data to its GM and
+	// doubles as the LC heartbeat (Section II-B).
+	KindMonitor = "gm.monitor"
+	// KindAnomaly reports a local overload/underload situation to the GM
+	// (Section II-A).
+	KindAnomaly = "gm.anomaly"
+	// KindSubmit is a client VM submission to the GL (via an EP).
+	KindSubmit = "gl.submit"
+	// KindPlace is the GL's placement probe to one candidate GM.
+	KindPlace = "gm.place"
+	// KindStartVM instructs an LC to instantiate a VM.
+	KindStartVM = "lc.start-vm"
+	// KindStopVM instructs an LC to destroy a VM.
+	KindStopVM = "lc.stop-vm"
+	// KindMigrateVM instructs the source LC to live-migrate a VM.
+	KindMigrateVM = "lc.migrate-vm"
+	// KindSuspendHost instructs an idle LC to enter the admin-specified
+	// low-power state (Section III).
+	KindSuspendHost = "lc.suspend"
+	// KindWakeHost is delivered out-of-band (IPMI/Wake-on-LAN analogue) to
+	// a suspended node.
+	KindWakeHost = "oob.wake"
+	// KindGLQuery asks an Entry Point for the current GL address.
+	KindGLQuery = "ep.gl-query"
+	// KindTopology asks the GL for the current hierarchy layout (used by
+	// the CLI's visualization/export, Section II-A).
+	KindTopology = "gl.topology"
+	// KindShed asks an over-subscribed GM to release some of its LCs back
+	// into the hierarchy (the GL's rebalancing lever once autonomic role
+	// assignment grows the GM population, Section V future work).
+	KindShed = "gm.shed"
+	// KindRejoin instructs an LC to leave its GM and run the join protocol
+	// again (it will be assigned to the least-loaded GM).
+	KindRejoin = "lc.rejoin"
+)
+
+// ShedRequest asks a GM to release up to Count LCs.
+type ShedRequest struct {
+	Count int `json:"count"`
+}
+
+// ShedResponse reports how many LCs the GM released.
+type ShedResponse struct {
+	Released int `json:"released"`
+}
+
+// Multicast group names.
+const (
+	// GroupGL carries GL heartbeats; EPs and unassigned LCs subscribe.
+	GroupGL = "snooze.gl"
+	// GroupGMPrefix + GM ID carries one GM's heartbeats to its LCs.
+	GroupGMPrefix = "snooze.gm."
+)
+
+// GLHeartbeat announces the current Group Leader.
+type GLHeartbeat struct {
+	Addr  string `json:"addr"`  // bus/REST address of the GL
+	Epoch uint64 `json:"epoch"` // bumped on every leadership change
+}
+
+// GMHeartbeat announces a live GM to its LC group.
+type GMHeartbeat struct {
+	GM   types.GroupManagerID `json:"gm"`
+	Addr string               `json:"addr"`
+}
+
+// GMJoinRequest enrolls a GM with the GL.
+type GMJoinRequest struct {
+	GM   types.GroupManagerID `json:"gm"`
+	Addr string               `json:"addr"`
+}
+
+// GMJoinResponse acknowledges enrollment.
+type GMJoinResponse struct {
+	Accepted bool `json:"accepted"`
+}
+
+// SummaryUpdate is a GM's periodic aggregate (Section II-B).
+type SummaryUpdate struct {
+	Summary types.GroupSummary `json:"summary"`
+	Addr    string             `json:"addr"`
+}
+
+// LCAssignRequest asks the GL for a GM assignment.
+type LCAssignRequest struct {
+	Spec types.NodeSpec `json:"spec"`
+}
+
+// LCAssignResponse carries the assigned GM.
+type LCAssignResponse struct {
+	GM   types.GroupManagerID `json:"gm"`
+	Addr string               `json:"addr"`
+}
+
+// LCJoinRequest enrolls an LC (and its current VMs, after a rejoin) with a GM.
+type LCJoinRequest struct {
+	Addr   string           `json:"addr"`
+	OOB    string           `json:"oob"` // out-of-band wake address
+	Status types.NodeStatus `json:"status"`
+	VMs    []types.VMStatus `json:"vms"`
+}
+
+// LCJoinResponse acknowledges the join.
+type LCJoinResponse struct {
+	Accepted bool `json:"accepted"`
+}
+
+// MonitorReport is the LC→GM periodic monitoring message.
+type MonitorReport struct {
+	Status types.NodeStatus `json:"status"`
+	VMs    []types.VMStatus `json:"vms"`
+}
+
+// AnomalyKind distinguishes overload from underload events.
+type AnomalyKind int
+
+// Anomaly kinds.
+const (
+	AnomalyOverload AnomalyKind = iota
+	AnomalyUnderload
+)
+
+// String implements fmt.Stringer.
+func (k AnomalyKind) String() string {
+	if k == AnomalyOverload {
+		return "overload"
+	}
+	return "underload"
+}
+
+// AnomalyReport is the LC→GM anomaly event (Section II-A).
+type AnomalyReport struct {
+	Kind   AnomalyKind      `json:"kind"`
+	Status types.NodeStatus `json:"status"`
+	VMs    []types.VMStatus `json:"vms"`
+}
+
+// SubmitRequest is a client VM submission.
+type SubmitRequest struct {
+	VMs []types.VMSpec `json:"vms"`
+}
+
+// SubmitResponse reports per-VM placement outcomes.
+type SubmitResponse struct {
+	Placed   map[types.VMID]types.NodeID `json:"placed"`
+	Unplaced []types.VMID                `json:"unplaced"`
+}
+
+// PlaceRequest is the GL's probe asking one GM to place VMs (the linear
+// search step of Section II-C).
+type PlaceRequest struct {
+	VMs []types.VMSpec `json:"vms"`
+}
+
+// PlaceResponse reports which of the probed VMs the GM managed to place.
+type PlaceResponse struct {
+	Placed   map[types.VMID]types.NodeID `json:"placed"`
+	Unplaced []types.VMID                `json:"unplaced"`
+}
+
+// StartVMRequest instructs an LC to start a VM.
+type StartVMRequest struct {
+	Spec types.VMSpec `json:"spec"`
+}
+
+// StartVMResponse acknowledges (or refuses) the start.
+type StartVMResponse struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+}
+
+// StopVMRequest instructs an LC to destroy a VM.
+type StopVMRequest struct {
+	VM types.VMID `json:"vm"`
+}
+
+// MigrateVMRequest instructs the source LC to live-migrate a VM to the
+// destination LC's node.
+type MigrateVMRequest struct {
+	VM       types.VMID   `json:"vm"`
+	DestNode types.NodeID `json:"destNode"`
+	DestAddr string       `json:"destAddr"`
+}
+
+// MigrateVMResponse reports migration initiation/completion.
+type MigrateVMResponse struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+}
+
+// GLQueryResponse is the EP's answer to a GL discovery query.
+type GLQueryResponse struct {
+	Addr  string `json:"addr"`
+	Known bool   `json:"known"`
+}
+
+// TopologyRequest parameterizes the hierarchy export; Deep makes the GL fan
+// out to its GMs and include per-LC detail (the CLI's "live visualizing and
+// exporting of the hierarchy organization", Section II-A).
+type TopologyRequest struct {
+	Deep bool `json:"deep,omitempty"`
+}
+
+// TopologyLC describes one Local Controller in a deep topology export.
+type TopologyLC struct {
+	ID       types.NodeID         `json:"id"`
+	Power    string               `json:"power"`
+	VMs      int                  `json:"vms"`
+	Reserved types.ResourceVector `json:"reserved"`
+	Capacity types.ResourceVector `json:"capacity"`
+}
+
+// TopologyGM describes one GM in a topology export.
+type TopologyGM struct {
+	GM      types.GroupManagerID `json:"gm"`
+	Addr    string               `json:"addr"`
+	Summary types.GroupSummary   `json:"summary"`
+	LCs     []TopologyLC         `json:"lcs,omitempty"` // deep export only
+}
+
+// TopologyResponse is the GL's hierarchy export (CLI visualization).
+type TopologyResponse struct {
+	GL  string       `json:"gl"`
+	GMs []TopologyGM `json:"gms"`
+}
+
+// KindLCList asks a GM for its LC inventory (used by deep topology export).
+const KindLCList = "gm.lc-list"
+
+// LCListResponse is a GM's LC inventory.
+type LCListResponse struct {
+	LCs []TopologyLC `json:"lcs"`
+}

@@ -1,0 +1,232 @@
+// Package resource provides resource-demand estimation over monitored
+// utilization histories. The paper's Group Managers perform "resource (i.e.
+// CPU, memory and network utilization) demand estimation" from the raw
+// monitoring samples each Local Controller forwards (Section II-B); the
+// estimator chosen determines how aggressively the scheduler packs VMs and
+// how often overload relocation fires, so several standard estimators are
+// provided and the choice is a documented ablation (DESIGN.md §5).
+package resource
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"snooze/internal/types"
+)
+
+// Estimator turns a window of utilization samples into a single demand
+// estimate per dimension. Implementations must be safe for concurrent use.
+type Estimator interface {
+	// Estimate returns the demand estimate for the given sample window,
+	// oldest sample first. An empty window yields the zero vector.
+	Estimate(window []types.ResourceVector) types.ResourceVector
+	// Name identifies the estimator in experiment output.
+	Name() string
+}
+
+// LastValue is the simplest estimator: demand = most recent sample.
+type LastValue struct{}
+
+// Estimate implements Estimator.
+func (LastValue) Estimate(w []types.ResourceVector) types.ResourceVector {
+	if len(w) == 0 {
+		return types.ResourceVector{}
+	}
+	return w[len(w)-1]
+}
+
+// Name implements Estimator.
+func (LastValue) Name() string { return "last-value" }
+
+// MovingAverage estimates demand as the arithmetic mean of the window.
+type MovingAverage struct{}
+
+// Estimate implements Estimator.
+func (MovingAverage) Estimate(w []types.ResourceVector) types.ResourceVector {
+	if len(w) == 0 {
+		return types.ResourceVector{}
+	}
+	var sum types.ResourceVector
+	for _, s := range w {
+		sum = sum.Add(s)
+	}
+	return sum.Scale(1 / float64(len(w)))
+}
+
+// Name implements Estimator.
+func (MovingAverage) Name() string { return "moving-average" }
+
+// EWMA is an exponentially weighted moving average with smoothing factor
+// Alpha in (0,1]; larger Alpha weights recent samples more.
+type EWMA struct {
+	Alpha float64
+}
+
+// Estimate implements Estimator.
+func (e EWMA) Estimate(w []types.ResourceVector) types.ResourceVector {
+	if len(w) == 0 {
+		return types.ResourceVector{}
+	}
+	a := e.Alpha
+	if a <= 0 || a > 1 {
+		a = 0.5
+	}
+	est := w[0]
+	for _, s := range w[1:] {
+		est = est.Scale(1 - a).Add(s.Scale(a))
+	}
+	return est
+}
+
+// Name implements Estimator.
+func (e EWMA) Name() string { return fmt.Sprintf("ewma(%.2f)", e.Alpha) }
+
+// Percentile estimates demand as the per-dimension p-th percentile of the
+// window (p in [0,100]). p=95 is the conservative estimator typically used
+// for overload avoidance; p=50 is the median.
+type Percentile struct {
+	P float64
+}
+
+// Estimate implements Estimator.
+func (p Percentile) Estimate(w []types.ResourceVector) types.ResourceVector {
+	if len(w) == 0 {
+		return types.ResourceVector{}
+	}
+	pct := p.P
+	if pct < 0 {
+		pct = 0
+	}
+	if pct > 100 {
+		pct = 100
+	}
+	var out [4]float64
+	col := make([]float64, len(w))
+	for d := 0; d < 4; d++ {
+		for i, s := range w {
+			col[i] = s.Components()[d]
+		}
+		sort.Float64s(col)
+		// Nearest-rank with linear interpolation.
+		rank := pct / 100 * float64(len(col)-1)
+		lo := int(math.Floor(rank))
+		hi := int(math.Ceil(rank))
+		if lo == hi {
+			out[d] = col[lo]
+		} else {
+			frac := rank - float64(lo)
+			out[d] = col[lo]*(1-frac) + col[hi]*frac
+		}
+	}
+	return types.FromComponents(out)
+}
+
+// Name implements Estimator.
+func (p Percentile) Name() string { return fmt.Sprintf("p%.0f", p.P) }
+
+// MaxWindow estimates demand as the per-dimension maximum over the window —
+// the most conservative estimator.
+type MaxWindow struct{}
+
+// Estimate implements Estimator.
+func (MaxWindow) Estimate(w []types.ResourceVector) types.ResourceVector {
+	var m types.ResourceVector
+	for _, s := range w {
+		m = m.Max(s)
+	}
+	return m
+}
+
+// Name implements Estimator.
+func (MaxWindow) Name() string { return "max" }
+
+// ---------------------------------------------------------------------------
+// History ring buffer
+// ---------------------------------------------------------------------------
+
+// History is a fixed-capacity ring of utilization samples for one VM or node.
+// It is safe for concurrent use.
+type History struct {
+	mu      sync.Mutex
+	samples []types.ResourceVector
+	next    int
+	full    bool
+}
+
+// NewHistory creates a history that retains the last n samples (n >= 1).
+func NewHistory(n int) *History {
+	if n < 1 {
+		n = 1
+	}
+	return &History{samples: make([]types.ResourceVector, n)}
+}
+
+// Push appends a sample, evicting the oldest when full.
+func (h *History) Push(s types.ResourceVector) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.samples[h.next] = s
+	h.next++
+	if h.next == len(h.samples) {
+		h.next = 0
+		h.full = true
+	}
+}
+
+// Len returns the number of retained samples.
+func (h *History) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.full {
+		return len(h.samples)
+	}
+	return h.next
+}
+
+// Window returns the retained samples oldest-first as a fresh slice.
+func (h *History) Window() []types.ResourceVector {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.full {
+		out := make([]types.ResourceVector, h.next)
+		copy(out, h.samples[:h.next])
+		return out
+	}
+	out := make([]types.ResourceVector, 0, len(h.samples))
+	out = append(out, h.samples[h.next:]...)
+	out = append(out, h.samples[:h.next]...)
+	return out
+}
+
+// Estimate applies est to the current window.
+func (h *History) Estimate(est Estimator) types.ResourceVector {
+	return est.Estimate(h.Window())
+}
+
+// ByName returns the estimator with the given configuration name, used by
+// experiment configuration files. Recognized: "last-value", "moving-average",
+// "ewma" (alpha 0.5), "p90", "p95", "p99", "median", "max".
+func ByName(name string) (Estimator, error) {
+	switch name {
+	case "last-value", "":
+		return LastValue{}, nil
+	case "moving-average":
+		return MovingAverage{}, nil
+	case "ewma":
+		return EWMA{Alpha: 0.5}, nil
+	case "p90":
+		return Percentile{P: 90}, nil
+	case "p95":
+		return Percentile{P: 95}, nil
+	case "p99":
+		return Percentile{P: 99}, nil
+	case "median":
+		return Percentile{P: 50}, nil
+	case "max":
+		return MaxWindow{}, nil
+	default:
+		return nil, fmt.Errorf("resource: unknown estimator %q", name)
+	}
+}

@@ -1,0 +1,211 @@
+package resource
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"snooze/internal/types"
+)
+
+func rvs(cpus ...float64) []types.ResourceVector {
+	out := make([]types.ResourceVector, len(cpus))
+	for i, c := range cpus {
+		out[i] = types.RV(c, c*100, 0, 0)
+	}
+	return out
+}
+
+func TestLastValue(t *testing.T) {
+	e := LastValue{}
+	if got := e.Estimate(nil); !got.Zero() {
+		t.Fatalf("empty window: got %v", got)
+	}
+	if got := e.Estimate(rvs(1, 2, 3)); got.CPU != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	e := MovingAverage{}
+	if got := e.Estimate(nil); !got.Zero() {
+		t.Fatalf("empty window: got %v", got)
+	}
+	got := e.Estimate(rvs(1, 2, 3))
+	if math.Abs(got.CPU-2) > 1e-9 || math.Abs(got.Memory-200) > 1e-9 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestEWMAWeighting(t *testing.T) {
+	e := EWMA{Alpha: 1} // alpha=1 degenerates to last value
+	if got := e.Estimate(rvs(5, 1)); got.CPU != 1 {
+		t.Fatalf("alpha=1: got %v", got)
+	}
+	e = EWMA{Alpha: 0.5}
+	got := e.Estimate(rvs(0, 4)) // 0*(1-.5)+4*.5 = 2
+	if math.Abs(got.CPU-2) > 1e-9 {
+		t.Fatalf("alpha=.5: got %v", got)
+	}
+	// Invalid alpha falls back to 0.5 rather than panicking.
+	e = EWMA{Alpha: -3}
+	if got := e.Estimate(rvs(0, 4)); math.Abs(got.CPU-2) > 1e-9 {
+		t.Fatalf("invalid alpha fallback: got %v", got)
+	}
+	if got := (EWMA{Alpha: 0.3}).Estimate(nil); !got.Zero() {
+		t.Fatalf("empty window: got %v", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	w := rvs(1, 2, 3, 4, 5)
+	if got := (Percentile{P: 50}).Estimate(w); math.Abs(got.CPU-3) > 1e-9 {
+		t.Fatalf("median: got %v", got)
+	}
+	if got := (Percentile{P: 100}).Estimate(w); got.CPU != 5 {
+		t.Fatalf("p100: got %v", got)
+	}
+	if got := (Percentile{P: 0}).Estimate(w); got.CPU != 1 {
+		t.Fatalf("p0: got %v", got)
+	}
+	// Interpolation: p25 of [1..5] = 2.0 exactly at rank 1.
+	if got := (Percentile{P: 25}).Estimate(w); math.Abs(got.CPU-2) > 1e-9 {
+		t.Fatalf("p25: got %v", got)
+	}
+	// Out-of-range p clamps.
+	if got := (Percentile{P: 150}).Estimate(w); got.CPU != 5 {
+		t.Fatalf("p150 clamp: got %v", got)
+	}
+	if got := (Percentile{P: 95}).Estimate(nil); !got.Zero() {
+		t.Fatalf("empty window: got %v", got)
+	}
+}
+
+func TestMaxWindow(t *testing.T) {
+	w := []types.ResourceVector{types.RV(1, 500, 3, 0), types.RV(2, 100, 1, 9)}
+	got := MaxWindow{}.Estimate(w)
+	if got != types.RV(2, 500, 3, 9) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestEstimatorBoundsProperty(t *testing.T) {
+	// Every estimator's output lies within [min, max] of the window,
+	// per dimension.
+	ests := []Estimator{LastValue{}, MovingAverage{}, EWMA{Alpha: 0.3}, Percentile{P: 95}, Percentile{P: 50}, MaxWindow{}}
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		w := make([]types.ResourceVector, len(raw))
+		lo := types.RV(math.Inf(1), math.Inf(1), math.Inf(1), math.Inf(1))
+		hi := types.ResourceVector{}
+		for i, v := range raw {
+			v = math.Abs(v)
+			if math.IsInf(v, 0) || math.IsNaN(v) {
+				v = 1
+			}
+			v = math.Mod(v, 1e6) // keep sums far from overflow
+			w[i] = types.RV(v, v, v, v)
+			lo = lo.Min(w[i])
+			hi = hi.Max(w[i])
+		}
+		for _, e := range ests {
+			got := e.Estimate(w)
+			if !got.FitsIn(hi) || !lo.Sub(types.RV(1e-9, 1e-9, 1e-9, 1e-9)).FitsIn(got) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistoryRing(t *testing.T) {
+	h := NewHistory(3)
+	if h.Len() != 0 {
+		t.Fatal("new history should be empty")
+	}
+	h.Push(types.RV(1, 0, 0, 0))
+	h.Push(types.RV(2, 0, 0, 0))
+	if h.Len() != 2 {
+		t.Fatalf("Len: got %d", h.Len())
+	}
+	w := h.Window()
+	if len(w) != 2 || w[0].CPU != 1 || w[1].CPU != 2 {
+		t.Fatalf("Window before wrap: %v", w)
+	}
+	h.Push(types.RV(3, 0, 0, 0))
+	h.Push(types.RV(4, 0, 0, 0)) // evicts 1
+	if h.Len() != 3 {
+		t.Fatalf("Len after wrap: got %d", h.Len())
+	}
+	w = h.Window()
+	if len(w) != 3 || w[0].CPU != 2 || w[2].CPU != 4 {
+		t.Fatalf("Window after wrap: %v", w)
+	}
+}
+
+func TestHistoryMinCapacity(t *testing.T) {
+	h := NewHistory(0) // clamps to 1
+	h.Push(types.RV(1, 0, 0, 0))
+	h.Push(types.RV(2, 0, 0, 0))
+	if h.Len() != 1 || h.Window()[0].CPU != 2 {
+		t.Fatalf("capacity-1 history wrong: %v", h.Window())
+	}
+}
+
+func TestHistoryEstimate(t *testing.T) {
+	h := NewHistory(8)
+	for i := 1; i <= 4; i++ {
+		h.Push(types.RV(float64(i), 0, 0, 0))
+	}
+	if got := h.Estimate(MovingAverage{}); math.Abs(got.CPU-2.5) > 1e-9 {
+		t.Fatalf("Estimate: got %v", got)
+	}
+}
+
+func TestHistoryConcurrent(t *testing.T) {
+	h := NewHistory(64)
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 1000; i++ {
+			h.Push(types.RV(float64(i), 0, 0, 0))
+		}
+		close(done)
+	}()
+	for i := 0; i < 100; i++ {
+		_ = h.Window()
+		_ = h.Len()
+	}
+	<-done
+	if h.Len() != 64 {
+		t.Fatalf("after concurrent pushes Len=%d", h.Len())
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"last-value", "moving-average", "ewma", "p90", "p95", "p99", "median", "max", ""} {
+		e, err := ByName(name)
+		if err != nil || e == nil {
+			t.Errorf("ByName(%q) failed: %v", name, err)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Fatal("ByName(bogus) should fail")
+	}
+}
+
+func TestEstimatorNames(t *testing.T) {
+	if (EWMA{Alpha: 0.25}).Name() != "ewma(0.25)" {
+		t.Fatal("EWMA name")
+	}
+	if (Percentile{P: 95}).Name() != "p95" {
+		t.Fatal("Percentile name")
+	}
+	if (LastValue{}).Name() != "last-value" || (MovingAverage{}).Name() != "moving-average" || (MaxWindow{}).Name() != "max" {
+		t.Fatal("names")
+	}
+}

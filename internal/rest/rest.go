@@ -1,0 +1,263 @@
+// Package rest is the HTTP transport for real (wall-clock) Snooze
+// deployments, standing in for the paper's "Java RESTful web services"
+// (Section II-A). Each snoozed process hosts its components on an in-process
+// bus and exposes them through a Server; a Gateway registers remote peers as
+// proxy addresses on the local bus, so component code is identical in
+// simulation and deployment.
+//
+// Wire format: POST /deliver with an Envelope; the reply carries the JSON
+// response payload. One-way messages return 202 immediately. Multicast
+// groups work through static peer registration (AddPeer with group names) —
+// the deployment analogue of joining a UDP multicast group.
+package rest
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"snooze/internal/protocol"
+	"snooze/internal/transport"
+)
+
+// Envelope is the on-wire message frame.
+type Envelope struct {
+	From    string          `json:"from"`
+	To      string          `json:"to"`
+	Kind    string          `json:"kind"`
+	OneWay  bool            `json:"oneWay,omitempty"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// replyFrame is the on-wire response frame.
+type replyFrame struct {
+	Payload json.RawMessage `json:"payload,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+// Server exposes a local bus over HTTP.
+type Server struct {
+	bus     *transport.Bus
+	timeout time.Duration
+}
+
+// NewServer creates a server delivering into bus; timeout bounds
+// request-response calls.
+func NewServer(bus *transport.Bus, timeout time.Duration) *Server {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	return &Server{bus: bus, timeout: timeout}
+}
+
+// Handler returns the HTTP handler (mount at /).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/deliver", s.handleDeliver)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+func (s *Server) handleDeliver(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var env Envelope
+	if err := json.NewDecoder(r.Body).Decode(&env); err != nil {
+		http.Error(w, "bad envelope: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	payload, err := protocol.DecodeRequest(env.Kind, env.Payload)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if env.OneWay {
+		_ = s.bus.Send(transport.Address(env.From), transport.Address(env.To), env.Kind, payload)
+		w.WriteHeader(http.StatusAccepted)
+		return
+	}
+	type outcome struct {
+		reply any
+		err   error
+	}
+	ch := make(chan outcome, 1)
+	s.bus.Call(transport.Address(env.From), transport.Address(env.To), env.Kind, payload, s.timeout,
+		func(reply any, err error) { ch <- outcome{reply, err} })
+	out := <-ch
+	w.Header().Set("Content-Type", "application/json")
+	if out.err != nil {
+		_ = json.NewEncoder(w).Encode(replyFrame{Error: out.err.Error()})
+		return
+	}
+	data, err := json.Marshal(out.reply)
+	if err != nil {
+		_ = json.NewEncoder(w).Encode(replyFrame{Error: "encode reply: " + err.Error()})
+		return
+	}
+	_ = json.NewEncoder(w).Encode(replyFrame{Payload: data})
+}
+
+// ---------------------------------------------------------------------------
+// Gateway (outbound proxy)
+// ---------------------------------------------------------------------------
+
+// Gateway bridges the local bus to remote processes: every registered peer
+// address gets a proxy handler on the local bus that forwards over HTTP.
+type Gateway struct {
+	bus    *transport.Bus
+	client *http.Client
+
+	mu    sync.Mutex
+	peers map[transport.Address]string // addr -> base URL
+}
+
+// NewGateway creates a gateway on the local bus.
+func NewGateway(bus *transport.Bus, timeout time.Duration) *Gateway {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	return &Gateway{
+		bus:    bus,
+		client: &http.Client{Timeout: timeout},
+		peers:  make(map[transport.Address]string),
+	}
+}
+
+// AddPeer registers a remote component: addr becomes routable on the local
+// bus (forwarded to baseURL), and the proxy joins the given multicast groups
+// on the remote component's behalf.
+func (g *Gateway) AddPeer(addr transport.Address, baseURL string, groups ...string) {
+	g.mu.Lock()
+	g.peers[addr] = baseURL
+	g.mu.Unlock()
+	g.bus.Register(addr, func(req *transport.Request) { g.forward(baseURL, req) })
+	for _, grp := range groups {
+		g.bus.JoinGroup(grp, addr)
+	}
+}
+
+// RemovePeer drops a remote registration.
+func (g *Gateway) RemovePeer(addr transport.Address) {
+	g.mu.Lock()
+	delete(g.peers, addr)
+	g.mu.Unlock()
+	g.bus.Unregister(addr)
+}
+
+// Peers returns the number of registered peers.
+func (g *Gateway) Peers() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.peers)
+}
+
+func (g *Gateway) forward(baseURL string, req *transport.Request) {
+	payload, err := json.Marshal(req.Payload)
+	if err != nil {
+		req.RespondErr(err)
+		return
+	}
+	env := Envelope{
+		From:    string(req.From),
+		To:      string(req.To),
+		Kind:    req.Kind,
+		OneWay:  req.OneWay(),
+		Payload: payload,
+	}
+	body, err := json.Marshal(env)
+	if err != nil {
+		req.RespondErr(err)
+		return
+	}
+	// Never block the bus executor: HTTP happens on its own goroutine.
+	go func() {
+		resp, err := g.client.Post(baseURL+"/deliver", "application/json", bytes.NewReader(body))
+		if err != nil {
+			req.RespondErr(err)
+			return
+		}
+		defer resp.Body.Close()
+		if req.OneWay() {
+			return
+		}
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+			data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			req.RespondErr(fmt.Errorf("rest: %s: %s", resp.Status, bytes.TrimSpace(data)))
+			return
+		}
+		var frame replyFrame
+		if err := json.NewDecoder(resp.Body).Decode(&frame); err != nil {
+			req.RespondErr(err)
+			return
+		}
+		if frame.Error != "" {
+			req.RespondErr(errors.New(frame.Error))
+			return
+		}
+		reply, err := protocol.DecodeReply(req.Kind, frame.Payload)
+		if err != nil {
+			req.RespondErr(err)
+			return
+		}
+		req.Respond(reply)
+	}()
+}
+
+// ---------------------------------------------------------------------------
+// Thin client (CLI side)
+// ---------------------------------------------------------------------------
+
+// Client performs one-shot protocol calls against a remote snoozed process —
+// what the paper's command line interface does against the EP/GL services.
+type Client struct {
+	http *http.Client
+}
+
+// NewClient creates a CLI client.
+func NewClient(timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	return &Client{http: &http.Client{Timeout: timeout}}
+}
+
+// Call sends kind+payload to the component addr hosted at baseURL and
+// decodes the typed reply.
+func (c *Client) Call(baseURL string, addr, kind string, payload any) (any, error) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return nil, err
+	}
+	env := Envelope{From: "cli", To: addr, Kind: kind, Payload: data}
+	body, err := json.Marshal(env)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Post(baseURL+"/deliver", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("rest: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var frame replyFrame
+	if err := json.NewDecoder(resp.Body).Decode(&frame); err != nil {
+		return nil, err
+	}
+	if frame.Error != "" {
+		return nil, errors.New(frame.Error)
+	}
+	return protocol.DecodeReply(kind, frame.Payload)
+}

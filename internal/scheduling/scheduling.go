@@ -1,0 +1,458 @@
+// Package scheduling implements the two-level VM scheduling policies of
+// Section II-C. At the Group Leader, dispatching policies shortlist
+// candidate GMs from (inexact) group summaries; the GL then performs a
+// linear search over the candidates. At the Group Manager, placement
+// policies choose a Local Controller for each incoming VM, and relocation
+// policies react to overload/underload anomaly events from the LCs.
+package scheduling
+
+import (
+	"fmt"
+	"sort"
+
+	"snooze/internal/types"
+)
+
+// ---------------------------------------------------------------------------
+// GL-level dispatching
+// ---------------------------------------------------------------------------
+
+// DispatchPolicy orders GMs as placement candidates for a VM request.
+// As Section II-C notes, "summary information is not sufficient to take
+// exact dispatching decisions... Consequently, a list of candidate GMs is
+// provided by the dispatching policies" — the GL linearly probes the list.
+type DispatchPolicy interface {
+	// Candidates returns GM IDs to probe, best first. Summaries whose free
+	// capacity cannot possibly hold the VM are filtered out (they may still
+	// fail the probe: free capacity may be fragmented across LCs).
+	Candidates(vm types.VMSpec, summaries []types.GroupSummary) []types.GroupManagerID
+	Name() string
+}
+
+func feasible(vm types.VMSpec, s types.GroupSummary) bool {
+	return s.ActiveLCs+s.AsleepLCs > 0 && vm.Requested.FitsIn(s.Free())
+}
+
+// RoundRobinDispatch cycles through GMs across calls, spreading load
+// uniformly (the paper's example policy).
+type RoundRobinDispatch struct {
+	next int
+}
+
+// Candidates implements DispatchPolicy.
+func (r *RoundRobinDispatch) Candidates(vm types.VMSpec, summaries []types.GroupSummary) []types.GroupManagerID {
+	sorted := append([]types.GroupSummary(nil), summaries...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].GM < sorted[j].GM })
+	n := len(sorted)
+	var out []types.GroupManagerID
+	for i := 0; i < n; i++ {
+		s := sorted[(r.next+i)%n]
+		if feasible(vm, s) {
+			out = append(out, s.GM)
+		}
+	}
+	if n > 0 {
+		r.next = (r.next + 1) % n
+	}
+	return out
+}
+
+// Name implements DispatchPolicy.
+func (r *RoundRobinDispatch) Name() string { return "round-robin" }
+
+// LeastLoadedDispatch prefers the GM with the most free capacity (L1 norm of
+// the free vector normalized by total), the paper's "load balanced" option.
+type LeastLoadedDispatch struct{}
+
+// Candidates implements DispatchPolicy.
+func (LeastLoadedDispatch) Candidates(vm types.VMSpec, summaries []types.GroupSummary) []types.GroupManagerID {
+	type scored struct {
+		id   types.GroupManagerID
+		free float64
+	}
+	var sc []scored
+	for _, s := range summaries {
+		if !feasible(vm, s) {
+			continue
+		}
+		sc = append(sc, scored{id: s.GM, free: s.Free().UtilizationL1(s.Total)})
+	}
+	sort.Slice(sc, func(i, j int) bool {
+		if sc[i].free != sc[j].free {
+			return sc[i].free > sc[j].free
+		}
+		return sc[i].id < sc[j].id
+	})
+	out := make([]types.GroupManagerID, len(sc))
+	for i, s := range sc {
+		out[i] = s.id
+	}
+	return out
+}
+
+// Name implements DispatchPolicy.
+func (LeastLoadedDispatch) Name() string { return "least-loaded" }
+
+// MostLoadedDispatch prefers the fullest GM that can still hold the VM —
+// the energy-friendly choice, concentrating load so whole groups stay idle.
+type MostLoadedDispatch struct{}
+
+// Candidates implements DispatchPolicy.
+func (MostLoadedDispatch) Candidates(vm types.VMSpec, summaries []types.GroupSummary) []types.GroupManagerID {
+	type scored struct {
+		id   types.GroupManagerID
+		free float64
+	}
+	var sc []scored
+	for _, s := range summaries {
+		if !feasible(vm, s) {
+			continue
+		}
+		sc = append(sc, scored{id: s.GM, free: s.Free().UtilizationL1(s.Total)})
+	}
+	sort.Slice(sc, func(i, j int) bool {
+		if sc[i].free != sc[j].free {
+			return sc[i].free < sc[j].free
+		}
+		return sc[i].id < sc[j].id
+	})
+	out := make([]types.GroupManagerID, len(sc))
+	for i, s := range sc {
+		out[i] = s.id
+	}
+	return out
+}
+
+// Name implements DispatchPolicy.
+func (MostLoadedDispatch) Name() string { return "most-loaded" }
+
+// ---------------------------------------------------------------------------
+// GM-level placement
+// ---------------------------------------------------------------------------
+
+// PlacementPolicy chooses an LC for one VM. Nodes are offered with their
+// current reservations; only PowerOn nodes are offered.
+type PlacementPolicy interface {
+	// Place returns the chosen node ID, or false if no active node fits.
+	Place(vm types.VMSpec, nodes []types.NodeStatus) (types.NodeID, bool)
+	Name() string
+}
+
+func fits(vm types.VMSpec, n types.NodeStatus) bool {
+	return n.Power == types.PowerOn && vm.Requested.FitsIn(n.FreeReserved())
+}
+
+// sortedByID returns nodes sorted by ID for deterministic iteration.
+func sortedByID(nodes []types.NodeStatus) []types.NodeStatus {
+	out := append([]types.NodeStatus(nil), nodes...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Spec.ID < out[j].Spec.ID })
+	return out
+}
+
+// FirstFit places on the first node (by ID) with room — Eucalyptus-style
+// "greedy" (Section IV).
+type FirstFit struct{}
+
+// Place implements PlacementPolicy.
+func (FirstFit) Place(vm types.VMSpec, nodes []types.NodeStatus) (types.NodeID, bool) {
+	for _, n := range sortedByID(nodes) {
+		if fits(vm, n) {
+			return n.Spec.ID, true
+		}
+	}
+	return "", false
+}
+
+// Name implements PlacementPolicy.
+func (FirstFit) Name() string { return "first-fit" }
+
+// BestFit places on the feasible node with the least free capacity left
+// after placement (tightest fit → better packing).
+type BestFit struct{}
+
+// Place implements PlacementPolicy.
+func (BestFit) Place(vm types.VMSpec, nodes []types.NodeStatus) (types.NodeID, bool) {
+	best, found := types.NodeID(""), false
+	bestFree := 0.0
+	for _, n := range sortedByID(nodes) {
+		if !fits(vm, n) {
+			continue
+		}
+		free := n.FreeReserved().Sub(vm.Requested).UtilizationL1(n.Spec.Capacity)
+		if !found || free < bestFree {
+			best, bestFree, found = n.Spec.ID, free, true
+		}
+	}
+	return best, found
+}
+
+// Name implements PlacementPolicy.
+func (BestFit) Name() string { return "best-fit" }
+
+// WorstFit places on the feasible node with the most free capacity —
+// the load-balancing choice that minimizes overload risk.
+type WorstFit struct{}
+
+// Place implements PlacementPolicy.
+func (WorstFit) Place(vm types.VMSpec, nodes []types.NodeStatus) (types.NodeID, bool) {
+	best, found := types.NodeID(""), false
+	bestFree := 0.0
+	for _, n := range sortedByID(nodes) {
+		if !fits(vm, n) {
+			continue
+		}
+		free := n.FreeReserved().Sub(vm.Requested).UtilizationL1(n.Spec.Capacity)
+		if !found || free > bestFree {
+			best, bestFree, found = n.Spec.ID, free, true
+		}
+	}
+	return best, found
+}
+
+// Name implements PlacementPolicy.
+func (WorstFit) Name() string { return "worst-fit" }
+
+// RoundRobinPlacement cycles through LCs across calls (the paper's example
+// placement policy alongside first-fit).
+type RoundRobinPlacement struct {
+	next int
+}
+
+// Place implements PlacementPolicy.
+func (r *RoundRobinPlacement) Place(vm types.VMSpec, nodes []types.NodeStatus) (types.NodeID, bool) {
+	sorted := sortedByID(nodes)
+	n := len(sorted)
+	for i := 0; i < n; i++ {
+		cand := sorted[(r.next+i)%n]
+		if fits(vm, cand) {
+			r.next = (r.next + i + 1) % n
+			return cand.Spec.ID, true
+		}
+	}
+	return "", false
+}
+
+// Name implements PlacementPolicy.
+func (r *RoundRobinPlacement) Name() string { return "round-robin" }
+
+// ---------------------------------------------------------------------------
+// Relocation (overload / underload)
+// ---------------------------------------------------------------------------
+
+// Thresholds define the LC anomaly detectors (Section II-A: LCs "detect
+// local overload/underload anomaly situations and report them to the
+// assigned GM").
+type Thresholds struct {
+	// Overload fires when measured utilization exceeds this fraction of
+	// capacity on any dimension.
+	Overload float64
+	// Underload fires when utilization is below this fraction on every
+	// dimension (and the node hosts at least one VM).
+	Underload float64
+}
+
+// DefaultThresholds matches the common 90%/20% split of the adaptive
+// threshold literature the paper cites ([8]).
+func DefaultThresholds() Thresholds { return Thresholds{Overload: 0.9, Underload: 0.2} }
+
+// Classify returns (overloaded, underloaded) for a node status.
+func (t Thresholds) Classify(n types.NodeStatus) (over, under bool) {
+	if n.Power != types.PowerOn {
+		return false, false
+	}
+	u := n.Used.Divide(n.Spec.Capacity)
+	over = u.NormInf() > t.Overload
+	under = len(n.VMs) > 0 && !over && u.NormInf() < t.Underload
+	return over, under
+}
+
+// Move pairs a VM with a relocation destination.
+type Move struct {
+	VM   types.VMID
+	From types.NodeID
+	To   types.NodeID
+}
+
+// RelocationPolicy computes moves in response to an anomaly on one node.
+type RelocationPolicy interface {
+	// Relocate returns moves for VMs on the anomalous node `src`;
+	// `srcVMs` are its current VMs, `others` the GM's other active nodes.
+	Relocate(src types.NodeStatus, srcVMs []types.VMStatus, others []types.NodeStatus) []Move
+	Name() string
+}
+
+// OverloadRelocation moves the smallest set of VMs (largest-first by measured
+// demand) needed to bring the source back under the overload threshold; each
+// is sent to the least-loaded node with room ("VMs must be relocated to a
+// more lightly loaded node in order to mitigate performance degradation").
+type OverloadRelocation struct {
+	Thresholds Thresholds
+}
+
+// Relocate implements RelocationPolicy.
+func (p OverloadRelocation) Relocate(src types.NodeStatus, srcVMs []types.VMStatus, others []types.NodeStatus) []Move {
+	th := p.Thresholds
+	if th.Overload == 0 {
+		th = DefaultThresholds()
+	}
+	// Candidate receivers: active nodes, least loaded first.
+	recv := filterActive(others, src.Spec.ID)
+	sort.Slice(recv, func(i, j int) bool {
+		ui := recv[i].Used.UtilizationL1(recv[i].Spec.Capacity)
+		uj := recv[j].Used.UtilizationL1(recv[j].Spec.Capacity)
+		if ui != uj {
+			return ui < uj
+		}
+		return recv[i].Spec.ID < recv[j].Spec.ID
+	})
+	// Move the most demanding VMs first: fewest migrations to relieve the
+	// hot spot.
+	vms := append([]types.VMStatus(nil), srcVMs...)
+	sort.Slice(vms, func(i, j int) bool {
+		ni, nj := vms[i].Used.Norm1(), vms[j].Used.Norm1()
+		if ni != nj {
+			return ni > nj
+		}
+		return vms[i].Spec.ID < vms[j].Spec.ID
+	})
+	used := src.Used
+	reserved := src.Reserved
+	var moves []Move
+	for _, vm := range vms {
+		if used.Divide(src.Spec.Capacity).NormInf() <= th.Overload {
+			break
+		}
+		if vm.State != types.VMRunning {
+			continue
+		}
+		for i := range recv {
+			if !vm.Spec.Requested.FitsIn(recv[i].FreeReserved()) {
+				continue
+			}
+			// Receiving this VM must not overload the receiver.
+			after := recv[i].Used.Add(vm.Used).Divide(recv[i].Spec.Capacity)
+			if after.NormInf() > th.Overload {
+				continue
+			}
+			moves = append(moves, Move{VM: vm.Spec.ID, From: src.Spec.ID, To: recv[i].Spec.ID})
+			recv[i].Used = recv[i].Used.Add(vm.Used)
+			recv[i].Reserved = recv[i].Reserved.Add(vm.Spec.Requested)
+			used = used.Sub(vm.Used).Max(types.ResourceVector{})
+			reserved = reserved.Sub(vm.Spec.Requested).Max(types.ResourceVector{})
+			break
+		}
+	}
+	return moves
+}
+
+// Name implements RelocationPolicy.
+func (OverloadRelocation) Name() string { return "overload-relocation" }
+
+// UnderloadRelocation tries to empty an underutilized node by moving ALL its
+// VMs to moderately loaded nodes ("move away VMs to moderately loaded LCs in
+// order to create enough idle-time to transition the underutilized LCs into
+// a lower power state"). Returns nil unless every VM can be rehomed —
+// partially draining a node saves no energy.
+type UnderloadRelocation struct {
+	Thresholds Thresholds
+}
+
+// Relocate implements RelocationPolicy.
+func (p UnderloadRelocation) Relocate(src types.NodeStatus, srcVMs []types.VMStatus, others []types.NodeStatus) []Move {
+	th := p.Thresholds
+	if th.Overload == 0 {
+		th = DefaultThresholds()
+	}
+	// Receivers: prefer the most loaded nodes that still have room, so
+	// moderately loaded nodes fill up and empty nodes stay empty.
+	recv := filterActive(others, src.Spec.ID)
+	sort.Slice(recv, func(i, j int) bool {
+		ui := recv[i].Used.UtilizationL1(recv[i].Spec.Capacity)
+		uj := recv[j].Used.UtilizationL1(recv[j].Spec.Capacity)
+		if ui != uj {
+			return ui > uj
+		}
+		return recv[i].Spec.ID < recv[j].Spec.ID
+	})
+	vms := append([]types.VMStatus(nil), srcVMs...)
+	sort.Slice(vms, func(i, j int) bool { // biggest first: hardest to fit
+		ni, nj := vms[i].Spec.Requested.Norm1(), vms[j].Spec.Requested.Norm1()
+		if ni != nj {
+			return ni > nj
+		}
+		return vms[i].Spec.ID < vms[j].Spec.ID
+	})
+	var moves []Move
+	for _, vm := range vms {
+		if vm.State != types.VMRunning {
+			return nil // cannot fully drain (booting/migrating VM present)
+		}
+		placed := false
+		for i := range recv {
+			if !vm.Spec.Requested.FitsIn(recv[i].FreeReserved()) {
+				continue
+			}
+			after := recv[i].Used.Add(vm.Used).Divide(recv[i].Spec.Capacity)
+			if after.NormInf() > th.Overload {
+				continue
+			}
+			moves = append(moves, Move{VM: vm.Spec.ID, From: src.Spec.ID, To: recv[i].Spec.ID})
+			recv[i].Used = recv[i].Used.Add(vm.Used)
+			recv[i].Reserved = recv[i].Reserved.Add(vm.Spec.Requested)
+			placed = true
+			break
+		}
+		if !placed {
+			return nil // all-or-nothing
+		}
+	}
+	return moves
+}
+
+// Name implements RelocationPolicy.
+func (UnderloadRelocation) Name() string { return "underload-relocation" }
+
+func filterActive(nodes []types.NodeStatus, exclude types.NodeID) []types.NodeStatus {
+	var out []types.NodeStatus
+	for _, n := range nodes {
+		if n.Spec.ID == exclude || n.Power != types.PowerOn {
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Policy registry
+// ---------------------------------------------------------------------------
+
+// NewDispatchPolicy returns the named dispatch policy.
+func NewDispatchPolicy(name string) (DispatchPolicy, error) {
+	switch name {
+	case "round-robin", "":
+		return &RoundRobinDispatch{}, nil
+	case "least-loaded":
+		return LeastLoadedDispatch{}, nil
+	case "most-loaded":
+		return MostLoadedDispatch{}, nil
+	default:
+		return nil, fmt.Errorf("scheduling: unknown dispatch policy %q", name)
+	}
+}
+
+// NewPlacementPolicy returns the named placement policy.
+func NewPlacementPolicy(name string) (PlacementPolicy, error) {
+	switch name {
+	case "first-fit", "":
+		return FirstFit{}, nil
+	case "best-fit":
+		return BestFit{}, nil
+	case "worst-fit":
+		return WorstFit{}, nil
+	case "round-robin":
+		return &RoundRobinPlacement{}, nil
+	default:
+		return nil, fmt.Errorf("scheduling: unknown placement policy %q", name)
+	}
+}

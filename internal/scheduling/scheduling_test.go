@@ -1,0 +1,317 @@
+package scheduling
+
+import (
+	"testing"
+
+	"snooze/internal/types"
+)
+
+func gm(id string, usedCPU, totalCPU float64, lcs int) types.GroupSummary {
+	return types.GroupSummary{
+		GM:        types.GroupManagerID(id),
+		Used:      types.RV(usedCPU, usedCPU*1024, 0, 0),
+		Reserved:  types.RV(usedCPU, usedCPU*1024, 0, 0),
+		Total:     types.RV(totalCPU, totalCPU*1024, 0, 0),
+		ActiveLCs: lcs,
+	}
+}
+
+func node(id string, resCPU, capCPU float64) types.NodeStatus {
+	return types.NodeStatus{
+		Spec:     types.NodeSpec{ID: types.NodeID(id), Capacity: types.RV(capCPU, capCPU*2048, 0, 0)},
+		Power:    types.PowerOn,
+		Used:     types.RV(resCPU, resCPU*2048, 0, 0),
+		Reserved: types.RV(resCPU, resCPU*2048, 0, 0),
+	}
+}
+
+func vmSpec(cpu float64) types.VMSpec {
+	return types.VMSpec{ID: "vm", Requested: types.RV(cpu, cpu*1024, 0, 0)}
+}
+
+func TestRoundRobinDispatchCycles(t *testing.T) {
+	p := &RoundRobinDispatch{}
+	sums := []types.GroupSummary{gm("gm1", 0, 16, 2), gm("gm2", 0, 16, 2), gm("gm3", 0, 16, 2)}
+	vm := vmSpec(1)
+	first := p.Candidates(vm, sums)
+	second := p.Candidates(vm, sums)
+	third := p.Candidates(vm, sums)
+	if first[0] != "gm1" || second[0] != "gm2" || third[0] != "gm3" {
+		t.Fatalf("heads: %v %v %v", first[0], second[0], third[0])
+	}
+	if len(first) != 3 {
+		t.Fatalf("all feasible GMs should be listed: %v", first)
+	}
+	fourth := p.Candidates(vm, sums)
+	if fourth[0] != "gm1" {
+		t.Fatalf("wrap-around: %v", fourth[0])
+	}
+}
+
+func TestDispatchFiltersInfeasible(t *testing.T) {
+	sums := []types.GroupSummary{
+		gm("full", 16, 16, 2),
+		gm("empty-lcs", 0, 16, 0), // no LCs at all
+		gm("roomy", 2, 16, 2),
+	}
+	vm := vmSpec(4)
+	for _, p := range []DispatchPolicy{&RoundRobinDispatch{}, LeastLoadedDispatch{}, MostLoadedDispatch{}} {
+		got := p.Candidates(vm, sums)
+		if len(got) != 1 || got[0] != "roomy" {
+			t.Errorf("%s: %v", p.Name(), got)
+		}
+	}
+}
+
+func TestDispatchCountsAsleepLCs(t *testing.T) {
+	// A GM whose LCs are all asleep still has wakeable capacity.
+	s := gm("sleepy", 0, 16, 0)
+	s.AsleepLCs = 2
+	got := LeastLoadedDispatch{}.Candidates(vmSpec(1), []types.GroupSummary{s})
+	if len(got) != 1 {
+		t.Fatalf("asleep capacity ignored: %v", got)
+	}
+}
+
+func TestLeastLoadedDispatchOrder(t *testing.T) {
+	sums := []types.GroupSummary{gm("busy", 12, 16, 2), gm("idle", 0, 16, 2), gm("half", 8, 16, 2)}
+	got := LeastLoadedDispatch{}.Candidates(vmSpec(1), sums)
+	if len(got) != 3 || got[0] != "idle" || got[1] != "half" || got[2] != "busy" {
+		t.Fatalf("order: %v", got)
+	}
+}
+
+func TestMostLoadedDispatchOrder(t *testing.T) {
+	sums := []types.GroupSummary{gm("busy", 12, 16, 2), gm("idle", 0, 16, 2), gm("half", 8, 16, 2)}
+	got := MostLoadedDispatch{}.Candidates(vmSpec(1), sums)
+	if len(got) != 3 || got[0] != "busy" || got[2] != "idle" {
+		t.Fatalf("order: %v", got)
+	}
+}
+
+func TestFirstFit(t *testing.T) {
+	nodes := []types.NodeStatus{node("n3", 0, 8), node("n1", 7, 8), node("n2", 0, 8)}
+	id, ok := FirstFit{}.Place(vmSpec(2), nodes)
+	if !ok || id != "n2" {
+		t.Fatalf("first-fit: %v %v", id, ok)
+	}
+	// Nothing fits.
+	if _, ok := (FirstFit{}).Place(vmSpec(100), nodes); ok {
+		t.Fatal("oversized VM placed")
+	}
+}
+
+func TestPlacementSkipsUnavailableNodes(t *testing.T) {
+	off := node("n1", 0, 8)
+	off.Power = types.PowerSuspended
+	nodes := []types.NodeStatus{off, node("n2", 0, 8)}
+	for _, p := range []PlacementPolicy{FirstFit{}, BestFit{}, WorstFit{}, &RoundRobinPlacement{}} {
+		id, ok := p.Place(vmSpec(1), nodes)
+		if !ok || id != "n2" {
+			t.Errorf("%s chose %v (ok=%v)", p.Name(), id, ok)
+		}
+	}
+}
+
+func TestBestFitTightest(t *testing.T) {
+	nodes := []types.NodeStatus{node("n1", 1, 8), node("n2", 5, 8), node("n3", 7, 8)}
+	id, ok := BestFit{}.Place(vmSpec(1), nodes)
+	if !ok || id != "n3" {
+		t.Fatalf("best-fit: %v", id)
+	}
+}
+
+func TestWorstFitEmptiest(t *testing.T) {
+	nodes := []types.NodeStatus{node("n1", 1, 8), node("n2", 5, 8), node("n3", 7, 8)}
+	id, ok := WorstFit{}.Place(vmSpec(1), nodes)
+	if !ok || id != "n1" {
+		t.Fatalf("worst-fit: %v", id)
+	}
+}
+
+func TestRoundRobinPlacementCycles(t *testing.T) {
+	p := &RoundRobinPlacement{}
+	nodes := []types.NodeStatus{node("n1", 0, 8), node("n2", 0, 8), node("n3", 0, 8)}
+	a, _ := p.Place(vmSpec(1), nodes)
+	b, _ := p.Place(vmSpec(1), nodes)
+	c, _ := p.Place(vmSpec(1), nodes)
+	d, _ := p.Place(vmSpec(1), nodes)
+	if a != "n1" || b != "n2" || c != "n3" || d != "n1" {
+		t.Fatalf("cycle: %v %v %v %v", a, b, c, d)
+	}
+	// Skips full nodes.
+	nodes[0] = node("n1", 8, 8)
+	e, ok := p.Place(vmSpec(1), nodes)
+	if !ok || e == "n1" {
+		t.Fatalf("rr skipped full node: %v %v", e, ok)
+	}
+}
+
+func TestThresholdsClassify(t *testing.T) {
+	th := DefaultThresholds()
+	over := node("n1", 7.5, 8) // 93.75% > 90%
+	over.VMs = []types.VMID{"v"}
+	if o, u := th.Classify(over); !o || u {
+		t.Fatalf("overload: %v %v", o, u)
+	}
+	under := node("n2", 1, 8) // 12.5% < 20%
+	under.VMs = []types.VMID{"v"}
+	if o, u := th.Classify(under); o || !u {
+		t.Fatalf("underload: %v %v", o, u)
+	}
+	mid := node("n3", 4, 8)
+	mid.VMs = []types.VMID{"v"}
+	if o, u := th.Classify(mid); o || u {
+		t.Fatalf("moderate: %v %v", o, u)
+	}
+	// Empty node is not "underloaded" (it is idle — energy manager's job).
+	empty := node("n4", 0, 8)
+	if o, u := th.Classify(empty); o || u {
+		t.Fatalf("empty: %v %v", o, u)
+	}
+	// Non-running node is never anomalous.
+	susp := node("n5", 7.5, 8)
+	susp.Power = types.PowerSuspended
+	if o, u := th.Classify(susp); o || u {
+		t.Fatalf("suspended: %v %v", o, u)
+	}
+}
+
+func vmStatus(id string, cpu float64, state types.VMState) types.VMStatus {
+	return types.VMStatus{
+		Spec:  types.VMSpec{ID: types.VMID(id), Requested: types.RV(cpu, cpu*1024, 0, 0)},
+		State: state,
+		Used:  types.RV(cpu, cpu*1024, 0, 0),
+	}
+}
+
+func TestOverloadRelocationMovesEnough(t *testing.T) {
+	src := node("hot", 8, 8)
+	src.VMs = []types.VMID{"a", "b", "c"}
+	vms := []types.VMStatus{
+		vmStatus("a", 4, types.VMRunning),
+		vmStatus("b", 2, types.VMRunning),
+		vmStatus("c", 2, types.VMRunning),
+	}
+	others := []types.NodeStatus{node("cool", 1, 8), node("warm", 4, 8)}
+	moves := OverloadRelocation{}.Relocate(src, vms, others)
+	if len(moves) == 0 {
+		t.Fatal("no moves for overloaded node")
+	}
+	// Largest VM first, to the least loaded receiver.
+	if moves[0].VM != "a" || moves[0].To != "cool" {
+		t.Fatalf("first move: %+v", moves[0])
+	}
+	// Moving "a" (4 CPU) brings the node to 4/8 = 50% <= 90%: one move is
+	// enough.
+	if len(moves) != 1 {
+		t.Fatalf("moves: %+v", moves)
+	}
+}
+
+func TestOverloadRelocationRespectsReceiverThreshold(t *testing.T) {
+	src := node("hot", 8, 8)
+	vms := []types.VMStatus{vmStatus("a", 4, types.VMRunning)}
+	// Receiver has room by reservation but would exceed 90% measured.
+	crowded := node("crowded", 5, 8)
+	moves := OverloadRelocation{}.Relocate(src, vms, []types.NodeStatus{crowded})
+	if len(moves) != 0 {
+		t.Fatalf("moved into a would-be-overloaded receiver: %+v", moves)
+	}
+}
+
+func TestOverloadRelocationSkipsNonRunning(t *testing.T) {
+	src := node("hot", 8, 8)
+	vms := []types.VMStatus{vmStatus("a", 6, types.VMMigrating), vmStatus("b", 1, types.VMRunning)}
+	others := []types.NodeStatus{node("cool", 0, 8)}
+	moves := OverloadRelocation{}.Relocate(src, vms, others)
+	for _, m := range moves {
+		if m.VM == "a" {
+			t.Fatal("migrating VM selected for relocation")
+		}
+	}
+}
+
+func TestUnderloadRelocationDrainsFully(t *testing.T) {
+	src := node("cold", 1, 8)
+	src.VMs = []types.VMID{"a", "b"}
+	vms := []types.VMStatus{vmStatus("a", 0.5, types.VMRunning), vmStatus("b", 0.5, types.VMRunning)}
+	others := []types.NodeStatus{node("mid", 4, 8), node("empty", 0, 8)}
+	moves := UnderloadRelocation{}.Relocate(src, vms, others)
+	if len(moves) != 2 {
+		t.Fatalf("moves: %+v", moves)
+	}
+	// Prefers the moderately loaded receiver over the empty one.
+	for _, m := range moves {
+		if m.To != "mid" {
+			t.Fatalf("move went to %s, want mid", m.To)
+		}
+	}
+}
+
+func TestUnderloadRelocationAllOrNothing(t *testing.T) {
+	src := node("cold", 1, 8)
+	vms := []types.VMStatus{vmStatus("a", 0.5, types.VMRunning), vmStatus("big", 6, types.VMRunning)}
+	// Receiver can hold "a" but not "big".
+	others := []types.NodeStatus{node("mid", 4, 8)}
+	moves := UnderloadRelocation{}.Relocate(src, vms, others)
+	if moves != nil {
+		t.Fatalf("partial drain returned: %+v", moves)
+	}
+}
+
+func TestUnderloadRelocationRefusesBootingVM(t *testing.T) {
+	src := node("cold", 1, 8)
+	vms := []types.VMStatus{vmStatus("a", 0.5, types.VMBooting)}
+	others := []types.NodeStatus{node("mid", 0, 8)}
+	if moves := (UnderloadRelocation{}).Relocate(src, vms, others); moves != nil {
+		t.Fatalf("drained a booting VM: %+v", moves)
+	}
+}
+
+func TestRelocationExcludesSourceAndInactive(t *testing.T) {
+	src := node("hot", 8, 8)
+	vms := []types.VMStatus{vmStatus("a", 4, types.VMRunning)}
+	susp := node("susp", 0, 8)
+	susp.Power = types.PowerSuspended
+	others := []types.NodeStatus{src, susp}
+	if moves := (OverloadRelocation{}).Relocate(src, vms, others); len(moves) != 0 {
+		t.Fatalf("relocated to source/suspended node: %+v", moves)
+	}
+}
+
+func TestPolicyRegistries(t *testing.T) {
+	for _, n := range []string{"round-robin", "least-loaded", "most-loaded", ""} {
+		if p, err := NewDispatchPolicy(n); err != nil || p == nil {
+			t.Errorf("dispatch %q: %v", n, err)
+		}
+	}
+	if _, err := NewDispatchPolicy("bogus"); err == nil {
+		t.Error("bogus dispatch accepted")
+	}
+	for _, n := range []string{"first-fit", "best-fit", "worst-fit", "round-robin", ""} {
+		if p, err := NewPlacementPolicy(n); err != nil || p == nil {
+			t.Errorf("placement %q: %v", n, err)
+		}
+	}
+	if _, err := NewPlacementPolicy("bogus"); err == nil {
+		t.Error("bogus placement accepted")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, n := range []string{
+		(&RoundRobinDispatch{}).Name(), LeastLoadedDispatch{}.Name(), MostLoadedDispatch{}.Name(),
+		FirstFit{}.Name(), BestFit{}.Name(), WorstFit{}.Name(), (&RoundRobinPlacement{}).Name(),
+		OverloadRelocation{}.Name(), UnderloadRelocation{}.Name(),
+	} {
+		if n == "" {
+			t.Fatal("empty policy name")
+		}
+		names[n] = true
+	}
+	if len(names) < 8 { // round-robin appears twice (dispatch+placement)
+		t.Fatalf("names not distinct enough: %v", names)
+	}
+}

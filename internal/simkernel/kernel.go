@@ -1,0 +1,308 @@
+// Package simkernel provides the deterministic discrete-event simulation
+// kernel that drives the Snooze hierarchy in experiments, plus the Runtime
+// abstraction that lets the very same component code run against the wall
+// clock in real deployments (cmd/snoozed).
+//
+// The paper evaluated Snooze on a 144-node Grid'5000 cluster; this repo's
+// substitute is a virtual-time kernel (DESIGN.md §2) so that experiments with
+// thousands of Local Controllers, precise failure injection and repeatable
+// seeds run in milliseconds on a laptop.
+package simkernel
+
+import (
+	"container/heap"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Canceler cancels a pending timer. Cancel is idempotent and reports whether
+// the timer was still pending.
+type Canceler interface {
+	Cancel() bool
+}
+
+// Runtime is the execution environment a hierarchy component runs in: a
+// clock and a timer facility. Two implementations exist: *Kernel (virtual
+// time, deterministic) and *WallRuntime (real time).
+type Runtime interface {
+	// Now returns the current time as an offset from the runtime epoch.
+	Now() time.Duration
+	// After schedules fn to run once, d from now. fn runs on the runtime's
+	// executor goroutine (the simulation loop for Kernel, a timer goroutine
+	// for WallRuntime).
+	After(d time.Duration, fn func()) Canceler
+}
+
+// ---------------------------------------------------------------------------
+// Event queue
+// ---------------------------------------------------------------------------
+
+type event struct {
+	at    time.Duration
+	seq   uint64 // FIFO tie-break for equal timestamps → determinism
+	fn    func()
+	index int // heap index; -1 when popped or cancelled
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// ---------------------------------------------------------------------------
+// Kernel
+// ---------------------------------------------------------------------------
+
+// Kernel is a single-threaded discrete-event simulator with a seeded RNG.
+// All component callbacks execute on the goroutine that calls Run/Step, so
+// simulation-mode components need no internal locking for kernel-driven
+// work. Schedule/After may be called from within callbacks.
+type Kernel struct {
+	mu    sync.Mutex
+	queue eventQueue
+	now   time.Duration
+	seq   uint64
+	rng   *rand.Rand
+	// processed counts executed events, for experiment accounting.
+	processed uint64
+}
+
+// New creates a kernel whose RNG is seeded with seed (use a fixed seed for
+// reproducible experiments).
+func New(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now implements Runtime.
+func (k *Kernel) Now() time.Duration {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.now
+}
+
+// RNG returns the kernel's deterministic random source. It must only be used
+// from kernel callbacks (the simulation goroutine).
+func (k *Kernel) RNG() *rand.Rand { return k.rng }
+
+// Processed returns the number of events executed so far.
+func (k *Kernel) Processed() uint64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.processed
+}
+
+type kernelCanceler struct {
+	k *Kernel
+	e *event
+}
+
+func (c kernelCanceler) Cancel() bool {
+	c.k.mu.Lock()
+	defer c.k.mu.Unlock()
+	if c.e.index < 0 {
+		return false
+	}
+	heap.Remove(&c.k.queue, c.e.index)
+	return true
+}
+
+// After implements Runtime: schedule fn at now+d. Negative d is treated as 0
+// (the event still runs strictly after the current callback returns).
+func (k *Kernel) After(d time.Duration, fn func()) Canceler {
+	if d < 0 {
+		d = 0
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.scheduleLocked(k.now+d, fn)
+}
+
+// At schedules fn at the absolute virtual time t; times in the past run at
+// the current time.
+func (k *Kernel) At(t time.Duration, fn func()) Canceler {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if t < k.now {
+		t = k.now
+	}
+	return k.scheduleLocked(t, fn)
+}
+
+func (k *Kernel) scheduleLocked(t time.Duration, fn func()) Canceler {
+	e := &event{at: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return kernelCanceler{k: k, e: e}
+}
+
+// Step executes the next pending event, advancing virtual time to it.
+// It reports whether an event was executed.
+func (k *Kernel) Step() bool {
+	k.mu.Lock()
+	if len(k.queue) == 0 {
+		k.mu.Unlock()
+		return false
+	}
+	e := heap.Pop(&k.queue).(*event)
+	k.now = e.at
+	k.processed++
+	k.mu.Unlock()
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or virtual time would exceed
+// until. Time is left at min(until, last event time); if events remain past
+// until, time is advanced to exactly until.
+func (k *Kernel) Run(until time.Duration) {
+	for {
+		k.mu.Lock()
+		if len(k.queue) == 0 || k.queue[0].at > until {
+			if k.now < until {
+				k.now = until
+			}
+			k.mu.Unlock()
+			return
+		}
+		e := heap.Pop(&k.queue).(*event)
+		k.now = e.at
+		k.processed++
+		k.mu.Unlock()
+		e.fn()
+	}
+}
+
+// RunAll executes events until the queue is empty. Periodic timers that
+// re-arm themselves make this non-terminating, so RunAll takes a safety cap
+// on the number of events and reports whether it drained the queue.
+func (k *Kernel) RunAll(maxEvents uint64) bool {
+	for i := uint64(0); i < maxEvents; i++ {
+		if !k.Step() {
+			return true
+		}
+	}
+	k.mu.Lock()
+	empty := len(k.queue) == 0
+	k.mu.Unlock()
+	return empty
+}
+
+// Pending returns the number of queued events.
+func (k *Kernel) Pending() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return len(k.queue)
+}
+
+// ---------------------------------------------------------------------------
+// Wall-clock runtime
+// ---------------------------------------------------------------------------
+
+// WallRuntime implements Runtime on the real clock. Timer callbacks run on
+// per-timer goroutines (time.AfterFunc semantics), so components used with it
+// must be internally synchronized — which all hierarchy components are.
+type WallRuntime struct {
+	epoch time.Time
+}
+
+// NewWallRuntime creates a wall-clock runtime with epoch = now.
+func NewWallRuntime() *WallRuntime {
+	return &WallRuntime{epoch: time.Now()}
+}
+
+// Now implements Runtime.
+func (w *WallRuntime) Now() time.Duration { return time.Since(w.epoch) }
+
+type wallCanceler struct{ t *time.Timer }
+
+func (c wallCanceler) Cancel() bool { return c.t.Stop() }
+
+// After implements Runtime.
+func (w *WallRuntime) After(d time.Duration, fn func()) Canceler {
+	return wallCanceler{t: time.AfterFunc(d, fn)}
+}
+
+// ---------------------------------------------------------------------------
+// Periodic helper
+// ---------------------------------------------------------------------------
+
+// Ticker re-arms itself on runtime rt every period and invokes fn each tick.
+// Stop prevents further ticks (a tick already dispatched by a WallRuntime may
+// still run). The first tick fires one full period after Start.
+type Ticker struct {
+	rt      Runtime
+	period  time.Duration
+	fn      func()
+	mu      sync.Mutex
+	pending Canceler
+	stopped bool
+}
+
+// NewTicker creates a ticker; call Start to arm it.
+func NewTicker(rt Runtime, period time.Duration, fn func()) *Ticker {
+	return &Ticker{rt: rt, period: period, fn: fn}
+}
+
+// Start arms the ticker. Calling Start on a running or stopped ticker is a
+// no-op.
+func (t *Ticker) Start() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped || t.pending != nil {
+		return
+	}
+	t.armLocked()
+}
+
+func (t *Ticker) armLocked() {
+	t.pending = t.rt.After(t.period, func() {
+		t.mu.Lock()
+		if t.stopped {
+			t.mu.Unlock()
+			return
+		}
+		t.armLocked()
+		t.mu.Unlock()
+		t.fn()
+	})
+}
+
+// Stop disarms the ticker.
+func (t *Ticker) Stop() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stopped = true
+	if t.pending != nil {
+		t.pending.Cancel()
+		t.pending = nil
+	}
+}

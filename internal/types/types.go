@@ -1,0 +1,411 @@
+// Package types defines the core domain types shared by every layer of the
+// Snooze reproduction: resource vectors, virtual machines, node descriptions,
+// power states and the identifiers used across the hierarchy.
+//
+// The paper models three monitored dimensions per VM and host — CPU, memory
+// and network utilization (Section II-B). ResourceVector captures those as a
+// four-component vector (network is split into receive and transmit, as in
+// the Snooze implementation).
+package types
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ResourceVector is a demand or capacity expressed over the four monitored
+// dimensions. Units are abstract but used consistently: CPU in cores (or
+// fractions thereof), Memory in megabytes, network in megabits per second.
+type ResourceVector struct {
+	CPU    float64 `json:"cpu"`
+	Memory float64 `json:"memory"`
+	NetRx  float64 `json:"netRx"`
+	NetTx  float64 `json:"netTx"`
+}
+
+// RV is shorthand for constructing a ResourceVector.
+func RV(cpu, mem, rx, tx float64) ResourceVector {
+	return ResourceVector{CPU: cpu, Memory: mem, NetRx: rx, NetTx: tx}
+}
+
+// Zero reports whether all components are zero.
+func (r ResourceVector) Zero() bool {
+	return r.CPU == 0 && r.Memory == 0 && r.NetRx == 0 && r.NetTx == 0
+}
+
+// Add returns the component-wise sum r + o.
+func (r ResourceVector) Add(o ResourceVector) ResourceVector {
+	return ResourceVector{
+		CPU:    r.CPU + o.CPU,
+		Memory: r.Memory + o.Memory,
+		NetRx:  r.NetRx + o.NetRx,
+		NetTx:  r.NetTx + o.NetTx,
+	}
+}
+
+// Sub returns the component-wise difference r - o.
+func (r ResourceVector) Sub(o ResourceVector) ResourceVector {
+	return ResourceVector{
+		CPU:    r.CPU - o.CPU,
+		Memory: r.Memory - o.Memory,
+		NetRx:  r.NetRx - o.NetRx,
+		NetTx:  r.NetTx - o.NetTx,
+	}
+}
+
+// Scale returns r with every component multiplied by f.
+func (r ResourceVector) Scale(f float64) ResourceVector {
+	return ResourceVector{
+		CPU:    r.CPU * f,
+		Memory: r.Memory * f,
+		NetRx:  r.NetRx * f,
+		NetTx:  r.NetTx * f,
+	}
+}
+
+// Max returns the component-wise maximum of r and o.
+func (r ResourceVector) Max(o ResourceVector) ResourceVector {
+	return ResourceVector{
+		CPU:    math.Max(r.CPU, o.CPU),
+		Memory: math.Max(r.Memory, o.Memory),
+		NetRx:  math.Max(r.NetRx, o.NetRx),
+		NetTx:  math.Max(r.NetTx, o.NetTx),
+	}
+}
+
+// Min returns the component-wise minimum of r and o.
+func (r ResourceVector) Min(o ResourceVector) ResourceVector {
+	return ResourceVector{
+		CPU:    math.Min(r.CPU, o.CPU),
+		Memory: math.Min(r.Memory, o.Memory),
+		NetRx:  math.Min(r.NetRx, o.NetRx),
+		NetTx:  math.Min(r.NetTx, o.NetTx),
+	}
+}
+
+// Clamp returns r with every component clamped to [0, hi.component].
+func (r ResourceVector) Clamp(hi ResourceVector) ResourceVector {
+	return r.Max(ResourceVector{}).Min(hi)
+}
+
+// FitsIn reports whether r fits within capacity c on every dimension.
+func (r ResourceVector) FitsIn(c ResourceVector) bool {
+	const eps = 1e-9
+	return r.CPU <= c.CPU+eps && r.Memory <= c.Memory+eps &&
+		r.NetRx <= c.NetRx+eps && r.NetTx <= c.NetTx+eps
+}
+
+// Dominates reports whether every component of r is >= the matching
+// component of o.
+func (r ResourceVector) Dominates(o ResourceVector) bool {
+	return o.FitsIn(r)
+}
+
+// Norm1 returns the L1 norm (sum of components).
+func (r ResourceVector) Norm1() float64 {
+	return r.CPU + r.Memory + r.NetRx + r.NetTx
+}
+
+// Norm2 returns the L2 (Euclidean) norm.
+func (r ResourceVector) Norm2() float64 {
+	return math.Sqrt(r.CPU*r.CPU + r.Memory*r.Memory + r.NetRx*r.NetRx + r.NetTx*r.NetTx)
+}
+
+// NormInf returns the L∞ norm (largest component).
+func (r ResourceVector) NormInf() float64 {
+	return math.Max(math.Max(r.CPU, r.Memory), math.Max(r.NetRx, r.NetTx))
+}
+
+// Divide returns the component-wise ratio r/c with zero capacity components
+// mapping to zero (a dimension the host does not provide contributes no
+// utilization).
+func (r ResourceVector) Divide(c ResourceVector) ResourceVector {
+	div := func(a, b float64) float64 {
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	}
+	return ResourceVector{
+		CPU:    div(r.CPU, c.CPU),
+		Memory: div(r.Memory, c.Memory),
+		NetRx:  div(r.NetRx, c.NetRx),
+		NetTx:  div(r.NetTx, c.NetTx),
+	}
+}
+
+// UtilizationL1 returns the mean utilization across dimensions of demand r on
+// capacity c; a scalar in [0,1] when r fits in c. This is the utilization
+// measure used by the ACO heuristic information and the evaluation's "average
+// host utilization" metric.
+func (r ResourceVector) UtilizationL1(c ResourceVector) float64 {
+	u := r.Divide(c)
+	n := 0
+	sum := 0.0
+	for _, pair := range [][2]float64{{u.CPU, c.CPU}, {u.Memory, c.Memory}, {u.NetRx, c.NetRx}, {u.NetTx, c.NetTx}} {
+		if pair[1] > 0 {
+			sum += pair[0]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Components returns the vector as a fixed-size array, in the canonical
+// dimension order (CPU, Memory, NetRx, NetTx).
+func (r ResourceVector) Components() [4]float64 {
+	return [4]float64{r.CPU, r.Memory, r.NetRx, r.NetTx}
+}
+
+// FromComponents builds a ResourceVector from the canonical array order.
+func FromComponents(c [4]float64) ResourceVector {
+	return ResourceVector{CPU: c[0], Memory: c[1], NetRx: c[2], NetTx: c[3]}
+}
+
+// String renders the vector compactly for logs and tables.
+func (r ResourceVector) String() string {
+	return fmt.Sprintf("[cpu=%.2f mem=%.0f rx=%.1f tx=%.1f]", r.CPU, r.Memory, r.NetRx, r.NetTx)
+}
+
+// ---------------------------------------------------------------------------
+// Identifiers
+// ---------------------------------------------------------------------------
+
+// ComponentKind identifies the role of a hierarchy component.
+type ComponentKind int
+
+// Hierarchy component kinds, in top-down order.
+const (
+	KindEntryPoint ComponentKind = iota
+	KindGroupLeader
+	KindGroupManager
+	KindLocalController
+)
+
+// String returns the conventional short name used in the paper.
+func (k ComponentKind) String() string {
+	switch k {
+	case KindEntryPoint:
+		return "EP"
+	case KindGroupLeader:
+		return "GL"
+	case KindGroupManager:
+		return "GM"
+	case KindLocalController:
+		return "LC"
+	default:
+		return fmt.Sprintf("ComponentKind(%d)", int(k))
+	}
+}
+
+// NodeID identifies a physical node / local controller.
+type NodeID string
+
+// GroupManagerID identifies a group manager.
+type GroupManagerID string
+
+// VMID identifies a virtual machine.
+type VMID string
+
+// ---------------------------------------------------------------------------
+// Virtual machines
+// ---------------------------------------------------------------------------
+
+// VMState is the lifecycle state of a virtual machine.
+type VMState int
+
+// VM lifecycle states.
+const (
+	VMPending    VMState = iota // submitted, not yet placed
+	VMBooting                   // placed, hypervisor is instantiating it
+	VMRunning                   // actively running on a node
+	VMMigrating                 // live migration in progress
+	VMSuspended                 // suspended with its host
+	VMTerminated                // destroyed (client request or LC failure)
+	VMFailed                    // lost due to an unrecoverable failure
+)
+
+// String implements fmt.Stringer.
+func (s VMState) String() string {
+	switch s {
+	case VMPending:
+		return "pending"
+	case VMBooting:
+		return "booting"
+	case VMRunning:
+		return "running"
+	case VMMigrating:
+		return "migrating"
+	case VMSuspended:
+		return "suspended"
+	case VMTerminated:
+		return "terminated"
+	case VMFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("VMState(%d)", int(s))
+	}
+}
+
+// VMSpec is the client-facing description of a VM submission request: the
+// requested capacity is the reservation the scheduler must honour.
+type VMSpec struct {
+	ID        VMID           `json:"id"`
+	Requested ResourceVector `json:"requested"`
+	// TraceID optionally names the synthetic utilization trace driving the
+	// VM's actual demand in simulation. Empty means "flat at requested".
+	TraceID string `json:"traceId,omitempty"`
+}
+
+// VMStatus is the monitored view of a VM held by LCs and GMs.
+type VMStatus struct {
+	Spec  VMSpec         `json:"spec"`
+	State VMState        `json:"state"`
+	Node  NodeID         `json:"node,omitempty"`
+	Used  ResourceVector `json:"used"` // most recent measured utilization
+}
+
+// ---------------------------------------------------------------------------
+// Nodes and power states
+// ---------------------------------------------------------------------------
+
+// PowerState is the power state of a physical node. The paper's energy
+// manager transitions idle nodes into a system-administrator-specified
+// low-power state ("e.g. suspend") and wakes them on demand.
+type PowerState int
+
+// Power states, roughly in decreasing power draw.
+const (
+	PowerOn PowerState = iota
+	PowerSuspending
+	PowerSuspended
+	PowerWaking
+	PowerOff
+	PowerBooting
+	PowerFailed
+)
+
+// String implements fmt.Stringer.
+func (p PowerState) String() string {
+	switch p {
+	case PowerOn:
+		return "on"
+	case PowerSuspending:
+		return "suspending"
+	case PowerSuspended:
+		return "suspended"
+	case PowerWaking:
+		return "waking"
+	case PowerOff:
+		return "off"
+	case PowerBooting:
+		return "booting"
+	case PowerFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("PowerState(%d)", int(p))
+	}
+}
+
+// Available reports whether the node can host running VMs in this state.
+func (p PowerState) Available() bool { return p == PowerOn }
+
+// Reachable reports whether the management plane can contact a node in this
+// state (a suspended node still answers wake-on-LAN but not RPCs).
+func (p PowerState) Reachable() bool { return p == PowerOn || p == PowerSuspending }
+
+// NodeSpec describes a physical node's total capacity and identity.
+type NodeSpec struct {
+	ID       NodeID         `json:"id"`
+	Capacity ResourceVector `json:"capacity"`
+}
+
+// NodeStatus is the monitored view of a node.
+type NodeStatus struct {
+	Spec       NodeSpec       `json:"spec"`
+	Power      PowerState     `json:"power"`
+	Used       ResourceVector `json:"used"`     // sum of current VM demand
+	Reserved   ResourceVector `json:"reserved"` // sum of VM reservations
+	VMs        []VMID         `json:"vms"`
+	Idle       bool           `json:"idle"`       // true when the node hosts no VMs
+	IdleSince  int64          `json:"idleSince"`  // virtual-time ns when the node became idle (valid when Idle)
+	Generation uint64         `json:"generation"` // bumped on every (re)boot, used to fence stale commands
+}
+
+// FreeReserved returns capacity minus reservations, clamped at zero.
+func (n NodeStatus) FreeReserved() ResourceVector {
+	return n.Spec.Capacity.Sub(n.Reserved).Max(ResourceVector{})
+}
+
+// FreeUsed returns capacity minus measured usage, clamped at zero.
+func (n NodeStatus) FreeUsed() ResourceVector {
+	return n.Spec.Capacity.Sub(n.Used).Max(ResourceVector{})
+}
+
+// ---------------------------------------------------------------------------
+// GM summaries (GL-level scheduling input)
+// ---------------------------------------------------------------------------
+
+// GroupSummary is the aggregated resource information each GM periodically
+// pushes to the GL (Section II-B): used and total capacity across its LCs.
+// As the paper notes, summary information is NOT sufficient for exact
+// dispatching decisions — the GL only shortlists candidate GMs.
+type GroupSummary struct {
+	GM        GroupManagerID `json:"gm"`
+	Used      ResourceVector `json:"used"`
+	Reserved  ResourceVector `json:"reserved"`
+	Total     ResourceVector `json:"total"`
+	ActiveLCs int            `json:"activeLcs"`
+	AsleepLCs int            `json:"asleepLcs"`
+	VMs       int            `json:"vms"`
+}
+
+// Free returns the summary's total minus reserved capacity, clamped at zero.
+func (g GroupSummary) Free() ResourceVector {
+	return g.Total.Sub(g.Reserved).Max(ResourceVector{})
+}
+
+// ---------------------------------------------------------------------------
+// Placement (consolidation input/output)
+// ---------------------------------------------------------------------------
+
+// Placement is an assignment of VMs to nodes, the object optimized by the
+// consolidation algorithms.
+type Placement map[VMID]NodeID
+
+// Clone returns a deep copy of the placement.
+func (p Placement) Clone() Placement {
+	c := make(Placement, len(p))
+	for vm, n := range p {
+		c[vm] = n
+	}
+	return c
+}
+
+// NodesUsed returns the number of distinct nodes that host at least one VM.
+func (p Placement) NodesUsed() int {
+	set := make(map[NodeID]struct{}, len(p))
+	for _, n := range p {
+		set[n] = struct{}{}
+	}
+	return len(set)
+}
+
+// String renders the placement sorted-ish for debugging (map order is
+// randomized; callers that need determinism should sort themselves).
+func (p Placement) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Placement{%d VMs on %d nodes}", len(p), p.NodesUsed())
+	return b.String()
+}
+
+// Migration is one VM move from a source to a destination node.
+type Migration struct {
+	VM   VMID   `json:"vm"`
+	From NodeID `json:"from"`
+	To   NodeID `json:"to"`
+}

@@ -1,0 +1,243 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestRVConstructorAndZero(t *testing.T) {
+	r := RV(1, 2, 3, 4)
+	if r.CPU != 1 || r.Memory != 2 || r.NetRx != 3 || r.NetTx != 4 {
+		t.Fatalf("RV fields wrong: %+v", r)
+	}
+	if r.Zero() {
+		t.Fatal("non-zero vector reported Zero")
+	}
+	if !(ResourceVector{}).Zero() {
+		t.Fatal("zero vector not reported Zero")
+	}
+}
+
+// bound maps an arbitrary generated float into a realistic demand range so
+// floating-point cancellation does not dominate the property.
+func bound(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 1
+	}
+	return math.Mod(v, 1e6)
+}
+
+func boundRV(r ResourceVector) ResourceVector {
+	return RV(bound(r.CPU), bound(r.Memory), bound(r.NetRx), bound(r.NetTx))
+}
+
+func TestAddSubRoundTrip(t *testing.T) {
+	f := func(a, b ResourceVector) bool {
+		a, b = boundRV(a), boundRV(b)
+		got := a.Add(b).Sub(b)
+		const eps = 1e-6
+		return math.Abs(got.CPU-a.CPU) < eps && math.Abs(got.Memory-a.Memory) < eps &&
+			math.Abs(got.NetRx-a.NetRx) < eps && math.Abs(got.NetTx-a.NetTx) < eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScale(t *testing.T) {
+	r := RV(2, 4, 6, 8).Scale(0.5)
+	want := RV(1, 2, 3, 4)
+	if r != want {
+		t.Fatalf("Scale: got %v want %v", r, want)
+	}
+}
+
+func TestMaxMinClamp(t *testing.T) {
+	a, b := RV(1, 8, 3, 0), RV(2, 4, 3, 1)
+	if got := a.Max(b); got != RV(2, 8, 3, 1) {
+		t.Fatalf("Max: got %v", got)
+	}
+	if got := a.Min(b); got != RV(1, 4, 3, 0) {
+		t.Fatalf("Min: got %v", got)
+	}
+	if got := RV(-1, 10, 2, 5).Clamp(RV(4, 4, 4, 4)); got != RV(0, 4, 2, 4) {
+		t.Fatalf("Clamp: got %v", got)
+	}
+}
+
+func TestFitsInAndDominates(t *testing.T) {
+	small, big := RV(1, 1024, 10, 10), RV(4, 8192, 100, 100)
+	if !small.FitsIn(big) {
+		t.Fatal("small should fit in big")
+	}
+	if big.FitsIn(small) {
+		t.Fatal("big should not fit in small")
+	}
+	if !big.Dominates(small) {
+		t.Fatal("big should dominate small")
+	}
+	// Exact equality fits (eps tolerance).
+	if !big.FitsIn(big) {
+		t.Fatal("vector should fit in itself")
+	}
+}
+
+func TestFitsInSingleDimensionViolation(t *testing.T) {
+	cap := RV(4, 4096, 100, 100)
+	for i, r := range []ResourceVector{
+		RV(5, 1, 1, 1), RV(1, 5000, 1, 1), RV(1, 1, 200, 1), RV(1, 1, 1, 200),
+	} {
+		if r.FitsIn(cap) {
+			t.Errorf("case %d: %v should not fit in %v", i, r, cap)
+		}
+	}
+}
+
+func TestNorms(t *testing.T) {
+	r := RV(3, 4, 0, 0)
+	if !almostEq(r.Norm1(), 7) {
+		t.Fatalf("Norm1: got %v", r.Norm1())
+	}
+	if !almostEq(r.Norm2(), 5) {
+		t.Fatalf("Norm2: got %v", r.Norm2())
+	}
+	if !almostEq(r.NormInf(), 4) {
+		t.Fatalf("NormInf: got %v", r.NormInf())
+	}
+}
+
+func TestNormTriangleInequality(t *testing.T) {
+	f := func(a, b ResourceVector) bool {
+		// Norms are only meaningful on non-negative demand vectors.
+		a, b = boundRV(a).Max(ResourceVector{}), boundRV(b).Max(ResourceVector{})
+		return a.Add(b).Norm2() <= a.Norm2()+b.Norm2()+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivideAndUtilization(t *testing.T) {
+	capV := RV(4, 8192, 0, 0) // node that does not account network
+	used := RV(2, 2048, 5, 5)
+	u := used.Divide(capV)
+	if !almostEq(u.CPU, 0.5) || !almostEq(u.Memory, 0.25) || u.NetRx != 0 || u.NetTx != 0 {
+		t.Fatalf("Divide: got %v", u)
+	}
+	// UtilizationL1 averages only over provided dimensions.
+	if got := used.UtilizationL1(capV); !almostEq(got, 0.375) {
+		t.Fatalf("UtilizationL1: got %v want 0.375", got)
+	}
+	if got := used.UtilizationL1(ResourceVector{}); got != 0 {
+		t.Fatalf("UtilizationL1 on zero capacity: got %v want 0", got)
+	}
+}
+
+func TestComponentsRoundTrip(t *testing.T) {
+	f := func(r ResourceVector) bool {
+		return FromComponents(r.Components()) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComponentKindString(t *testing.T) {
+	cases := map[ComponentKind]string{
+		KindEntryPoint: "EP", KindGroupLeader: "GL",
+		KindGroupManager: "GM", KindLocalController: "LC",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestVMStateString(t *testing.T) {
+	states := []VMState{VMPending, VMBooting, VMRunning, VMMigrating, VMSuspended, VMTerminated, VMFailed}
+	seen := map[string]bool{}
+	for _, s := range states {
+		str := s.String()
+		if str == "" || seen[str] {
+			t.Errorf("state %d has empty or duplicate string %q", int(s), str)
+		}
+		seen[str] = true
+	}
+}
+
+func TestPowerStatePredicates(t *testing.T) {
+	if !PowerOn.Available() {
+		t.Fatal("PowerOn should be available")
+	}
+	for _, p := range []PowerState{PowerSuspended, PowerSuspending, PowerWaking, PowerOff, PowerBooting, PowerFailed} {
+		if p.Available() {
+			t.Errorf("%v should not be available", p)
+		}
+	}
+	if !PowerOn.Reachable() || !PowerSuspending.Reachable() {
+		t.Fatal("on/suspending should be reachable")
+	}
+	if PowerSuspended.Reachable() || PowerFailed.Reachable() {
+		t.Fatal("suspended/failed should not be reachable")
+	}
+}
+
+func TestNodeStatusFree(t *testing.T) {
+	n := NodeStatus{
+		Spec:     NodeSpec{ID: "n1", Capacity: RV(8, 16384, 1000, 1000)},
+		Used:     RV(2, 4096, 100, 100),
+		Reserved: RV(4, 8192, 500, 500),
+	}
+	if got := n.FreeReserved(); got != RV(4, 8192, 500, 500) {
+		t.Fatalf("FreeReserved: got %v", got)
+	}
+	if got := n.FreeUsed(); got != RV(6, 12288, 900, 900) {
+		t.Fatalf("FreeUsed: got %v", got)
+	}
+	// Over-reservation clamps at zero.
+	n.Reserved = RV(10, 999999, 2000, 2000)
+	if got := n.FreeReserved(); !got.Zero() {
+		t.Fatalf("over-reserved FreeReserved should clamp to zero, got %v", got)
+	}
+}
+
+func TestGroupSummaryFree(t *testing.T) {
+	g := GroupSummary{Total: RV(16, 32768, 2000, 2000), Reserved: RV(4, 8192, 100, 100)}
+	if got := g.Free(); got != RV(12, 24576, 1900, 1900) {
+		t.Fatalf("Free: got %v", got)
+	}
+}
+
+func TestPlacementCloneIndependence(t *testing.T) {
+	p := Placement{"vm1": "n1", "vm2": "n2"}
+	c := p.Clone()
+	c["vm1"] = "n9"
+	if p["vm1"] != "n1" {
+		t.Fatal("Clone is not independent")
+	}
+	if c.NodesUsed() != 2 || p.NodesUsed() != 2 {
+		t.Fatalf("NodesUsed wrong: clone=%d orig=%d", c.NodesUsed(), p.NodesUsed())
+	}
+}
+
+func TestPlacementNodesUsed(t *testing.T) {
+	p := Placement{}
+	if p.NodesUsed() != 0 {
+		t.Fatal("empty placement should use 0 nodes")
+	}
+	p["a"], p["b"], p["c"] = "n1", "n1", "n2"
+	if p.NodesUsed() != 2 {
+		t.Fatalf("NodesUsed: got %d want 2", p.NodesUsed())
+	}
+}
+
+func TestResourceVectorStringStable(t *testing.T) {
+	s := RV(1.5, 2048, 10, 20).String()
+	if s != "[cpu=1.50 mem=2048 rx=10.0 tx=20.0]" {
+		t.Fatalf("String: got %q", s)
+	}
+}

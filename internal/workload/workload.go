@@ -1,0 +1,479 @@
+// Package workload generates the synthetic workloads driving every
+// experiment: per-VM utilization traces, VM submission request streams and
+// cluster topologies.
+//
+// The paper's evaluations used real applications on Grid'5000 (up to 500 VMs
+// on 144 nodes, Section II-F) and randomly generated consolidation instances
+// (ref [10], Section III-B). Since neither the applications nor the exact
+// instances are available, this package provides seeded generators producing
+// the same workload classes: flat reservations for placement experiments,
+// uniform and correlated random demands for consolidation instances, and
+// time-varying traces (diurnal, bursty, random-walk, on/off) for the energy
+// and relocation experiments. All generators are deterministic per seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"snooze/internal/types"
+)
+
+// ---------------------------------------------------------------------------
+// Utilization traces
+// ---------------------------------------------------------------------------
+
+// Trace yields the utilization of a VM as a fraction of its requested
+// capacity at a given virtual time. Implementations must be deterministic
+// functions of (seed, time).
+type Trace interface {
+	// At returns the demand fraction (>= 0, usually <= 1) per dimension at
+	// time t. A fraction of 1 means "uses everything it reserved".
+	At(t time.Duration) types.ResourceVector
+	// Name identifies the trace class in experiment output.
+	Name() string
+}
+
+// FlatTrace uses a constant fraction of the reservation on all dimensions.
+type FlatTrace struct {
+	Fraction float64
+}
+
+// At implements Trace.
+func (f FlatTrace) At(time.Duration) types.ResourceVector {
+	return types.RV(f.Fraction, f.Fraction, f.Fraction, f.Fraction)
+}
+
+// Name implements Trace.
+func (f FlatTrace) Name() string { return fmt.Sprintf("flat(%.2f)", f.Fraction) }
+
+// DiurnalTrace models the day/night load pattern of interactive services:
+// a sinusoid with the given period between Low and High CPU fraction, with a
+// per-VM phase shift. Memory stays at MemFraction (memory of real services
+// varies little); network follows CPU.
+type DiurnalTrace struct {
+	Low, High   float64
+	MemFraction float64
+	Period      time.Duration
+	Phase       time.Duration
+}
+
+// At implements Trace.
+func (d DiurnalTrace) At(t time.Duration) types.ResourceVector {
+	period := d.Period
+	if period <= 0 {
+		period = 24 * time.Hour
+	}
+	x := 2 * math.Pi * float64(t+d.Phase) / float64(period)
+	cpu := d.Low + (d.High-d.Low)*(0.5-0.5*math.Cos(x))
+	return types.RV(cpu, d.MemFraction, cpu, cpu)
+}
+
+// Name implements Trace.
+func (d DiurnalTrace) Name() string { return "diurnal" }
+
+// OnOffTrace alternates between a busy fraction and (nearly) zero, modelling
+// batch jobs: Busy for OnFor, then idle for OffFor, repeating.
+type OnOffTrace struct {
+	Busy         float64
+	OnFor        time.Duration
+	OffFor       time.Duration
+	StartOffset  time.Duration
+	IdleFraction float64 // demand while "off"; default 0
+}
+
+// At implements Trace.
+func (o OnOffTrace) At(t time.Duration) types.ResourceVector {
+	cycle := o.OnFor + o.OffFor
+	if cycle <= 0 {
+		return types.RV(o.Busy, o.Busy, o.Busy, o.Busy)
+	}
+	pos := (t + o.StartOffset) % cycle
+	if pos < o.OnFor {
+		return types.RV(o.Busy, o.Busy, o.Busy, o.Busy)
+	}
+	f := o.IdleFraction
+	return types.RV(f, f, f, f)
+}
+
+// Name implements Trace.
+func (o OnOffTrace) Name() string { return "onoff" }
+
+// RandomWalkTrace is a bounded random walk sampled on a fixed step grid; the
+// value at any t is deterministic in (Seed, t). It models the noisy CPU of
+// general-purpose VMs.
+type RandomWalkTrace struct {
+	Seed     int64
+	Step     time.Duration
+	Volatile float64 // max per-step change, e.g. 0.1
+	Start    float64
+	Min, Max float64
+	MemBase  float64
+}
+
+// At implements Trace. The walk is replayed from 0 to t; steps are O(t/Step)
+// but traces are sampled on coarse monitoring intervals so this stays cheap,
+// and determinism matters more than speed here.
+func (r RandomWalkTrace) At(t time.Duration) types.ResourceVector {
+	step := r.Step
+	if step <= 0 {
+		step = time.Minute
+	}
+	n := int(t / step)
+	rng := rand.New(rand.NewSource(r.Seed))
+	v := r.Start
+	lo, hi := r.Min, r.Max
+	if hi <= lo {
+		lo, hi = 0, 1
+	}
+	for i := 0; i < n; i++ {
+		v += (rng.Float64()*2 - 1) * r.Volatile
+		if v < lo {
+			v = lo
+		}
+		if v > hi {
+			v = hi
+		}
+	}
+	return types.RV(v, r.MemBase, v, v)
+}
+
+// Name implements Trace.
+func (r RandomWalkTrace) Name() string { return "randomwalk" }
+
+// BurstyTrace is a low baseline with deterministic pseudo-random bursts to a
+// high fraction, modelling spiky web workloads that trigger overload
+// relocation.
+type BurstyTrace struct {
+	Seed      int64
+	Baseline  float64
+	BurstTo   float64
+	BurstProb float64 // probability a given slot is a burst
+	Slot      time.Duration
+	MemBase   float64
+}
+
+// At implements Trace.
+func (b BurstyTrace) At(t time.Duration) types.ResourceVector {
+	slot := b.Slot
+	if slot <= 0 {
+		slot = 5 * time.Minute
+	}
+	idx := int64(t / slot)
+	// Hash the slot index with the seed for O(1) deterministic lookup.
+	h := uint64(b.Seed)*0x9E3779B97F4A7C15 + uint64(idx)*0xBF58476D1CE4E5B9
+	h ^= h >> 31
+	h *= 0x94D049BB133111EB
+	h ^= h >> 29
+	u := float64(h%1e9) / 1e9
+	cpu := b.Baseline
+	if u < b.BurstProb {
+		cpu = b.BurstTo
+	}
+	return types.RV(cpu, b.MemBase, cpu, cpu)
+}
+
+// Name implements Trace.
+func (b BurstyTrace) Name() string { return "bursty" }
+
+// SampledTrace replays recorded utilization samples (e.g. from a production
+// monitoring system) with linear interpolation between points and optional
+// cyclic repetition — the hook for driving experiments from real traces
+// instead of synthetic generators.
+type SampledTrace struct {
+	// Step is the sampling interval of Samples.
+	Step time.Duration
+	// Samples are per-interval demand fractions.
+	Samples []types.ResourceVector
+	// Cycle repeats the trace when t runs past the end; otherwise the last
+	// sample holds forever.
+	Cycle bool
+}
+
+// At implements Trace.
+func (s SampledTrace) At(t time.Duration) types.ResourceVector {
+	if len(s.Samples) == 0 {
+		return types.ResourceVector{}
+	}
+	step := s.Step
+	if step <= 0 {
+		step = time.Minute
+	}
+	span := step * time.Duration(len(s.Samples))
+	if s.Cycle {
+		t %= span
+		if t < 0 {
+			t += span
+		}
+	} else if t >= span-step {
+		return s.Samples[len(s.Samples)-1]
+	}
+	idx := int(t / step)
+	if idx >= len(s.Samples)-1 {
+		// Cyclic wrap interpolates toward the first sample.
+		if s.Cycle {
+			frac := float64(t-time.Duration(idx)*step) / float64(step)
+			last, first := s.Samples[len(s.Samples)-1], s.Samples[0]
+			return last.Scale(1 - frac).Add(first.Scale(frac))
+		}
+		return s.Samples[len(s.Samples)-1]
+	}
+	frac := float64(t-time.Duration(idx)*step) / float64(step)
+	return s.Samples[idx].Scale(1 - frac).Add(s.Samples[idx+1].Scale(frac))
+}
+
+// Name implements Trace.
+func (s SampledTrace) Name() string { return "sampled" }
+
+// ---------------------------------------------------------------------------
+// Trace registry
+// ---------------------------------------------------------------------------
+
+// Registry maps trace IDs (carried in VMSpec.TraceID) to Trace instances so
+// that the hypervisor can evaluate a VM's demand over time.
+type Registry struct {
+	traces map[string]Trace
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{traces: make(map[string]Trace)}
+}
+
+// Register adds tr under id, replacing any previous registration.
+func (r *Registry) Register(id string, tr Trace) { r.traces[id] = tr }
+
+// Lookup returns the trace for id. Unknown (or empty) IDs return a flat
+// trace at 100% of reservation, the conservative default.
+func (r *Registry) Lookup(id string) Trace {
+	if tr, ok := r.traces[id]; ok {
+		return tr
+	}
+	return FlatTrace{Fraction: 1}
+}
+
+// Len returns the number of registered traces.
+func (r *Registry) Len() int { return len(r.traces) }
+
+// ---------------------------------------------------------------------------
+// VM request generation
+// ---------------------------------------------------------------------------
+
+// VMClass is a template for generating VM reservations, mirroring the
+// instance-type model of IaaS clouds.
+type VMClass struct {
+	Name     string
+	Capacity types.ResourceVector
+	Weight   float64 // relative frequency
+}
+
+// DefaultVMClasses models the small/medium/large/xlarge mix typical of the
+// period's EC2-style offerings, scaled to the simulated node size.
+func DefaultVMClasses() []VMClass {
+	return []VMClass{
+		{Name: "small", Capacity: types.RV(1, 1024, 50, 50), Weight: 4},
+		{Name: "medium", Capacity: types.RV(2, 2048, 100, 100), Weight: 3},
+		{Name: "large", Capacity: types.RV(4, 4096, 200, 200), Weight: 2},
+		{Name: "xlarge", Capacity: types.RV(8, 8192, 400, 400), Weight: 1},
+	}
+}
+
+// Generator produces deterministic VM submission streams.
+type Generator struct {
+	rng     *rand.Rand
+	classes []VMClass
+	cum     []float64
+	total   float64
+	next    int
+}
+
+// NewGenerator creates a generator over the given classes (DefaultVMClasses
+// when nil) seeded with seed.
+func NewGenerator(seed int64, classes []VMClass) *Generator {
+	if len(classes) == 0 {
+		classes = DefaultVMClasses()
+	}
+	g := &Generator{rng: rand.New(rand.NewSource(seed)), classes: classes}
+	for _, c := range classes {
+		g.total += c.Weight
+		g.cum = append(g.cum, g.total)
+	}
+	return g
+}
+
+// Next returns the next VM spec, drawing a class proportionally to weight.
+func (g *Generator) Next() types.VMSpec {
+	u := g.rng.Float64() * g.total
+	cls := g.classes[len(g.classes)-1]
+	for i, c := range g.cum {
+		if u <= c {
+			cls = g.classes[i]
+			break
+		}
+	}
+	g.next++
+	return types.VMSpec{
+		ID:        types.VMID(fmt.Sprintf("vm-%s-%04d", cls.Name, g.next)),
+		Requested: cls.Capacity,
+	}
+}
+
+// Batch returns n specs.
+func (g *Generator) Batch(n int) []types.VMSpec {
+	out := make([]types.VMSpec, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Consolidation instances (ref [10] style)
+// ---------------------------------------------------------------------------
+
+// Instance is one consolidation problem: items (VM demands), identical bins
+// (node capacity) and the node inventory large enough to hold a trivial
+// one-VM-per-node solution.
+type Instance struct {
+	VMs      []types.VMSpec
+	Demand   map[types.VMID]types.ResourceVector
+	Nodes    []types.NodeSpec
+	Capacity types.ResourceVector
+}
+
+// InstanceKind selects the demand distribution of generated instances.
+type InstanceKind int
+
+// Instance kinds per the consolidation literature the paper draws on.
+const (
+	// UniformInstance draws each dimension independently uniform in
+	// [lo, hi] fractions of node capacity.
+	UniformInstance InstanceKind = iota
+	// CorrelatedInstance draws CPU uniform and makes the other dimensions
+	// positively correlated with it (real VMs' memory/network correlate
+	// with CPU), which is the harder packing case for single-dimension FFD
+	// — the weakness the paper calls out ("presorting the VMs according to
+	// a single dimension").
+	CorrelatedInstance
+	// AntiCorrelatedInstance makes memory anti-correlated with CPU
+	// (cache-heavy vs compute-heavy mix).
+	AntiCorrelatedInstance
+)
+
+// String implements fmt.Stringer.
+func (k InstanceKind) String() string {
+	switch k {
+	case UniformInstance:
+		return "uniform"
+	case CorrelatedInstance:
+		return "correlated"
+	case AntiCorrelatedInstance:
+		return "anti-correlated"
+	default:
+		return fmt.Sprintf("InstanceKind(%d)", int(k))
+	}
+}
+
+// InstanceConfig parameterizes NewInstance.
+type InstanceConfig struct {
+	Seed     int64
+	VMs      int
+	Kind     InstanceKind
+	Lo, Hi   float64              // demand fraction bounds per dimension
+	Capacity types.ResourceVector // node capacity; default 8 cores / 16 GB / 1 Gb
+}
+
+// NewInstance generates a consolidation instance.
+func NewInstance(cfg InstanceConfig) Instance {
+	if cfg.Capacity.Zero() {
+		cfg.Capacity = types.RV(8, 16384, 1000, 1000)
+	}
+	if cfg.Hi <= cfg.Lo {
+		cfg.Lo, cfg.Hi = 0.05, 0.45
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	inst := Instance{
+		Demand:   make(map[types.VMID]types.ResourceVector, cfg.VMs),
+		Capacity: cfg.Capacity,
+	}
+	span := cfg.Hi - cfg.Lo
+	for i := 0; i < cfg.VMs; i++ {
+		id := types.VMID(fmt.Sprintf("vm-%04d", i))
+		cpuF := cfg.Lo + rng.Float64()*span
+		var memF, netF float64
+		switch cfg.Kind {
+		case CorrelatedInstance:
+			// mem/net = cpu +- 20% of span, clamped.
+			memF = clamp(cpuF+(rng.Float64()*0.4-0.2)*span, cfg.Lo, cfg.Hi)
+			netF = clamp(cpuF+(rng.Float64()*0.4-0.2)*span, cfg.Lo, cfg.Hi)
+		case AntiCorrelatedInstance:
+			memF = clamp(cfg.Lo+cfg.Hi-cpuF+(rng.Float64()*0.2-0.1)*span, cfg.Lo, cfg.Hi)
+			netF = cfg.Lo + rng.Float64()*span
+		default:
+			memF = cfg.Lo + rng.Float64()*span
+			netF = cfg.Lo + rng.Float64()*span
+		}
+		d := types.ResourceVector{
+			CPU:    cpuF * cfg.Capacity.CPU,
+			Memory: memF * cfg.Capacity.Memory,
+			NetRx:  netF * cfg.Capacity.NetRx,
+			NetTx:  netF * cfg.Capacity.NetTx,
+		}
+		inst.VMs = append(inst.VMs, types.VMSpec{ID: id, Requested: d})
+		inst.Demand[id] = d
+	}
+	for i := 0; i < cfg.VMs; i++ { // one bin per item upper-bounds any packing
+		inst.Nodes = append(inst.Nodes, types.NodeSpec{
+			ID:       types.NodeID(fmt.Sprintf("node-%04d", i)),
+			Capacity: cfg.Capacity,
+		})
+	}
+	return inst
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ---------------------------------------------------------------------------
+// Topologies
+// ---------------------------------------------------------------------------
+
+// Topology describes a cluster to simulate: its nodes plus the hierarchy
+// shape (#GMs, #EPs).
+type Topology struct {
+	Nodes []types.NodeSpec
+	GMs   int
+	EPs   int
+}
+
+// Grid5000Topology reproduces the paper's testbed shape: n homogeneous nodes
+// (144 in the paper) with gms group managers. The per-node capacity matches
+// the dual-socket quad-core / 32 GB class of the testbed.
+func Grid5000Topology(n, gms int) Topology {
+	t := Topology{GMs: gms, EPs: 2}
+	for i := 0; i < n; i++ {
+		t.Nodes = append(t.Nodes, types.NodeSpec{
+			ID:       types.NodeID(fmt.Sprintf("lc-%04d", i)),
+			Capacity: types.RV(8, 32768, 1000, 1000),
+		})
+	}
+	return t
+}
+
+// TotalCapacity sums node capacity over the topology.
+func (t Topology) TotalCapacity() types.ResourceVector {
+	var sum types.ResourceVector
+	for _, n := range t.Nodes {
+		sum = sum.Add(n.Capacity)
+	}
+	return sum
+}

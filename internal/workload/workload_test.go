@@ -1,0 +1,360 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"snooze/internal/types"
+)
+
+func TestFlatTrace(t *testing.T) {
+	tr := FlatTrace{Fraction: 0.7}
+	for _, at := range []time.Duration{0, time.Hour, 99 * time.Hour} {
+		if got := tr.At(at); got.CPU != 0.7 || got.Memory != 0.7 {
+			t.Fatalf("flat at %v: %v", at, got)
+		}
+	}
+	if tr.Name() != "flat(0.70)" {
+		t.Fatalf("name: %s", tr.Name())
+	}
+}
+
+func TestDiurnalTraceShape(t *testing.T) {
+	tr := DiurnalTrace{Low: 0.2, High: 0.8, MemFraction: 0.5, Period: 24 * time.Hour}
+	// Trough at t=0, peak at half period.
+	if got := tr.At(0); math.Abs(got.CPU-0.2) > 1e-9 {
+		t.Fatalf("trough: %v", got)
+	}
+	if got := tr.At(12 * time.Hour); math.Abs(got.CPU-0.8) > 1e-9 {
+		t.Fatalf("peak: %v", got)
+	}
+	// Periodicity.
+	if a, b := tr.At(3*time.Hour), tr.At(27*time.Hour); math.Abs(a.CPU-b.CPU) > 1e-9 {
+		t.Fatalf("not periodic: %v vs %v", a, b)
+	}
+	// Phase shift moves the trough.
+	shifted := DiurnalTrace{Low: 0.2, High: 0.8, Period: 24 * time.Hour, Phase: 12 * time.Hour}
+	if got := shifted.At(0); math.Abs(got.CPU-0.8) > 1e-9 {
+		t.Fatalf("phase: %v", got)
+	}
+	// Default period kicks in.
+	dflt := DiurnalTrace{Low: 0.1, High: 0.9}
+	if got := dflt.At(0); math.Abs(got.CPU-0.1) > 1e-9 {
+		t.Fatalf("default period trough: %v", got)
+	}
+	// Bounds hold everywhere.
+	f := func(hours uint16) bool {
+		v := tr.At(time.Duration(hours) * time.Hour).CPU
+		return v >= 0.2-1e-9 && v <= 0.8+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnOffTrace(t *testing.T) {
+	tr := OnOffTrace{Busy: 0.9, OnFor: 10 * time.Minute, OffFor: 20 * time.Minute}
+	if got := tr.At(5 * time.Minute); got.CPU != 0.9 {
+		t.Fatalf("on phase: %v", got)
+	}
+	if got := tr.At(15 * time.Minute); got.CPU != 0 {
+		t.Fatalf("off phase: %v", got)
+	}
+	if got := tr.At(35 * time.Minute); got.CPU != 0.9 {
+		t.Fatalf("second cycle: %v", got)
+	}
+	// StartOffset shifts the cycle; IdleFraction floors the off phase.
+	tr2 := OnOffTrace{Busy: 0.9, OnFor: 10 * time.Minute, OffFor: 10 * time.Minute, StartOffset: 10 * time.Minute, IdleFraction: 0.05}
+	if got := tr2.At(0); got.CPU != 0.05 {
+		t.Fatalf("offset off phase: %v", got)
+	}
+	// Degenerate cycle is always busy.
+	if got := (OnOffTrace{Busy: 0.4}).At(time.Hour); got.CPU != 0.4 {
+		t.Fatalf("degenerate: %v", got)
+	}
+}
+
+func TestRandomWalkTraceDeterministicAndBounded(t *testing.T) {
+	tr := RandomWalkTrace{Seed: 7, Step: time.Minute, Volatile: 0.2, Start: 0.5, Min: 0.1, Max: 0.9, MemBase: 0.6}
+	a := tr.At(90 * time.Minute)
+	b := tr.At(90 * time.Minute)
+	if a != b {
+		t.Fatalf("non-deterministic: %v vs %v", a, b)
+	}
+	for m := 0; m < 300; m += 7 {
+		v := tr.At(time.Duration(m) * time.Minute)
+		if v.CPU < 0.1-1e-9 || v.CPU > 0.9+1e-9 {
+			t.Fatalf("out of bounds at %dm: %v", m, v)
+		}
+		if v.Memory != 0.6 {
+			t.Fatalf("mem base at %dm: %v", m, v)
+		}
+	}
+	// Degenerate bounds fall back to [0,1]; zero step to 1 minute.
+	d := RandomWalkTrace{Seed: 1, Volatile: 0.5, Start: 0.5}
+	v := d.At(10 * time.Minute)
+	if v.CPU < 0 || v.CPU > 1 {
+		t.Fatalf("fallback bounds: %v", v)
+	}
+}
+
+func TestBurstyTrace(t *testing.T) {
+	tr := BurstyTrace{Seed: 3, Baseline: 0.1, BurstTo: 0.95, BurstProb: 0.3, Slot: 5 * time.Minute, MemBase: 0.5}
+	bursts, total := 0, 0
+	for s := 0; s < 2000; s++ {
+		v := tr.At(time.Duration(s) * 5 * time.Minute)
+		if v.CPU != 0.1 && v.CPU != 0.95 {
+			t.Fatalf("unexpected level: %v", v)
+		}
+		if v.CPU == 0.95 {
+			bursts++
+		}
+		total++
+	}
+	frac := float64(bursts) / float64(total)
+	if frac < 0.2 || frac > 0.4 {
+		t.Fatalf("burst fraction %v not near 0.3", frac)
+	}
+	// Same slot yields same value (deterministic).
+	if tr.At(7*time.Minute) != tr.At(9*time.Minute) { // both slot 1
+		t.Fatal("same slot differs")
+	}
+	// Default slot is used when zero.
+	d := BurstyTrace{Seed: 1, Baseline: 0.2, BurstTo: 0.8, BurstProb: 0.5}
+	_ = d.At(time.Hour)
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if r.Len() != 0 {
+		t.Fatal("new registry not empty")
+	}
+	// Unknown ID → conservative flat(1).
+	if got := r.Lookup("nope").At(0); got.CPU != 1 {
+		t.Fatalf("default trace: %v", got)
+	}
+	r.Register("d", DiurnalTrace{Low: 0.3, High: 0.3})
+	if r.Len() != 1 {
+		t.Fatal("Len after register")
+	}
+	if got := r.Lookup("d").At(0); math.Abs(got.CPU-0.3) > 1e-9 {
+		t.Fatalf("lookup: %v", got)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := NewGenerator(11, nil).Batch(50)
+	b := NewGenerator(11, nil).Batch(50)
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Requested != b[i].Requested {
+			t.Fatalf("generator not deterministic at %d", i)
+		}
+	}
+	c := NewGenerator(12, nil).Batch(50)
+	same := 0
+	for i := range a {
+		if a[i].Requested == c[i].Requested {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical stream")
+	}
+}
+
+func TestGeneratorClassMix(t *testing.T) {
+	g := NewGenerator(5, nil)
+	counts := map[float64]int{}
+	for i := 0; i < 4000; i++ {
+		counts[g.Next().Requested.CPU]++
+	}
+	// Weights 4:3:2:1 over cpu 1,2,4,8 — check ordering of frequencies.
+	if !(counts[1] > counts[2] && counts[2] > counts[4] && counts[4] > counts[8]) {
+		t.Fatalf("class mix not weight-ordered: %v", counts)
+	}
+	if counts[8] == 0 {
+		t.Fatal("heaviest class never drawn")
+	}
+}
+
+func TestGeneratorCustomClasses(t *testing.T) {
+	g := NewGenerator(1, []VMClass{{Name: "only", Capacity: types.RV(2, 2, 2, 2), Weight: 1}})
+	for i := 0; i < 10; i++ {
+		spec := g.Next()
+		if spec.Requested != types.RV(2, 2, 2, 2) {
+			t.Fatalf("custom class: %v", spec)
+		}
+	}
+}
+
+func TestGeneratorUniqueIDs(t *testing.T) {
+	g := NewGenerator(9, nil)
+	seen := map[types.VMID]bool{}
+	for _, s := range g.Batch(500) {
+		if seen[s.ID] {
+			t.Fatalf("duplicate ID %s", s.ID)
+		}
+		seen[s.ID] = true
+	}
+}
+
+func TestNewInstanceBasics(t *testing.T) {
+	inst := NewInstance(InstanceConfig{Seed: 3, VMs: 40, Kind: UniformInstance, Lo: 0.1, Hi: 0.4})
+	if len(inst.VMs) != 40 || len(inst.Nodes) != 40 || len(inst.Demand) != 40 {
+		t.Fatalf("sizes: %d %d %d", len(inst.VMs), len(inst.Nodes), len(inst.Demand))
+	}
+	for _, vm := range inst.VMs {
+		d := inst.Demand[vm.ID]
+		if d != vm.Requested {
+			t.Fatal("demand map and spec disagree")
+		}
+		if !d.FitsIn(inst.Capacity) {
+			t.Fatalf("VM %s demand %v exceeds capacity", vm.ID, d)
+		}
+		if d.CPU < 0.1*inst.Capacity.CPU-1e-9 || d.CPU > 0.4*inst.Capacity.CPU+1e-9 {
+			t.Fatalf("CPU out of configured bounds: %v", d)
+		}
+	}
+}
+
+func TestNewInstanceDeterministic(t *testing.T) {
+	cfg := InstanceConfig{Seed: 42, VMs: 20, Kind: CorrelatedInstance}
+	a, b := NewInstance(cfg), NewInstance(cfg)
+	for i := range a.VMs {
+		if a.VMs[i].Requested != b.VMs[i].Requested {
+			t.Fatal("instance not deterministic")
+		}
+	}
+}
+
+func TestNewInstanceCorrelation(t *testing.T) {
+	corrCoef := func(kind InstanceKind) float64 {
+		inst := NewInstance(InstanceConfig{Seed: 8, VMs: 400, Kind: kind, Lo: 0.05, Hi: 0.5})
+		var sx, sy, sxx, syy, sxy float64
+		n := float64(len(inst.VMs))
+		for _, vm := range inst.VMs {
+			x := vm.Requested.CPU / inst.Capacity.CPU
+			y := vm.Requested.Memory / inst.Capacity.Memory
+			sx += x
+			sy += y
+			sxx += x * x
+			syy += y * y
+			sxy += x * y
+		}
+		cov := sxy/n - sx/n*sy/n
+		vx, vy := sxx/n-sx/n*sx/n, syy/n-sy/n*sy/n
+		return cov / math.Sqrt(vx*vy)
+	}
+	if c := corrCoef(CorrelatedInstance); c < 0.5 {
+		t.Fatalf("correlated instance corr=%v, want >0.5", c)
+	}
+	if c := corrCoef(AntiCorrelatedInstance); c > -0.5 {
+		t.Fatalf("anti-correlated instance corr=%v, want <-0.5", c)
+	}
+	if c := corrCoef(UniformInstance); math.Abs(c) > 0.2 {
+		t.Fatalf("uniform instance corr=%v, want ~0", c)
+	}
+}
+
+func TestNewInstanceDefaults(t *testing.T) {
+	inst := NewInstance(InstanceConfig{Seed: 1, VMs: 5}) // zero capacity/bounds → defaults
+	if inst.Capacity.Zero() {
+		t.Fatal("default capacity missing")
+	}
+	for _, vm := range inst.VMs {
+		if vm.Requested.CPU <= 0 {
+			t.Fatalf("degenerate demand: %v", vm.Requested)
+		}
+	}
+}
+
+func TestInstanceKindString(t *testing.T) {
+	if UniformInstance.String() != "uniform" || CorrelatedInstance.String() != "correlated" || AntiCorrelatedInstance.String() != "anti-correlated" {
+		t.Fatal("kind strings")
+	}
+}
+
+func TestGrid5000Topology(t *testing.T) {
+	top := Grid5000Topology(144, 12)
+	if len(top.Nodes) != 144 || top.GMs != 12 || top.EPs != 2 {
+		t.Fatalf("topology: %d nodes, %d GMs, %d EPs", len(top.Nodes), top.GMs, top.EPs)
+	}
+	total := top.TotalCapacity()
+	if total.CPU != 144*8 || total.Memory != 144*32768 {
+		t.Fatalf("total capacity: %v", total)
+	}
+	// IDs unique.
+	seen := map[types.NodeID]bool{}
+	for _, n := range top.Nodes {
+		if seen[n.ID] {
+			t.Fatalf("duplicate node ID %s", n.ID)
+		}
+		seen[n.ID] = true
+	}
+}
+
+func TestSampledTraceInterpolation(t *testing.T) {
+	tr := SampledTrace{
+		Step: time.Minute,
+		Samples: []types.ResourceVector{
+			types.RV(0, 0, 0, 0),
+			types.RV(1, 1, 1, 1),
+			types.RV(0.5, 0.5, 0.5, 0.5),
+		},
+	}
+	if got := tr.At(0); got.CPU != 0 {
+		t.Fatalf("t=0: %v", got)
+	}
+	if got := tr.At(30 * time.Second); math.Abs(got.CPU-0.5) > 1e-9 {
+		t.Fatalf("midpoint: %v", got)
+	}
+	if got := tr.At(time.Minute); got.CPU != 1 {
+		t.Fatalf("t=1m: %v", got)
+	}
+	if got := tr.At(90 * time.Second); math.Abs(got.CPU-0.75) > 1e-9 {
+		t.Fatalf("t=1.5m: %v", got)
+	}
+	// Non-cyclic: holds the last sample forever.
+	if got := tr.At(time.Hour); math.Abs(got.CPU-0.5) > 1e-9 {
+		t.Fatalf("hold: %v", got)
+	}
+}
+
+func TestSampledTraceCycle(t *testing.T) {
+	tr := SampledTrace{
+		Step:    time.Minute,
+		Samples: []types.ResourceVector{types.RV(0, 0, 0, 0), types.RV(1, 1, 1, 1)},
+		Cycle:   true,
+	}
+	// Span is 2 minutes; t=2m wraps to t=0.
+	if got := tr.At(2 * time.Minute); math.Abs(got.CPU) > 1e-9 {
+		t.Fatalf("wrap: %v", got)
+	}
+	// Between the last sample and the wrap, interpolate toward sample 0.
+	if got := tr.At(90 * time.Second); math.Abs(got.CPU-0.5) > 1e-9 {
+		t.Fatalf("wrap interpolation: %v", got)
+	}
+	// Periodicity.
+	a, b := tr.At(30*time.Second), tr.At(2*time.Minute+30*time.Second)
+	if math.Abs(a.CPU-b.CPU) > 1e-9 {
+		t.Fatalf("not periodic: %v vs %v", a, b)
+	}
+}
+
+func TestSampledTraceEdge(t *testing.T) {
+	if got := (SampledTrace{}).At(time.Minute); !got.Zero() {
+		t.Fatalf("empty: %v", got)
+	}
+	one := SampledTrace{Step: time.Minute, Samples: []types.ResourceVector{types.RV(0.3, 0.3, 0.3, 0.3)}}
+	if got := one.At(5 * time.Hour); math.Abs(got.CPU-0.3) > 1e-9 {
+		t.Fatalf("single sample: %v", got)
+	}
+	// Zero step defaults to a minute rather than dividing by zero.
+	d := SampledTrace{Samples: []types.ResourceVector{types.RV(0.1, 0, 0, 0), types.RV(0.2, 0, 0, 0)}}
+	_ = d.At(30 * time.Second)
+	if d.Name() != "sampled" {
+		t.Fatal("name")
+	}
+}

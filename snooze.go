@@ -1,0 +1,169 @@
+// Package snooze is a Go reproduction of Snooze, the scalable, autonomic and
+// energy-aware virtual machine management framework of Feller & Morin
+// (IPDPS 2012 PhD Forum), together with the paper's Ant Colony Optimization
+// VM consolidation algorithm.
+//
+// The package is a facade over the implementation packages:
+//
+//   - a self-organizing GL / GM / LC hierarchy with leader election,
+//     multicast heartbeats and self-healing (internal/hierarchy,
+//     internal/election, internal/coord)
+//   - two-level VM scheduling: GL dispatching + GM placement, overload /
+//     underload relocation and periodic reconfiguration
+//     (internal/scheduling)
+//   - consolidation algorithms: ACO, First-Fit-Decreasing baselines and an
+//     exact branch-and-bound solver (internal/consolidation)
+//   - energy management: idle-server suspend, wake-on-demand and energy
+//     accounting (internal/energy semantics live in the GM + internal/power)
+//   - a deterministic discrete-event simulation of the physical substrate
+//     (internal/simkernel, internal/hypervisor, internal/workload) and a
+//     REST transport for real deployments (internal/rest)
+//
+// Quick start (simulated cluster):
+//
+//	top := snooze.Grid5000Topology(16, 2)
+//	c := snooze.NewCluster(snooze.DefaultClusterConfig(top, 42))
+//	c.Settle(30 * time.Second)
+//	resp, err := c.SubmitAndWait(snooze.NewGenerator(1, nil).Batch(10), time.Minute)
+//
+// Consolidation only:
+//
+//	inst := snooze.NewInstance(snooze.InstanceConfig{Seed: 1, VMs: 100})
+//	res, err := snooze.SolveACO(snooze.Problem{VMs: inst.VMs, Nodes: inst.Nodes}, snooze.DefaultACOConfig())
+package snooze
+
+import (
+	"snooze/internal/cluster"
+	"snooze/internal/consolidation"
+	"snooze/internal/experiments"
+	"snooze/internal/types"
+	"snooze/internal/workload"
+)
+
+// Core domain types.
+type (
+	// ResourceVector is a 4-dimensional demand/capacity vector (CPU,
+	// memory, network rx/tx).
+	ResourceVector = types.ResourceVector
+	// VMSpec describes a VM submission request.
+	VMSpec = types.VMSpec
+	// VMID identifies a VM.
+	VMID = types.VMID
+	// NodeID identifies a physical node.
+	NodeID = types.NodeID
+	// NodeSpec describes a physical node.
+	NodeSpec = types.NodeSpec
+	// Placement maps VMs to nodes.
+	Placement = types.Placement
+	// PowerState is a node power state.
+	PowerState = types.PowerState
+)
+
+// Node power states (see types.PowerState for the full set).
+const (
+	PowerOnState        = types.PowerOn
+	PowerSuspendedState = types.PowerSuspended
+	PowerFailedState    = types.PowerFailed
+)
+
+// RV constructs a ResourceVector.
+func RV(cpu, mem, rx, tx float64) ResourceVector { return types.RV(cpu, mem, rx, tx) }
+
+// Simulated clusters.
+type (
+	// Cluster is a fully wired simulated Snooze deployment.
+	Cluster = cluster.Cluster
+	// ClusterConfig parameterizes NewCluster.
+	ClusterConfig = cluster.Config
+	// Topology describes nodes and hierarchy shape.
+	Topology = workload.Topology
+)
+
+// NewCluster builds and starts a simulated cluster.
+func NewCluster(cfg ClusterConfig) *Cluster { return cluster.New(cfg) }
+
+// DefaultClusterConfig returns a ready-to-run configuration.
+func DefaultClusterConfig(top Topology, seed int64) ClusterConfig {
+	return cluster.DefaultConfig(top, seed)
+}
+
+// Grid5000Topology reproduces the paper's testbed shape: n homogeneous
+// nodes managed by gms group managers.
+func Grid5000Topology(n, gms int) Topology { return workload.Grid5000Topology(n, gms) }
+
+// Workload generation.
+type (
+	// Generator produces deterministic VM submission streams.
+	Generator = workload.Generator
+	// Instance is a consolidation problem instance.
+	Instance = workload.Instance
+	// InstanceConfig parameterizes NewInstance.
+	InstanceConfig = workload.InstanceConfig
+)
+
+// NewGenerator creates a VM stream generator (nil classes = default mix).
+func NewGenerator(seed int64, classes []workload.VMClass) *Generator {
+	return workload.NewGenerator(seed, classes)
+}
+
+// NewInstance generates a consolidation instance.
+func NewInstance(cfg InstanceConfig) Instance { return workload.NewInstance(cfg) }
+
+// Consolidation.
+type (
+	// Problem is a consolidation input.
+	Problem = consolidation.Problem
+	// ConsolidationResult is a solver outcome.
+	ConsolidationResult = consolidation.Result
+	// ACOConfig holds the ant colony parameters.
+	ACOConfig = consolidation.ACOConfig
+	// Algorithm is a consolidation solver, usable as the periodic
+	// reconfiguration policy in ClusterConfig.Manager.Reconfig.
+	Algorithm = consolidation.Algorithm
+)
+
+// NewACOAlgorithm returns the ACO solver as a reusable Algorithm value.
+func NewACOAlgorithm(cfg ACOConfig) Algorithm { return consolidation.ACO{Config: cfg} }
+
+// DefaultACOConfig returns the calibrated ACO parameters.
+func DefaultACOConfig() ACOConfig { return consolidation.DefaultACOConfig() }
+
+// SolveACO runs the paper's ACO consolidation algorithm.
+func SolveACO(p Problem, cfg ACOConfig) (ConsolidationResult, error) {
+	return consolidation.ACO{Config: cfg}.Solve(p)
+}
+
+// SolveFFD runs the First-Fit Decreasing baseline (CPU presort, as in the
+// paper's comparison).
+func SolveFFD(p Problem) (ConsolidationResult, error) {
+	return consolidation.FFD{Key: consolidation.SortCPU}.Solve(p)
+}
+
+// SolveOptimal runs the exact branch-and-bound solver (the CPLEX stand-in).
+func SolveOptimal(p Problem) (ConsolidationResult, error) {
+	return consolidation.Exact{}.Solve(p)
+}
+
+// Experiments.
+type (
+	// ExperimentResult is one reproduced table/figure.
+	ExperimentResult = experiments.Result
+	// ExperimentScale selects quick or paper-scale dimensions.
+	ExperimentScale = experiments.Scale
+)
+
+// Experiment scales.
+const (
+	ScaleQuick = experiments.ScaleQuick
+	ScaleFull  = experiments.ScaleFull
+)
+
+// RunAllExperiments reproduces every table/figure of the paper's evaluation.
+func RunAllExperiments(scale ExperimentScale) []ExperimentResult {
+	return experiments.All(scale)
+}
+
+// RunExperiment reproduces one experiment by ID ("e1".."e7" or its name).
+func RunExperiment(id string, scale ExperimentScale) (ExperimentResult, error) {
+	return experiments.ByID(id, scale)
+}
