@@ -1,0 +1,240 @@
+// Package apiv1 is the versioned, typed control-plane API of the Snooze
+// reproduction — the stable surface operators and programs use to manage a
+// deployment, whether it is the discrete-event simulation
+// (api/v1/simbackend) or a live wall-clock snoozed process
+// (api/v1/livebackend). The paper exposes its control plane as "Java RESTful
+// web services" with a CLI on top (Section II-A); this package is that idea
+// made versionable: JSON DTOs, a Backend interface implemented by every
+// deployment flavour, an HTTP server mounting the /v1 resource routes
+// (api/v1/server) and a typed Go client (api/v1/client).
+//
+// The wire contract is resource-oriented:
+//
+//	GET  /v1/vms              list VMs (paginated: ?limit=&offset=)
+//	POST /v1/vms              submit a VM batch
+//	GET  /v1/vms/{id}         one VM
+//	GET  /v1/nodes            list nodes (paginated)
+//	GET  /v1/nodes/{id}       one node
+//	POST /v1/nodes/{id}/fail  crash-stop a node (simulation backends)
+//	GET  /v1/topology         hierarchy export (?deep=true for per-LC detail)
+//	POST /v1/consolidations   compute a consolidation plan (dry run)
+//	GET  /v1/metrics          control-plane counters and latency series
+//	GET  /v1/experiments/{id} run one reproduced experiment (quick scale)
+//	GET  /v1/healthz          liveness
+//
+// Errors travel as an ErrorBody envelope with a machine-readable code; the
+// client converts codes back into the sentinel errors of this package, so
+// `errors.Is(err, apiv1.ErrNotFound)` works across the HTTP boundary.
+package apiv1
+
+// Version is the API version segment served and consumed by this package.
+const Version = "v1"
+
+// Resources is the 4-dimensional capacity/demand vector of the paper
+// (Section II-B): CPU cores, memory in MB, network receive/transmit in
+// Mbit/s. It mirrors the internal ResourceVector but is owned by the wire
+// contract so internal refactors cannot silently change the API.
+type Resources struct {
+	CPU       float64 `json:"cpu"`
+	MemoryMB  float64 `json:"memoryMb"`
+	NetRxMbps float64 `json:"netRxMbps"`
+	NetTxMbps float64 `json:"netTxMbps"`
+}
+
+// VMSpec is a VM submission request.
+type VMSpec struct {
+	// ID names the VM; a submission with an empty ID is invalid.
+	ID string `json:"id"`
+	// Requested is the reservation the scheduler must honour.
+	Requested Resources `json:"requested"`
+	// TraceID optionally names the synthetic utilization trace driving the
+	// VM's demand in simulation (empty = flat at requested).
+	TraceID string `json:"traceId,omitempty"`
+}
+
+// VM is the monitored view of a virtual machine.
+type VM struct {
+	ID        string    `json:"id"`
+	Requested Resources `json:"requested"`
+	// State is the lifecycle state: pending, booting, running, migrating,
+	// suspended, terminated or failed.
+	State string `json:"state"`
+	// Node is the hosting node ("" while pending).
+	Node string `json:"node,omitempty"`
+	// Used is the most recent measured utilization.
+	Used Resources `json:"used"`
+	// TraceID echoes the submission's trace name, when any.
+	TraceID string `json:"traceId,omitempty"`
+}
+
+// Node is the monitored view of a physical node.
+type Node struct {
+	ID       string    `json:"id"`
+	Capacity Resources `json:"capacity"`
+	// Power is the node power state: on, suspending, suspended, waking,
+	// off, booting or failed.
+	Power    string    `json:"power"`
+	Used     Resources `json:"used"`
+	Reserved Resources `json:"reserved"`
+	VMs      []string  `json:"vms,omitempty"`
+	Idle     bool      `json:"idle"`
+}
+
+// SubmitRequest is the POST /v1/vms body.
+type SubmitRequest struct {
+	VMs []VMSpec `json:"vms"`
+}
+
+// SubmitResult reports per-VM placement outcomes of one submission.
+type SubmitResult struct {
+	// Placed maps VM ID to the hosting node ID.
+	Placed map[string]string `json:"placed"`
+	// Unplaced lists VMs the hierarchy could not fit.
+	Unplaced []string `json:"unplaced,omitempty"`
+}
+
+// GroupSummary is a GM's aggregate as exported in topology responses
+// (Section II-B: the GL schedules on summaries, not exact state).
+type GroupSummary struct {
+	Used      Resources `json:"used"`
+	Reserved  Resources `json:"reserved"`
+	Total     Resources `json:"total"`
+	ActiveLCs int       `json:"activeLcs"`
+	AsleepLCs int       `json:"asleepLcs"`
+	VMs       int       `json:"vms"`
+}
+
+// TopologyLC describes one Local Controller in a deep topology export.
+type TopologyLC struct {
+	ID       string    `json:"id"`
+	Power    string    `json:"power"`
+	VMs      int       `json:"vms"`
+	Reserved Resources `json:"reserved"`
+	Capacity Resources `json:"capacity"`
+}
+
+// TopologyGM describes one Group Manager in a topology export.
+type TopologyGM struct {
+	ID      string       `json:"id"`
+	Addr    string       `json:"addr"`
+	Summary GroupSummary `json:"summary"`
+	// LCs is present only in deep exports.
+	LCs []TopologyLC `json:"lcs,omitempty"`
+}
+
+// Topology is the hierarchy export — the CLI's "live visualizing and
+// exporting of the hierarchy organization" (Section II-A).
+type Topology struct {
+	GL  string       `json:"gl"`
+	GMs []TopologyGM `json:"gms"`
+}
+
+// Consolidation algorithm names accepted by ConsolidationRequest.
+const (
+	AlgorithmACO     = "aco"
+	AlgorithmFFD     = "ffd"
+	AlgorithmOptimal = "optimal"
+)
+
+// ConsolidationRequest is the POST /v1/consolidations body: compute a
+// migration plan packing the currently running VMs onto fewer hosts
+// (Section III). The plan is a dry run — executing it stays with the GMs'
+// periodic reconfiguration policy.
+type ConsolidationRequest struct {
+	// Algorithm selects the solver: "aco" (default), "ffd" or "optimal".
+	Algorithm string `json:"algorithm,omitempty"`
+}
+
+// Migration is one VM move of a consolidation plan.
+type Migration struct {
+	VM   string `json:"vm"`
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// ConsolidationPlan is a computed (not executed) consolidation outcome.
+type ConsolidationPlan struct {
+	Algorithm  string `json:"algorithm"`
+	VMs        int    `json:"vms"`
+	HostsTotal int    `json:"hostsTotal"`
+	// HostsBefore/HostsAfter count hosts with at least one VM.
+	HostsBefore int `json:"hostsBefore"`
+	HostsAfter  int `json:"hostsAfter"`
+	// Optimal is set when the solver proved optimality.
+	Optimal bool `json:"optimal,omitempty"`
+	// Cycles is the solver iteration count (ACO cycles, B&B nodes).
+	Cycles     int         `json:"cycles,omitempty"`
+	Migrations []Migration `json:"migrations,omitempty"`
+}
+
+// SeriesSummary describes one latency/size series statistically.
+type SeriesSummary struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	P50    float64 `json:"p50"`
+	P95    float64 `json:"p95"`
+	P99    float64 `json:"p99"`
+	Stddev float64 `json:"stddev"`
+}
+
+// MetricsSnapshot is the GET /v1/metrics body: control-plane counters (VM
+// placements, relocations, failovers, ...) and duration series summaries.
+type MetricsSnapshot struct {
+	Counters map[string]int64         `json:"counters,omitempty"`
+	Series   map[string]SeriesSummary `json:"series,omitempty"`
+}
+
+// Experiment is one reproduced table/figure of the paper's evaluation,
+// rendered for transport.
+type Experiment struct {
+	ID    string   `json:"id"`
+	Title string   `json:"title"`
+	Table string   `json:"table"`
+	Notes []string `json:"notes,omitempty"`
+}
+
+// ---------------------------------------------------------------------------
+// Pagination
+// ---------------------------------------------------------------------------
+
+// VMList is the paginated GET /v1/vms body.
+type VMList struct {
+	Items []VM `json:"items"`
+	// Total is the collection size before pagination.
+	Total int `json:"total"`
+	// NextOffset is set when more items remain past this page.
+	NextOffset int `json:"nextOffset,omitempty"`
+}
+
+// NodeList is the paginated GET /v1/nodes body.
+type NodeList struct {
+	Items      []Node `json:"items"`
+	Total      int    `json:"total"`
+	NextOffset int    `json:"nextOffset,omitempty"`
+}
+
+// ---------------------------------------------------------------------------
+// Error envelope
+// ---------------------------------------------------------------------------
+
+// Error codes carried in the envelope.
+const (
+	CodeInvalid     = "invalid_argument"
+	CodeNotFound    = "not_found"
+	CodeUnsupported = "unsupported"
+	CodeUnavailable = "unavailable"
+	CodeInternal    = "internal"
+)
+
+// ErrorBody is the JSON error envelope every /v1 route returns on failure.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail carries the machine-readable code and human message.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}

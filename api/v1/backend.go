@@ -1,0 +1,106 @@
+package apiv1
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Backend is the control-plane surface every deployment flavour implements:
+// the simulated cluster (api/v1/simbackend), a live snoozed hierarchy
+// (api/v1/livebackend) and the HTTP client (api/v1/client), which makes any
+// remote /v1 server usable wherever a Backend is expected.
+type Backend interface {
+	// SubmitVMs submits a VM batch to the hierarchy and reports per-VM
+	// placement outcomes. Specs with empty or duplicate IDs are rejected
+	// with ErrInvalid.
+	SubmitVMs(ctx context.Context, specs []VMSpec) (SubmitResult, error)
+	// ListVMs returns every VM known to the hierarchy, sorted by ID.
+	ListVMs(ctx context.Context) ([]VM, error)
+	// GetVM returns one VM or ErrNotFound.
+	GetVM(ctx context.Context, id string) (VM, error)
+	// ListNodes returns every node, sorted by ID.
+	ListNodes(ctx context.Context) ([]Node, error)
+	// GetNode returns one node or ErrNotFound.
+	GetNode(ctx context.Context, id string) (Node, error)
+	// Topology exports the GL/GM/LC hierarchy; deep includes per-LC detail.
+	Topology(ctx context.Context, deep bool) (Topology, error)
+	// Consolidate computes a dry-run consolidation plan over the currently
+	// running VMs (Section III).
+	Consolidate(ctx context.Context, req ConsolidationRequest) (ConsolidationPlan, error)
+	// Metrics snapshots control-plane counters and series.
+	Metrics(ctx context.Context) (MetricsSnapshot, error)
+	// FailNode crash-stops a node. Backends without fault injection (live
+	// deployments) return ErrUnsupported.
+	FailNode(ctx context.Context, id string) error
+	// Experiment reproduces one table/figure of the paper's evaluation at
+	// quick scale ("e1".."e8", "a1", "a2" or a name); unknown IDs return
+	// ErrNotFound.
+	Experiment(ctx context.Context, id string) (Experiment, error)
+}
+
+// Sentinel errors shared by all backends. The HTTP layer maps them onto
+// status codes and the client maps status codes back, so they survive the
+// wire round trip.
+var (
+	// ErrNotFound means the referenced resource does not exist.
+	ErrNotFound = errors.New("apiv1: not found")
+	// ErrInvalid means the request is malformed.
+	ErrInvalid = errors.New("apiv1: invalid argument")
+	// ErrUnsupported means this backend cannot perform the operation.
+	ErrUnsupported = errors.New("apiv1: unsupported operation")
+	// ErrUnavailable means the hierarchy cannot serve now (e.g. no group
+	// leader during an election); retrying later may succeed.
+	ErrUnavailable = errors.New("apiv1: control plane unavailable")
+)
+
+// ValidateSubmit checks a submission batch before it reaches the hierarchy.
+func ValidateSubmit(specs []VMSpec) error {
+	if len(specs) == 0 {
+		return fmt.Errorf("%w: empty VM batch", ErrInvalid)
+	}
+	seen := make(map[string]struct{}, len(specs))
+	for _, s := range specs {
+		if s.ID == "" {
+			return fmt.Errorf("%w: VM with empty ID", ErrInvalid)
+		}
+		if _, dup := seen[s.ID]; dup {
+			return fmt.Errorf("%w: duplicate VM ID %q", ErrInvalid, s.ID)
+		}
+		seen[s.ID] = struct{}{}
+		if s.Requested.CPU < 0 || s.Requested.MemoryMB < 0 ||
+			s.Requested.NetRxMbps < 0 || s.Requested.NetTxMbps < 0 {
+			return fmt.Errorf("%w: VM %q requests negative resources", ErrInvalid, s.ID)
+		}
+	}
+	return nil
+}
+
+// SortVMs orders VMs by ID (the canonical list order of the API).
+func SortVMs(vms []VM) {
+	sort.Slice(vms, func(i, j int) bool { return vms[i].ID < vms[j].ID })
+}
+
+// SortNodes orders nodes by ID.
+func SortNodes(nodes []Node) {
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+}
+
+// Page applies limit/offset pagination to a collection of n items and
+// returns the slice bounds plus the next offset (0 when the page reaches the
+// end). limit <= 0 means "no limit".
+func Page(n, limit, offset int) (lo, hi, next int) {
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > n {
+		offset = n
+	}
+	lo, hi = offset, n
+	if limit > 0 && lo+limit < n {
+		hi = lo + limit
+		next = hi
+	}
+	return lo, hi, next
+}

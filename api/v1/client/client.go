@@ -1,0 +1,255 @@
+// Package client is the typed Go client for the api/v1 control plane — what
+// snoozectl and programmatic operators use against any /v1 server, whether
+// it fronts a simulated cluster or a live snoozed deployment. The client
+// itself implements apiv1.Backend, so code written against the interface
+// runs unchanged in-process or across the network.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	apiv1 "snooze/api/v1"
+)
+
+// Client calls a remote /v1 server.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+var _ apiv1.Backend = (*Client)(nil)
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying HTTP client.
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.http = h }
+}
+
+// WithTimeout sets the per-request timeout (default 2 minutes; submissions
+// wait for placement to finish).
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.http = &http.Client{Timeout: d} }
+}
+
+// New creates a client for the server at baseURL (e.g.
+// "http://localhost:7001").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		http: &http.Client{Timeout: 2 * time.Minute},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// do performs one request and decodes the response or the error envelope.
+// dst may be nil for responses without a body (204).
+func (c *Client) do(ctx context.Context, method, path string, query url.Values, in, dst any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	u := c.base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return decodeError(resp)
+	}
+	if dst == nil || resp.StatusCode == http.StatusNoContent {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(dst)
+}
+
+// decodeError rebuilds a typed error from the envelope, so errors.Is against
+// the apiv1 sentinels works across the wire.
+func decodeError(resp *http.Response) error {
+	var envelope apiv1.ErrorBody
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	msg := strings.TrimSpace(string(data))
+	if err := json.Unmarshal(data, &envelope); err == nil && envelope.Error.Message != "" {
+		msg = envelope.Error.Message
+	}
+	var sentinel error
+	switch envelope.Error.Code {
+	case apiv1.CodeNotFound:
+		sentinel = apiv1.ErrNotFound
+	case apiv1.CodeInvalid:
+		sentinel = apiv1.ErrInvalid
+	case apiv1.CodeUnsupported:
+		sentinel = apiv1.ErrUnsupported
+	case apiv1.CodeUnavailable:
+		sentinel = apiv1.ErrUnavailable
+	default:
+		switch resp.StatusCode {
+		case http.StatusNotFound:
+			sentinel = apiv1.ErrNotFound
+		case http.StatusBadRequest:
+			sentinel = apiv1.ErrInvalid
+		case http.StatusNotImplemented:
+			sentinel = apiv1.ErrUnsupported
+		case http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			sentinel = apiv1.ErrUnavailable
+		}
+	}
+	if sentinel != nil {
+		return fmt.Errorf("%w: %s: %s", sentinel, resp.Status, msg)
+	}
+	return fmt.Errorf("apiv1: %s: %s", resp.Status, msg)
+}
+
+// ---------------------------------------------------------------------------
+// Backend implementation
+// ---------------------------------------------------------------------------
+
+// SubmitVMs implements apiv1.Backend.
+func (c *Client) SubmitVMs(ctx context.Context, specs []apiv1.VMSpec) (apiv1.SubmitResult, error) {
+	var out apiv1.SubmitResult
+	err := c.do(ctx, http.MethodPost, "/v1/vms", nil, apiv1.SubmitRequest{VMs: specs}, &out)
+	return out, err
+}
+
+// ListVMsPage fetches one page of the VM collection (limit <= 0 = all).
+func (c *Client) ListVMsPage(ctx context.Context, limit, offset int) (apiv1.VMList, error) {
+	var out apiv1.VMList
+	err := c.do(ctx, http.MethodGet, "/v1/vms", pageQuery(limit, offset), nil, &out)
+	return out, err
+}
+
+// ListVMs implements apiv1.Backend, paging through the full collection.
+func (c *Client) ListVMs(ctx context.Context) ([]apiv1.VM, error) {
+	var all []apiv1.VM
+	offset := 0
+	for {
+		page, err := c.ListVMsPage(ctx, 0, offset)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, page.Items...)
+		if page.NextOffset == 0 {
+			return all, nil
+		}
+		offset = page.NextOffset
+	}
+}
+
+// GetVM implements apiv1.Backend.
+func (c *Client) GetVM(ctx context.Context, id string) (apiv1.VM, error) {
+	var out apiv1.VM
+	err := c.do(ctx, http.MethodGet, "/v1/vms/"+url.PathEscape(id), nil, nil, &out)
+	return out, err
+}
+
+// ListNodesPage fetches one page of the node collection.
+func (c *Client) ListNodesPage(ctx context.Context, limit, offset int) (apiv1.NodeList, error) {
+	var out apiv1.NodeList
+	err := c.do(ctx, http.MethodGet, "/v1/nodes", pageQuery(limit, offset), nil, &out)
+	return out, err
+}
+
+// ListNodes implements apiv1.Backend.
+func (c *Client) ListNodes(ctx context.Context) ([]apiv1.Node, error) {
+	var all []apiv1.Node
+	offset := 0
+	for {
+		page, err := c.ListNodesPage(ctx, 0, offset)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, page.Items...)
+		if page.NextOffset == 0 {
+			return all, nil
+		}
+		offset = page.NextOffset
+	}
+}
+
+// GetNode implements apiv1.Backend.
+func (c *Client) GetNode(ctx context.Context, id string) (apiv1.Node, error) {
+	var out apiv1.Node
+	err := c.do(ctx, http.MethodGet, "/v1/nodes/"+url.PathEscape(id), nil, nil, &out)
+	return out, err
+}
+
+// FailNode implements apiv1.Backend.
+func (c *Client) FailNode(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodPost, "/v1/nodes/"+url.PathEscape(id)+"/fail", nil, nil, nil)
+}
+
+// Topology implements apiv1.Backend.
+func (c *Client) Topology(ctx context.Context, deep bool) (apiv1.Topology, error) {
+	var out apiv1.Topology
+	q := url.Values{}
+	if deep {
+		q.Set("deep", "true")
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/topology", q, nil, &out)
+	return out, err
+}
+
+// Consolidate implements apiv1.Backend.
+func (c *Client) Consolidate(ctx context.Context, req apiv1.ConsolidationRequest) (apiv1.ConsolidationPlan, error) {
+	var out apiv1.ConsolidationPlan
+	err := c.do(ctx, http.MethodPost, "/v1/consolidations", nil, req, &out)
+	return out, err
+}
+
+// Metrics implements apiv1.Backend.
+func (c *Client) Metrics(ctx context.Context) (apiv1.MetricsSnapshot, error) {
+	var out apiv1.MetricsSnapshot
+	err := c.do(ctx, http.MethodGet, "/v1/metrics", nil, nil, &out)
+	return out, err
+}
+
+// Experiment implements apiv1.Backend.
+func (c *Client) Experiment(ctx context.Context, id string) (apiv1.Experiment, error) {
+	var out apiv1.Experiment
+	err := c.do(ctx, http.MethodGet, "/v1/experiments/"+url.PathEscape(id), nil, nil, &out)
+	return out, err
+}
+
+// Healthz reports server liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil, &struct{}{})
+}
+
+func pageQuery(limit, offset int) url.Values {
+	q := url.Values{}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	if offset > 0 {
+		q.Set("offset", strconv.Itoa(offset))
+	}
+	return q
+}

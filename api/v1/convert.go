@@ -1,0 +1,230 @@
+package apiv1
+
+// Conversions between the internal domain types and the versioned DTOs,
+// plus the backend-neutral implementations of Consolidate and Experiment.
+// Both backends (simulated and live) reduce their state to []VM/[]Node and
+// share the planning code here, so the two deployment flavours cannot drift.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"snooze/internal/consolidation"
+	"snooze/internal/experiments"
+	"snooze/internal/metrics"
+	"snooze/internal/protocol"
+	"snooze/internal/types"
+)
+
+// FromResourceVector converts an internal resource vector to the wire form.
+func FromResourceVector(r types.ResourceVector) Resources {
+	return Resources{CPU: r.CPU, MemoryMB: r.Memory, NetRxMbps: r.NetRx, NetTxMbps: r.NetTx}
+}
+
+// ToResourceVector converts a wire resource vector to the internal form.
+func ToResourceVector(r Resources) types.ResourceVector {
+	return types.ResourceVector{CPU: r.CPU, Memory: r.MemoryMB, NetRx: r.NetRxMbps, NetTx: r.NetTxMbps}
+}
+
+// ToVMSpec converts a wire VM spec to the internal form.
+func ToVMSpec(s VMSpec) types.VMSpec {
+	return types.VMSpec{ID: types.VMID(s.ID), Requested: ToResourceVector(s.Requested), TraceID: s.TraceID}
+}
+
+// ToVMSpecs converts a submission batch.
+func ToVMSpecs(specs []VMSpec) []types.VMSpec {
+	out := make([]types.VMSpec, len(specs))
+	for i, s := range specs {
+		out[i] = ToVMSpec(s)
+	}
+	return out
+}
+
+// FromVMStatus converts a monitored VM; node overrides the status's own node
+// field when non-empty (callers iterating per-node state know the host).
+func FromVMStatus(st types.VMStatus, node types.NodeID) VM {
+	if node == "" {
+		node = st.Node
+	}
+	return VM{
+		ID:        string(st.Spec.ID),
+		Requested: FromResourceVector(st.Spec.Requested),
+		State:     st.State.String(),
+		Node:      string(node),
+		Used:      FromResourceVector(st.Used),
+		TraceID:   st.Spec.TraceID,
+	}
+}
+
+// FromNodeStatus converts a monitored node.
+func FromNodeStatus(st types.NodeStatus) Node {
+	vms := make([]string, len(st.VMs))
+	for i, id := range st.VMs {
+		vms[i] = string(id)
+	}
+	return Node{
+		ID:       string(st.Spec.ID),
+		Capacity: FromResourceVector(st.Spec.Capacity),
+		Power:    st.Power.String(),
+		Used:     FromResourceVector(st.Used),
+		Reserved: FromResourceVector(st.Reserved),
+		VMs:      vms,
+		Idle:     st.Idle,
+	}
+}
+
+// FromSubmitResponse converts the hierarchy's placement outcome.
+func FromSubmitResponse(resp protocol.SubmitResponse) SubmitResult {
+	out := SubmitResult{Placed: make(map[string]string, len(resp.Placed))}
+	for vm, node := range resp.Placed {
+		out.Placed[string(vm)] = string(node)
+	}
+	for _, vm := range resp.Unplaced {
+		out.Unplaced = append(out.Unplaced, string(vm))
+	}
+	return out
+}
+
+// FromTopologyResponse converts the GL's hierarchy export.
+func FromTopologyResponse(resp protocol.TopologyResponse) Topology {
+	top := Topology{GL: resp.GL, GMs: make([]TopologyGM, 0, len(resp.GMs))}
+	for _, gm := range resp.GMs {
+		out := TopologyGM{
+			ID:   string(gm.GM),
+			Addr: gm.Addr,
+			Summary: GroupSummary{
+				Used:      FromResourceVector(gm.Summary.Used),
+				Reserved:  FromResourceVector(gm.Summary.Reserved),
+				Total:     FromResourceVector(gm.Summary.Total),
+				ActiveLCs: gm.Summary.ActiveLCs,
+				AsleepLCs: gm.Summary.AsleepLCs,
+				VMs:       gm.Summary.VMs,
+			},
+		}
+		for _, lc := range gm.LCs {
+			out.LCs = append(out.LCs, TopologyLC{
+				ID:       string(lc.ID),
+				Power:    lc.Power,
+				VMs:      lc.VMs,
+				Reserved: FromResourceVector(lc.Reserved),
+				Capacity: FromResourceVector(lc.Capacity),
+			})
+		}
+		top.GMs = append(top.GMs, out)
+	}
+	return top
+}
+
+// FromRegistry snapshots a metrics registry into the wire form.
+func FromRegistry(r *metrics.Registry) MetricsSnapshot {
+	snap := MetricsSnapshot{}
+	if r == nil {
+		return snap
+	}
+	for _, name := range r.Names() {
+		if c := r.Count(name); c != 0 {
+			if snap.Counters == nil {
+				snap.Counters = make(map[string]int64)
+			}
+			snap.Counters[name] = c
+		}
+		if series := r.Series(name); len(series) > 0 {
+			if snap.Series == nil {
+				snap.Series = make(map[string]SeriesSummary)
+			}
+			s := metrics.Summarize(series)
+			snap.Series[name] = SeriesSummary{
+				N: s.N, Mean: s.Mean, Min: s.Min, Max: s.Max,
+				P50: s.P50, P95: s.P95, P99: s.P99, Stddev: s.Stddev,
+			}
+		}
+	}
+	return snap
+}
+
+// ---------------------------------------------------------------------------
+// Shared backend logic
+// ---------------------------------------------------------------------------
+
+// PlanConsolidation is the backend-neutral Consolidate implementation: pack
+// the running VMs of vms onto the powered-on hosts of nodes with the
+// requested algorithm and derive the capacity-feasible migration sequence.
+func PlanConsolidation(vms []VM, nodes []Node, req ConsolidationRequest) (ConsolidationPlan, error) {
+	algoName := req.Algorithm
+	if algoName == "" {
+		algoName = AlgorithmACO
+	}
+	var algo consolidation.Algorithm
+	switch algoName {
+	case AlgorithmACO:
+		algo = consolidation.ACO{Config: consolidation.DefaultACOConfig()}
+	case AlgorithmFFD:
+		algo = consolidation.FFD{Key: consolidation.SortCPU}
+	case AlgorithmOptimal:
+		algo = consolidation.Exact{}
+	default:
+		return ConsolidationPlan{}, fmt.Errorf("%w: unknown algorithm %q (want aco|ffd|optimal)", ErrInvalid, algoName)
+	}
+
+	var problem consolidation.Problem
+	current := types.Placement{}
+	specs := map[types.VMID]types.VMSpec{}
+	for _, n := range nodes {
+		if n.Power != types.PowerOn.String() {
+			continue
+		}
+		problem.Nodes = append(problem.Nodes, types.NodeSpec{ID: types.NodeID(n.ID), Capacity: ToResourceVector(n.Capacity)})
+	}
+	hosts := make(map[types.NodeID]struct{}, len(problem.Nodes))
+	for _, n := range problem.Nodes {
+		hosts[n.ID] = struct{}{}
+	}
+	for _, vm := range vms {
+		if vm.State != types.VMRunning.String() {
+			continue
+		}
+		if _, ok := hosts[types.NodeID(vm.Node)]; !ok {
+			continue // host mid-transition; skip rather than plan blind
+		}
+		spec := types.VMSpec{ID: types.VMID(vm.ID), Requested: ToResourceVector(vm.Requested)}
+		problem.VMs = append(problem.VMs, spec)
+		specs[spec.ID] = spec
+		current[spec.ID] = types.NodeID(vm.Node)
+	}
+
+	plan := ConsolidationPlan{
+		Algorithm:   algoName,
+		VMs:         len(problem.VMs),
+		HostsTotal:  len(problem.Nodes),
+		HostsBefore: current.NodesUsed(),
+	}
+	if len(problem.VMs) == 0 {
+		return plan, nil
+	}
+	result, err := algo.Solve(problem)
+	if err != nil {
+		return ConsolidationPlan{}, fmt.Errorf("consolidation (%s): %w", algoName, err)
+	}
+	plan.HostsAfter = result.HostsUsed
+	plan.Optimal = result.Optimal
+	plan.Cycles = result.Cycles
+	for _, m := range consolidation.Plan(current, result.Placement, specs, problem.Nodes) {
+		plan.Migrations = append(plan.Migrations, Migration{VM: string(m.VM), From: string(m.From), To: string(m.To)})
+	}
+	return plan, nil
+}
+
+// RunExperiment is the backend-neutral Experiment implementation: reproduce
+// one evaluation table at quick scale. Experiments build their own simulated
+// clusters, so any backend can serve them.
+func RunExperiment(ctx context.Context, id string) (Experiment, error) {
+	if err := ctx.Err(); err != nil {
+		return Experiment{}, err
+	}
+	res, err := experiments.ByID(strings.ToLower(id), experiments.ScaleQuick)
+	if err != nil {
+		return Experiment{}, fmt.Errorf("%w: %v", ErrNotFound, err)
+	}
+	return Experiment{ID: res.ID, Title: res.Title, Table: res.Table.String(), Notes: res.Notes}, nil
+}

@@ -1,0 +1,278 @@
+// Package livebackend adapts a live, wall-clock Snooze hierarchy to the
+// api/v1 Backend interface. It speaks the same control-plane protocol the
+// hierarchy components use among themselves — GL discovery through the entry
+// points, submission and topology export against the GL, inventory fan-out
+// to the GMs — over the process-local bus, so a snoozed control process can
+// serve /v1 next to its /deliver RPC tunnel. Remote components reached
+// through a rest.Gateway are transparently included: their bus addresses
+// proxy over HTTP.
+//
+// The backend requires a wall-clock runtime (simkernel.NewWallRuntime):
+// calls block the requesting goroutine until the bus responds. Simulated
+// clusters use api/v1/simbackend instead, which drives the virtual clock.
+package livebackend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	apiv1 "snooze/api/v1"
+	"snooze/internal/metrics"
+	"snooze/internal/protocol"
+	"snooze/internal/transport"
+)
+
+// Config parameterizes a live backend.
+type Config struct {
+	// Bus is the process-local message fabric (with gateway-registered
+	// peers for remote components).
+	Bus *transport.Bus
+	// Addr is the bus address the backend answers from (default "api:0").
+	Addr transport.Address
+	// EPs are the entry points probed for GL discovery (default ["ep:0"]).
+	EPs []transport.Address
+	// CallTimeout bounds each control-plane call (default 30s).
+	CallTimeout time.Duration
+	// Metrics is the process registry served by GET /v1/metrics (may be
+	// nil: the snapshot is then empty).
+	Metrics *metrics.Registry
+}
+
+// Backend serves the api/v1 control plane from a live hierarchy.
+type Backend struct {
+	cfg Config
+}
+
+var _ apiv1.Backend = (*Backend)(nil)
+
+// New creates the backend and registers its address on the bus.
+func New(cfg Config) *Backend {
+	if cfg.Addr == "" {
+		cfg.Addr = "api:0"
+	}
+	if len(cfg.EPs) == 0 {
+		cfg.EPs = []transport.Address{"ep:0"}
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 30 * time.Second
+	}
+	b := &Backend{cfg: cfg}
+	cfg.Bus.Register(cfg.Addr, func(req *transport.Request) {
+		req.RespondErr(errors.New("livebackend: unexpected inbound message"))
+	})
+	return b
+}
+
+// call performs one request/response over the bus, honouring ctx.
+func (b *Backend) call(ctx context.Context, to transport.Address, kind string, payload any) (any, error) {
+	type outcome struct {
+		reply any
+		err   error
+	}
+	ch := make(chan outcome, 1)
+	b.cfg.Bus.Call(b.cfg.Addr, to, kind, payload, b.cfg.CallTimeout, func(reply any, err error) {
+		ch <- outcome{reply, err}
+	})
+	select {
+	case out := <-ch:
+		return out.reply, mapBusErr(out.err)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// mapBusErr converts transport failures into API sentinels: an unreachable
+// or silent component is a control-plane availability problem, not an
+// internal server fault.
+func mapBusErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, transport.ErrUnreachable) || errors.Is(err, transport.ErrTimeout) {
+		return fmt.Errorf("%w: %v", apiv1.ErrUnavailable, err)
+	}
+	return err
+}
+
+// discoverGL probes the entry points in order until one knows a live GL.
+func (b *Backend) discoverGL(ctx context.Context) (transport.Address, error) {
+	var lastErr error
+	for _, ep := range b.cfg.EPs {
+		reply, err := b.call(ctx, ep, protocol.KindGLQuery, struct{}{})
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if r, ok := reply.(protocol.GLQueryResponse); ok && r.Known {
+			return transport.Address(r.Addr), nil
+		}
+	}
+	if lastErr != nil {
+		return "", lastErr
+	}
+	return "", fmt.Errorf("%w: no group leader known to any entry point", apiv1.ErrUnavailable)
+}
+
+// SubmitVMs implements Backend via the EP→GL submission path.
+func (b *Backend) SubmitVMs(ctx context.Context, specs []apiv1.VMSpec) (apiv1.SubmitResult, error) {
+	if err := apiv1.ValidateSubmit(specs); err != nil {
+		return apiv1.SubmitResult{}, err
+	}
+	gl, err := b.discoverGL(ctx)
+	if err != nil {
+		return apiv1.SubmitResult{}, err
+	}
+	reply, err := b.call(ctx, gl, protocol.KindSubmit, protocol.SubmitRequest{VMs: apiv1.ToVMSpecs(specs)})
+	if err != nil {
+		return apiv1.SubmitResult{}, err
+	}
+	resp, ok := reply.(protocol.SubmitResponse)
+	if !ok {
+		return apiv1.SubmitResult{}, fmt.Errorf("livebackend: bad submit response %T", reply)
+	}
+	return apiv1.FromSubmitResponse(resp), nil
+}
+
+// Topology implements Backend against the GL.
+func (b *Backend) Topology(ctx context.Context, deep bool) (apiv1.Topology, error) {
+	resp, err := b.topology(ctx, deep)
+	if err != nil {
+		return apiv1.Topology{}, err
+	}
+	return apiv1.FromTopologyResponse(resp), nil
+}
+
+func (b *Backend) topology(ctx context.Context, deep bool) (protocol.TopologyResponse, error) {
+	gl, err := b.discoverGL(ctx)
+	if err != nil {
+		return protocol.TopologyResponse{}, err
+	}
+	reply, err := b.call(ctx, gl, protocol.KindTopology, protocol.TopologyRequest{Deep: deep})
+	if err != nil {
+		return protocol.TopologyResponse{}, err
+	}
+	resp, ok := reply.(protocol.TopologyResponse)
+	if !ok {
+		return protocol.TopologyResponse{}, fmt.Errorf("livebackend: bad topology response %T", reply)
+	}
+	return resp, nil
+}
+
+// inventory aggregates every GM's LC/VM inventory. GMs that fail mid-listing
+// are skipped: a partial listing mirrors what the GL itself knows during a
+// membership change. When two GMs claim the same LC (one record is stale
+// after a rejoin), the claim with the freshest monitor report wins — its
+// node status and VM set are the ones listed.
+func (b *Backend) inventory(ctx context.Context) ([]apiv1.Node, []apiv1.VM, error) {
+	topo, err := b.topology(ctx, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	type claim struct {
+		node apiv1.Node
+		age  int64
+		vms  []apiv1.VM
+	}
+	best := make(map[string]claim)
+	for _, gm := range topo.GMs {
+		reply, err := b.call(ctx, transport.Address(gm.Addr), protocol.KindInventory, struct{}{})
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, nil, ctx.Err()
+			}
+			continue
+		}
+		inv, ok := reply.(protocol.InventoryResponse)
+		if !ok {
+			continue
+		}
+		vmsByNode := make(map[string][]apiv1.VM)
+		for _, vm := range inv.VMs {
+			dto := apiv1.FromVMStatus(vm, vm.Node)
+			vmsByNode[dto.Node] = append(vmsByNode[dto.Node], dto)
+		}
+		for _, n := range inv.Nodes {
+			c := claim{node: apiv1.FromNodeStatus(n.Status), age: n.AgeNs}
+			c.vms = vmsByNode[c.node.ID]
+			if cur, seen := best[c.node.ID]; !seen || c.age < cur.age {
+				best[c.node.ID] = c
+			}
+		}
+	}
+	var nodes []apiv1.Node
+	var vms []apiv1.VM
+	for _, c := range best {
+		nodes = append(nodes, c.node)
+		vms = append(vms, c.vms...)
+	}
+	apiv1.SortNodes(nodes)
+	apiv1.SortVMs(vms)
+	return nodes, vms, nil
+}
+
+// ListVMs implements Backend.
+func (b *Backend) ListVMs(ctx context.Context) ([]apiv1.VM, error) {
+	_, vms, err := b.inventory(ctx)
+	return vms, err
+}
+
+// GetVM implements Backend.
+func (b *Backend) GetVM(ctx context.Context, id string) (apiv1.VM, error) {
+	_, vms, err := b.inventory(ctx)
+	if err != nil {
+		return apiv1.VM{}, err
+	}
+	for _, vm := range vms {
+		if vm.ID == id {
+			return vm, nil
+		}
+	}
+	return apiv1.VM{}, fmt.Errorf("%w: vm %q", apiv1.ErrNotFound, id)
+}
+
+// ListNodes implements Backend.
+func (b *Backend) ListNodes(ctx context.Context) ([]apiv1.Node, error) {
+	nodes, _, err := b.inventory(ctx)
+	return nodes, err
+}
+
+// GetNode implements Backend.
+func (b *Backend) GetNode(ctx context.Context, id string) (apiv1.Node, error) {
+	nodes, _, err := b.inventory(ctx)
+	if err != nil {
+		return apiv1.Node{}, err
+	}
+	for _, n := range nodes {
+		if n.ID == id {
+			return n, nil
+		}
+	}
+	return apiv1.Node{}, fmt.Errorf("%w: node %q", apiv1.ErrNotFound, id)
+}
+
+// Consolidate implements Backend over the GM-reported state.
+func (b *Backend) Consolidate(ctx context.Context, req apiv1.ConsolidationRequest) (apiv1.ConsolidationPlan, error) {
+	nodes, vms, err := b.inventory(ctx)
+	if err != nil {
+		return apiv1.ConsolidationPlan{}, err
+	}
+	return apiv1.PlanConsolidation(vms, nodes, req)
+}
+
+// Metrics implements Backend from the process registry.
+func (b *Backend) Metrics(ctx context.Context) (apiv1.MetricsSnapshot, error) {
+	return apiv1.FromRegistry(b.cfg.Metrics), nil
+}
+
+// FailNode implements Backend: live deployments have no fault injector.
+func (b *Backend) FailNode(ctx context.Context, id string) error {
+	return fmt.Errorf("%w: fault injection requires a simulated backend", apiv1.ErrUnsupported)
+}
+
+// Experiment implements Backend (experiments run self-contained simulated
+// clusters, so a live deployment can still reproduce the paper's tables).
+func (b *Backend) Experiment(ctx context.Context, id string) (apiv1.Experiment, error) {
+	return apiv1.RunExperiment(ctx, id)
+}

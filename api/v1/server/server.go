@@ -1,0 +1,295 @@
+// Package server mounts the api/v1 resource routes on net/http. It is
+// backend-agnostic: hand it any apiv1.Backend (simulated cluster, live
+// hierarchy, or even a remote client for chaining) and it serves the same
+// /v1 contract — method-routed resource paths, JSON bodies, pagination on
+// collections, a machine-readable error envelope and capped request bodies.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	apiv1 "snooze/api/v1"
+)
+
+// DefaultMaxBodyBytes caps POST bodies (a submission of thousands of VM
+// specs fits comfortably; a runaway or hostile body does not).
+const DefaultMaxBodyBytes = 1 << 20
+
+// Server serves the /v1 control-plane routes from a Backend.
+type Server struct {
+	backend apiv1.Backend
+	// MaxBodyBytes caps request bodies (DefaultMaxBodyBytes when zero).
+	MaxBodyBytes int64
+	// Timeout bounds each request's backend call (0 = no server-side bound;
+	// the backend's own timeouts still apply).
+	Timeout time.Duration
+}
+
+// New creates a server for the backend.
+func New(backend apiv1.Backend) *Server {
+	return &Server{backend: backend}
+}
+
+// Handler returns the HTTP handler with every /v1 route mounted. Mount it
+// at the mux root: route patterns carry the /v1 prefix themselves.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/vms", s.handleListVMs)
+	mux.HandleFunc("POST /v1/vms", s.handleSubmitVMs)
+	mux.HandleFunc("GET /v1/vms/{id}", s.handleGetVM)
+	mux.HandleFunc("GET /v1/nodes", s.handleListNodes)
+	mux.HandleFunc("GET /v1/nodes/{id}", s.handleGetNode)
+	mux.HandleFunc("POST /v1/nodes/{id}/fail", s.handleFailNode)
+	mux.HandleFunc("GET /v1/topology", s.handleTopology)
+	mux.HandleFunc("POST /v1/consolidations", s.handleConsolidate)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/v1/", func(w http.ResponseWriter, _ *http.Request) {
+		writeError(w, http.StatusNotFound, apiv1.CodeNotFound, "no such route")
+	})
+	return mux
+}
+
+func (s *Server) ctx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.Timeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.Timeout)
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+// ---------------------------------------------------------------------------
+
+func (s *Server) handleListVMs(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.ctx(r)
+	defer cancel()
+	limit, offset, ok := pageParams(w, r)
+	if !ok {
+		return
+	}
+	vms, err := s.backend.ListVMs(ctx)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	lo, hi, next := apiv1.Page(len(vms), limit, offset)
+	writeJSON(w, http.StatusOK, apiv1.VMList{Items: emptyAsSlice(vms[lo:hi]), Total: len(vms), NextOffset: next})
+}
+
+func (s *Server) handleSubmitVMs(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.ctx(r)
+	defer cancel()
+	var req apiv1.SubmitRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	result, err := s.backend.SubmitVMs(ctx, req.VMs)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	// 201: the accepted VMs now exist as resources under /v1/vms.
+	writeJSON(w, http.StatusCreated, result)
+}
+
+func (s *Server) handleGetVM(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.ctx(r)
+	defer cancel()
+	vm, err := s.backend.GetVM(ctx, r.PathValue("id"))
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, vm)
+}
+
+func (s *Server) handleListNodes(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.ctx(r)
+	defer cancel()
+	limit, offset, ok := pageParams(w, r)
+	if !ok {
+		return
+	}
+	nodes, err := s.backend.ListNodes(ctx)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	lo, hi, next := apiv1.Page(len(nodes), limit, offset)
+	writeJSON(w, http.StatusOK, apiv1.NodeList{Items: emptyAsSlice(nodes[lo:hi]), Total: len(nodes), NextOffset: next})
+}
+
+func (s *Server) handleGetNode(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.ctx(r)
+	defer cancel()
+	node, err := s.backend.GetNode(ctx, r.PathValue("id"))
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, node)
+}
+
+func (s *Server) handleFailNode(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.ctx(r)
+	defer cancel()
+	if err := s.backend.FailNode(ctx, r.PathValue("id")); err != nil {
+		s.fail(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.ctx(r)
+	defer cancel()
+	deep, err := parseBool(r.URL.Query().Get("deep"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, apiv1.CodeInvalid, "deep: want true or false")
+		return
+	}
+	topo, err := s.backend.Topology(ctx, deep)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, topo)
+}
+
+func (s *Server) handleConsolidate(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.ctx(r)
+	defer cancel()
+	var req apiv1.ConsolidationRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	plan, err := s.backend.Consolidate(ctx, req)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, plan)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.ctx(r)
+	defer cancel()
+	snap, err := s.backend.Metrics(ctx)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.ctx(r)
+	defer cancel()
+	exp, err := s.backend.Experiment(ctx, r.PathValue("id"))
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, exp)
+}
+
+// ---------------------------------------------------------------------------
+// Plumbing
+// ---------------------------------------------------------------------------
+
+// readJSON decodes a capped request body; on failure it writes the 400
+// envelope and returns false.
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	maxBytes := s.MaxBodyBytes
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBodyBytes
+	}
+	body := http.MaxBytesReader(w, r.Body, maxBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, apiv1.CodeInvalid, "request body too large")
+			return false
+		}
+		writeError(w, http.StatusBadRequest, apiv1.CodeInvalid, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// fail maps backend errors onto status codes + envelope.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, apiv1.ErrNotFound):
+		writeError(w, http.StatusNotFound, apiv1.CodeNotFound, err.Error())
+	case errors.Is(err, apiv1.ErrInvalid):
+		writeError(w, http.StatusBadRequest, apiv1.CodeInvalid, err.Error())
+	case errors.Is(err, apiv1.ErrUnsupported):
+		writeError(w, http.StatusNotImplemented, apiv1.CodeUnsupported, err.Error())
+	case errors.Is(err, apiv1.ErrUnavailable):
+		writeError(w, http.StatusServiceUnavailable, apiv1.CodeUnavailable, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, apiv1.CodeUnavailable, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, apiv1.CodeInternal, err.Error())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, apiv1.ErrorBody{Error: apiv1.ErrorDetail{Code: code, Message: msg}})
+}
+
+// pageParams parses ?limit=&offset=; on failure it writes the 400 envelope.
+func pageParams(w http.ResponseWriter, r *http.Request) (limit, offset int, ok bool) {
+	q := r.URL.Query()
+	var err error
+	if v := q.Get("limit"); v != "" {
+		if limit, err = strconv.Atoi(v); err != nil || limit < 0 {
+			writeError(w, http.StatusBadRequest, apiv1.CodeInvalid, "limit: want a non-negative integer")
+			return 0, 0, false
+		}
+	}
+	if v := q.Get("offset"); v != "" {
+		if offset, err = strconv.Atoi(v); err != nil || offset < 0 {
+			writeError(w, http.StatusBadRequest, apiv1.CodeInvalid, "offset: want a non-negative integer")
+			return 0, 0, false
+		}
+	}
+	return limit, offset, true
+}
+
+func parseBool(v string) (bool, error) {
+	switch v {
+	case "", "false", "0":
+		return false, nil
+	case "true", "1":
+		return true, nil
+	default:
+		return false, errors.New("bad bool")
+	}
+}
+
+// emptyAsSlice keeps JSON arrays as [] instead of null for empty pages.
+func emptyAsSlice[T any](s []T) []T {
+	if s == nil {
+		return []T{}
+	}
+	return s
+}

@@ -1,0 +1,226 @@
+// Package simbackend adapts a simulated cluster (internal/cluster) to the
+// api/v1 Backend interface, so the same /v1 routes, typed client and
+// snoozectl commands work against the discrete-event simulation that a live
+// snoozed deployment serves. Control-plane calls that need the hierarchy
+// (submit, topology) drive the cluster's virtual clock forward until the
+// hierarchy answers; reads (VM/node listings) snapshot simulator state
+// directly.
+package simbackend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	apiv1 "snooze/api/v1"
+	"snooze/internal/cluster"
+	"snooze/internal/hierarchy"
+	"snooze/internal/types"
+)
+
+// Backend serves the api/v1 control plane from a simulated cluster.
+//
+// The backend serializes operations: the simulation kernel is single-
+// threaded, so concurrent HTTP requests take turns driving virtual time.
+// While a Backend is serving, the cluster's kernel must not be driven by
+// anyone else.
+type Backend struct {
+	c *cluster.Cluster
+	// MaxSim bounds the virtual time one control-plane call may consume.
+	maxSim time.Duration
+
+	// ops serializes kernel access (a mutex in channel form so Submit can
+	// hold it across the virtual-time pump without blocking forever on a
+	// cancelled context).
+	ops chan struct{}
+}
+
+// New wraps a simulated cluster. The cluster should already be settled
+// (hierarchy formed); maxSim <= 0 defaults to one virtual hour per call.
+func New(c *cluster.Cluster, maxSim time.Duration) *Backend {
+	if maxSim <= 0 {
+		maxSim = time.Hour
+	}
+	b := &Backend{c: c, maxSim: maxSim, ops: make(chan struct{}, 1)}
+	b.ops <- struct{}{}
+	return b
+}
+
+var _ apiv1.Backend = (*Backend)(nil)
+
+// Cluster returns the wrapped cluster (test and experiment access).
+func (b *Backend) Cluster() *cluster.Cluster { return b.c }
+
+// lock acquires the operation slot, honouring context cancellation.
+func (b *Backend) lock(ctx context.Context) error {
+	select {
+	case <-b.ops:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (b *Backend) unlock() { b.ops <- struct{}{} }
+
+// mapClusterErr converts simulator errors into API sentinels.
+func mapClusterErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, cluster.ErrTimeout), errors.Is(err, hierarchy.ErrNoGL):
+		return fmt.Errorf("%w: %v", apiv1.ErrUnavailable, err)
+	default:
+		return err
+	}
+}
+
+// SubmitVMs implements Backend: submit through the EP→GL path and pump
+// virtual time until the placement outcome arrives.
+func (b *Backend) SubmitVMs(ctx context.Context, specs []apiv1.VMSpec) (apiv1.SubmitResult, error) {
+	if err := apiv1.ValidateSubmit(specs); err != nil {
+		return apiv1.SubmitResult{}, err
+	}
+	if err := b.lock(ctx); err != nil {
+		return apiv1.SubmitResult{}, err
+	}
+	defer b.unlock()
+	resp, err := b.c.SubmitAndWait(apiv1.ToVMSpecs(specs), b.maxSim)
+	if err != nil {
+		return apiv1.SubmitResult{}, mapClusterErr(err)
+	}
+	return apiv1.FromSubmitResponse(resp), nil
+}
+
+// snapshotVMs lists VMs from simulator ground truth (node order, then VM ID).
+func (b *Backend) snapshotVMs() []apiv1.VM {
+	var out []apiv1.VM
+	for _, id := range b.nodeIDs() {
+		node := b.c.Nodes[types.NodeID(id)]
+		for _, vm := range node.VMs() {
+			out = append(out, apiv1.FromVMStatus(vm, node.ID()))
+		}
+	}
+	apiv1.SortVMs(out)
+	return out
+}
+
+func (b *Backend) nodeIDs() []string {
+	ids := make([]string, 0, len(b.c.Nodes))
+	for id := range b.c.Nodes {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ListVMs implements Backend.
+func (b *Backend) ListVMs(ctx context.Context) ([]apiv1.VM, error) {
+	if err := b.lock(ctx); err != nil {
+		return nil, err
+	}
+	defer b.unlock()
+	return b.snapshotVMs(), nil
+}
+
+// GetVM implements Backend.
+func (b *Backend) GetVM(ctx context.Context, id string) (apiv1.VM, error) {
+	if err := b.lock(ctx); err != nil {
+		return apiv1.VM{}, err
+	}
+	defer b.unlock()
+	for _, vm := range b.snapshotVMs() {
+		if vm.ID == id {
+			return vm, nil
+		}
+	}
+	return apiv1.VM{}, fmt.Errorf("%w: vm %q", apiv1.ErrNotFound, id)
+}
+
+// ListNodes implements Backend.
+func (b *Backend) ListNodes(ctx context.Context) ([]apiv1.Node, error) {
+	if err := b.lock(ctx); err != nil {
+		return nil, err
+	}
+	defer b.unlock()
+	return b.snapshotNodes(), nil
+}
+
+func (b *Backend) snapshotNodes() []apiv1.Node {
+	out := make([]apiv1.Node, 0, len(b.c.Nodes))
+	for _, id := range b.nodeIDs() {
+		out = append(out, apiv1.FromNodeStatus(b.c.Nodes[types.NodeID(id)].Status()))
+	}
+	return out
+}
+
+// GetNode implements Backend.
+func (b *Backend) GetNode(ctx context.Context, id string) (apiv1.Node, error) {
+	if err := b.lock(ctx); err != nil {
+		return apiv1.Node{}, err
+	}
+	defer b.unlock()
+	node, ok := b.c.Nodes[types.NodeID(id)]
+	if !ok {
+		return apiv1.Node{}, fmt.Errorf("%w: node %q", apiv1.ErrNotFound, id)
+	}
+	return apiv1.FromNodeStatus(node.Status()), nil
+}
+
+// Topology implements Backend: ask the GL (driving virtual time) so the
+// export reflects the hierarchy's own view, exactly as in deployment.
+func (b *Backend) Topology(ctx context.Context, deep bool) (apiv1.Topology, error) {
+	if err := b.lock(ctx); err != nil {
+		return apiv1.Topology{}, err
+	}
+	defer b.unlock()
+	fetch := b.c.TopologyAndWait
+	if deep {
+		fetch = b.c.TopologyDeepAndWait
+	}
+	resp, err := fetch(b.maxSim)
+	if err != nil {
+		return apiv1.Topology{}, mapClusterErr(err)
+	}
+	return apiv1.FromTopologyResponse(resp), nil
+}
+
+// Consolidate implements Backend over the simulator's ground-truth state.
+func (b *Backend) Consolidate(ctx context.Context, req apiv1.ConsolidationRequest) (apiv1.ConsolidationPlan, error) {
+	if err := b.lock(ctx); err != nil {
+		return apiv1.ConsolidationPlan{}, err
+	}
+	defer b.unlock()
+	return apiv1.PlanConsolidation(b.snapshotVMs(), b.snapshotNodes(), req)
+}
+
+// Metrics implements Backend from the cluster's shared registry.
+func (b *Backend) Metrics(ctx context.Context) (apiv1.MetricsSnapshot, error) {
+	if err := b.lock(ctx); err != nil {
+		return apiv1.MetricsSnapshot{}, err
+	}
+	defer b.unlock()
+	return apiv1.FromRegistry(b.c.Metrics), nil
+}
+
+// FailNode implements Backend: crash-stop a simulated node (fault injection
+// for availability scenarios).
+func (b *Backend) FailNode(ctx context.Context, id string) error {
+	if err := b.lock(ctx); err != nil {
+		return err
+	}
+	defer b.unlock()
+	if _, ok := b.c.Nodes[types.NodeID(id)]; !ok {
+		return fmt.Errorf("%w: node %q", apiv1.ErrNotFound, id)
+	}
+	b.c.FailNode(types.NodeID(id))
+	return nil
+}
+
+// Experiment implements Backend.
+func (b *Backend) Experiment(ctx context.Context, id string) (apiv1.Experiment, error) {
+	// Experiments build private clusters; no need to hold the kernel slot.
+	return apiv1.RunExperiment(ctx, id)
+}

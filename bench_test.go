@@ -26,7 +26,18 @@ import (
 // One bench per reproduced experiment (E1–E7).
 // ---------------------------------------------------------------------------
 
+// skipInShort keeps `go test -short -bench=.` fast (CI): the heavy targets
+// — whole experiments and paper-scale cluster drives — are skipped, while
+// the micro-benchmarks still run. Full runs stay `go test -bench=.`.
+func skipInShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("heavy benchmark: skipped in -short mode")
+	}
+}
+
 func benchExperiment(b *testing.B, run func(experiments.Scale) experiments.Result) {
+	skipInShort(b)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := run(experiments.ScaleQuick)
@@ -99,6 +110,7 @@ func BenchmarkA2DispatchAblation(b *testing.B) {
 // BenchmarkDistributedACOSolve400 measures the distributed solver alone at a
 // size where the centralized algorithm becomes slow.
 func BenchmarkDistributedACOSolve400(b *testing.B) {
+	skipInShort(b)
 	p := benchProblem(400)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -123,6 +135,9 @@ func BenchmarkACOSolve50(b *testing.B)  { benchACO(b, 50) }
 func BenchmarkACOSolve200(b *testing.B) { benchACO(b, 200) }
 
 func benchACO(b *testing.B, n int) {
+	if n >= 200 {
+		skipInShort(b)
+	}
 	p := benchProblem(n)
 	cfg := consolidation.DefaultACOConfig()
 	b.ReportAllocs()
@@ -137,6 +152,7 @@ func benchACO(b *testing.B, n int) {
 // BenchmarkACOSolveParallel measures the parallel ant construction path
 // ("the algorithm is well suited for parallelization", Section III-A).
 func BenchmarkACOSolveParallel(b *testing.B) {
+	skipInShort(b)
 	p := benchProblem(200)
 	cfg := consolidation.DefaultACOConfig()
 	cfg.Parallel = true
@@ -236,6 +252,7 @@ func BenchmarkElectionFailover(b *testing.B) {
 // BenchmarkClusterFormation144 measures building + settling the paper's
 // 144-node topology.
 func BenchmarkClusterFormation144(b *testing.B) {
+	skipInShort(b)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c := cluster.New(cluster.DefaultConfig(workload.Grid5000Topology(144, 12), int64(i)))
@@ -249,6 +266,7 @@ func BenchmarkClusterFormation144(b *testing.B) {
 // BenchmarkSubmission500VMs measures the paper-scale submission (500 VMs on
 // 144 nodes) end to end in the simulator.
 func BenchmarkSubmission500VMs(b *testing.B) {
+	skipInShort(b)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c := cluster.New(cluster.DefaultConfig(workload.Grid5000Topology(144, 12), int64(i)))

@@ -1,68 +1,59 @@
-// Command snoozectl is the CLI client for a snoozed control process — the
-// analogue of the paper's command line interface: it supports VM management
-// and "live visualizing and exporting of the hierarchy organization"
-// (Section II-A).
+// Command snoozectl is the CLI for the api/v1 control plane — the analogue
+// of the paper's command line interface for VM management and "live
+// visualizing and exporting of the hierarchy organization" (Section II-A).
+// It speaks only the versioned typed client (api/v1/client), so it works
+// identically against a live snoozed process and any other /v1 server.
 //
 // Usage:
 //
 //	snoozectl -server http://localhost:7001 gl
-//	snoozectl -server http://localhost:7001 topology
+//	snoozectl -server http://localhost:7001 topology -deep
 //	snoozectl -server http://localhost:7001 submit -n 4 -cpu 2 -mem 2048
+//	snoozectl -server http://localhost:7001 vms
+//	snoozectl -server http://localhost:7001 nodes
+//	snoozectl -server http://localhost:7001 consolidate -algorithm aco
+//	snoozectl -server http://localhost:7001 metrics
+//	snoozectl -server http://localhost:7001 experiment e4
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
-	"snooze/internal/protocol"
-	"snooze/internal/rest"
-	"snooze/internal/types"
+	apiv1 "snooze/api/v1"
+	apiclient "snooze/api/v1/client"
 )
 
 func main() {
 	server := flag.String("server", "http://localhost:7001", "control process base URL")
-	ep := flag.String("ep", "ep:0", "entry point bus address")
+	timeout := flag.Duration("timeout", 2*time.Minute, "request timeout")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 	}
-	cli := rest.NewClient(2 * time.Minute)
-
-	discoverGL := func() string {
-		reply, err := cli.Call(*server, *ep, protocol.KindGLQuery, struct{}{})
-		fatalIf(err)
-		r := reply.(protocol.GLQueryResponse)
-		if !r.Known {
-			fatalIf(fmt.Errorf("no group leader known to entry point %s", *ep))
-		}
-		return r.Addr
-	}
+	cli := apiclient.New(*server, apiclient.WithTimeout(*timeout))
+	ctx := context.Background()
 
 	switch args[0] {
 	case "gl":
-		fmt.Println(discoverGL())
+		topo, err := cli.Topology(ctx, false)
+		fatalIf(err)
+		fmt.Println(topo.GL)
+
 	case "topology":
 		fs := flag.NewFlagSet("topology", flag.ExitOnError)
 		deep := fs.Bool("deep", false, "include per-LC detail (GL fans out to GMs)")
 		fatalIf(fs.Parse(args[1:]))
-		gl := discoverGL()
-		reply, err := cli.Call(*server, gl, protocol.KindTopology, protocol.TopologyRequest{Deep: *deep})
+		topo, err := cli.Topology(ctx, *deep)
 		fatalIf(err)
-		topo := reply.(protocol.TopologyResponse)
-		fmt.Printf("GL %s\n", topo.GL)
-		for _, gm := range topo.GMs {
-			s := gm.Summary
-			fmt.Printf("└─ GM %s (%s): %d active LCs, %d asleep, %d VMs, reserved %v of %v\n",
-				gm.GM, gm.Addr, s.ActiveLCs, s.AsleepLCs, s.VMs, s.Reserved, s.Total)
-			for _, lc := range gm.LCs {
-				fmt.Printf("   └─ LC %s [%s]: %d VMs, reserved %v of %v\n",
-					lc.ID, lc.Power, lc.VMs, lc.Reserved, lc.Capacity)
-			}
-		}
+		printTopology(topo)
+
 	case "submit":
 		fs := flag.NewFlagSet("submit", flag.ExitOnError)
 		n := fs.Int("n", 1, "number of VMs")
@@ -70,26 +61,137 @@ func main() {
 		mem := fs.Float64("mem", 1024, "memory (MB) per VM")
 		prefix := fs.String("prefix", "vm", "VM ID prefix")
 		fatalIf(fs.Parse(args[1:]))
-		var vms []types.VMSpec
+		specs := make([]apiv1.VMSpec, 0, *n)
 		for i := 0; i < *n; i++ {
-			vms = append(vms, types.VMSpec{
-				ID:        types.VMID(fmt.Sprintf("%s-%d-%d", *prefix, time.Now().UnixNano()%100000, i)),
-				Requested: types.RV(*cpu, *mem, 10, 10),
+			specs = append(specs, apiv1.VMSpec{
+				ID:        fmt.Sprintf("%s-%d-%d", *prefix, time.Now().UnixNano()%100000, i),
+				Requested: apiv1.Resources{CPU: *cpu, MemoryMB: *mem, NetRxMbps: 10, NetTxMbps: 10},
 			})
 		}
-		gl := discoverGL()
-		reply, err := cli.Call(*server, gl, protocol.KindSubmit, protocol.SubmitRequest{VMs: vms})
+		result, err := cli.SubmitVMs(ctx, specs)
 		fatalIf(err)
-		resp := reply.(protocol.SubmitResponse)
-		out, _ := json.MarshalIndent(resp, "", "  ")
-		fmt.Println(string(out))
+		printJSON(result)
+
+	case "vms":
+		vms, err := cli.ListVMs(ctx)
+		fatalIf(err)
+		for _, vm := range vms {
+			fmt.Printf("%-24s %-10s node=%-12s cpu=%.2f mem=%.0f\n",
+				vm.ID, vm.State, vm.Node, vm.Requested.CPU, vm.Requested.MemoryMB)
+		}
+		fmt.Printf("%d VMs\n", len(vms))
+
+	case "vm":
+		if len(args) < 2 {
+			usage()
+		}
+		vm, err := cli.GetVM(ctx, args[1])
+		fatalIf(err)
+		printJSON(vm)
+
+	case "nodes":
+		nodes, err := cli.ListNodes(ctx)
+		fatalIf(err)
+		for _, n := range nodes {
+			fmt.Printf("%-14s %-10s %2d VMs  reserved cpu=%.2f/%.2f mem=%.0f/%.0f\n",
+				n.ID, n.Power, len(n.VMs), n.Reserved.CPU, n.Capacity.CPU, n.Reserved.MemoryMB, n.Capacity.MemoryMB)
+		}
+		fmt.Printf("%d nodes\n", len(nodes))
+
+	case "node":
+		if len(args) < 2 {
+			usage()
+		}
+		node, err := cli.GetNode(ctx, args[1])
+		fatalIf(err)
+		printJSON(node)
+
+	case "fail":
+		if len(args) < 2 {
+			usage()
+		}
+		fatalIf(cli.FailNode(ctx, args[1]))
+		fmt.Printf("node %s failed\n", args[1])
+
+	case "consolidate":
+		fs := flag.NewFlagSet("consolidate", flag.ExitOnError)
+		algo := fs.String("algorithm", apiv1.AlgorithmACO, "solver: aco | ffd | optimal")
+		fatalIf(fs.Parse(args[1:]))
+		plan, err := cli.Consolidate(ctx, apiv1.ConsolidationRequest{Algorithm: *algo})
+		fatalIf(err)
+		fmt.Printf("%s: %d VMs on %d/%d hosts -> %d hosts (%d migrations)\n",
+			plan.Algorithm, plan.VMs, plan.HostsBefore, plan.HostsTotal, plan.HostsAfter, len(plan.Migrations))
+		for _, m := range plan.Migrations {
+			fmt.Printf("  %-24s %s -> %s\n", m.VM, m.From, m.To)
+		}
+
+	case "metrics":
+		snap, err := cli.Metrics(ctx)
+		fatalIf(err)
+		names := make([]string, 0, len(snap.Counters))
+		for name := range snap.Counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("%-32s %d\n", name, snap.Counters[name])
+		}
+		names = names[:0]
+		for name := range snap.Series {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			s := snap.Series[name]
+			fmt.Printf("%-32s n=%d mean=%.2f p95=%.2f p99=%.2f\n", name, s.N, s.Mean, s.P95, s.P99)
+		}
+
+	case "experiment":
+		if len(args) < 2 {
+			usage()
+		}
+		exp, err := cli.Experiment(ctx, args[1])
+		fatalIf(err)
+		fmt.Printf("== %s: %s ==\n%s", exp.ID, exp.Title, exp.Table)
+		for _, n := range exp.Notes {
+			fmt.Println("note: " + n)
+		}
+
 	default:
 		usage()
 	}
 }
 
+func printTopology(topo apiv1.Topology) {
+	fmt.Printf("GL %s\n", topo.GL)
+	for _, gm := range topo.GMs {
+		s := gm.Summary
+		fmt.Printf("└─ GM %s (%s): %d active LCs, %d asleep, %d VMs, reserved cpu=%.2f of %.2f\n",
+			gm.ID, gm.Addr, s.ActiveLCs, s.AsleepLCs, s.VMs, s.Reserved.CPU, s.Total.CPU)
+		for _, lc := range gm.LCs {
+			fmt.Printf("   └─ LC %s [%s]: %d VMs, reserved cpu=%.2f of %.2f\n",
+				lc.ID, lc.Power, lc.VMs, lc.Reserved.CPU, lc.Capacity.CPU)
+		}
+	}
+}
+
+func printJSON(v any) {
+	out, _ := json.MarshalIndent(v, "", "  ")
+	fmt.Println(string(out))
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: snoozectl [-server URL] [-ep ADDR] gl|topology|submit [flags]")
+	fmt.Fprintln(os.Stderr, `usage: snoozectl [-server URL] [-timeout D] COMMAND
+commands:
+  gl                      print the current group leader address
+  topology [-deep]        show the hierarchy (GL -> GMs -> LCs)
+  submit [-n -cpu -mem]   submit a batch of VMs
+  vms | vm ID             list VMs / show one VM
+  nodes | node ID         list nodes / show one node
+  fail ID                 crash-stop a node (simulation backends)
+  consolidate [-algorithm aco|ffd|optimal]
+  metrics                 control-plane counters and latency series
+  experiment ID           reproduce one evaluation table (e1..e8, a1, a2)`)
 	os.Exit(2)
 }
 

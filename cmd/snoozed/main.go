@@ -5,8 +5,12 @@
 // Two roles exist:
 //
 //   - control: hosts the manager processes (GL election happens among
-//     them), the coordination service and the entry points.
-//   - node: hosts one simulated physical node with its Local Controller.
+//     them), the coordination service and the entry points. Control
+//     processes serve two HTTP surfaces: POST /deliver, the inter-component
+//     RPC tunnel (internal/rest), and /v1/*, the versioned typed operator
+//     API (api/v1) that snoozectl and programmatic clients consume.
+//   - node: hosts one simulated physical node with its Local Controller
+//     (serves /deliver only; operators talk to a control process).
 //
 // Processes discover each other through a peers file (JSON), standing in
 // for the paper's UDP multicast groups:
@@ -33,9 +37,12 @@ import (
 	"os"
 	"time"
 
+	"snooze/api/v1/livebackend"
+	apiserver "snooze/api/v1/server"
 	"snooze/internal/coord"
 	"snooze/internal/hierarchy"
 	"snooze/internal/hypervisor"
+	"snooze/internal/metrics"
 	"snooze/internal/protocol"
 	"snooze/internal/rest"
 	"snooze/internal/simkernel"
@@ -78,12 +85,15 @@ func main() {
 		log.Printf("registered %d peers", len(peers))
 	}
 
+	mux := http.NewServeMux()
 	switch *role {
 	case "control":
+		reg := metrics.NewRegistry()
 		svc := coord.NewService(rt)
 		for i := 0; i < *managers; i++ {
 			id := types.GroupManagerID(fmt.Sprintf("gm-%02d", i))
 			cfg := hierarchy.DefaultManagerConfig(id, transport.Address("mgr:"+string(id)))
+			cfg.Metrics = reg
 			m := hierarchy.NewManager(rt, bus, svc, cfg)
 			if err := m.Start(); err != nil {
 				log.Fatalf("manager %s: %v", id, err)
@@ -93,6 +103,16 @@ func main() {
 		ep := hierarchy.NewEP(rt, bus, "ep:0", 0)
 		ep.Start()
 		log.Printf("entry point at bus address ep:0")
+
+		// The operator API: the same /v1 contract the simulated backend
+		// serves, here backed by the live hierarchy on this process's bus.
+		backend := livebackend.New(livebackend.Config{
+			Bus:     bus,
+			EPs:     []transport.Address{"ep:0"},
+			Metrics: reg,
+		})
+		mux.Handle("/v1/", apiserver.New(backend).Handler())
+		log.Printf("api/v1 mounted at /v1")
 	case "node":
 		spec := types.NodeSpec{ID: types.NodeID(*nodeID), Capacity: types.RV(*cpu, *memMB, 1000, 1000)}
 		node := hypervisor.NewNode(rt, spec, hypervisor.DefaultConfig())
@@ -108,6 +128,7 @@ func main() {
 	_ = protocol.GroupGL // groups are wired through the peers file
 
 	srv := rest.NewServer(bus, 60*time.Second)
+	mux.Handle("/", srv.Handler())
 	log.Printf("snoozed %s listening on %s", *role, *listen)
-	log.Fatal(http.ListenAndServe(*listen, srv.Handler()))
+	log.Fatal(http.ListenAndServe(*listen, mux))
 }

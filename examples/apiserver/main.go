@@ -1,0 +1,89 @@
+// Apiserver: serve the versioned control-plane API (api/v1) from a
+// simulated cluster and operate it through the typed client — the same
+// routes a live snoozed deployment serves, so everything shown here works
+// verbatim against `snoozed -role control` too (or interactively via
+// `snoozectl -server http://localhost:7080 topology`).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sort"
+	"time"
+
+	"snooze"
+	apiv1 "snooze/api/v1"
+)
+
+func main() {
+	// A 16-node simulated cluster, settled so the hierarchy has formed.
+	top := snooze.Grid5000Topology(16, 2)
+	c := snooze.NewCluster(snooze.DefaultClusterConfig(top, 42))
+	c.Settle(30 * time.Second)
+
+	// Mount /v1 over the simulation and serve it on a local port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	backend := snooze.NewSimBackend(c, 0)
+	go func() { _ = http.Serve(ln, snooze.NewAPIHandler(backend)) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("api/v1 serving the simulated cluster at %s\n\n", base)
+
+	// Everything below is pure typed-client code: point it at a snoozed
+	// process instead and it behaves identically.
+	cli := snooze.NewAPIClient(base)
+	ctx := context.Background()
+
+	specs := make([]apiv1.VMSpec, 10)
+	for i := range specs {
+		specs[i] = apiv1.VMSpec{
+			ID:        fmt.Sprintf("vm-%02d", i),
+			Requested: apiv1.Resources{CPU: 1, MemoryMB: 1024, NetRxMbps: 10, NetTxMbps: 10},
+		}
+	}
+	result, err := cli.SubmitVMs(ctx, specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ids := make([]string, 0, len(result.Placed))
+	for id := range result.Placed {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Printf("  %-8s -> %s\n", id, result.Placed[id])
+	}
+	if len(result.Unplaced) > 0 {
+		fmt.Printf("  unplaced: %v\n", result.Unplaced)
+	}
+
+	topo, err := cli.Topology(ctx, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nGL %s\n", topo.GL)
+	for _, gm := range topo.GMs {
+		fmt.Printf("└─ GM %s: %d LCs, %d VMs\n", gm.ID, gm.Summary.ActiveLCs, gm.Summary.VMs)
+	}
+
+	// Let the VMs reach the running state, then plan a consolidation.
+	c.Settle(30 * time.Second)
+	plan, err := cli.Consolidate(ctx, apiv1.ConsolidationRequest{Algorithm: apiv1.AlgorithmACO})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nconsolidation (%s): %d VMs, %d -> %d hosts, %d migrations\n",
+		plan.Algorithm, plan.VMs, plan.HostsBefore, plan.HostsAfter, len(plan.Migrations))
+
+	snap, err := cli.Metrics(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("control-plane counters: %d submissions, %d placements ok\n",
+		snap.Counters["gl.submissions"], snap.Counters["gm.place-ok"])
+}

@@ -1,0 +1,3 @@
+module snooze
+
+go 1.22

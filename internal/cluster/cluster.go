@@ -269,12 +269,27 @@ func (c *Cluster) SubmitAndWait(vms []types.VMSpec, maxSim time.Duration) (proto
 
 // TopologyAndWait fetches the hierarchy export through the client.
 func (c *Cluster) TopologyAndWait(maxSim time.Duration) (protocol.TopologyResponse, error) {
+	return c.topologyAndWait(maxSim, false)
+}
+
+// TopologyDeepAndWait fetches the hierarchy export including per-LC detail
+// (the GL fans out to every GM).
+func (c *Cluster) TopologyDeepAndWait(maxSim time.Duration) (protocol.TopologyResponse, error) {
+	return c.topologyAndWait(maxSim, true)
+}
+
+func (c *Cluster) topologyAndWait(maxSim time.Duration, deep bool) (protocol.TopologyResponse, error) {
 	var resp protocol.TopologyResponse
 	var rerr error
 	done := false
-	c.Client.Topology(func(r protocol.TopologyResponse, err error) {
+	cb := func(r protocol.TopologyResponse, err error) {
 		resp, rerr, done = r, err, true
-	})
+	}
+	if deep {
+		c.Client.TopologyDeep(cb)
+	} else {
+		c.Client.Topology(cb)
+	}
 	deadline := c.Kernel.Now() + maxSim
 	for !done && c.Kernel.Now() < deadline {
 		if !c.Kernel.Step() {

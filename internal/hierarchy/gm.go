@@ -771,6 +771,30 @@ func (m *Manager) gmOnLCList(req *transport.Request) {
 	req.Respond(resp)
 }
 
+// gmOnInventory serves the api/v1 control-plane listing: every managed LC's
+// monitored status plus the VMs it hosts, with the hosting node filled in.
+// Each LC carries the age of its last monitor report so aggregators can
+// discard a stale claim when another GM reports the same LC more freshly.
+func (m *Manager) gmOnInventory(req *transport.Request) {
+	m.mu.Lock()
+	now := m.rt.Now()
+	resp := protocol.InventoryResponse{}
+	for _, lc := range m.lcs {
+		resp.Nodes = append(resp.Nodes, protocol.InventoryNode{
+			Status: lc.status,
+			AgeNs:  int64(now - lc.lastSeen),
+		})
+		for _, vm := range lc.vms {
+			vm.Node = lc.id
+			resp.VMs = append(resp.VMs, vm)
+		}
+	}
+	m.mu.Unlock()
+	sort.Slice(resp.Nodes, func(i, j int) bool { return resp.Nodes[i].Status.Spec.ID < resp.Nodes[j].Status.Spec.ID })
+	sort.Slice(resp.VMs, func(i, j int) bool { return resp.VMs[i].Spec.ID < resp.VMs[j].Spec.ID })
+	req.Respond(resp)
+}
+
 // LCBusy exposes the per-LC in-flight migration counters (experiment and
 // test instrumentation).
 func (m *Manager) LCBusy() map[types.NodeID]int {

@@ -338,6 +338,8 @@ func (m *Manager) handle(req *transport.Request) {
 		m.gmOnShed(req)
 	case protocol.KindLCList:
 		m.gmOnLCList(req)
+	case protocol.KindInventory:
+		m.gmOnInventory(req)
 	default:
 		req.RespondErr(fmt.Errorf("manager %s: unknown message kind %q", m.cfg.ID, req.Kind))
 	}

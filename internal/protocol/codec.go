@@ -43,7 +43,7 @@ func DecodeRequest(kind string, data json.RawMessage) (any, error) {
 		return decode[ShedRequest](data)
 	case KindTopology:
 		return decode[TopologyRequest](data)
-	case KindSuspendHost, KindWakeHost, KindGLQuery, KindRejoin, KindLCList:
+	case KindSuspendHost, KindWakeHost, KindGLQuery, KindRejoin, KindLCList, KindInventory:
 		return struct{}{}, nil
 	default:
 		return nil, fmt.Errorf("protocol: unknown request kind %q", kind)
@@ -75,6 +75,8 @@ func DecodeReply(kind string, data json.RawMessage) (any, error) {
 		return decode[ShedResponse](data)
 	case KindLCList:
 		return decode[LCListResponse](data)
+	case KindInventory:
+		return decode[InventoryResponse](data)
 	case KindGLHeartbeat, KindGMHeartbeat, KindSummary, KindMonitor, KindAnomaly,
 		KindStopVM, KindSuspendHost, KindWakeHost, KindRejoin:
 		return struct{}{}, nil

@@ -259,3 +259,25 @@ const KindLCList = "gm.lc-list"
 type LCListResponse struct {
 	LCs []TopologyLC `json:"lcs"`
 }
+
+// KindInventory asks a GM for its full resource inventory: the monitored
+// status of every managed LC and every VM it hosts. The api/v1 control-plane
+// backends aggregate these per-GM inventories into the GET /v1/vms and
+// GET /v1/nodes collections.
+const KindInventory = "gm.inventory"
+
+// InventoryNode is one LC's monitored status plus the age of its last
+// monitor report. During hierarchy churn (a rejoin after a GL change) two
+// GMs may briefly both claim an LC — the previous GM keeps a stale record
+// until its sweep expires it — so aggregators keep the freshest claim.
+type InventoryNode struct {
+	Status types.NodeStatus `json:"status"`
+	AgeNs  int64            `json:"ageNs"`
+}
+
+// InventoryResponse is a GM's resource inventory. VM statuses carry the
+// hosting node in their Node field.
+type InventoryResponse struct {
+	Nodes []InventoryNode  `json:"nodes"`
+	VMs   []types.VMStatus `json:"vms"`
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -40,6 +41,10 @@ type replyFrame struct {
 	Error   string          `json:"error,omitempty"`
 }
 
+// maxEnvelopeBytes caps /deliver request bodies: large VM batches fit with
+// room to spare, runaway or hostile bodies do not.
+const maxEnvelopeBytes = 1 << 20
+
 // Server exposes a local bus over HTTP.
 type Server struct {
 	bus     *transport.Bus
@@ -60,29 +65,47 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/deliver", s.handleDeliver)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		_, _ = io.WriteString(w, "ok\n")
+		writeFrame(w, http.StatusOK, replyFrame{Payload: json.RawMessage(`"ok"`)})
 	})
 	return mux
 }
 
+// writeFrame sends a reply frame with the given status; every /deliver
+// response is JSON, success or failure.
+func writeFrame(w http.ResponseWriter, status int, frame replyFrame) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(frame)
+}
+
 func (s *Server) handleDeliver(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		writeFrame(w, http.StatusMethodNotAllowed, replyFrame{Error: "POST only"})
 		return
 	}
 	var env Envelope
-	if err := json.NewDecoder(r.Body).Decode(&env); err != nil {
-		http.Error(w, "bad envelope: "+err.Error(), http.StatusBadRequest)
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxEnvelopeBytes)).Decode(&env); err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeFrame(w, status, replyFrame{Error: "bad envelope: " + err.Error()})
 		return
 	}
 	payload, err := protocol.DecodeRequest(env.Kind, env.Payload)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeFrame(w, http.StatusBadRequest, replyFrame{Error: err.Error()})
 		return
 	}
 	if env.OneWay {
-		_ = s.bus.Send(transport.Address(env.From), transport.Address(env.To), env.Kind, payload)
+		// An unknown destination is the caller's addressing mistake: report
+		// it as 404 instead of silently accepting the message.
+		if err := s.bus.Send(transport.Address(env.From), transport.Address(env.To), env.Kind, payload); errors.Is(err, transport.ErrUnreachable) {
+			writeFrame(w, http.StatusNotFound, replyFrame{Error: err.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusAccepted)
 		return
 	}
@@ -94,17 +117,20 @@ func (s *Server) handleDeliver(w http.ResponseWriter, r *http.Request) {
 	s.bus.Call(transport.Address(env.From), transport.Address(env.To), env.Kind, payload, s.timeout,
 		func(reply any, err error) { ch <- outcome{reply, err} })
 	out := <-ch
-	w.Header().Set("Content-Type", "application/json")
 	if out.err != nil {
-		_ = json.NewEncoder(w).Encode(replyFrame{Error: out.err.Error()})
+		status := http.StatusOK // component-level error: transport succeeded
+		if errors.Is(out.err, transport.ErrUnreachable) {
+			status = http.StatusNotFound
+		}
+		writeFrame(w, status, replyFrame{Error: out.err.Error()})
 		return
 	}
 	data, err := json.Marshal(out.reply)
 	if err != nil {
-		_ = json.NewEncoder(w).Encode(replyFrame{Error: "encode reply: " + err.Error()})
+		writeFrame(w, http.StatusOK, replyFrame{Error: "encode reply: " + err.Error()})
 		return
 	}
-	_ = json.NewEncoder(w).Encode(replyFrame{Payload: data})
+	writeFrame(w, http.StatusOK, replyFrame{Payload: data})
 }
 
 // ---------------------------------------------------------------------------
@@ -183,24 +209,29 @@ func (g *Gateway) forward(baseURL string, req *transport.Request) {
 	go func() {
 		resp, err := g.client.Post(baseURL+"/deliver", "application/json", bytes.NewReader(body))
 		if err != nil {
-			req.RespondErr(err)
+			// The remote process itself is not answering: same meaning as an
+			// unregistered bus address, so keep the sentinel for callers.
+			req.RespondErr(fmt.Errorf("%w: %s: %v", transport.ErrUnreachable, req.To, err))
 			return
 		}
 		defer resp.Body.Close()
 		if req.OneWay() {
 			return
 		}
-		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
-			data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-			req.RespondErr(fmt.Errorf("rest: %s: %s", resp.Status, bytes.TrimSpace(data)))
-			return
-		}
-		var frame replyFrame
-		if err := json.NewDecoder(resp.Body).Decode(&frame); err != nil {
+		frame, err := decodeFrame(resp)
+		if err != nil {
 			req.RespondErr(err)
 			return
 		}
 		if frame.Error != "" {
+			// A 404 frame is the server's "destination unreachable" marker;
+			// re-type it so errors.Is works across the HTTP hop.
+			if resp.StatusCode == http.StatusNotFound {
+				req.RespondErr(fmt.Errorf("%w: %s",
+					transport.ErrUnreachable,
+					strings.TrimPrefix(frame.Error, transport.ErrUnreachable.Error()+": ")))
+				return
+			}
 			req.RespondErr(errors.New(frame.Error))
 			return
 		}
@@ -248,16 +279,28 @@ func (c *Client) Call(baseURL string, addr, kind string, payload any) (any, erro
 		return nil, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return nil, fmt.Errorf("rest: %s: %s", resp.Status, bytes.TrimSpace(msg))
-	}
-	var frame replyFrame
-	if err := json.NewDecoder(resp.Body).Decode(&frame); err != nil {
+	frame, err := decodeFrame(resp)
+	if err != nil {
 		return nil, err
 	}
 	if frame.Error != "" {
 		return nil, errors.New(frame.Error)
 	}
 	return protocol.DecodeReply(kind, frame.Payload)
+}
+
+// decodeFrame reads a /deliver response: JSON frames carry the payload or a
+// component/addressing error regardless of status code; anything else
+// surfaces as a transport-level error.
+func decodeFrame(resp *http.Response) (replyFrame, error) {
+	var frame replyFrame
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted ||
+		strings.HasPrefix(resp.Header.Get("Content-Type"), "application/json") {
+		if err := json.NewDecoder(resp.Body).Decode(&frame); err != nil {
+			return frame, fmt.Errorf("rest: %s: %w", resp.Status, err)
+		}
+		return frame, nil
+	}
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	return frame, fmt.Errorf("rest: %s: %s", resp.Status, bytes.TrimSpace(data))
 }

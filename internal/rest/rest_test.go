@@ -1,6 +1,7 @@
 package rest
 
 import (
+	"errors"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -118,6 +119,36 @@ func TestGatewayForwardsBetweenProcesses(t *testing.T) {
 	resp := got.reply.(protocol.GLQueryResponse)
 	if resp.Addr != "hello-from-B" {
 		t.Fatalf("reply: %+v", resp)
+	}
+}
+
+func TestGatewayKeepsUnreachableTyped(t *testing.T) {
+	// An unreachable destination must stay errors.Is-able across the HTTP
+	// hop: api/v1/livebackend maps transport.ErrUnreachable to 503.
+	busA, _ := wallBus()
+	busB, _ := wallBus()
+	srvB := httptest.NewServer(NewServer(busB, time.Second).Handler())
+	defer srvB.Close()
+	gwA := NewGateway(busA, 5*time.Second)
+	gwA.AddPeer("ghost", srvB.URL) // registered locally, absent on B
+
+	errCh := make(chan error, 1)
+	busA.Call("local", "ghost", protocol.KindGLQuery, struct{}{}, 5*time.Second,
+		func(_ any, err error) { errCh <- err })
+	err := <-errCh
+	if !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("remote unreachable lost its type: %v", err)
+	}
+
+	// A dead remote process is equally unreachable.
+	srvDead := httptest.NewServer(NewServer(busB, time.Second).Handler())
+	gwA.AddPeer("dead", srvDead.URL)
+	srvDead.Close()
+	busA.Call("local", "dead", protocol.KindGLQuery, struct{}{}, 5*time.Second,
+		func(_ any, err error) { errCh <- err })
+	err = <-errCh
+	if !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("dead remote lost its type: %v", err)
 	}
 }
 

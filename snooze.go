@@ -18,6 +18,12 @@
 //   - a deterministic discrete-event simulation of the physical substrate
 //     (internal/simkernel, internal/hypervisor, internal/workload) and a
 //     REST transport for real deployments (internal/rest)
+//   - a versioned, typed control-plane API (api/v1): JSON DTOs, a Backend
+//     interface, /v1 HTTP resource routes (api/v1/server) and a typed Go
+//     client (api/v1/client). The same routes are served by the simulated
+//     cluster (api/v1/simbackend) and by a live snoozed control process
+//     (api/v1/livebackend), so operator tooling such as cmd/snoozectl works
+//     identically against both.
 //
 // Quick start (simulated cluster):
 //
@@ -26,6 +32,11 @@
 //	c.Settle(30 * time.Second)
 //	resp, err := c.SubmitAndWait(snooze.NewGenerator(1, nil).Batch(10), time.Minute)
 //
+// Serving the control-plane API over HTTP (any Backend works):
+//
+//	backend := snooze.NewSimBackend(c, 0)
+//	http.ListenAndServe(":7001", snooze.NewAPIHandler(backend))
+//
 // Consolidation only:
 //
 //	inst := snooze.NewInstance(snooze.InstanceConfig{Seed: 1, VMs: 100})
@@ -33,6 +44,13 @@
 package snooze
 
 import (
+	"net/http"
+	"time"
+
+	apiv1 "snooze/api/v1"
+	apiclient "snooze/api/v1/client"
+	apiserver "snooze/api/v1/server"
+	"snooze/api/v1/simbackend"
 	"snooze/internal/cluster"
 	"snooze/internal/consolidation"
 	"snooze/internal/experiments"
@@ -142,6 +160,36 @@ func SolveFFD(p Problem) (ConsolidationResult, error) {
 // SolveOptimal runs the exact branch-and-bound solver (the CPLEX stand-in).
 func SolveOptimal(p Problem) (ConsolidationResult, error) {
 	return consolidation.Exact{}.Solve(p)
+}
+
+// Versioned control-plane API (api/v1).
+type (
+	// APIBackend is the control-plane surface every deployment flavour
+	// implements (api/v1.Backend): the simulated cluster, a live snoozed
+	// hierarchy and the typed HTTP client.
+	APIBackend = apiv1.Backend
+	// APIClient is the typed /v1 HTTP client (api/v1/client.Client).
+	APIClient = apiclient.Client
+	// SimBackend adapts a simulated Cluster to the APIBackend interface.
+	SimBackend = simbackend.Backend
+)
+
+// NewSimBackend wraps a simulated cluster as an api/v1 Backend; maxSim
+// bounds the virtual time one control-plane call may consume (0 = one
+// virtual hour).
+func NewSimBackend(c *Cluster, maxSim time.Duration) *SimBackend {
+	return simbackend.New(c, maxSim)
+}
+
+// NewAPIHandler mounts the /v1 control-plane routes for any backend.
+func NewAPIHandler(b APIBackend) http.Handler {
+	return apiserver.New(b).Handler()
+}
+
+// NewAPIClient creates a typed client for a /v1 server (e.g. a snoozed
+// control process at "http://host:7001").
+func NewAPIClient(baseURL string) *APIClient {
+	return apiclient.New(baseURL)
 }
 
 // Experiments.
