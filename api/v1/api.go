@@ -18,7 +18,10 @@
 //	POST /v1/nodes/{id}/fail  crash-stop a node (simulation backends)
 //	GET  /v1/topology         hierarchy export (?deep=true for per-LC detail)
 //	POST /v1/consolidations   compute a consolidation plan (dry run)
-//	GET  /v1/metrics          control-plane counters and latency series
+//	GET  /v1/metrics          control-plane counters, gauges and latency series
+//	GET  /v1/series           telemetry: list series keys, or windowed queries
+//	                          (?entity=&metric=&fromNs=&toNs=&agg=&stepNs=)
+//	GET  /v1/watch            telemetry: SSE event stream (?from=seq replay)
 //	GET  /v1/experiments/{id} run one reproduced experiment (quick scale)
 //	GET  /v1/healthz          liveness
 //
@@ -180,10 +183,81 @@ type SeriesSummary struct {
 }
 
 // MetricsSnapshot is the GET /v1/metrics body: control-plane counters (VM
-// placements, relocations, failovers, ...) and duration series summaries.
+// placements, relocations, failovers, ...), point-in-time gauges (telemetry
+// volume) and duration series summaries.
 type MetricsSnapshot struct {
 	Counters map[string]int64         `json:"counters,omitempty"`
+	Gauges   map[string]float64       `json:"gauges,omitempty"`
 	Series   map[string]SeriesSummary `json:"series,omitempty"`
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry: time series and events
+// ---------------------------------------------------------------------------
+
+// Telemetry timestamps are runtime-relative nanoseconds: virtual time for a
+// simulated backend, process uptime for a live one. They order and window
+// samples; they are not wall-clock instants.
+
+// SeriesKey names one telemetry series: an entity ("node/<id>", "vm/<id>",
+// "gm/<id>") and a metric (e.g. "util", "cpu.used").
+type SeriesKey struct {
+	Entity string `json:"entity"`
+	Metric string `json:"metric"`
+}
+
+// SeriesList is the paginated GET /v1/series key listing (no entity param).
+type SeriesList struct {
+	Items      []SeriesKey `json:"items"`
+	Total      int         `json:"total"`
+	NextOffset int         `json:"nextOffset,omitempty"`
+}
+
+// SeriesPoint is one sample of a series query result.
+type SeriesPoint struct {
+	AtNs  int64   `json:"atNs"`
+	Value float64 `json:"value"`
+}
+
+// SeriesQuery parameterizes a windowed series query. The window is
+// [FromNs, ToNs] (ToNs <= 0 = unbounded); Agg + StepNs downsample the raw
+// window into fixed buckets ("min", "max", "avg", "last" or any "pXX"
+// percentile); Limit/Offset paginate the resulting points.
+type SeriesQuery struct {
+	Entity string
+	Metric string
+	FromNs int64
+	ToNs   int64
+	Agg    string
+	StepNs int64
+	Limit  int
+	Offset int
+}
+
+// SeriesData is the GET /v1/series windowed-query body.
+type SeriesData struct {
+	Entity string `json:"entity"`
+	Metric string `json:"metric"`
+	// Agg and StepNs echo the downsampling request ("" / 0 for raw).
+	Agg    string        `json:"agg,omitempty"`
+	StepNs int64         `json:"stepNs,omitempty"`
+	Points []SeriesPoint `json:"points"`
+	// Total counts the window's points before pagination.
+	Total      int `json:"total"`
+	NextOffset int `json:"nextOffset,omitempty"`
+}
+
+// Event is one entry of the telemetry journal as served by GET /v1/watch:
+// threshold crossings (node.overload, node.underload, node.normal), VM
+// lifecycle outcomes (vm.state) and hierarchy membership changes
+// (hierarchy.*). Seq is strictly monotonic per deployment and is the replay
+// cursor (?from=seq).
+type Event struct {
+	Seq    uint64            `json:"seq"`
+	AtNs   int64             `json:"atNs"`
+	Type   string            `json:"type"`
+	Entity string            `json:"entity,omitempty"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
 }
 
 // Experiment is one reproduced table/figure of the paper's evaluation,

@@ -29,8 +29,21 @@ type Backend interface {
 	// Consolidate computes a dry-run consolidation plan over the currently
 	// running VMs (Section III).
 	Consolidate(ctx context.Context, req ConsolidationRequest) (ConsolidationPlan, error)
-	// Metrics snapshots control-plane counters and series.
+	// Metrics snapshots control-plane counters, gauges and series.
 	Metrics(ctx context.Context) (MetricsSnapshot, error)
+	// ListSeries lists the telemetry series keys, sorted by entity then
+	// metric.
+	ListSeries(ctx context.Context) ([]SeriesKey, error)
+	// QuerySeries runs one windowed (optionally downsampled, paginated)
+	// telemetry query. Missing entity/metric or a bad aggregation return
+	// ErrInvalid; an unknown series returns an empty window, not an error
+	// (series appear with monitoring flow and are dropped when their entity
+	// leaves the deployment).
+	QuerySeries(ctx context.Context, q SeriesQuery) (SeriesData, error)
+	// Watch streams telemetry events, first replaying retained events with
+	// Seq >= from, then following live. The stream ends when ctx is
+	// cancelled, Close is called, or the consumer falls too far behind.
+	Watch(ctx context.Context, from uint64) (EventStream, error)
 	// FailNode crash-stops a node. Backends without fault injection (live
 	// deployments) return ErrUnsupported.
 	FailNode(ctx context.Context, id string) error
@@ -38,6 +51,19 @@ type Backend interface {
 	// quick scale ("e1".."e8", "a1", "a2" or a name); unknown IDs return
 	// ErrNotFound.
 	Experiment(ctx context.Context, id string) (Experiment, error)
+}
+
+// EventStream is a live telemetry event feed returned by Backend.Watch.
+type EventStream interface {
+	// Events delivers events in sequence order; the channel closes when the
+	// stream ends.
+	Events() <-chan Event
+	// Err reports why the channel closed: nil after Close or context end, a
+	// descriptive error when the stream was cut (e.g. a lagging consumer or
+	// a broken connection).
+	Err() error
+	// Close releases the stream's resources. Idempotent.
+	Close()
 }
 
 // Sentinel errors shared by all backends. The HTTP layer maps them onto

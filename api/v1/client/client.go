@@ -6,6 +6,7 @@
 package client
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -15,6 +16,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	apiv1 "snooze/api/v1"
@@ -229,6 +231,149 @@ func (c *Client) Metrics(ctx context.Context) (apiv1.MetricsSnapshot, error) {
 	var out apiv1.MetricsSnapshot
 	err := c.do(ctx, http.MethodGet, "/v1/metrics", nil, nil, &out)
 	return out, err
+}
+
+// ListSeriesPage fetches one page of the telemetry series key listing.
+func (c *Client) ListSeriesPage(ctx context.Context, limit, offset int) (apiv1.SeriesList, error) {
+	var out apiv1.SeriesList
+	err := c.do(ctx, http.MethodGet, "/v1/series", pageQuery(limit, offset), nil, &out)
+	return out, err
+}
+
+// ListSeries implements apiv1.Backend, paging through the key listing.
+func (c *Client) ListSeries(ctx context.Context) ([]apiv1.SeriesKey, error) {
+	var all []apiv1.SeriesKey
+	offset := 0
+	for {
+		page, err := c.ListSeriesPage(ctx, 0, offset)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, page.Items...)
+		if page.NextOffset == 0 {
+			return all, nil
+		}
+		offset = page.NextOffset
+	}
+}
+
+// QuerySeries implements apiv1.Backend.
+func (c *Client) QuerySeries(ctx context.Context, q apiv1.SeriesQuery) (apiv1.SeriesData, error) {
+	vals := pageQuery(q.Limit, q.Offset)
+	vals.Set("entity", q.Entity)
+	vals.Set("metric", q.Metric)
+	if q.FromNs != 0 {
+		vals.Set("fromNs", strconv.FormatInt(q.FromNs, 10))
+	}
+	if q.ToNs != 0 {
+		vals.Set("toNs", strconv.FormatInt(q.ToNs, 10))
+	}
+	if q.Agg != "" {
+		vals.Set("agg", q.Agg)
+	}
+	if q.StepNs != 0 {
+		vals.Set("stepNs", strconv.FormatInt(q.StepNs, 10))
+	}
+	var out apiv1.SeriesData
+	err := c.do(ctx, http.MethodGet, "/v1/series", vals, nil, &out)
+	return out, err
+}
+
+// watchStream adapts one SSE response to the EventStream interface.
+type watchStream struct {
+	ch     chan apiv1.Event
+	cancel context.CancelFunc
+
+	mu  sync.Mutex
+	err error
+}
+
+func (s *watchStream) Events() <-chan apiv1.Event { return s.ch }
+
+func (s *watchStream) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+func (s *watchStream) Close() { s.cancel() }
+
+func (s *watchStream) setErr(err error) {
+	s.mu.Lock()
+	s.err = err
+	s.mu.Unlock()
+}
+
+// Watch implements apiv1.Backend: it consumes the server's /v1/watch SSE
+// stream, replaying retained events with seq >= from before following live.
+// The stream is exempt from the client's per-request timeout; cancel ctx or
+// Close it to stop. On ErrLagged-style terminal events, reconnect with
+// from = last seen seq + 1.
+func (c *Client) Watch(ctx context.Context, from uint64) (apiv1.EventStream, error) {
+	u := c.base + "/v1/watch"
+	if from > 0 {
+		u += "?from=" + strconv.FormatUint(from, 10)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	// A watch outlives any sane request timeout: reuse the transport but not
+	// the client-wide deadline. Lifetime is governed by ctx alone.
+	hc := &http.Client{Transport: c.http.Transport, CheckRedirect: c.http.CheckRedirect, Jar: c.http.Jar}
+	resp, err := hc.Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	if resp.StatusCode >= 400 {
+		defer resp.Body.Close()
+		err := decodeError(resp)
+		cancel()
+		return nil, err
+	}
+	s := &watchStream{ch: make(chan apiv1.Event), cancel: cancel}
+	go func() {
+		defer close(s.ch)
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+		event, data := "", ""
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				data = strings.TrimPrefix(line, "data: ")
+			case line == "":
+				if event == "error" {
+					var msg string
+					_ = json.Unmarshal([]byte(data), &msg)
+					s.setErr(fmt.Errorf("apiv1: watch terminated by server: %s", msg))
+					return
+				}
+				if data != "" {
+					var ev apiv1.Event
+					if err := json.Unmarshal([]byte(data), &ev); err == nil {
+						select {
+						case s.ch <- ev:
+						case <-ctx.Done():
+							return
+						}
+					}
+				}
+				event, data = "", ""
+			}
+		}
+		if err := sc.Err(); err != nil && ctx.Err() == nil {
+			s.setErr(err)
+		}
+	}()
+	return s, nil
 }
 
 // Experiment implements apiv1.Backend.

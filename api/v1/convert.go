@@ -129,6 +129,12 @@ func FromRegistry(r *metrics.Registry) MetricsSnapshot {
 			}
 			snap.Counters[name] = c
 		}
+		if g, ok := r.Gauge(name); ok {
+			if snap.Gauges == nil {
+				snap.Gauges = make(map[string]float64)
+			}
+			snap.Gauges[name] = g
+		}
 		if series := r.Series(name); len(series) > 0 {
 			if snap.Series == nil {
 				snap.Series = make(map[string]SeriesSummary)

@@ -21,6 +21,7 @@ import (
 	apiv1 "snooze/api/v1"
 	"snooze/internal/metrics"
 	"snooze/internal/protocol"
+	"snooze/internal/telemetry"
 	"snooze/internal/transport"
 )
 
@@ -38,6 +39,11 @@ type Config struct {
 	// Metrics is the process registry served by GET /v1/metrics (may be
 	// nil: the snapshot is then empty).
 	Metrics *metrics.Registry
+	// Telemetry is the process-wide telemetry hub — pass the hub the manager
+	// processes feed (cmd/snoozed wires this) so /v1/series and /v1/watch
+	// see the hierarchy's monitoring flow. Nil creates an empty private hub:
+	// the routes work but stay silent.
+	Telemetry *telemetry.Hub
 }
 
 // Backend serves the api/v1 control plane from a live hierarchy.
@@ -57,6 +63,9 @@ func New(cfg Config) *Backend {
 	}
 	if cfg.CallTimeout <= 0 {
 		cfg.CallTimeout = 30 * time.Second
+	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewHub(telemetry.Options{Metrics: cfg.Metrics})
 	}
 	b := &Backend{cfg: cfg}
 	cfg.Bus.Register(cfg.Addr, func(req *transport.Request) {
@@ -263,7 +272,23 @@ func (b *Backend) Consolidate(ctx context.Context, req apiv1.ConsolidationReques
 
 // Metrics implements Backend from the process registry.
 func (b *Backend) Metrics(ctx context.Context) (apiv1.MetricsSnapshot, error) {
+	b.cfg.Telemetry.PublishGauges()
 	return apiv1.FromRegistry(b.cfg.Metrics), nil
+}
+
+// ListSeries implements Backend over the process telemetry hub.
+func (b *Backend) ListSeries(ctx context.Context) ([]apiv1.SeriesKey, error) {
+	return apiv1.ListHubSeries(b.cfg.Telemetry), nil
+}
+
+// QuerySeries implements Backend.
+func (b *Backend) QuerySeries(ctx context.Context, q apiv1.SeriesQuery) (apiv1.SeriesData, error) {
+	return apiv1.QueryHubSeries(b.cfg.Telemetry, q)
+}
+
+// Watch implements Backend over the process telemetry hub.
+func (b *Backend) Watch(ctx context.Context, from uint64) (apiv1.EventStream, error) {
+	return apiv1.WatchHub(ctx, b.cfg.Telemetry, from), nil
 }
 
 // FailNode implements Backend: live deployments have no fault injector.

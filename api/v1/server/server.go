@@ -9,6 +9,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
 	"time"
@@ -28,6 +29,11 @@ type Server struct {
 	// Timeout bounds each request's backend call (0 = no server-side bound;
 	// the backend's own timeouts still apply).
 	Timeout time.Duration
+	// StreamContext, when non-nil, additionally bounds long-lived streams
+	// (/v1/watch): cancelling it ends every open stream without touching
+	// in-flight short requests — wire it to the process's shutdown signal so
+	// http.Server.Shutdown can drain instead of waiting out SSE clients.
+	StreamContext context.Context
 }
 
 // New creates a server for the backend.
@@ -48,6 +54,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/topology", s.handleTopology)
 	mux.HandleFunc("POST /v1/consolidations", s.handleConsolidate)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/series", s.handleSeries)
+	mux.HandleFunc("GET /v1/watch", s.handleWatch)
 	mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -189,6 +197,126 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleSeries serves the telemetry store: without an entity parameter it
+// lists the series keys (paginated); with entity+metric it runs a windowed,
+// optionally downsampled query.
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.ctx(r)
+	defer cancel()
+	q := r.URL.Query()
+	limit, offset, ok := pageParams(w, r)
+	if !ok {
+		return
+	}
+	if q.Get("entity") == "" && q.Get("metric") == "" {
+		keys, err := s.backend.ListSeries(ctx)
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		lo, hi, next := apiv1.Page(len(keys), limit, offset)
+		writeJSON(w, http.StatusOK, apiv1.SeriesList{Items: emptyAsSlice(keys[lo:hi]), Total: len(keys), NextOffset: next})
+		return
+	}
+	sq := apiv1.SeriesQuery{
+		Entity: q.Get("entity"),
+		Metric: q.Get("metric"),
+		Agg:    q.Get("agg"),
+		Limit:  limit,
+		Offset: offset,
+	}
+	for _, p := range []struct {
+		name string
+		dst  *int64
+	}{{"fromNs", &sq.FromNs}, {"toNs", &sq.ToNs}, {"stepNs", &sq.StepNs}} {
+		if v := q.Get(p.name); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, apiv1.CodeInvalid, p.name+": want an integer (nanoseconds)")
+				return
+			}
+			*p.dst = n
+		}
+	}
+	data, err := s.backend.QuerySeries(ctx, sq)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if data.Points == nil {
+		data.Points = []apiv1.SeriesPoint{}
+	}
+	writeJSON(w, http.StatusOK, data)
+}
+
+// handleWatch serves the telemetry event stream as Server-Sent Events:
+// retained events with seq >= ?from replay first, then the stream follows
+// live until the client disconnects. Each event travels as
+//
+//	id: <seq>
+//	event: <type>
+//	data: <Event JSON>
+//
+// A consumer that falls too far behind receives a final "error" event and
+// should reconnect with from = last seen seq + 1. The watch deliberately
+// ignores the server's request timeout — streams live until either side
+// hangs up.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	var from uint64
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, apiv1.CodeInvalid, "from: want a non-negative integer")
+			return
+		}
+		from = n
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, apiv1.CodeInternal, "response writer cannot stream")
+		return
+	}
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	if s.StreamContext != nil {
+		stop := context.AfterFunc(s.StreamContext, cancel)
+		defer stop()
+	}
+	stream, err := s.backend.Watch(ctx, from)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer stream.Close()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	for {
+		select {
+		case ev, ok := <-stream.Events():
+			if !ok {
+				if serr := stream.Err(); serr != nil {
+					// json.Marshal keeps the payload valid JSON for any
+					// error text (Go %q escapes are not JSON).
+					msg, _ := json.Marshal(serr.Error())
+					fmt.Fprintf(w, "event: error\ndata: %s\n\n", msg)
+					flusher.Flush()
+				}
+				return
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+			flusher.Flush()
+		case <-ctx.Done():
+			return
+		}
+	}
 }
 
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {

@@ -202,7 +202,27 @@ func (b *Backend) Metrics(ctx context.Context) (apiv1.MetricsSnapshot, error) {
 		return apiv1.MetricsSnapshot{}, err
 	}
 	defer b.unlock()
+	b.c.Telemetry.PublishGauges()
 	return apiv1.FromRegistry(b.c.Metrics), nil
+}
+
+// ListSeries implements Backend over the cluster's telemetry hub. The hub is
+// internally synchronized, so telemetry reads skip the kernel slot — a
+// long-poll must never starve control-plane calls.
+func (b *Backend) ListSeries(ctx context.Context) ([]apiv1.SeriesKey, error) {
+	return apiv1.ListHubSeries(b.c.Telemetry), nil
+}
+
+// QuerySeries implements Backend.
+func (b *Backend) QuerySeries(ctx context.Context, q apiv1.SeriesQuery) (apiv1.SeriesData, error) {
+	return apiv1.QueryHubSeries(b.c.Telemetry, q)
+}
+
+// Watch implements Backend. Events flow while virtual time advances — any
+// concurrent control-plane call (or direct kernel driving by the test /
+// example that owns the cluster) pumps the stream.
+func (b *Backend) Watch(ctx context.Context, from uint64) (apiv1.EventStream, error) {
+	return apiv1.WatchHub(ctx, b.c.Telemetry, from), nil
 }
 
 // FailNode implements Backend: crash-stop a simulated node (fault injection

@@ -1,0 +1,206 @@
+package simbackend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	apiv1 "snooze/api/v1"
+	"snooze/internal/cluster"
+	"snooze/internal/workload"
+)
+
+func newBackend(t *testing.T) *Backend {
+	t.Helper()
+	c := cluster.New(cluster.DefaultConfig(workload.Grid5000Topology(6, 2), 11))
+	c.Settle(30 * time.Second)
+	if c.Leader() == nil {
+		t.Fatal("hierarchy did not form")
+	}
+	return New(c, 0)
+}
+
+func submit(t *testing.T, b *Backend, n int) apiv1.SubmitResult {
+	t.Helper()
+	specs := make([]apiv1.VMSpec, n)
+	for i := range specs {
+		specs[i] = apiv1.VMSpec{
+			ID:        fmt.Sprintf("vm-%02d", i),
+			Requested: apiv1.Resources{CPU: 1, MemoryMB: 1024, NetRxMbps: 10, NetTxMbps: 10},
+		}
+	}
+	result, err := b.SubmitVMs(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return result
+}
+
+func TestSubmitListGet(t *testing.T) {
+	b := newBackend(t)
+	ctx := context.Background()
+	result := submit(t, b, 5)
+	if len(result.Placed) != 5 {
+		t.Fatalf("placed: %+v", result)
+	}
+
+	vms, err := b.ListVMs(ctx)
+	if err != nil || len(vms) != 5 {
+		t.Fatalf("ListVMs: %d %v", len(vms), err)
+	}
+	for i := 1; i < len(vms); i++ {
+		if vms[i-1].ID >= vms[i].ID {
+			t.Fatalf("VMs not sorted: %s >= %s", vms[i-1].ID, vms[i].ID)
+		}
+	}
+	vm, err := b.GetVM(ctx, "vm-03")
+	if err != nil || vm.Node == "" {
+		t.Fatalf("GetVM: %+v %v", vm, err)
+	}
+	if _, err := b.GetVM(ctx, "nope"); !errors.Is(err, apiv1.ErrNotFound) {
+		t.Fatalf("GetVM unknown: %v", err)
+	}
+
+	nodes, err := b.ListNodes(ctx)
+	if err != nil || len(nodes) != 6 {
+		t.Fatalf("ListNodes: %d %v", len(nodes), err)
+	}
+	node, err := b.GetNode(ctx, vm.Node)
+	if err != nil || node.Capacity.CPU == 0 {
+		t.Fatalf("GetNode: %+v %v", node, err)
+	}
+	if _, err := b.GetNode(ctx, "nope"); !errors.Is(err, apiv1.ErrNotFound) {
+		t.Fatalf("GetNode unknown: %v", err)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	b := newBackend(t)
+	ctx := context.Background()
+	if _, err := b.SubmitVMs(ctx, nil); !errors.Is(err, apiv1.ErrInvalid) {
+		t.Fatalf("empty batch: %v", err)
+	}
+	dup := []apiv1.VMSpec{{ID: "a"}, {ID: "a"}}
+	if _, err := b.SubmitVMs(ctx, dup); !errors.Is(err, apiv1.ErrInvalid) {
+		t.Fatalf("duplicate IDs: %v", err)
+	}
+}
+
+func TestTopologyAndConsolidate(t *testing.T) {
+	b := newBackend(t)
+	ctx := context.Background()
+	submit(t, b, 6)
+
+	topo, err := b.Topology(ctx, true)
+	if err != nil || topo.GL == "" {
+		t.Fatalf("topology: %+v %v", topo, err)
+	}
+	lcs := 0
+	for _, gm := range topo.GMs {
+		lcs += len(gm.LCs)
+	}
+	if lcs != 6 {
+		t.Fatalf("deep topology LCs: %d", lcs)
+	}
+
+	// Let VMs reach running, then plan (dry run: no cluster mutation).
+	b.Cluster().Settle(30 * time.Second)
+	plan, err := b.Consolidate(ctx, apiv1.ConsolidationRequest{Algorithm: apiv1.AlgorithmFFD})
+	if err != nil || plan.VMs != 6 {
+		t.Fatalf("consolidate: %+v %v", plan, err)
+	}
+	if _, err := b.Consolidate(ctx, apiv1.ConsolidationRequest{Algorithm: "magic"}); !errors.Is(err, apiv1.ErrInvalid) {
+		t.Fatalf("bad algorithm: %v", err)
+	}
+}
+
+func TestFailNode(t *testing.T) {
+	b := newBackend(t)
+	ctx := context.Background()
+	if err := b.FailNode(ctx, "nope"); !errors.Is(err, apiv1.ErrNotFound) {
+		t.Fatalf("fail unknown: %v", err)
+	}
+	nodes, _ := b.ListNodes(ctx)
+	if err := b.FailNode(ctx, nodes[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	b.Cluster().Settle(5 * time.Second)
+	got, err := b.GetNode(ctx, nodes[0].ID)
+	if err != nil || got.Power != "failed" {
+		t.Fatalf("after fail: %+v %v", got, err)
+	}
+}
+
+func TestMetricsAndTelemetry(t *testing.T) {
+	b := newBackend(t)
+	ctx := context.Background()
+	submit(t, b, 3)
+	b.Cluster().Settle(time.Minute)
+
+	snap, err := b.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["gm.place-ok"] == 0 {
+		t.Fatalf("counters: %+v", snap.Counters)
+	}
+	if snap.Gauges["telemetry.samples-total"] == 0 {
+		t.Fatalf("telemetry gauges missing: %+v", snap.Gauges)
+	}
+
+	keys, err := b.ListSeries(ctx)
+	if err != nil || len(keys) == 0 {
+		t.Fatalf("ListSeries: %d %v", len(keys), err)
+	}
+	data, err := b.QuerySeries(ctx, apiv1.SeriesQuery{Entity: keys[0].Entity, Metric: keys[0].Metric})
+	if err != nil || data.Total == 0 {
+		t.Fatalf("QuerySeries: %+v %v", data, err)
+	}
+
+	// The watch replays placement events already journaled.
+	stream, err := b.Watch(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	placed := 0
+	timeout := time.After(5 * time.Second)
+	for placed < 3 {
+		select {
+		case ev, ok := <-stream.Events():
+			if !ok {
+				t.Fatalf("watch ended: %v", stream.Err())
+			}
+			if ev.Type == "vm.state" && ev.Attrs["state"] == "placed" {
+				placed++
+			}
+		case <-timeout:
+			t.Fatalf("saw %d placements in replay", placed)
+		}
+	}
+}
+
+func TestContextCancellationUnblocksCaller(t *testing.T) {
+	b := newBackend(t)
+	// Occupy the op slot so the next caller must wait; its context deadline
+	// has to unblock it with the context error.
+	<-b.ops
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := b.ListVMs(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked list: %v", err)
+	}
+	b.ops <- struct{}{}
+	if _, err := b.ListVMs(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExperimentRoute(t *testing.T) {
+	b := newBackend(t)
+	if _, err := b.Experiment(context.Background(), "nope"); !errors.Is(err, apiv1.ErrNotFound) {
+		t.Fatalf("unknown experiment: %v", err)
+	}
+}

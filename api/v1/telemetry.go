@@ -1,0 +1,122 @@
+package apiv1
+
+// Backend-neutral telemetry implementations: both in-process backends
+// (simbackend, livebackend) reduce /v1/series and /v1/watch to the shared
+// telemetry hub through the helpers here, so the wire semantics cannot drift
+// between deployment flavours.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"snooze/internal/telemetry"
+)
+
+// FromTelemetryEvent converts a journal event to the wire form.
+func FromTelemetryEvent(ev telemetry.Event) Event {
+	return Event{Seq: ev.Seq, AtNs: int64(ev.At), Type: ev.Type, Entity: ev.Entity, Attrs: ev.Attrs}
+}
+
+// ListHubSeries implements Backend.ListSeries over a telemetry hub.
+func ListHubSeries(h *telemetry.Hub) []SeriesKey {
+	keys := h.Store().Keys()
+	out := make([]SeriesKey, len(keys))
+	for i, k := range keys {
+		out[i] = SeriesKey{Entity: k.Entity, Metric: k.Metric}
+	}
+	return out
+}
+
+// QueryHubSeries implements Backend.QuerySeries over a telemetry hub.
+func QueryHubSeries(h *telemetry.Hub, q SeriesQuery) (SeriesData, error) {
+	if q.Entity == "" || q.Metric == "" {
+		return SeriesData{}, fmt.Errorf("%w: series query needs entity and metric", ErrInvalid)
+	}
+	if q.FromNs < 0 || (q.ToNs > 0 && q.ToNs < q.FromNs) {
+		return SeriesData{}, fmt.Errorf("%w: bad window [%d, %d]", ErrInvalid, q.FromNs, q.ToNs)
+	}
+	var agg telemetry.Agg
+	if q.Agg != "" {
+		var err error
+		if agg, err = telemetry.ParseAgg(q.Agg); err != nil {
+			return SeriesData{}, fmt.Errorf("%w: %v", ErrInvalid, err)
+		}
+		if q.StepNs < 0 {
+			return SeriesData{}, fmt.Errorf("%w: negative step", ErrInvalid)
+		}
+	} else if q.StepNs != 0 {
+		return SeriesData{}, fmt.Errorf("%w: step needs an aggregation", ErrInvalid)
+	}
+
+	samples := h.Store().Query(q.Entity, q.Metric, time.Duration(q.FromNs), time.Duration(q.ToNs))
+	if q.Agg != "" {
+		samples = telemetry.Downsample(samples, time.Duration(q.StepNs), agg)
+	}
+	out := SeriesData{Entity: q.Entity, Metric: q.Metric, Agg: q.Agg, StepNs: q.StepNs, Total: len(samples)}
+	lo, hi, next := Page(len(samples), q.Limit, q.Offset)
+	out.NextOffset = next
+	out.Points = make([]SeriesPoint, 0, hi-lo)
+	for _, s := range samples[lo:hi] {
+		out.Points = append(out.Points, SeriesPoint{AtNs: int64(s.At), Value: s.Value})
+	}
+	return out, nil
+}
+
+// hubStream adapts a journal subscription to the EventStream interface.
+type hubStream struct {
+	sub    *telemetry.Subscription
+	ch     chan Event
+	cancel context.CancelFunc
+
+	mu  sync.Mutex
+	err error
+}
+
+// WatchHub implements Backend.Watch over a telemetry hub. The stream follows
+// the journal until ctx ends, Close is called or the subscription lags out.
+func WatchHub(ctx context.Context, h *telemetry.Hub, from uint64) EventStream {
+	ctx, cancel := context.WithCancel(ctx)
+	s := &hubStream{sub: h.Journal().Subscribe(from, 0), ch: make(chan Event), cancel: cancel}
+	go func() {
+		defer close(s.ch)
+		defer s.sub.Close()
+		for {
+			select {
+			case ev, ok := <-s.sub.Events():
+				if !ok {
+					s.setErr(s.sub.Err())
+					return
+				}
+				select {
+				case s.ch <- FromTelemetryEvent(ev):
+				case <-ctx.Done():
+					return
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return s
+}
+
+func (s *hubStream) setErr(err error) {
+	s.mu.Lock()
+	s.err = err
+	s.mu.Unlock()
+}
+
+// Events implements EventStream.
+func (s *hubStream) Events() <-chan Event { return s.ch }
+
+// Err implements EventStream.
+func (s *hubStream) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close implements EventStream.
+func (s *hubStream) Close() { s.cancel() }

@@ -13,6 +13,9 @@
 //	snoozectl -server http://localhost:7001 nodes
 //	snoozectl -server http://localhost:7001 consolidate -algorithm aco
 //	snoozectl -server http://localhost:7001 metrics
+//	snoozectl -server http://localhost:7001 series
+//	snoozectl -server http://localhost:7001 series -entity node/n1 -metric util -agg max -step 30s
+//	snoozectl -server http://localhost:7001 watch -from 1
 //	snoozectl -server http://localhost:7001 experiment e4
 package main
 
@@ -128,23 +131,70 @@ func main() {
 	case "metrics":
 		snap, err := cli.Metrics(ctx)
 		fatalIf(err)
-		names := make([]string, 0, len(snap.Counters))
-		for name := range snap.Counters {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		for _, name := range names {
+		for _, name := range sortedKeys(snap.Counters) {
 			fmt.Printf("%-32s %d\n", name, snap.Counters[name])
 		}
-		names = names[:0]
-		for name := range snap.Series {
-			names = append(names, name)
+		for _, name := range sortedKeys(snap.Gauges) {
+			fmt.Printf("%-32s %g\n", name, snap.Gauges[name])
 		}
-		sort.Strings(names)
-		for _, name := range names {
+		for _, name := range sortedKeys(snap.Series) {
 			s := snap.Series[name]
 			fmt.Printf("%-32s n=%d mean=%.2f p95=%.2f p99=%.2f\n", name, s.N, s.Mean, s.P95, s.P99)
 		}
+
+	case "series":
+		fs := flag.NewFlagSet("series", flag.ExitOnError)
+		entity := fs.String("entity", "", "series entity (node/<id>, vm/<id>, gm/<id>); empty lists all keys")
+		metric := fs.String("metric", "", "series metric (util, cpu.used, mem.used, vms, ...)")
+		from := fs.Duration("from", 0, "window start (runtime-relative, e.g. 10m)")
+		to := fs.Duration("to", 0, "window end (0 = unbounded)")
+		agg := fs.String("agg", "", "downsample aggregation: min|max|avg|last|pXX")
+		step := fs.Duration("step", 0, "downsample bucket width (with -agg)")
+		fatalIf(fs.Parse(args[1:]))
+		if *entity == "" && *metric == "" {
+			keys, err := cli.ListSeries(ctx)
+			fatalIf(err)
+			for _, k := range keys {
+				fmt.Printf("%-24s %s\n", k.Entity, k.Metric)
+			}
+			fmt.Printf("%d series\n", len(keys))
+			break
+		}
+		data, err := cli.QuerySeries(ctx, apiv1.SeriesQuery{
+			Entity: *entity, Metric: *metric,
+			FromNs: int64(*from), ToNs: int64(*to),
+			Agg: *agg, StepNs: int64(*step),
+		})
+		fatalIf(err)
+		fmt.Printf("%s %s", data.Entity, data.Metric)
+		if data.Agg != "" {
+			fmt.Printf(" (%s per %s)", data.Agg, time.Duration(data.StepNs))
+		}
+		fmt.Printf(": %d points\n", data.Total)
+		for _, p := range data.Points {
+			fmt.Printf("%14s  %.4f\n", time.Duration(p.AtNs), p.Value)
+		}
+
+	case "watch":
+		fs := flag.NewFlagSet("watch", flag.ExitOnError)
+		from := fs.Uint64("from", 0, "replay retained events from this sequence number")
+		n := fs.Int("n", 0, "stop after N events (0 = stream forever)")
+		fatalIf(fs.Parse(args[1:]))
+		stream, err := cli.Watch(ctx, *from)
+		fatalIf(err)
+		defer stream.Close()
+		seen := 0
+		for ev := range stream.Events() {
+			attrs := ""
+			for _, k := range sortedKeys(ev.Attrs) {
+				attrs += fmt.Sprintf(" %s=%s", k, ev.Attrs[k])
+			}
+			fmt.Printf("%8d %14s %-20s %s%s\n", ev.Seq, time.Duration(ev.AtNs), ev.Type, ev.Entity, attrs)
+			if seen++; *n > 0 && seen >= *n {
+				break
+			}
+		}
+		fatalIf(stream.Err())
 
 	case "experiment":
 		if len(args) < 2 {
@@ -175,6 +225,15 @@ func printTopology(topo apiv1.Topology) {
 	}
 }
 
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
 func printJSON(v any) {
 	out, _ := json.MarshalIndent(v, "", "  ")
 	fmt.Println(string(out))
@@ -190,7 +249,11 @@ commands:
   nodes | node ID         list nodes / show one node
   fail ID                 crash-stop a node (simulation backends)
   consolidate [-algorithm aco|ffd|optimal]
-  metrics                 control-plane counters and latency series
+  metrics                 control-plane counters, gauges and latency series
+  series [-entity -metric -from -to -agg -step]
+                          list telemetry series, or dump one as a table
+  watch [-from SEQ] [-n N]
+                          stream telemetry events (overloads, vm.state, ...)
   experiment ID           reproduce one evaluation table (e1..e8, a1, a2)`)
 	os.Exit(2)
 }

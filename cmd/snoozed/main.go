@@ -29,12 +29,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"snooze/api/v1/livebackend"
@@ -46,6 +50,7 @@ import (
 	"snooze/internal/protocol"
 	"snooze/internal/rest"
 	"snooze/internal/simkernel"
+	"snooze/internal/telemetry"
 	"snooze/internal/transport"
 	"snooze/internal/types"
 )
@@ -85,15 +90,25 @@ func main() {
 		log.Printf("registered %d peers", len(peers))
 	}
 
+	// The signal context ends long-lived /v1/watch streams at shutdown, so
+	// http.Server.Shutdown can drain; short in-flight requests are left to
+	// complete normally.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	mux := http.NewServeMux()
 	switch *role {
 	case "control":
 		reg := metrics.NewRegistry()
+		// One telemetry hub per control process: every manager feeds it and
+		// the /v1/series + /v1/watch routes read from it.
+		tel := telemetry.NewHub(telemetry.Options{Metrics: reg})
 		svc := coord.NewService(rt)
 		for i := 0; i < *managers; i++ {
 			id := types.GroupManagerID(fmt.Sprintf("gm-%02d", i))
 			cfg := hierarchy.DefaultManagerConfig(id, transport.Address("mgr:"+string(id)))
 			cfg.Metrics = reg
+			cfg.Telemetry = tel
 			m := hierarchy.NewManager(rt, bus, svc, cfg)
 			if err := m.Start(); err != nil {
 				log.Fatalf("manager %s: %v", id, err)
@@ -107,11 +122,14 @@ func main() {
 		// The operator API: the same /v1 contract the simulated backend
 		// serves, here backed by the live hierarchy on this process's bus.
 		backend := livebackend.New(livebackend.Config{
-			Bus:     bus,
-			EPs:     []transport.Address{"ep:0"},
-			Metrics: reg,
+			Bus:       bus,
+			EPs:       []transport.Address{"ep:0"},
+			Metrics:   reg,
+			Telemetry: tel,
 		})
-		mux.Handle("/v1/", apiserver.New(backend).Handler())
+		api := apiserver.New(backend)
+		api.StreamContext = ctx
+		mux.Handle("/v1/", api.Handler())
 		log.Printf("api/v1 mounted at /v1")
 	case "node":
 		spec := types.NodeSpec{ID: types.NodeID(*nodeID), Capacity: types.RV(*cpu, *memMB, 1000, 1000)}
@@ -129,6 +147,25 @@ func main() {
 
 	srv := rest.NewServer(bus, 60*time.Second)
 	mux.Handle("/", srv.Handler())
+
+	// Serve until SIGINT/SIGTERM, then drain gracefully: watch streams end
+	// via StreamContext, everything else finishes inside the Shutdown
+	// deadline.
+	httpSrv := &http.Server{Addr: *listen, Handler: mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
 	log.Printf("snoozed %s listening on %s", *role, *listen)
-	log.Fatal(http.ListenAndServe(*listen, mux))
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("signal received, draining connections")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("shutdown: %v", err)
+		}
+		log.Printf("snoozed %s stopped", *role)
+	}
 }

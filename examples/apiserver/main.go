@@ -11,7 +11,10 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"snooze"
@@ -24,20 +27,26 @@ func main() {
 	c := snooze.NewCluster(snooze.DefaultClusterConfig(top, 42))
 	c.Settle(30 * time.Second)
 
-	// Mount /v1 over the simulation and serve it on a local port.
+	// Mount /v1 over the simulation and serve it on a local port. The server
+	// is shut down gracefully at the end: /v1/watch SSE streams end via the
+	// API server's StreamContext, short requests drain inside Shutdown.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	backend := snooze.NewSimBackend(c, 0)
-	go func() { _ = http.Serve(ln, snooze.NewAPIHandler(backend)) }()
+	api := snooze.NewAPIServer(backend)
+	api.StreamContext = ctx
+	httpSrv := &http.Server{Handler: api.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
 	base := "http://" + ln.Addr().String()
 	fmt.Printf("api/v1 serving the simulated cluster at %s\n\n", base)
 
 	// Everything below is pure typed-client code: point it at a snoozed
 	// process instead and it behaves identically.
 	cli := snooze.NewAPIClient(base)
-	ctx := context.Background()
 
 	specs := make([]apiv1.VMSpec, 10)
 	for i := range specs {
@@ -86,4 +95,16 @@ func main() {
 	}
 	fmt.Printf("control-plane counters: %d submissions, %d placements ok\n",
 		snap.Counters["gl.submissions"], snap.Counters["gm.place-ok"])
+
+	// Keep serving for interactive exploration (snoozectl -server <base>);
+	// ctrl-C shuts the server down gracefully.
+	fmt.Printf("\nserving until interrupted — try: snoozectl -server %s topology\n", base)
+	<-ctx.Done()
+	stop()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	fmt.Println("bye")
 }

@@ -18,6 +18,7 @@ import (
 	"snooze/internal/metrics"
 	"snooze/internal/protocol"
 	"snooze/internal/simkernel"
+	"snooze/internal/telemetry"
 	"snooze/internal/transport"
 	"snooze/internal/types"
 	"snooze/internal/workload"
@@ -42,6 +43,10 @@ type Config struct {
 	MeterPeriod time.Duration
 	// Metrics receives counters from all managers (created when nil).
 	Metrics *metrics.Registry
+	// Telemetry is the deployment-wide telemetry hub shared by every manager
+	// (created when nil, with detector thresholds mirroring LC.Thresholds so
+	// the GM-side detector and the LC-side classifier agree).
+	Telemetry *telemetry.Hub
 	// AutoRole, when non-nil, enables autonomic manager-population control
 	// (the paper's Section V future work: the framework, not the
 	// administrator, decides which nodes act as GMs).
@@ -64,16 +69,17 @@ func DefaultConfig(top workload.Topology, seed int64) Config {
 
 // Cluster is a fully wired simulated deployment.
 type Cluster struct {
-	Kernel   *simkernel.Kernel
-	Bus      *transport.Bus
-	Coord    *coord.Service
-	Nodes    map[types.NodeID]*hypervisor.Node
-	LCs      map[types.NodeID]*hierarchy.LC
-	Managers []*hierarchy.Manager
-	EPs      []*hierarchy.EP
-	Client   *hierarchy.Client
-	Metrics  *metrics.Registry
-	AutoRole *hierarchy.AutoRole
+	Kernel    *simkernel.Kernel
+	Bus       *transport.Bus
+	Coord     *coord.Service
+	Nodes     map[types.NodeID]*hypervisor.Node
+	LCs       map[types.NodeID]*hierarchy.LC
+	Managers  []*hierarchy.Manager
+	EPs       []*hierarchy.EP
+	Client    *hierarchy.Client
+	Metrics   *metrics.Registry
+	Telemetry *telemetry.Hub
+	AutoRole  *hierarchy.AutoRole
 
 	cfg   Config
 	meter *simkernel.Ticker
@@ -85,17 +91,36 @@ func New(cfg Config) *Cluster {
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
 	}
+	if cfg.Telemetry == nil {
+		lcTh := cfg.LC.Thresholds
+		if lcTh.Overload == 0 {
+			lcTh = hierarchy.DefaultLCConfig().Thresholds
+		}
+		cooldown := cfg.LC.AnomalyCooldown
+		if cooldown == 0 {
+			cooldown = hierarchy.DefaultLCConfig().AnomalyCooldown
+		}
+		cfg.Telemetry = telemetry.NewHub(telemetry.Options{
+			Metrics: cfg.Metrics,
+			Thresholds: telemetry.Thresholds{
+				Overload:  lcTh.Overload,
+				Underload: lcTh.Underload,
+				Repeat:    cooldown,
+			},
+		})
+	}
 	k := simkernel.New(cfg.Seed)
 	bus := transport.NewBus(k, cfg.Bus)
 	svc := coord.NewService(k)
 	c := &Cluster{
-		Kernel:  k,
-		Bus:     bus,
-		Coord:   svc,
-		Nodes:   make(map[types.NodeID]*hypervisor.Node),
-		LCs:     make(map[types.NodeID]*hierarchy.LC),
-		Metrics: cfg.Metrics,
-		cfg:     cfg,
+		Kernel:    k,
+		Bus:       bus,
+		Coord:     svc,
+		Nodes:     make(map[types.NodeID]*hypervisor.Node),
+		LCs:       make(map[types.NodeID]*hierarchy.LC),
+		Metrics:   cfg.Metrics,
+		Telemetry: cfg.Telemetry,
+		cfg:       cfg,
 	}
 
 	// Nodes + LCs.
@@ -126,6 +151,7 @@ func New(cfg Config) *Cluster {
 			mcfg = mergeDefaults(mcfg)
 		}
 		mcfg.Metrics = cfg.Metrics
+		mcfg.Telemetry = cfg.Telemetry
 		m := hierarchy.NewManager(k, bus, svc, mcfg)
 		c.Managers = append(c.Managers, m)
 		if err := m.Start(); err != nil {
@@ -159,6 +185,7 @@ func New(cfg Config) *Cluster {
 				mcfg = mergeDefaults(mcfg)
 			}
 			mcfg.Metrics = cfg.Metrics
+			mcfg.Telemetry = cfg.Telemetry
 			m := hierarchy.NewManager(k, bus, svc, mcfg)
 			if err := m.Start(); err != nil {
 				return nil, err

@@ -1,9 +1,11 @@
 package hierarchy
 
 import (
+	"fmt"
 	"sort"
 
 	"snooze/internal/protocol"
+	"snooze/internal/telemetry"
 	"snooze/internal/transport"
 	"snooze/internal/types"
 )
@@ -19,6 +21,8 @@ func (m *Manager) becomeGLLocked() {
 	m.role = RoleGL
 	m.epoch++
 	m.mark("gl.promotions", 1)
+	m.emit(telemetry.EventGLElected, telemetry.GMEntity(m.cfg.ID),
+		map[string]string{"addr": string(m.cfg.Addr)})
 	// GM-side state is abandoned: "GL and GMs do not host VMs" and the
 	// paper's promoted GM sheds its LCs, which rejoin through the new GL.
 	m.lcs = make(map[types.NodeID]*lcRecord)
@@ -69,9 +73,11 @@ func (m *Manager) glSweepTick() {
 		return
 	}
 	now := m.rt.Now()
+	var failedGMs []types.GroupManagerID
 	for id, gm := range m.gms {
 		if now-gm.lastSeen > m.cfg.GMTimeout {
 			delete(m.gms, id)
+			failedGMs = append(failedGMs, id)
 			m.mark("gl.gm-failures", 1)
 		}
 	}
@@ -90,6 +96,7 @@ func (m *Manager) glSweepTick() {
 		}
 	}
 	var shedAddr transport.Address
+	var shedID types.GroupManagerID
 	shed := 0
 	if minGM != nil && maxGM != nil && minGM != maxGM {
 		lo := minGM.summary.ActiveLCs + minGM.summary.AsleepLCs
@@ -97,14 +104,21 @@ func (m *Manager) glSweepTick() {
 		if hi-lo >= 4 {
 			shed = (hi - lo) / 2
 			shedAddr = maxGM.addr
+			shedID = maxGM.id
 			// Optimistically shrink the summary so the next sweep does not
 			// re-issue before fresh summaries arrive.
 			maxGM.summary.ActiveLCs -= shed
 		}
 	}
 	m.mu.Unlock()
+	sort.Slice(failedGMs, func(i, j int) bool { return failedGMs[i] < failedGMs[j] })
+	for _, id := range failedGMs {
+		m.emit(telemetry.EventGMFailed, telemetry.GMEntity(id), nil)
+	}
 	if shed > 0 {
 		m.mark("gl.rebalances", 1)
+		m.emit(telemetry.EventRebalance, telemetry.GMEntity(shedID),
+			map[string]string{"shed": fmt.Sprintf("%d", shed)})
 		m.bus.Call(m.cfg.Addr, shedAddr, protocol.KindShed, protocol.ShedRequest{Count: shed}, m.cfg.CallTimeout,
 			func(any, error) {})
 	}
@@ -132,18 +146,23 @@ func (m *Manager) glOnGMJoin(req *transport.Request) {
 	rec.lastSeen = m.rt.Now()
 	m.mu.Unlock()
 	m.mark("gl.gm-joins", 1)
+	if !exists {
+		m.emit(telemetry.EventGMJoin, telemetry.GMEntity(join.GM),
+			map[string]string{"addr": join.Addr})
+	}
 	req.Respond(protocol.GMJoinResponse{Accepted: true})
 }
 
-// glOnSummary ingests a GM summary (doubles as GM→GL heartbeat).
+// glOnSummary ingests a GM summary (doubles as GM→GL heartbeat) and feeds
+// the per-group telemetry series the summary carries.
 func (m *Manager) glOnSummary(req *transport.Request) {
 	up, ok := req.Payload.(protocol.SummaryUpdate)
 	if !ok {
 		return
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.role != RoleGL || m.stopped {
+		m.mu.Unlock()
 		return
 	}
 	rec, exists := m.gms[up.Summary.GM]
@@ -153,6 +172,8 @@ func (m *Manager) glOnSummary(req *transport.Request) {
 	}
 	rec.summary = up.Summary
 	rec.lastSeen = m.rt.Now()
+	m.mu.Unlock()
+	m.tel.RecordGroup(m.rt.Now(), up.Summary)
 }
 
 // glOnLCAssign assigns an LC to a GM. The default policy follows the paper's

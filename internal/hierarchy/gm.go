@@ -9,6 +9,7 @@ import (
 	"snooze/internal/protocol"
 	"snooze/internal/resource"
 	"snooze/internal/scheduling"
+	"snooze/internal/telemetry"
 	"snooze/internal/transport"
 	"snooze/internal/types"
 )
@@ -149,6 +150,7 @@ func (m *Manager) gmOnLCJoin(req *transport.Request) {
 	rec.waking = false
 	m.mu.Unlock()
 	m.mark("gm.lc-joins", 1)
+	m.emit(telemetry.EventLCJoin, telemetry.NodeEntity(id), map[string]string{"gm": string(m.cfg.ID)})
 	req.Respond(protocol.LCJoinResponse{Accepted: true})
 	// Fresh capacity may satisfy queued placements.
 	m.drainPending()
@@ -156,7 +158,9 @@ func (m *Manager) gmOnLCJoin(req *transport.Request) {
 
 // gmOnMonitor ingests an LC monitoring report: store status, update per-VM
 // utilization histories and refresh the demand estimates used by schedulers
-// (Section II-B).
+// (Section II-B). Every accepted report also feeds the telemetry store (the
+// monitoring history operators query via /v1/series) and the anomaly
+// detector, whose node.overload / node.underload events drive relocation.
 func (m *Manager) gmOnMonitor(req *transport.Request) {
 	rep, ok := req.Payload.(protocol.MonitorReport)
 	if !ok {
@@ -204,7 +208,37 @@ func (m *Manager) gmOnMonitor(req *transport.Request) {
 		}
 	}
 	m.mu.Unlock()
+
+	now := m.rt.Now()
+	m.tel.RecordNode(now, rep.Status)
+	for _, vm := range rep.VMs {
+		m.tel.Record(telemetry.VMEntity(vm.Spec.ID), "cpu.used", now, vm.Used.CPU)
+	}
+	if ev, fired := m.tel.DetectNode(now, rep.Status); fired {
+		m.onTelemetryEvent(ev, rep.Status, rep.VMs)
+	}
 	m.drainPending()
+}
+
+// onTelemetryEvent reacts to a detector event: anomaly events trigger the
+// relocation policies, recoveries are journal-only. This is the single entry
+// point for relocation — the LC anomaly fast path and the monitoring path
+// both funnel through the detector, so an anomaly is acted on at most once
+// per Thresholds.Repeat cooldown per node, regardless of how many reports
+// carry it. status/vms are the report that fired the event — fresher than
+// the GM's cached record when messages reorder.
+func (m *Manager) onTelemetryEvent(ev telemetry.Event, status types.NodeStatus, vms []types.VMStatus) {
+	var kind protocol.AnomalyKind
+	switch ev.Type {
+	case telemetry.EventNodeOverload:
+		kind = protocol.AnomalyOverload
+	case telemetry.EventNodeUnderload:
+		kind = protocol.AnomalyUnderload
+	default:
+		return
+	}
+	m.mark("gm.detector-relocations", 1)
+	m.relocate(kind, status, vms)
 }
 
 // estimateLocked returns the demand estimate for one VM on one LC.
@@ -325,6 +359,8 @@ func (m *Manager) placeVM(spec types.VMSpec, cb func(node types.NodeID, ok bool)
 				return
 			}
 			m.mark("gm.place-ok", 1)
+			m.emit(telemetry.EventVMState, telemetry.VMEntity(spec.ID),
+				map[string]string{"state": "placed", "node": string(nodeID)})
 			cb(nodeID, true)
 		})
 }
@@ -407,13 +443,18 @@ func (m *Manager) drainPending() {
 					p.respond("", false)
 					return
 				}
+				m.emit(telemetry.EventVMState, telemetry.VMEntity(p.spec.ID),
+					map[string]string{"state": "placed", "node": string(nodeID)})
 				p.respond(nodeID, true)
 			})
 	}
 }
 
-// gmOnAnomaly handles an LC overload/underload report by running the
-// corresponding relocation policy and executing its moves (Section II-C).
+// gmOnAnomaly handles an LC overload/underload report. The LC's local
+// classification is advisory: the report's fresh status feeds the shared
+// telemetry detector, and relocation runs iff the detector (which the
+// monitoring path feeds too) confirms a crossing — the GM no longer
+// interprets thresholds ad hoc per message (Section II-C).
 func (m *Manager) gmOnAnomaly(req *transport.Request) {
 	rep, ok := req.Payload.(protocol.AnomalyReport)
 	if !ok {
@@ -421,18 +462,35 @@ func (m *Manager) gmOnAnomaly(req *transport.Request) {
 	}
 	m.mark("gm.anomalies-received", 1)
 	m.mu.Lock()
+	_, known := m.lcs[rep.Status.Spec.ID]
+	active := m.role == RoleGM && !m.stopped
+	m.mu.Unlock()
+	if !active || !known {
+		return
+	}
+	if ev, fired := m.tel.DetectNode(m.rt.Now(), rep.Status); fired {
+		m.onTelemetryEvent(ev, rep.Status, rep.VMs)
+	}
+}
+
+// relocate runs the relocation policy for an anomaly on one of this GM's
+// nodes and executes the resulting moves (Section II-C). It is invoked by
+// onTelemetryEvent, never directly from message handlers; status/vms are
+// the reported state that fired the detector.
+func (m *Manager) relocate(kind protocol.AnomalyKind, status types.NodeStatus, srcVMs []types.VMStatus) {
+	m.mu.Lock()
 	if m.role != RoleGM || m.stopped {
 		m.mu.Unlock()
 		return
 	}
-	src, exists := m.lcs[rep.Status.Spec.ID]
+	src, exists := m.lcs[status.Spec.ID]
 	if !exists || src.sleeping || src.busy > 0 {
 		m.mu.Unlock()
 		return
 	}
 	// Estimate demand for the source VMs.
-	vms := make([]types.VMStatus, len(rep.VMs))
-	copy(vms, rep.VMs)
+	vms := make([]types.VMStatus, len(srcVMs))
+	copy(vms, srcVMs)
 	for i := range vms {
 		vms[i].Used = m.estimateLocked(src, vms[i])
 	}
@@ -444,22 +502,22 @@ func (m *Manager) gmOnAnomaly(req *transport.Request) {
 		others = append(others, lc.status)
 	}
 	var policy = m.cfg.Overload
-	if rep.Kind == protocol.AnomalyUnderload {
+	if kind == protocol.AnomalyUnderload {
 		policy = m.cfg.Underload
 	}
-	moves := policy.Relocate(rep.Status, vms, others)
+	moves := policy.Relocate(status, vms, others)
 	if len(moves) == 0 {
 		// An unresolvable overload wakes sleeping capacity (Section III:
 		// "LCs are woken up by the GM in case ... overload situations on
 		// the LCs occur").
-		if rep.Kind == protocol.AnomalyOverload && m.cfg.EnergyEnabled {
+		if kind == protocol.AnomalyOverload && m.cfg.EnergyEnabled {
 			m.wakeOneLocked()
 		}
 		m.mu.Unlock()
 		return
 	}
 	m.mark("gm.relocations", int64(len(moves)))
-	if rep.Kind == protocol.AnomalyOverload {
+	if kind == protocol.AnomalyOverload {
 		m.mark("gm.overload-events", 1)
 	} else {
 		m.mark("gm.underload-events", 1)
@@ -510,6 +568,8 @@ func (m *Manager) executeMovesLocked(moves []scheduling.Move) {
 						return
 					}
 					m.mark("gm.migrations-ok", 1)
+					m.emit(telemetry.EventVMState, telemetry.VMEntity(mv.VM),
+						map[string]string{"state": "migrated", "from": string(from), "to": string(to)})
 				})
 		})
 	}
@@ -526,6 +586,7 @@ func (m *Manager) gmSweepTick() {
 	}
 	now := m.rt.Now()
 	var lost []types.VMSpec
+	var failed []types.NodeID
 	for id, lc := range m.lcs {
 		if lc.sleeping || lc.waking {
 			continue // deliberate sleep: heartbeat silence is expected
@@ -537,10 +598,17 @@ func (m *Manager) gmSweepTick() {
 				}
 			}
 			delete(m.lcs, id)
+			failed = append(failed, id)
 			m.mark("gm.lc-failures", 1)
 		}
 	}
 	m.mu.Unlock()
+	sort.Slice(failed, func(i, j int) bool { return failed[i] < failed[j] })
+	for _, id := range failed {
+		entity := telemetry.NodeEntity(id)
+		m.emit(telemetry.EventLCFailed, entity, map[string]string{"gm": string(m.cfg.ID)})
+		m.tel.ForgetEntity(entity)
+	}
 	sort.Slice(lost, func(i, j int) bool { return lost[i].ID < lost[j].ID })
 	for _, spec := range lost {
 		spec := spec

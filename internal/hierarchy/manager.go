@@ -13,6 +13,7 @@ import (
 	"snooze/internal/resource"
 	"snooze/internal/scheduling"
 	"snooze/internal/simkernel"
+	"snooze/internal/telemetry"
 	"snooze/internal/transport"
 	"snooze/internal/types"
 )
@@ -84,6 +85,14 @@ type ManagerConfig struct {
 
 	// Metrics receives counters and latency series (may be nil).
 	Metrics *metrics.Registry
+
+	// Telemetry is the deployment-wide telemetry hub: monitoring reports and
+	// group summaries feed its time-series store, membership changes and the
+	// anomaly detector feed its event journal, and the GM runs relocation off
+	// the detector's node.overload / node.underload events. Nil creates a
+	// private hub with default thresholds, so Manager behaviour does not
+	// depend on wiring.
+	Telemetry *telemetry.Hub
 }
 
 // DefaultManagerConfig returns the configuration used by the experiments.
@@ -147,6 +156,7 @@ type Manager struct {
 	rt   simkernel.Runtime
 	bus  *transport.Bus
 	cfg  ManagerConfig
+	tel  *telemetry.Hub
 	cand *election.Candidate
 
 	mu   sync.Mutex
@@ -188,10 +198,14 @@ func NewManager(rt simkernel.Runtime, bus *transport.Bus, svc *coord.Service, cf
 	if cfg.ElectionBase == "" {
 		cfg.ElectionBase = "/snooze/election"
 	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewHub(telemetry.Options{Metrics: cfg.Metrics})
+	}
 	m := &Manager{
 		rt:  rt,
 		bus: bus,
 		cfg: cfg,
+		tel: cfg.Telemetry,
 		lcs: make(map[types.NodeID]*lcRecord),
 		gms: make(map[types.GroupManagerID]*gmRecord),
 	}
@@ -274,6 +288,15 @@ func (m *Manager) observeValue(name string, v float64) {
 	if m.cfg.Metrics != nil {
 		m.cfg.Metrics.Observe(name, v)
 	}
+}
+
+// Telemetry returns the manager's telemetry hub (shared across the
+// deployment when wired through cluster.Config / snoozed, private otherwise).
+func (m *Manager) Telemetry() *telemetry.Hub { return m.tel }
+
+// emit publishes a hierarchy event on the telemetry journal.
+func (m *Manager) emit(typ, entity string, attrs map[string]string) {
+	m.tel.Emit(typ, entity, m.rt.Now(), attrs)
 }
 
 // onElection reacts to election transitions: follower → run the GM role

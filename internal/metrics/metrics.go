@@ -17,12 +17,17 @@ import (
 type Registry struct {
 	mu     sync.Mutex
 	counts map[string]int64
+	gauges map[string]float64
 	series map[string][]float64
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counts: make(map[string]int64), series: make(map[string][]float64)}
+	return &Registry{
+		counts: make(map[string]int64),
+		gauges: make(map[string]float64),
+		series: make(map[string][]float64),
+	}
 }
 
 // Inc adds delta to the named counter.
@@ -37,6 +42,32 @@ func (r *Registry) Count(name string) int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.counts[name]
+}
+
+// SetGauge sets the named gauge to its current value (last write wins).
+func (r *Registry) SetGauge(name string, v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name] = v
+}
+
+// Gauge returns the gauge's current value and whether it has been set.
+func (r *Registry) Gauge(name string) (float64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.gauges[name]
+	return v, ok
+}
+
+// Gauges returns a copy of all gauges.
+func (r *Registry) Gauges() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.gauges))
+	for n, v := range r.gauges {
+		out[n] = v
+	}
+	return out
 }
 
 // Observe appends a sample to the named series.
@@ -64,6 +95,9 @@ func (r *Registry) Names() []string {
 	defer r.mu.Unlock()
 	seen := map[string]struct{}{}
 	for n := range r.counts {
+		seen[n] = struct{}{}
+	}
+	for n := range r.gauges {
 		seen[n] = struct{}{}
 	}
 	for n := range r.series {

@@ -364,8 +364,19 @@ func (p UnderloadRelocation) Relocate(src types.NodeStatus, srcVMs []types.VMSta
 		th = DefaultThresholds()
 	}
 	// Receivers: prefer the most loaded nodes that still have room, so
-	// moderately loaded nodes fill up and empty nodes stay empty.
+	// moderately loaded nodes fill up and empty nodes stay empty. Empty
+	// nodes are not receivers at all: draining an underloaded node into an
+	// empty one just relocates the underload (and oscillates when the pair
+	// keeps trading places).
 	recv := filterActive(others, src.Spec.ID)
+	kept := recv[:0]
+	for _, n := range recv {
+		if len(n.VMs) == 0 && n.Used.Zero() {
+			continue
+		}
+		kept = append(kept, n)
+	}
+	recv = kept
 	sort.Slice(recv, func(i, j int) bool {
 		ui := recv[i].Used.UtilizationL1(recv[i].Spec.Capacity)
 		uj := recv[j].Used.UtilizationL1(recv[j].Spec.Capacity)

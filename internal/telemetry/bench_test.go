@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// BenchmarkTelemetryIngest measures the concurrent sharded Append hot path:
+// every goroutine streams samples into its own slice of a 256-entity keyspace,
+// so shard locks are contended realistically (many entities, few collisions).
+// This is the repo's recorded perf baseline (BENCH_telemetry.json).
+func BenchmarkTelemetryIngest(b *testing.B) {
+	s := NewStore(StoreConfig{SeriesCapacity: 512})
+	const entities = 256
+	names := make([]string, entities)
+	for i := range names {
+		names[i] = fmt.Sprintf("node/n%03d", i)
+	}
+	var next atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := next.Add(1)
+		i := uint64(0)
+		for pb.Next() {
+			i++
+			e := names[(id*31+i)%entities]
+			s.Append(e, "util", time.Duration(i)*time.Millisecond, float64(i%100)/100)
+		}
+	})
+	b.ReportMetric(float64(s.TotalSamples())/b.Elapsed().Seconds()/1e6, "Msamples/s")
+}
+
+// BenchmarkTelemetryQuery measures concurrent windowed reads with p95
+// downsampling over full rings (read-side shard RLocks only; ingest has its
+// own benchmark above).
+func BenchmarkTelemetryQuery(b *testing.B) {
+	s := NewStore(StoreConfig{SeriesCapacity: 512})
+	const entities = 64
+	for e := 0; e < entities; e++ {
+		entity := fmt.Sprintf("node/n%03d", e)
+		for i := 0; i < 512; i++ {
+			s.Append(entity, "util", time.Duration(i)*time.Second, float64(i%100)/100)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			entity := fmt.Sprintf("node/n%03d", i%entities)
+			raw := s.Query(entity, "util", 0, 512*time.Second)
+			if out := Downsample(raw, 30*time.Second, "p95"); len(out) == 0 {
+				b.Fatal("empty downsample")
+			}
+		}
+	})
+}
+
+// BenchmarkTelemetryJournalFanout measures Publish with a handful of live
+// subscribers draining concurrently — the /v1/watch fan-out path.
+func BenchmarkTelemetryJournalFanout(b *testing.B) {
+	j := NewJournal(1024)
+	const watchers = 4
+	done := make(chan struct{})
+	for w := 0; w < watchers; w++ {
+		sub := j.Subscribe(0, 4096)
+		go func() {
+			for {
+				select {
+				case <-sub.Events():
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.Publish(Event{Type: EventVMState, Entity: "vm/bench"})
+	}
+	b.StopTimer()
+	close(done)
+}

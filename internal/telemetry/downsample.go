@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Agg is a downsampling aggregation: one of "min", "max", "avg", "last" or
+// "pXX" (any percentile, e.g. "p50", "p95", "p99").
+type Agg string
+
+// Built-in aggregations; percentiles are parsed dynamically.
+const (
+	AggMin  Agg = "min"
+	AggMax  Agg = "max"
+	AggAvg  Agg = "avg"
+	AggLast Agg = "last"
+)
+
+// ParseAgg validates an aggregation name.
+func ParseAgg(s string) (Agg, error) {
+	switch Agg(s) {
+	case AggMin, AggMax, AggAvg, AggLast:
+		return Agg(s), nil
+	}
+	if q, ok := percentile(Agg(s)); ok && q >= 0 && q <= 100 {
+		return Agg(s), nil
+	}
+	return "", fmt.Errorf("telemetry: unknown aggregation %q (want min|max|avg|last|pXX)", s)
+}
+
+func percentile(a Agg) (float64, bool) {
+	s := string(a)
+	if !strings.HasPrefix(s, "p") || len(s) < 2 {
+		return 0, false
+	}
+	q, err := strconv.ParseFloat(s[1:], 64)
+	if err != nil {
+		return 0, false
+	}
+	return q, true
+}
+
+// Downsample buckets time-ordered samples into fixed step windows (bucket
+// start = floor(At/step)*step) and reduces each bucket with agg. The result
+// carries one sample per non-empty bucket, stamped at the bucket start.
+// step <= 0 reduces the whole input to a single sample stamped at the first
+// sample's bucket (the raw window's opening time).
+func Downsample(samples []Sample, step time.Duration, agg Agg) []Sample {
+	if len(samples) == 0 {
+		return nil
+	}
+	if step <= 0 {
+		v := reduce(samples, agg)
+		return []Sample{{At: samples[0].At, Value: v}}
+	}
+	var out []Sample
+	start := 0
+	bucket := samples[0].At / step
+	for i := 1; i <= len(samples); i++ {
+		if i < len(samples) && samples[i].At/step == bucket {
+			continue
+		}
+		out = append(out, Sample{At: bucket * step, Value: reduce(samples[start:i], agg)})
+		if i < len(samples) {
+			start = i
+			bucket = samples[i].At / step
+		}
+	}
+	return out
+}
+
+func reduce(samples []Sample, agg Agg) float64 {
+	switch agg {
+	case AggMin:
+		v := math.Inf(1)
+		for _, s := range samples {
+			v = math.Min(v, s.Value)
+		}
+		return v
+	case AggMax:
+		v := math.Inf(-1)
+		for _, s := range samples {
+			v = math.Max(v, s.Value)
+		}
+		return v
+	case AggAvg:
+		sum := 0.0
+		for _, s := range samples {
+			sum += s.Value
+		}
+		return sum / float64(len(samples))
+	case AggLast:
+		return samples[len(samples)-1].Value
+	}
+	if q, ok := percentile(agg); ok {
+		vals := make([]float64, len(samples))
+		for i, s := range samples {
+			vals[i] = s.Value
+		}
+		sort.Float64s(vals)
+		rank := q / 100 * float64(len(vals)-1)
+		lo, hi := int(math.Floor(rank)), int(math.Ceil(rank))
+		if lo == hi {
+			return vals[lo]
+		}
+		frac := rank - float64(lo)
+		return vals[lo]*(1-frac) + vals[hi]*frac
+	}
+	// Unknown aggregations fall back to last (callers validate via ParseAgg).
+	return samples[len(samples)-1].Value
+}

@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"time"
+
+	"snooze/internal/metrics"
+	"snooze/internal/types"
+)
+
+// Canonical entity name prefixes used by the hierarchy's instrumentation.
+const (
+	EntityNodePrefix = "node/"
+	EntityVMPrefix   = "vm/"
+	EntityGMPrefix   = "gm/"
+)
+
+// NodeEntity returns the canonical entity name of a node.
+func NodeEntity(id types.NodeID) string { return EntityNodePrefix + string(id) }
+
+// VMEntity returns the canonical entity name of a VM.
+func VMEntity(id types.VMID) string { return EntityVMPrefix + string(id) }
+
+// GMEntity returns the canonical entity name of a group manager.
+func GMEntity(id types.GroupManagerID) string { return EntityGMPrefix + string(id) }
+
+// NodeIDFromEntity recovers the node ID from a canonical node entity name.
+func NodeIDFromEntity(entity string) (types.NodeID, bool) {
+	if len(entity) <= len(EntityNodePrefix) || entity[:len(EntityNodePrefix)] != EntityNodePrefix {
+		return "", false
+	}
+	return types.NodeID(entity[len(EntityNodePrefix):]), true
+}
+
+// Options parameterize a Hub.
+type Options struct {
+	// Store sizes the time-series side.
+	Store StoreConfig
+	// JournalCapacity is the event retention window (default 1024).
+	JournalCapacity int
+	// Thresholds configure the node anomaly detector.
+	Thresholds Thresholds
+	// Metrics optionally receives ingestion counters
+	// (telemetry.samples, telemetry.events).
+	Metrics *metrics.Registry
+}
+
+// Hub bundles the store, the event journal and the node anomaly detector —
+// the single handle the hierarchy, the simulated cluster and the api/v1
+// backends share. One hub instance serves a whole deployment.
+type Hub struct {
+	store    *Store
+	journal  *Journal
+	detector *Detector
+	reg      *metrics.Registry
+}
+
+// NewHub creates a hub.
+func NewHub(opts Options) *Hub {
+	return &Hub{
+		store:    NewStore(opts.Store),
+		journal:  NewJournal(opts.JournalCapacity),
+		detector: NewDetector(opts.Thresholds),
+		reg:      opts.Metrics,
+	}
+}
+
+// Store returns the time-series store.
+func (h *Hub) Store() *Store { return h.store }
+
+// Journal returns the event journal.
+func (h *Hub) Journal() *Journal { return h.journal }
+
+// Detector returns the node anomaly detector.
+func (h *Hub) Detector() *Detector { return h.detector }
+
+// Record appends one sample. The hot path deliberately skips the metrics
+// registry (a shared mutex); sample volume is published as a gauge by
+// PublishGauges instead.
+func (h *Hub) Record(entity, metric string, at time.Duration, v float64) {
+	h.store.Append(entity, metric, at, v)
+}
+
+// Emit publishes an event and returns it with its sequence number assigned.
+func (h *Hub) Emit(typ, entity string, at time.Duration, attrs map[string]string) Event {
+	ev := h.journal.Publish(Event{At: at, Type: typ, Entity: entity, Attrs: attrs})
+	if h.reg != nil {
+		h.reg.Inc("telemetry.events", 1)
+	}
+	return ev
+}
+
+// RecordNode appends the standard per-node series from one monitored status:
+// cpu.used, mem.used, util (L∞ utilization) and vms.
+func (h *Hub) RecordNode(at time.Duration, st types.NodeStatus) {
+	entity := NodeEntity(st.Spec.ID)
+	h.Record(entity, "cpu.used", at, st.Used.CPU)
+	h.Record(entity, "mem.used", at, st.Used.Memory)
+	h.Record(entity, "util", at, st.Used.Divide(st.Spec.Capacity).NormInf())
+	h.Record(entity, "vms", at, float64(len(st.VMs)))
+}
+
+// RecordGroup appends the standard per-GM series from one group summary:
+// cpu.used, cpu.reserved, vms and active-lcs.
+func (h *Hub) RecordGroup(at time.Duration, s types.GroupSummary) {
+	entity := GMEntity(s.GM)
+	h.Record(entity, "cpu.used", at, s.Used.CPU)
+	h.Record(entity, "cpu.reserved", at, s.Reserved.CPU)
+	h.Record(entity, "vms", at, float64(s.VMs))
+	h.Record(entity, "active-lcs", at, float64(s.ActiveLCs))
+}
+
+// DetectNode feeds one node status into the anomaly detector and publishes
+// the resulting event, if any. It returns the published event and whether
+// one fired — callers (the GM) hang relocation off that signal.
+func (h *Hub) DetectNode(at time.Duration, st types.NodeStatus) (Event, bool) {
+	ev, ok := h.detector.Observe(NodeEntity(st.Spec.ID), at, st)
+	if !ok {
+		return Event{}, false
+	}
+	return h.Emit(ev.Type, ev.Entity, ev.At, ev.Attrs), true
+}
+
+// ForgetEntity drops an entity's series and detector state when it leaves
+// the deployment (node failure, VM destruction) so the store does not grow
+// without bound under churn.
+func (h *Hub) ForgetEntity(entity string) {
+	h.store.RemoveEntity(entity)
+	h.detector.Forget(entity)
+}
+
+// PublishGauges refreshes the hub's registry gauges (series/sample/event
+// volume); backends call it before snapshotting metrics.
+func (h *Hub) PublishGauges() {
+	if h.reg == nil {
+		return
+	}
+	h.reg.SetGauge("telemetry.series", float64(h.store.NumSeries()))
+	h.reg.SetGauge("telemetry.samples-total", float64(h.store.TotalSamples()))
+	h.reg.SetGauge("telemetry.events-last-seq", float64(h.journal.LastSeq()))
+	h.reg.SetGauge("telemetry.watchers", float64(h.journal.Subscribers()))
+}

@@ -1,0 +1,228 @@
+// Package telemetry is the observability substrate of the reproduction: a
+// deterministic, allocation-light in-memory time-series store plus an event
+// journal with fan-out subscriptions. The paper's autonomic loop runs on
+// resource monitoring and estimation flowing up the LC → GM → GL hierarchy
+// (Section II-B); this package retains that flow as history — per-entity
+// ring-buffer series for windowed queries and downsampling — and turns
+// threshold crossings into a watchable event stream (node.overload,
+// node.underload, vm.state, hierarchy.*) that drives GM relocation and the
+// api/v1 /v1/series and /v1/watch routes.
+//
+// Timestamps are runtime-relative durations (simkernel.Runtime.Now): virtual
+// time under the simulation kernel, process uptime in live deployments. The
+// same code path serves both, exactly like the hierarchy components.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Key names one series: an entity (canonical forms "node/<id>", "vm/<id>",
+// "gm/<id>") and a metric (e.g. "cpu.used", "util").
+type Key struct {
+	Entity string
+	Metric string
+}
+
+// Sample is one measurement of a series.
+type Sample struct {
+	At    time.Duration
+	Value float64
+}
+
+// StoreConfig parameterizes a Store.
+type StoreConfig struct {
+	// SeriesCapacity is the fixed ring-buffer length of every series
+	// (default 512 samples). Older samples are overwritten.
+	SeriesCapacity int
+	// Shards is the lock-shard count, rounded up to a power of two
+	// (default 32). More shards = less contention on concurrent ingest.
+	Shards int
+}
+
+// series is a fixed-capacity ring buffer of time-ordered samples.
+type series struct {
+	buf  []Sample
+	head int // index of the oldest sample
+	n    int // number of valid samples
+}
+
+func (s *series) append(sm Sample) {
+	if s.n < len(s.buf) {
+		s.buf[(s.head+s.n)%len(s.buf)] = sm
+		s.n++
+		return
+	}
+	s.buf[s.head] = sm
+	s.head = (s.head + 1) % len(s.buf)
+}
+
+// window appends the samples with At in [from, to] to dst, oldest first.
+func (s *series) window(from, to time.Duration, dst []Sample) []Sample {
+	for i := 0; i < s.n; i++ {
+		sm := s.buf[(s.head+i)%len(s.buf)]
+		if sm.At < from || sm.At > to {
+			continue
+		}
+		dst = append(dst, sm)
+	}
+	return dst
+}
+
+type shard struct {
+	mu     sync.RWMutex
+	series map[Key]*series
+}
+
+// Store is the lock-sharded time-series store. Appends to different keys
+// proceed concurrently on separate shards; appends to the same key are
+// serialized by that key's shard lock. Samples per key must arrive in
+// non-decreasing time order (the hierarchy's monitoring flow guarantees it).
+type Store struct {
+	shards   []shard
+	mask     uint64
+	capacity int
+	samples  atomic.Uint64 // total samples ever appended
+}
+
+// NewStore creates a store.
+func NewStore(cfg StoreConfig) *Store {
+	if cfg.SeriesCapacity <= 0 {
+		cfg.SeriesCapacity = 512
+	}
+	n := cfg.Shards
+	if n <= 0 {
+		n = 32
+	}
+	// Round up to a power of two so key hashes mask instead of mod.
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	s := &Store{shards: make([]shard, size), mask: uint64(size - 1), capacity: cfg.SeriesCapacity}
+	for i := range s.shards {
+		s.shards[i].series = make(map[Key]*series)
+	}
+	return s
+}
+
+// hashKey is FNV-1a over entity+"\x00"+metric.
+func hashKey(entity, metric string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(entity); i++ {
+		h ^= uint64(entity[i])
+		h *= prime
+	}
+	h *= prime // separator byte 0: XOR is a no-op, the multiply still mixes
+	for i := 0; i < len(metric); i++ {
+		h ^= uint64(metric[i])
+		h *= prime
+	}
+	return h
+}
+
+func (s *Store) shardFor(entity, metric string) *shard {
+	return &s.shards[hashKey(entity, metric)&s.mask]
+}
+
+// Append records one sample. The hot path takes exactly one shard lock and
+// allocates nothing once the series ring exists.
+func (s *Store) Append(entity, metric string, at time.Duration, v float64) {
+	sh := s.shardFor(entity, metric)
+	key := Key{Entity: entity, Metric: metric}
+	sh.mu.Lock()
+	ser, ok := sh.series[key]
+	if !ok {
+		ser = &series{buf: make([]Sample, s.capacity)}
+		sh.series[key] = ser
+	}
+	ser.append(Sample{At: at, Value: v})
+	sh.mu.Unlock()
+	s.samples.Add(1)
+}
+
+// Query returns the retained samples of (entity, metric) with timestamps in
+// [from, to], oldest first. A to of 0 or less means "no upper bound".
+func (s *Store) Query(entity, metric string, from, to time.Duration) []Sample {
+	if to <= 0 {
+		to = time.Duration(1<<63 - 1)
+	}
+	sh := s.shardFor(entity, metric)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	ser, ok := sh.series[Key{Entity: entity, Metric: metric}]
+	if !ok {
+		return nil
+	}
+	return ser.window(from, to, nil)
+}
+
+// Len returns the retained sample count of one series.
+func (s *Store) Len(entity, metric string) int {
+	sh := s.shardFor(entity, metric)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if ser, ok := sh.series[Key{Entity: entity, Metric: metric}]; ok {
+		return ser.n
+	}
+	return 0
+}
+
+// Keys lists every series key, sorted by entity then metric.
+func (s *Store) Keys() []Key {
+	var out []Key
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k := range sh.series {
+			out = append(out, k)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Entity != out[j].Entity {
+			return out[i].Entity < out[j].Entity
+		}
+		return out[i].Metric < out[j].Metric
+	})
+	return out
+}
+
+// RemoveEntity drops every series of one entity (a failed node, a destroyed
+// VM), releasing its rings. It scans all shards; callers are rare
+// (membership changes), appends are not slowed.
+func (s *Store) RemoveEntity(entity string) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k := range sh.series {
+			if k.Entity == entity {
+				delete(sh.series, k)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// NumSeries counts distinct series.
+func (s *Store) NumSeries() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.series)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// TotalSamples returns the number of samples ever appended (including ones
+// the rings have since overwritten).
+func (s *Store) TotalSamples() uint64 { return s.samples.Load() }

@@ -54,6 +54,7 @@ import (
 	"snooze/internal/cluster"
 	"snooze/internal/consolidation"
 	"snooze/internal/experiments"
+	"snooze/internal/telemetry"
 	"snooze/internal/types"
 	"snooze/internal/workload"
 )
@@ -172,6 +173,9 @@ type (
 	APIClient = apiclient.Client
 	// SimBackend adapts a simulated Cluster to the APIBackend interface.
 	SimBackend = simbackend.Backend
+	// APIServer is the configurable /v1 HTTP server (api/v1/server.Server);
+	// set StreamContext to bound /v1/watch streams for graceful shutdown.
+	APIServer = apiserver.Server
 )
 
 // NewSimBackend wraps a simulated cluster as an api/v1 Backend; maxSim
@@ -186,10 +190,37 @@ func NewAPIHandler(b APIBackend) http.Handler {
 	return apiserver.New(b).Handler()
 }
 
+// NewAPIServer returns the configurable /v1 server for any backend (use
+// NewAPIHandler when the defaults suffice).
+func NewAPIServer(b APIBackend) *APIServer {
+	return apiserver.New(b)
+}
+
 // NewAPIClient creates a typed client for a /v1 server (e.g. a snoozed
 // control process at "http://host:7001").
 func NewAPIClient(baseURL string) *APIClient {
 	return apiclient.New(baseURL)
+}
+
+// Telemetry (internal/telemetry): the time-series store + event journal
+// behind GET /v1/series and GET /v1/watch. Every Cluster carries a hub
+// (Cluster.Telemetry); live deployments share one across their managers.
+type (
+	// TelemetryHub bundles the sharded time-series store, the event journal
+	// and the node anomaly detector of one deployment.
+	TelemetryHub = telemetry.Hub
+	// TelemetryOptions parameterizes NewTelemetryHub.
+	TelemetryOptions = telemetry.Options
+	// TelemetryEvent is one journal entry (node.overload, vm.state, ...).
+	TelemetryEvent = telemetry.Event
+	// TelemetrySample is one time-series measurement.
+	TelemetrySample = telemetry.Sample
+)
+
+// NewTelemetryHub creates a telemetry hub (for wiring live deployments; a
+// simulated Cluster creates its own).
+func NewTelemetryHub(opts TelemetryOptions) *TelemetryHub {
+	return telemetry.NewHub(opts)
 }
 
 // Experiments.
