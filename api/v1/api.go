@@ -125,11 +125,25 @@ type TopologyGM struct {
 	LCs []TopologyLC `json:"lcs,omitempty"`
 }
 
+// SchedulingInfo is the deployment's active scheduling configuration: the
+// policy names at both scheduling levels, the demand estimator and the
+// capacity-view horizon (the telemetry window policies plan against).
+type SchedulingInfo struct {
+	Dispatch      string `json:"dispatch"`
+	Placement     string `json:"placement"`
+	Overload      string `json:"overload"`
+	Underload     string `json:"underload"`
+	Estimator     string `json:"estimator,omitempty"`
+	ViewHorizonNs int64  `json:"viewHorizonNs,omitempty"`
+}
+
 // Topology is the hierarchy export — the CLI's "live visualizing and
 // exporting of the hierarchy organization" (Section II-A).
 type Topology struct {
 	GL  string       `json:"gl"`
 	GMs []TopologyGM `json:"gms"`
+	// Scheduling reports the active policies and view horizon.
+	Scheduling SchedulingInfo `json:"scheduling"`
 }
 
 // Consolidation algorithm names accepted by ConsolidationRequest.

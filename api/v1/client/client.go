@@ -16,7 +16,6 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	apiv1 "snooze/api/v1"
@@ -279,31 +278,6 @@ func (c *Client) QuerySeries(ctx context.Context, q apiv1.SeriesQuery) (apiv1.Se
 	return out, err
 }
 
-// watchStream adapts one SSE response to the EventStream interface.
-type watchStream struct {
-	ch     chan apiv1.Event
-	cancel context.CancelFunc
-
-	mu  sync.Mutex
-	err error
-}
-
-func (s *watchStream) Events() <-chan apiv1.Event { return s.ch }
-
-func (s *watchStream) Err() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.err
-}
-
-func (s *watchStream) Close() { s.cancel() }
-
-func (s *watchStream) setErr(err error) {
-	s.mu.Lock()
-	s.err = err
-	s.mu.Unlock()
-}
-
 // Watch implements apiv1.Backend: it consumes the server's /v1/watch SSE
 // stream, replaying retained events with seq >= from before following live.
 // The stream is exempt from the client's per-request timeout; cancel ctx or
@@ -335,9 +309,9 @@ func (c *Client) Watch(ctx context.Context, from uint64) (apiv1.EventStream, err
 		cancel()
 		return nil, err
 	}
-	s := &watchStream{ch: make(chan apiv1.Event), cancel: cancel}
+	s := apiv1.NewStreamPipe(cancel)
 	go func() {
-		defer close(s.ch)
+		defer s.Finish()
 		defer resp.Body.Close()
 		sc := bufio.NewScanner(resp.Body)
 		sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
@@ -353,15 +327,13 @@ func (c *Client) Watch(ctx context.Context, from uint64) (apiv1.EventStream, err
 				if event == "error" {
 					var msg string
 					_ = json.Unmarshal([]byte(data), &msg)
-					s.setErr(fmt.Errorf("apiv1: watch terminated by server: %s", msg))
+					s.SetErr(fmt.Errorf("apiv1: watch terminated by server: %s", msg))
 					return
 				}
 				if data != "" {
 					var ev apiv1.Event
 					if err := json.Unmarshal([]byte(data), &ev); err == nil {
-						select {
-						case s.ch <- ev:
-						case <-ctx.Done():
+						if !s.Send(ctx, ev) {
 							return
 						}
 					}
@@ -370,10 +342,83 @@ func (c *Client) Watch(ctx context.Context, from uint64) (apiv1.EventStream, err
 			}
 		}
 		if err := sc.Err(); err != nil && ctx.Err() == nil {
-			s.setErr(err)
+			s.SetErr(err)
 		}
 	}()
 	return s, nil
+}
+
+// Reconnect backoff bounds for WatchResume.
+const (
+	watchBackoffMin = 100 * time.Millisecond
+	watchBackoffMax = 5 * time.Second
+)
+
+// WatchResume is Watch with automatic reconnection: whenever the underlying
+// SSE stream ends — a lagged-out subscription, a dropped connection, a
+// server restart — it reconnects with from = last seen seq + 1 under bounded
+// exponential backoff (100ms doubling to 5s, reset by the next delivered
+// event), so consumers see a gapless sequence as long as the server's
+// journal still retains the missed range. The stream ends only when ctx is
+// cancelled or Close is called; Err reports the last connection error when
+// the context ended mid-outage, nil after a clean Close.
+func (c *Client) WatchResume(ctx context.Context, from uint64) apiv1.EventStream {
+	ctx, cancel := context.WithCancel(ctx)
+	s := apiv1.NewStreamPipe(cancel)
+	go func() {
+		defer s.Finish()
+		next := from
+		backoff := watchBackoffMin
+		sleep := func() bool {
+			t := time.NewTimer(backoff)
+			defer t.Stop()
+			if backoff *= 2; backoff > watchBackoffMax {
+				backoff = watchBackoffMax
+			}
+			select {
+			case <-t.C:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		}
+		for ctx.Err() == nil {
+			inner, err := c.Watch(ctx, next)
+			if err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				s.SetErr(err)
+				if !sleep() {
+					return
+				}
+				continue
+			}
+			for ev := range inner.Events() {
+				if !s.Send(ctx, ev) {
+					inner.Close()
+					return
+				}
+				next = ev.Seq + 1
+				backoff = watchBackoffMin
+				s.SetErr(nil)
+			}
+			// Release the finished connection's context before reconnecting —
+			// a long-lived resume must not accumulate one cancel registration
+			// per outage.
+			inner.Close()
+			if ctx.Err() != nil {
+				return
+			}
+			// Stream ended server-side (lag cut-off, shutdown, broken pipe):
+			// remember why and reconnect from the next sequence number.
+			s.SetErr(inner.Err())
+			if !sleep() {
+				return
+			}
+		}
+	}()
+	return s
 }
 
 // Experiment implements apiv1.Backend.

@@ -88,7 +88,18 @@ func FromSubmitResponse(resp protocol.SubmitResponse) SubmitResult {
 
 // FromTopologyResponse converts the GL's hierarchy export.
 func FromTopologyResponse(resp protocol.TopologyResponse) Topology {
-	top := Topology{GL: resp.GL, GMs: make([]TopologyGM, 0, len(resp.GMs))}
+	top := Topology{
+		GL:  resp.GL,
+		GMs: make([]TopologyGM, 0, len(resp.GMs)),
+		Scheduling: SchedulingInfo{
+			Dispatch:      resp.Scheduling.Dispatch,
+			Placement:     resp.Scheduling.Placement,
+			Overload:      resp.Scheduling.Overload,
+			Underload:     resp.Scheduling.Underload,
+			Estimator:     resp.Scheduling.Estimator,
+			ViewHorizonNs: resp.Scheduling.ViewHorizonNs,
+		},
+	}
 	for _, gm := range resp.GMs {
 		out := TopologyGM{
 			ID:   string(gm.GM),

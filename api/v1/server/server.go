@@ -263,6 +263,10 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 // should reconnect with from = last seen seq + 1. The watch deliberately
 // ignores the server's request timeout — streams live until either side
 // hangs up.
+//
+// The standard SSE Last-Event-ID header is honoured as an alias for ?from=:
+// a reconnecting EventSource (or the typed client's WatchResume) that saw
+// event N resumes at N+1. An explicit ?from= query wins over the header.
 func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	var from uint64
 	if v := r.URL.Query().Get("from"); v != "" {
@@ -272,6 +276,13 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		from = n
+	} else if v := r.Header.Get("Last-Event-ID"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, apiv1.CodeInvalid, "Last-Event-ID: want a non-negative integer")
+			return
+		}
+		from = n + 1
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {

@@ -64,9 +64,13 @@ func QueryHubSeries(h *telemetry.Hub, q SeriesQuery) (SeriesData, error) {
 	return out, nil
 }
 
-// hubStream adapts a journal subscription to the EventStream interface.
-type hubStream struct {
-	sub    *telemetry.Subscription
+// StreamPipe is the shared EventStream implementation behind every adapter —
+// the hub subscription here, the client's SSE reader and its auto-reconnect
+// wrapper: a delivery channel fed by one producer goroutine, a cancel hook
+// ending the stream, and a guarded terminal error. Producers deliver with
+// Send, record why the stream ended with SetErr, and call Finish exactly
+// once when done.
+type StreamPipe struct {
 	ch     chan Event
 	cancel context.CancelFunc
 
@@ -74,24 +78,63 @@ type hubStream struct {
 	err error
 }
 
+// NewStreamPipe creates a pipe whose Close invokes cancel.
+func NewStreamPipe(cancel context.CancelFunc) *StreamPipe {
+	return &StreamPipe{ch: make(chan Event), cancel: cancel}
+}
+
+// Events implements EventStream.
+func (p *StreamPipe) Events() <-chan Event { return p.ch }
+
+// Err implements EventStream.
+func (p *StreamPipe) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// Close implements EventStream. Idempotent.
+func (p *StreamPipe) Close() { p.cancel() }
+
+// SetErr records the stream's terminal (or most recent transient) error;
+// nil clears it.
+func (p *StreamPipe) SetErr(err error) {
+	p.mu.Lock()
+	p.err = err
+	p.mu.Unlock()
+}
+
+// Send delivers ev unless ctx ends first; it reports whether the event was
+// delivered. Producer-side only.
+func (p *StreamPipe) Send(ctx context.Context, ev Event) bool {
+	select {
+	case p.ch <- ev:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Finish closes the delivery channel. Producer-side, exactly once.
+func (p *StreamPipe) Finish() { close(p.ch) }
+
 // WatchHub implements Backend.Watch over a telemetry hub. The stream follows
 // the journal until ctx ends, Close is called or the subscription lags out.
 func WatchHub(ctx context.Context, h *telemetry.Hub, from uint64) EventStream {
 	ctx, cancel := context.WithCancel(ctx)
-	s := &hubStream{sub: h.Journal().Subscribe(from, 0), ch: make(chan Event), cancel: cancel}
+	p := NewStreamPipe(cancel)
+	sub := h.Journal().Subscribe(from, 0)
 	go func() {
-		defer close(s.ch)
-		defer s.sub.Close()
+		defer p.Finish()
+		defer sub.Close()
 		for {
 			select {
-			case ev, ok := <-s.sub.Events():
+			case ev, ok := <-sub.Events():
 				if !ok {
-					s.setErr(s.sub.Err())
+					p.SetErr(sub.Err())
 					return
 				}
-				select {
-				case s.ch <- FromTelemetryEvent(ev):
-				case <-ctx.Done():
+				if !p.Send(ctx, FromTelemetryEvent(ev)) {
 					return
 				}
 			case <-ctx.Done():
@@ -99,24 +142,5 @@ func WatchHub(ctx context.Context, h *telemetry.Hub, from uint64) EventStream {
 			}
 		}
 	}()
-	return s
+	return p
 }
-
-func (s *hubStream) setErr(err error) {
-	s.mu.Lock()
-	s.err = err
-	s.mu.Unlock()
-}
-
-// Events implements EventStream.
-func (s *hubStream) Events() <-chan Event { return s.ch }
-
-// Err implements EventStream.
-func (s *hubStream) Err() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.err
-}
-
-// Close implements EventStream.
-func (s *hubStream) Close() { s.cancel() }

@@ -6,11 +6,18 @@
 //
 // Standard metrics (ns/op, B/op, allocs/op) get dedicated fields; any custom
 // b.ReportMetric unit lands in "extra".
+//
+// With -compare BASELINE.json the command additionally enforces a regression
+// gate: after emitting the JSON it exits non-zero when any benchmark present
+// in both documents regressed by more than -tolerance (default 0.30, i.e.
+// fail on >30% ns/op growth). Benchmarks new to either side are reported but
+// never fail the gate — renames and additions must not break CI.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -38,6 +45,10 @@ type Document struct {
 }
 
 func main() {
+	compare := flag.String("compare", "", "baseline JSON file; exit non-zero on ns/op regression beyond -tolerance")
+	tolerance := flag.Float64("tolerance", 0.30, "allowed fractional ns/op regression vs the baseline")
+	flag.Parse()
+
 	doc := Document{Benchmarks: []Benchmark{}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
@@ -68,6 +79,59 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if *compare != "" {
+		if !gate(doc, *compare, *tolerance) {
+			os.Exit(1)
+		}
+	}
+}
+
+// gate compares doc against the baseline file and reports the outcome;
+// false means at least one shared benchmark regressed beyond tolerance.
+func gate(doc Document, baselinePath string, tolerance float64) bool {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read baseline:", err)
+		return false
+	}
+	var base Document
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: parse baseline:", err)
+		return false
+	}
+	baseline := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
+	}
+	ok := true
+	compared := 0
+	for _, cur := range doc.Benchmarks {
+		ref, found := baseline[cur.Name]
+		if !found {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: no baseline (new benchmark, not gated)\n", cur.Name)
+			continue
+		}
+		compared++
+		if ref.NsPerOp <= 0 {
+			continue
+		}
+		ratio := cur.NsPerOp / ref.NsPerOp
+		status := "ok"
+		if ratio > 1+tolerance {
+			status = "REGRESSION"
+			ok = false
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %.1f -> %.1f ns/op (%+.1f%%) %s\n",
+			ref.Name, ref.NsPerOp, cur.NsPerOp, (ratio-1)*100, status)
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmarks shared with the baseline — gate cannot pass vacuously")
+		return false
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchjson: ns/op regression beyond %.0f%% tolerance vs %s\n", tolerance*100, baselinePath)
+	}
+	return ok
 }
 
 // parseLine parses one "BenchmarkFoo-8  N  V unit  V unit ..." result line.

@@ -180,8 +180,12 @@ func main() {
 		from := fs.Uint64("from", 0, "replay retained events from this sequence number")
 		n := fs.Int("n", 0, "stop after N events (0 = stream forever)")
 		fatalIf(fs.Parse(args[1:]))
-		stream, err := cli.Watch(ctx, *from)
-		fatalIf(err)
+		// Fail fast on a bad server address — WatchResume would otherwise
+		// retry a hopeless endpoint silently forever.
+		fatalIf(cli.Healthz(ctx))
+		// WatchResume reconnects with from = lastSeq+1 on lag or link loss,
+		// so a long-lived CLI watch survives flaky links and server restarts.
+		stream := cli.WatchResume(ctx, *from)
 		defer stream.Close()
 		seen := 0
 		for ev := range stream.Events() {
@@ -194,7 +198,9 @@ func main() {
 				break
 			}
 		}
-		fatalIf(stream.Err())
+		// No trailing Err check: transient reconnect errors are retried
+		// internally, and after a voluntary -n break a stale one would
+		// race the next delivery's reset.
 
 	case "experiment":
 		if len(args) < 2 {
@@ -214,6 +220,17 @@ func main() {
 
 func printTopology(topo apiv1.Topology) {
 	fmt.Printf("GL %s\n", topo.GL)
+	if s := topo.Scheduling; s.Dispatch != "" || s.Placement != "" {
+		fmt.Printf("scheduling: dispatch=%s placement=%s overload=%s underload=%s",
+			s.Dispatch, s.Placement, s.Overload, s.Underload)
+		if s.Estimator != "" {
+			fmt.Printf(" estimator=%s", s.Estimator)
+		}
+		if s.ViewHorizonNs > 0 {
+			fmt.Printf(" view-horizon=%s", time.Duration(s.ViewHorizonNs))
+		}
+		fmt.Println()
+	}
 	for _, gm := range topo.GMs {
 		s := gm.Summary
 		fmt.Printf("└─ GM %s (%s): %d active LCs, %d asleep, %d VMs, reserved cpu=%.2f of %.2f\n",

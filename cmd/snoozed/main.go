@@ -49,6 +49,7 @@ import (
 	"snooze/internal/metrics"
 	"snooze/internal/protocol"
 	"snooze/internal/rest"
+	"snooze/internal/scheduling"
 	"snooze/internal/simkernel"
 	"snooze/internal/telemetry"
 	"snooze/internal/transport"
@@ -70,6 +71,11 @@ func main() {
 	cpu := flag.Float64("cpu", 8, "node role: CPU cores")
 	memMB := flag.Float64("mem", 32768, "node role: memory (MB)")
 	peersFile := flag.String("peers", "", "path to the peers JSON file")
+	dispatch := flag.String("dispatch", "", "control role: GL dispatch policy (round-robin | least-loaded | most-loaded | p95-headroom)")
+	placement := flag.String("placement", "", "control role: GM placement policy (first-fit | best-fit | worst-fit | round-robin | percentile-fit)")
+	overload := flag.String("overload", "", "control role: overload relocation policy (overload-relocation | trend-relocation)")
+	underload := flag.String("underload", "underload-relocation", "control role: underload relocation policy")
+	viewHorizon := flag.Duration("view-horizon", 0, "control role: capacity-view history window (0 = default 5m)")
 	flag.Parse()
 
 	rt := simkernel.NewWallRuntime()
@@ -109,6 +115,22 @@ func main() {
 			cfg := hierarchy.DefaultManagerConfig(id, transport.Address("mgr:"+string(id)))
 			cfg.Metrics = reg
 			cfg.Telemetry = tel
+			cfg.ViewHorizon = *viewHorizon
+			// Policy instances are per manager: the round-robin policies keep
+			// cursor state that must not be shared across processes.
+			var perr error
+			if cfg.Dispatch, perr = scheduling.NewDispatchPolicy(*dispatch); perr != nil {
+				log.Fatalf("-dispatch: %v", perr)
+			}
+			if cfg.Placement, perr = scheduling.NewPlacementPolicy(*placement); perr != nil {
+				log.Fatalf("-placement: %v", perr)
+			}
+			if cfg.Overload, perr = scheduling.NewRelocationPolicy(*overload); perr != nil {
+				log.Fatalf("-overload: %v", perr)
+			}
+			if cfg.Underload, perr = scheduling.NewRelocationPolicy(*underload); perr != nil {
+				log.Fatalf("-underload: %v", perr)
+			}
 			m := hierarchy.NewManager(rt, bus, svc, cfg)
 			if err := m.Start(); err != nil {
 				log.Fatalf("manager %s: %v", id, err)

@@ -228,6 +228,15 @@ func mergeDefaults(mcfg hierarchy.ManagerConfig) hierarchy.ManagerConfig {
 	if mcfg.Estimator != nil {
 		def.Estimator = mcfg.Estimator
 	}
+	if mcfg.ViewHorizon > 0 {
+		def.ViewHorizon = mcfg.ViewHorizon
+	}
+	if mcfg.ViewMinSamples > 0 {
+		def.ViewMinSamples = mcfg.ViewMinSamples
+	}
+	if mcfg.ViewMaxAge > 0 {
+		def.ViewMaxAge = mcfg.ViewMaxAge
+	}
 	def.EnergyEnabled = mcfg.EnergyEnabled
 	if mcfg.IdleThreshold > 0 {
 		def.IdleThreshold = mcfg.IdleThreshold

@@ -274,6 +274,15 @@ func TestTopologyExport(t *testing.T) {
 	if totalLCs != 8 {
 		t.Fatalf("topology LC count: %d", totalLCs)
 	}
+	// The export carries the active scheduling configuration (defaults here).
+	s := top.Scheduling
+	if s.Dispatch != "round-robin" || s.Placement != "first-fit" ||
+		s.Overload != "overload-relocation" || s.Underload != "underload-relocation" {
+		t.Fatalf("scheduling info: %+v", s)
+	}
+	if s.ViewHorizonNs <= 0 {
+		t.Fatalf("view horizon missing: %+v", s)
+	}
 }
 
 func TestDeterministicRuns(t *testing.T) {

@@ -275,7 +275,9 @@ func (m *Manager) dispatchVM(spec types.VMSpec, cb func(node types.NodeID, ok bo
 		addrs[gm.id] = gm.addr
 	}
 	sort.Slice(summaries, func(i, j int) bool { return summaries[i].GM < summaries[j].GM })
-	candidates := m.cfg.Dispatch.Candidates(spec, summaries)
+	// Dispatch consumes capacity views: the summaries enriched with windowed
+	// statistics of each group's util series (fed by glOnSummary).
+	candidates := m.cfg.Dispatch.Candidates(spec, m.views.Groups(m.rt.Now(), summaries))
 	m.mu.Unlock()
 
 	if len(candidates) == 0 {
@@ -327,7 +329,20 @@ func (m *Manager) glOnTopology(req *transport.Request) {
 		req.RespondErr(errNotLeader)
 		return
 	}
-	resp := protocol.TopologyResponse{GL: string(m.cfg.Addr)}
+	resp := protocol.TopologyResponse{
+		GL: string(m.cfg.Addr),
+		// The active scheduling configuration travels with the topology so
+		// operators can see which policies and view horizon are in force
+		// (managers share one config template per deployment).
+		Scheduling: protocol.SchedulingInfo{
+			Dispatch:      m.cfg.Dispatch.Name(),
+			Placement:     m.cfg.Placement.Name(),
+			Overload:      m.cfg.Overload.Name(),
+			Underload:     m.cfg.Underload.Name(),
+			Estimator:     m.cfg.Estimator.Name(),
+			ViewHorizonNs: int64(m.cfg.ViewHorizon),
+		},
+	}
 	addrs := make([]transport.Address, 0, len(m.gms))
 	for _, gm := range m.gms {
 		resp.GMs = append(resp.GMs, protocol.TopologyGM{GM: gm.id, Addr: string(gm.addr), Summary: gm.summary})

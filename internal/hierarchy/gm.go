@@ -7,8 +7,8 @@ import (
 
 	"snooze/internal/consolidation"
 	"snooze/internal/protocol"
-	"snooze/internal/resource"
 	"snooze/internal/scheduling"
+	"snooze/internal/scheduling/view"
 	"snooze/internal/telemetry"
 	"snooze/internal/transport"
 	"snooze/internal/types"
@@ -38,7 +38,12 @@ func (m *Manager) becomeGMLocked(gl transport.Address) {
 	m.addTicker(m.cfg.SummaryPeriod, m.gmSummaryTick)
 	m.addTicker(m.cfg.LCTimeout/3, m.gmSweepTick)
 	if m.cfg.EnergyEnabled {
-		m.addTicker(m.cfg.IdleThreshold/2, m.gmEnergyTick)
+		// Idle detection is event-driven: the journal observer reacts to
+		// node.idle / node.normal / vm.state / lc-join events, and each check
+		// re-arms itself at the exact moment the earliest idle node ripens.
+		// One bootstrap check covers LCs that linger from an earlier GM stint.
+		m.energyUnsub = m.tel.Journal().Observe(m.onEnergyEvent)
+		m.scheduleEnergyCheckLocked(m.rt.Now() + m.cfg.IdleThreshold)
 	}
 	if m.cfg.Reconfig != nil && m.cfg.ReconfigPeriod > 0 {
 		m.addTicker(m.cfg.ReconfigPeriod, m.gmReconfigTick)
@@ -138,7 +143,7 @@ func (m *Manager) gmOnLCJoin(req *transport.Request) {
 	id := join.Status.Spec.ID
 	rec, exists := m.lcs[id]
 	if !exists {
-		rec = &lcRecord{id: id, history: make(map[types.VMID]*resource.History)}
+		rec = &lcRecord{id: id}
 		m.lcs[id] = rec
 	}
 	rec.addr = transport.Address(join.Addr)
@@ -156,11 +161,13 @@ func (m *Manager) gmOnLCJoin(req *transport.Request) {
 	m.drainPending()
 }
 
-// gmOnMonitor ingests an LC monitoring report: store status, update per-VM
-// utilization histories and refresh the demand estimates used by schedulers
-// (Section II-B). Every accepted report also feeds the telemetry store (the
-// monitoring history operators query via /v1/series) and the anomaly
-// detector, whose node.overload / node.underload events drive relocation.
+// gmOnMonitor ingests an LC monitoring report: store status and refresh the
+// demand series used by the schedulers' estimators (Section II-B). Every
+// accepted report feeds the telemetry store — per-node series for capacity
+// views, all four per-VM demand dimensions for store-backed estimation — and
+// the anomaly detector, whose node.overload / node.underload events drive
+// relocation. A report that transitions a node into idleness additionally
+// publishes node.idle, the signal the event-driven energy manager waits on.
 func (m *Manager) gmOnMonitor(req *transport.Request) {
 	rep, ok := req.Payload.(protocol.MonitorReport)
 	if !ok {
@@ -176,7 +183,7 @@ func (m *Manager) gmOnMonitor(req *transport.Request) {
 	if !exists {
 		// Unknown LC (e.g. we were promoted and demoted again): admit it
 		// implicitly — monitoring proves liveness.
-		rec = &lcRecord{id: id, history: make(map[types.VMID]*resource.History)}
+		rec = &lcRecord{id: id}
 		m.lcs[id] = rec
 		rec.addr = transport.Address(req.From)
 		rec.oob = OOBAddress(req.From)
@@ -188,31 +195,34 @@ func (m *Manager) gmOnMonitor(req *transport.Request) {
 		return
 	}
 	rec.lastSeen = m.rt.Now()
+	if rec.sleeping {
+		// A woken node starts a fresh idle episode: un-latch the idle
+		// announcement so the energy manager hears about it again.
+		rec.idleAnnounced = false
+	}
 	rec.sleeping = false
 	rec.waking = false
 	rec.status = rep.Status
 	rec.vms = rep.VMs
-	live := make(map[types.VMID]struct{}, len(rep.VMs))
-	for _, vm := range rep.VMs {
-		live[vm.Spec.ID] = struct{}{}
-		h, ok := rec.history[vm.Spec.ID]
-		if !ok {
-			h = resource.NewHistory(m.cfg.HistoryLen)
-			rec.history[vm.Spec.ID] = h
+	becameIdle := false
+	if rep.Status.Idle {
+		if !rec.idleAnnounced {
+			rec.idleAnnounced = true
+			becameIdle = true
 		}
-		h.Push(vm.Used)
-	}
-	for id := range rec.history {
-		if _, ok := live[id]; !ok {
-			delete(rec.history, id)
-		}
+	} else {
+		rec.idleAnnounced = false
 	}
 	m.mu.Unlock()
 
 	now := m.rt.Now()
 	m.tel.RecordNode(now, rep.Status)
 	for _, vm := range rep.VMs {
-		m.tel.Record(telemetry.VMEntity(vm.Spec.ID), "cpu.used", now, vm.Used.CPU)
+		m.tel.RecordVM(now, vm)
+	}
+	if becameIdle {
+		m.emit(telemetry.EventNodeIdle, telemetry.NodeEntity(id),
+			map[string]string{"sinceNs": fmt.Sprintf("%d", rep.Status.IdleSince)})
 	}
 	if ev, fired := m.tel.DetectNode(now, rep.Status); fired {
 		m.onTelemetryEvent(ev, rep.Status, rep.VMs)
@@ -241,10 +251,13 @@ func (m *Manager) onTelemetryEvent(ev telemetry.Event, status types.NodeStatus, 
 	m.relocate(kind, status, vms)
 }
 
-// estimateLocked returns the demand estimate for one VM on one LC.
-func (m *Manager) estimateLocked(rec *lcRecord, vm types.VMStatus) types.ResourceVector {
-	if h, ok := rec.history[vm.Spec.ID]; ok && h.Len() > 0 {
-		return h.Estimate(m.cfg.Estimator)
+// estimateVM returns the demand estimate for one VM, reconstructed from the
+// telemetry store's retained per-VM series (the single history path — the
+// former per-caller resource.History rings are gone). A VM with no retained
+// samples yet falls back to its most recent measurement.
+func (m *Manager) estimateVM(now time.Duration, vm types.VMStatus) types.ResourceVector {
+	if est, ok := m.views.Demand(now, telemetry.VMEntity(vm.Spec.ID), m.cfg.Estimator); ok {
+		return est
 	}
 	return vm.Used
 }
@@ -259,6 +272,12 @@ func (m *Manager) activeStatusesLocked() []types.NodeStatus {
 		out = append(out, lc.status)
 	}
 	return out
+}
+
+// activeViewsLocked builds capacity views over the schedulable LCs — the
+// input every placement decision consumes.
+func (m *Manager) activeViewsLocked() []view.Node {
+	return m.views.Nodes(m.rt.Now(), m.activeStatusesLocked())
 }
 
 // gmOnPlace serves the GL's placement probe: run the placement policy per VM
@@ -317,7 +336,7 @@ func (m *Manager) placeVM(spec types.VMSpec, cb func(node types.NodeID, ok bool)
 		cb("", false)
 		return
 	}
-	nodeID, ok := m.cfg.Placement.Place(spec, m.activeStatusesLocked())
+	nodeID, ok := m.cfg.Placement.Place(spec, m.activeViewsLocked())
 	if !ok {
 		// No active LC fits. Queue for a wake if energy management can
 		// create capacity, else fail fast.
@@ -328,6 +347,12 @@ func (m *Manager) placeVM(spec types.VMSpec, cb func(node types.NodeID, ok bool)
 				respond:  cb,
 			})
 			m.wakeOneLocked()
+			// Arm the retry heartbeat: if the wake call is lost, no journal
+			// event will follow to drive the energy check, so the queued
+			// placement needs a scheduled check to retry the wake and
+			// enforce its deadline (gmEnergyCheck keeps re-arming while the
+			// queue is non-empty).
+			m.scheduleEnergyCheckLocked(m.rt.Now() + m.cfg.IdleThreshold/2)
 			m.mu.Unlock()
 			m.mark("gm.place-queued", 1)
 			return
@@ -418,7 +443,7 @@ func (m *Manager) drainPending() {
 			continue
 		}
 		m.mu.Lock()
-		nodeID, ok := m.cfg.Placement.Place(p.spec, m.activeStatusesLocked())
+		nodeID, ok := m.cfg.Placement.Place(p.spec, m.activeViewsLocked())
 		if !ok {
 			// Still no room: requeue.
 			m.pending = append(m.pending, p)
@@ -488,11 +513,12 @@ func (m *Manager) relocate(kind protocol.AnomalyKind, status types.NodeStatus, s
 		m.mu.Unlock()
 		return
 	}
-	// Estimate demand for the source VMs.
+	now := m.rt.Now()
+	// Estimate demand for the source VMs from the store's retained series.
 	vms := make([]types.VMStatus, len(srcVMs))
 	copy(vms, srcVMs)
 	for i := range vms {
-		vms[i].Used = m.estimateLocked(src, vms[i])
+		vms[i].Used = m.estimateVM(now, vms[i])
 	}
 	others := make([]types.NodeStatus, 0, len(m.lcs))
 	for _, lc := range m.lcs {
@@ -505,7 +531,16 @@ func (m *Manager) relocate(kind protocol.AnomalyKind, status types.NodeStatus, s
 	if kind == protocol.AnomalyUnderload {
 		policy = m.cfg.Underload
 	}
-	moves := policy.Relocate(status, vms, others)
+	srcView := m.views.Node(now, status)
+	if sk, ok := policy.(scheduling.SkipsAnomaly); ok && sk.SkipAnomaly(srcView) {
+		// Deliberate inaction (e.g. trend-relocation judging the spike to be
+		// draining on its own) — in particular, do NOT wake sleeping
+		// capacity for it.
+		m.mark("gm.relocations-skipped", 1)
+		m.mu.Unlock()
+		return
+	}
+	moves := policy.Relocate(srcView, vms, m.views.Nodes(now, others))
 	if len(moves) == 0 {
 		// An unresolvable overload wakes sleeping capacity (Section III:
 		// "LCs are woken up by the GM in case ... overload situations on
@@ -586,15 +621,18 @@ func (m *Manager) gmSweepTick() {
 	}
 	now := m.rt.Now()
 	var lost []types.VMSpec
+	var dead []types.VMID
 	var failed []types.NodeID
 	for id, lc := range m.lcs {
 		if lc.sleeping || lc.waking {
 			continue // deliberate sleep: heartbeat silence is expected
 		}
 		if now-lc.lastSeen > m.cfg.LCTimeout {
-			if m.cfg.RescheduleOnLCFailure {
-				for _, vm := range lc.vms {
+			for _, vm := range lc.vms {
+				if m.cfg.RescheduleOnLCFailure {
 					lost = append(lost, vm.Spec)
+				} else {
+					dead = append(dead, vm.Spec.ID)
 				}
 			}
 			delete(m.lcs, id)
@@ -609,6 +647,14 @@ func (m *Manager) gmSweepTick() {
 		m.emit(telemetry.EventLCFailed, entity, map[string]string{"gm": string(m.cfg.ID)})
 		m.tel.ForgetEntity(entity)
 	}
+	// VMs that died with the node (no rescheduling) get a terminal vm.state;
+	// the hub drops their series on that event, so dead VMs do not linger in
+	// the store. Rescheduled VMs keep their series — the workload lives on.
+	sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
+	for _, id := range dead {
+		m.emit(telemetry.EventVMState, telemetry.VMEntity(id),
+			map[string]string{"state": "failed"})
+	}
 	sort.Slice(lost, func(i, j int) bool { return lost[i].ID < lost[j].ID })
 	for _, spec := range lost {
 		spec := spec
@@ -617,11 +663,58 @@ func (m *Manager) gmSweepTick() {
 	}
 }
 
-// gmEnergyTick suspends LCs that have been idle past the administrator's
-// threshold (Section III) and wakes capacity when placements are queued.
-func (m *Manager) gmEnergyTick() {
+// onEnergyEvent is the journal observer driving event-driven energy
+// management: any event that can change idleness (a node reporting idle, a
+// recovery, a VM lifecycle outcome, an LC joining) kicks one idle check.
+// It runs synchronously on the publishing goroutine — possibly while the
+// publisher holds m.mu — so it touches no manager state beyond the atomic
+// debounce and defers the real work to a runtime event.
+func (m *Manager) onEnergyEvent(ev telemetry.Event) {
+	switch ev.Type {
+	case telemetry.EventNodeIdle, telemetry.EventNodeNormal, telemetry.EventVMState, telemetry.EventLCJoin:
+	default:
+		return
+	}
+	if m.energyKick.CompareAndSwap(false, true) {
+		m.rt.After(0, func() {
+			m.energyKick.Store(false)
+			m.gmEnergyCheck()
+		})
+	}
+}
+
+// scheduleEnergyCheckLocked arms (or re-arms) the idle check at the absolute
+// runtime instant at, keeping only the earliest outstanding deadline.
+func (m *Manager) scheduleEnergyCheckLocked(at time.Duration) {
+	if m.energyCancel != nil && m.energyAt <= at {
+		return // an earlier (or equal) check is already scheduled
+	}
+	if m.energyCancel != nil {
+		m.energyCancel.Cancel()
+	}
+	m.energyAt = at
+	delay := at - m.rt.Now()
+	if delay < 0 {
+		delay = 0
+	}
+	m.energyCancel = m.rt.After(delay, func() {
+		m.mu.Lock()
+		m.energyAt = 0
+		m.energyCancel = nil
+		m.mu.Unlock()
+		m.gmEnergyCheck()
+	})
+}
+
+// gmEnergyCheck suspends LCs that have been idle past the administrator's
+// threshold (Section III) and wakes capacity when placements are queued. It
+// replaces the former polling tick: journal events (node.idle, node.normal,
+// vm.state, lc-join) trigger it, and when it finds idle-but-not-yet-ripe
+// nodes it re-arms itself for the exact moment the earliest one ripens — so
+// large idle groups cost no periodic tick work at all.
+func (m *Manager) gmEnergyCheck() {
 	m.mu.Lock()
-	if m.role != RoleGM || m.stopped {
+	if m.role != RoleGM || m.stopped || !m.cfg.EnergyEnabled {
 		m.mu.Unlock()
 		return
 	}
@@ -631,6 +724,7 @@ func (m *Manager) gmEnergyTick() {
 		id   types.NodeID
 	}
 	var toSuspend []target
+	var nextRipe time.Duration
 	for _, lc := range m.lcs {
 		if lc.sleeping || lc.waking || lc.busy > 0 || len(lc.status.VMs) > 0 {
 			continue
@@ -638,14 +732,30 @@ func (m *Manager) gmEnergyTick() {
 		if lc.status.Power != types.PowerOn || !lc.status.Idle {
 			continue
 		}
-		if now-time.Duration(lc.status.IdleSince) >= m.cfg.IdleThreshold {
+		ripe := time.Duration(lc.status.IdleSince) + m.cfg.IdleThreshold
+		if now >= ripe {
 			toSuspend = append(toSuspend, target{addr: lc.addr, id: lc.id})
 			lc.sleeping = true
 			lc.sleepGen = lc.status.Generation
 			lc.status.Power = types.PowerSuspended
+			continue
+		}
+		if nextRipe == 0 || ripe < nextRipe {
+			nextRipe = ripe
 		}
 	}
 	pendingLeft := len(m.pending)
+	if pendingLeft > 0 {
+		// Queued placements keep a bounded retry heartbeat alive (a wake
+		// call may have failed); it stops as soon as the queue drains.
+		retry := now + m.cfg.IdleThreshold/2
+		if nextRipe == 0 || retry < nextRipe {
+			nextRipe = retry
+		}
+	}
+	if nextRipe > 0 {
+		m.scheduleEnergyCheckLocked(nextRipe)
+	}
 	m.mu.Unlock()
 	sort.Slice(toSuspend, func(i, j int) bool { return toSuspend[i].id < toSuspend[j].id })
 	for _, t := range toSuspend {
@@ -653,11 +763,18 @@ func (m *Manager) gmEnergyTick() {
 		m.bus.Call(m.cfg.Addr, t.addr, protocol.KindSuspendHost, struct{}{}, m.cfg.CallTimeout,
 			func(reply any, err error) {
 				if err != nil {
-					// Suspend refused (e.g. a VM landed meanwhile): unmark.
+					// Suspend refused (e.g. a VM landed meanwhile) or lost:
+					// unmark and arm a re-check. Without it a still-idle node
+					// would stay powered forever — its continuing idle
+					// reports emit no fresh node.idle (the announcement is
+					// latched) and nothing else would retry.
 					m.mu.Lock()
 					if rec, ok := m.lcs[t.id]; ok {
 						rec.sleeping = false
 						rec.status.Power = types.PowerOn
+					}
+					if m.role == RoleGM && !m.stopped {
+						m.scheduleEnergyCheckLocked(m.rt.Now() + m.cfg.IdleThreshold/2)
 					}
 					m.mu.Unlock()
 				}
@@ -685,6 +802,7 @@ func (m *Manager) gmReconfigTick() {
 	var problem consolidation.Problem
 	current := types.Placement{}
 	specs := map[types.VMID]types.VMSpec{}
+	now := m.rt.Now()
 	for _, lc := range m.lcs {
 		if lc.sleeping || lc.busy > 0 || lc.status.Power != types.PowerOn {
 			continue
@@ -695,7 +813,7 @@ func (m *Manager) gmReconfigTick() {
 				continue
 			}
 			spec := vm.Spec
-			est := m.estimateLocked(lc, vm)
+			est := m.estimateVM(now, vm)
 			// Consolidate on max(estimate, reservation-scaled demand) to
 			// stay admission-safe: the hypervisor checks reservations.
 			spec.Requested = vm.Spec.Requested

@@ -3,6 +3,7 @@ package hierarchy
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"snooze/internal/consolidation"
@@ -12,6 +13,7 @@ import (
 	"snooze/internal/protocol"
 	"snooze/internal/resource"
 	"snooze/internal/scheduling"
+	"snooze/internal/scheduling/view"
 	"snooze/internal/simkernel"
 	"snooze/internal/telemetry"
 	"snooze/internal/transport"
@@ -63,9 +65,17 @@ type ManagerConfig struct {
 	Overload  scheduling.RelocationPolicy
 	Underload scheduling.RelocationPolicy
 
-	// Demand estimation (Section II-B).
-	Estimator  resource.Estimator
-	HistoryLen int
+	// Demand estimation (Section II-B). Estimates are computed over the
+	// telemetry store's retained per-VM series (see view.Builder.Demand);
+	// the estimator reduces the windowed samples to one demand vector.
+	Estimator resource.Estimator
+
+	// Capacity views: every scheduling decision consumes views built from
+	// the Telemetry hub over this window. Thin or stale histories fall back
+	// to the point-in-time snapshot inside the policies.
+	ViewHorizon    time.Duration // statistics window (default view.DefaultHorizon)
+	ViewMinSamples int           // freshness gate (default view.DefaultMinSamples)
+	ViewMaxAge     time.Duration // freshness gate (default view.DefaultMaxAge)
 
 	// Energy management (Section III).
 	EnergyEnabled  bool
@@ -111,7 +121,6 @@ func DefaultManagerConfig(id types.GroupManagerID, addr transport.Address) Manag
 		Overload:        scheduling.OverloadRelocation{},
 		Underload:       scheduling.UnderloadRelocation{},
 		Estimator:       resource.LastValue{},
-		HistoryLen:      20,
 		EnergyEnabled:   false,
 		IdleThreshold:   30 * time.Second,
 		PendingTimeout:  60 * time.Second,
@@ -127,12 +136,15 @@ type lcRecord struct {
 	oob      transport.Address
 	status   types.NodeStatus
 	vms      []types.VMStatus
-	history  map[types.VMID]*resource.History
 	lastSeen time.Duration
 	sleeping bool   // suspended by the energy manager (deliberate, not a failure)
 	sleepGen uint64 // node generation when suspend was ordered; fences stale reports
 	waking   bool
 	busy     int // in-flight migrations involving this LC
+	// idleAnnounced tracks whether the current idle stretch has already
+	// produced a node.idle journal event (reset by any non-idle report), so
+	// the event-driven energy manager sees each idle transition exactly once.
+	idleAnnounced bool
 }
 
 // gmRecord is the GL's view of one Group Manager.
@@ -153,11 +165,12 @@ type pendingPlacement struct {
 // Manager is one GM/GL process. It enrolls in the GL election at Start; the
 // election outcome selects which role's state machine is active.
 type Manager struct {
-	rt   simkernel.Runtime
-	bus  *transport.Bus
-	cfg  ManagerConfig
-	tel  *telemetry.Hub
-	cand *election.Candidate
+	rt    simkernel.Runtime
+	bus   *transport.Bus
+	cfg   ManagerConfig
+	tel   *telemetry.Hub
+	views view.Builder
+	cand  *election.Candidate
 
 	mu   sync.Mutex
 	role Role
@@ -166,12 +179,23 @@ type Manager struct {
 	joined  bool
 	lcs     map[types.NodeID]*lcRecord
 	pending []pendingPlacement
+	// Event-driven energy management (GM role): the journal observer's
+	// cancel hook, the target time of the earliest scheduled idle check and
+	// its canceler.
+	energyUnsub  func()
+	energyAt     time.Duration
+	energyCancel simkernel.Canceler
 	// GL state.
 	gms   map[types.GroupManagerID]*gmRecord
 	epoch uint64
 
 	tickers []*simkernel.Ticker
 	stopped bool
+
+	// energyKick debounces observer-triggered idle checks. It lives outside
+	// mu because journal observers run synchronously on the publishing
+	// goroutine, which may hold mu.
+	energyKick atomic.Bool
 }
 
 // NewManager creates a Manager. svc is the coordination service used for
@@ -192,8 +216,14 @@ func NewManager(rt simkernel.Runtime, bus *transport.Bus, svc *coord.Service, cf
 	if cfg.Estimator == nil {
 		cfg.Estimator = resource.LastValue{}
 	}
-	if cfg.HistoryLen <= 0 {
-		cfg.HistoryLen = 20
+	if cfg.ViewHorizon <= 0 {
+		cfg.ViewHorizon = view.DefaultHorizon
+	}
+	if cfg.ViewMinSamples <= 0 {
+		cfg.ViewMinSamples = view.DefaultMinSamples
+	}
+	if cfg.ViewMaxAge <= 0 {
+		cfg.ViewMaxAge = view.DefaultMaxAge
 	}
 	if cfg.ElectionBase == "" {
 		cfg.ElectionBase = "/snooze/election"
@@ -206,8 +236,17 @@ func NewManager(rt simkernel.Runtime, bus *transport.Bus, svc *coord.Service, cf
 		bus: bus,
 		cfg: cfg,
 		tel: cfg.Telemetry,
+		views: view.Builder{
+			Hub:        cfg.Telemetry,
+			Horizon:    cfg.ViewHorizon,
+			MinSamples: cfg.ViewMinSamples,
+			MaxAge:     cfg.ViewMaxAge,
+		},
 		lcs: make(map[types.NodeID]*lcRecord),
 		gms: make(map[types.GroupManagerID]*gmRecord),
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.SetGauge("scheduler.view-horizon-ns", float64(cfg.ViewHorizon))
 	}
 	m.cand = election.NewCandidate(svc, rt, election.Config{
 		Base:       cfg.ElectionBase,
@@ -246,6 +285,7 @@ func (m *Manager) Stop() {
 	m.role = RoleIdle
 	tickers := m.tickers
 	m.tickers = nil
+	m.stopEnergyLocked()
 	m.mu.Unlock()
 	for _, t := range tickers {
 		t.Stop()
@@ -263,6 +303,7 @@ func (m *Manager) Crash() {
 	m.role = RoleIdle
 	tickers := m.tickers
 	m.tickers = nil
+	m.stopEnergyLocked()
 	m.mu.Unlock()
 	for _, t := range tickers {
 		t.Stop()
@@ -320,12 +361,28 @@ func (m *Manager) onElection(st election.State, leaderID string) {
 	}
 }
 
-// stopTickersLocked halts the current role's periodic work.
+// stopTickersLocked halts the current role's periodic work, including the
+// event-driven energy machinery.
 func (m *Manager) stopTickersLocked() {
 	for _, t := range m.tickers {
 		t.Stop()
 	}
 	m.tickers = nil
+	m.stopEnergyLocked()
+}
+
+// stopEnergyLocked detaches the journal observer and cancels any scheduled
+// idle check.
+func (m *Manager) stopEnergyLocked() {
+	if m.energyUnsub != nil {
+		m.energyUnsub()
+		m.energyUnsub = nil
+	}
+	if m.energyCancel != nil {
+		m.energyCancel.Cancel()
+		m.energyCancel = nil
+	}
+	m.energyAt = 0
 }
 
 func (m *Manager) addTicker(period time.Duration, fn func()) {

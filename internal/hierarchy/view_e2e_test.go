@@ -1,0 +1,154 @@
+package hierarchy
+
+import (
+	"testing"
+	"time"
+
+	"snooze/internal/protocol"
+	"snooze/internal/scheduling"
+	"snooze/internal/telemetry"
+	"snooze/internal/types"
+)
+
+// TestPercentileFitAvoidsHistoricallyHotNode drives the full GM path — LC
+// monitoring over the bus feeding the telemetry store, capacity views built
+// from it, the percentile-fit policy consuming them — and checks the exact
+// scenario point-in-time estimates cannot see: a node that is idle at
+// placement time but ran hot for most of the window must be passed over in
+// favour of a genuinely quiet peer.
+func TestPercentileFitAvoidsHistoricallyHotNode(t *testing.T) {
+	r := newRig(77)
+	r.manager("m0") // becomes GL
+	r.settle(5 * time.Second)
+
+	cfg := DefaultManagerConfig("m1", "mgr:m1")
+	cfg.Placement = scheduling.PercentileFitPlacement{}
+	m1 := NewManager(r.k, r.bus, r.svc, cfg)
+	if err := m1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	lc1 := r.lc("n1")
+	r.lc("n2")
+	r.settle(30 * time.Second)
+	if lc1.GM() != m1.Addr() {
+		t.Fatalf("fixture: n1 joined %q, want %q", lc1.GM(), m1.Addr())
+	}
+
+	// Run a demanding VM on n1 long enough for its monitoring reports to
+	// build a hot util history (~0.875 L∞) in the GM's telemetry store.
+	hog := types.VMSpec{ID: "hog", Requested: types.RV(7, 14336, 10, 10)}
+	var started protocol.StartVMResponse
+	r.bus.Call("test", lc1.Addr(), protocol.KindStartVM, protocol.StartVMRequest{Spec: hog}, time.Second,
+		func(reply any, err error) {
+			if err == nil {
+				started = reply.(protocol.StartVMResponse)
+			}
+		})
+	r.settle(45 * time.Second)
+	if !started.OK {
+		t.Fatalf("hog start: %+v", started)
+	}
+
+	// Stop the hog: n1 turns idle, but its p95 over the view horizon stays
+	// hot. A couple of monitor periods let the idle snapshot reach the GM.
+	r.bus.Call("test", lc1.Addr(), protocol.KindStopVM, protocol.StopVMRequest{VM: "hog"}, time.Second,
+		func(any, error) {})
+	r.settle(7 * time.Second)
+
+	// Sanity: the store must still remember n1's hot stretch.
+	samples := m1.Telemetry().Store().Query(telemetry.NodeEntity("n1"), "util", 0, 0)
+	hot := 0
+	for _, s := range samples {
+		if s.Value > 0.8 {
+			hot++
+		}
+	}
+	if hot < 5 {
+		t.Fatalf("fixture: only %d hot samples retained (%d total)", hot, len(samples))
+	}
+
+	// Place a fresh VM through the GM. Best-fit/first-fit would pick n1
+	// (lower ID, equally empty); percentile-fit must route around it.
+	spec := types.VMSpec{ID: "fresh", Requested: types.RV(2, 2048, 10, 10)}
+	var placed protocol.PlaceResponse
+	r.bus.Call("test", m1.Addr(), protocol.KindPlace, protocol.PlaceRequest{VMs: []types.VMSpec{spec}}, time.Minute,
+		func(reply any, err error) {
+			if err == nil {
+				placed = reply.(protocol.PlaceResponse)
+			}
+		})
+	r.settle(15 * time.Second)
+	node, ok := placed.Placed["fresh"]
+	if !ok {
+		t.Fatalf("placement failed: %+v", placed)
+	}
+	if node != "n2" {
+		t.Fatalf("fresh VM landed on %s; p95-aware placement should avoid the historically hot n1", node)
+	}
+
+	// The monitoring flow should also have announced n1's idle transition —
+	// the signal the event-driven energy manager consumes.
+	sawIdle := false
+	for _, ev := range m1.Telemetry().Journal().Replay(0, 0) {
+		if ev.Type == telemetry.EventNodeIdle && ev.Entity == telemetry.NodeEntity("n1") {
+			sawIdle = true
+		}
+	}
+	if !sawIdle {
+		t.Fatal("no node.idle event for n1 after the hog stopped")
+	}
+}
+
+// TestEventDrivenEnergySuspendsLateIdler covers the polling-free energy
+// path end to end: a node that becomes idle mid-run (not at boot) must be
+// suspended IdleThreshold after its last VM leaves, driven purely by
+// journal events and the self-armed deadline check.
+func TestEventDrivenEnergySuspendsLateIdler(t *testing.T) {
+	r := newRig(78)
+	r.manager("m0")
+	r.settle(5 * time.Second)
+
+	cfg := DefaultManagerConfig("m1", "mgr:m1")
+	cfg.EnergyEnabled = true
+	cfg.IdleThreshold = 15 * time.Second
+	m1 := NewManager(r.k, r.bus, r.svc, cfg)
+	if err := m1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	lc1 := r.lc("n1")
+	r.settle(30 * time.Second)
+	if lc1.GM() != m1.Addr() {
+		t.Fatalf("fixture: n1 joined %q", lc1.GM())
+	}
+	// n1 was idle since boot; the bootstrap check should already have
+	// suspended it. Wake it up again via a VM, then stop the VM and verify
+	// the *event-driven* suspend happens for the late idler too.
+	r.settle(30 * time.Second)
+	if r.nodes["n1"].Power() != types.PowerSuspended {
+		t.Fatalf("idle-at-boot node not suspended: %v", r.nodes["n1"].Power())
+	}
+
+	if err := r.nodes["n1"].Wake(); err != nil {
+		t.Fatal(err)
+	}
+	r.settle(20 * time.Second) // wake latency is 15s
+	var started protocol.StartVMResponse
+	r.bus.Call("test", lc1.Addr(), protocol.KindStartVM,
+		protocol.StartVMRequest{Spec: types.VMSpec{ID: "v", Requested: types.RV(2, 2048, 10, 10)}}, 5*time.Second,
+		func(reply any, err error) {
+			if err == nil {
+				started = reply.(protocol.StartVMResponse)
+			}
+		})
+	r.settle(10 * time.Second)
+	if !started.OK {
+		t.Fatalf("start: %+v", started)
+	}
+	r.bus.Call("test", lc1.Addr(), protocol.KindStopVM, protocol.StopVMRequest{VM: "v"}, time.Second,
+		func(any, error) {})
+	// Idle transition → node.idle event → check arms at idleSince+15s.
+	r.settle(40 * time.Second)
+	if r.nodes["n1"].Power() != types.PowerSuspended {
+		t.Fatalf("late idler not suspended: %v", r.nodes["n1"].Power())
+	}
+}

@@ -246,10 +246,23 @@ type TopologyGM struct {
 	LCs     []TopologyLC         `json:"lcs,omitempty"` // deep export only
 }
 
+// SchedulingInfo is the active scheduling configuration carried by topology
+// exports: the policy names of the two scheduling levels, the demand
+// estimator, and the capacity-view horizon the policies consume.
+type SchedulingInfo struct {
+	Dispatch      string `json:"dispatch"`
+	Placement     string `json:"placement"`
+	Overload      string `json:"overload"`
+	Underload     string `json:"underload"`
+	Estimator     string `json:"estimator,omitempty"`
+	ViewHorizonNs int64  `json:"viewHorizonNs,omitempty"`
+}
+
 // TopologyResponse is the GL's hierarchy export (CLI visualization).
 type TopologyResponse struct {
-	GL  string       `json:"gl"`
-	GMs []TopologyGM `json:"gms"`
+	GL         string         `json:"gl"`
+	GMs        []TopologyGM   `json:"gms"`
+	Scheduling SchedulingInfo `json:"scheduling"`
 }
 
 // KindLCList asks a GM for its LC inventory (used by deep topology export).

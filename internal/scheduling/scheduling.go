@@ -4,12 +4,20 @@
 // linear search over the candidates. At the Group Manager, placement
 // policies choose a Local Controller for each incoming VM, and relocation
 // policies react to overload/underload anomaly events from the LCs.
+//
+// All policies consume capacity views (internal/scheduling/view): the
+// point-in-time snapshot enriched with windowed utilization statistics from
+// the telemetry store. The classic policies read only the snapshot half;
+// the telemetry-aware ones (telemetry_policies.go) additionally use the
+// percentile and trend statistics, falling back to snapshot behaviour when
+// a view's history is thin or stale.
 package scheduling
 
 import (
 	"fmt"
 	"sort"
 
+	"snooze/internal/scheduling/view"
 	"snooze/internal/types"
 )
 
@@ -22,15 +30,15 @@ import (
 // exact dispatching decisions... Consequently, a list of candidate GMs is
 // provided by the dispatching policies" — the GL linearly probes the list.
 type DispatchPolicy interface {
-	// Candidates returns GM IDs to probe, best first. Summaries whose free
+	// Candidates returns GM IDs to probe, best first. Groups whose free
 	// capacity cannot possibly hold the VM are filtered out (they may still
 	// fail the probe: free capacity may be fragmented across LCs).
-	Candidates(vm types.VMSpec, summaries []types.GroupSummary) []types.GroupManagerID
+	Candidates(vm types.VMSpec, groups []view.Group) []types.GroupManagerID
 	Name() string
 }
 
-func feasible(vm types.VMSpec, s types.GroupSummary) bool {
-	return s.ActiveLCs+s.AsleepLCs > 0 && vm.Requested.FitsIn(s.Free())
+func feasible(vm types.VMSpec, g view.Group) bool {
+	return g.ActiveLCs+g.AsleepLCs > 0 && vm.Requested.FitsIn(g.Free())
 }
 
 // RoundRobinDispatch cycles through GMs across calls, spreading load
@@ -40,15 +48,15 @@ type RoundRobinDispatch struct {
 }
 
 // Candidates implements DispatchPolicy.
-func (r *RoundRobinDispatch) Candidates(vm types.VMSpec, summaries []types.GroupSummary) []types.GroupManagerID {
-	sorted := append([]types.GroupSummary(nil), summaries...)
+func (r *RoundRobinDispatch) Candidates(vm types.VMSpec, groups []view.Group) []types.GroupManagerID {
+	sorted := append([]view.Group(nil), groups...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].GM < sorted[j].GM })
 	n := len(sorted)
 	var out []types.GroupManagerID
 	for i := 0; i < n; i++ {
-		s := sorted[(r.next+i)%n]
-		if feasible(vm, s) {
-			out = append(out, s.GM)
+		g := sorted[(r.next+i)%n]
+		if feasible(vm, g) {
+			out = append(out, g.GM)
 		}
 	}
 	if n > 0 {
@@ -65,17 +73,17 @@ func (r *RoundRobinDispatch) Name() string { return "round-robin" }
 type LeastLoadedDispatch struct{}
 
 // Candidates implements DispatchPolicy.
-func (LeastLoadedDispatch) Candidates(vm types.VMSpec, summaries []types.GroupSummary) []types.GroupManagerID {
+func (LeastLoadedDispatch) Candidates(vm types.VMSpec, groups []view.Group) []types.GroupManagerID {
 	type scored struct {
 		id   types.GroupManagerID
 		free float64
 	}
 	var sc []scored
-	for _, s := range summaries {
-		if !feasible(vm, s) {
+	for _, g := range groups {
+		if !feasible(vm, g) {
 			continue
 		}
-		sc = append(sc, scored{id: s.GM, free: s.Free().UtilizationL1(s.Total)})
+		sc = append(sc, scored{id: g.GM, free: g.Free().UtilizationL1(g.Total)})
 	}
 	sort.Slice(sc, func(i, j int) bool {
 		if sc[i].free != sc[j].free {
@@ -98,17 +106,17 @@ func (LeastLoadedDispatch) Name() string { return "least-loaded" }
 type MostLoadedDispatch struct{}
 
 // Candidates implements DispatchPolicy.
-func (MostLoadedDispatch) Candidates(vm types.VMSpec, summaries []types.GroupSummary) []types.GroupManagerID {
+func (MostLoadedDispatch) Candidates(vm types.VMSpec, groups []view.Group) []types.GroupManagerID {
 	type scored struct {
 		id   types.GroupManagerID
 		free float64
 	}
 	var sc []scored
-	for _, s := range summaries {
-		if !feasible(vm, s) {
+	for _, g := range groups {
+		if !feasible(vm, g) {
 			continue
 		}
-		sc = append(sc, scored{id: s.GM, free: s.Free().UtilizationL1(s.Total)})
+		sc = append(sc, scored{id: g.GM, free: g.Free().UtilizationL1(g.Total)})
 	}
 	sort.Slice(sc, func(i, j int) bool {
 		if sc[i].free != sc[j].free {
@@ -134,17 +142,17 @@ func (MostLoadedDispatch) Name() string { return "most-loaded" }
 // current reservations; only PowerOn nodes are offered.
 type PlacementPolicy interface {
 	// Place returns the chosen node ID, or false if no active node fits.
-	Place(vm types.VMSpec, nodes []types.NodeStatus) (types.NodeID, bool)
+	Place(vm types.VMSpec, nodes []view.Node) (types.NodeID, bool)
 	Name() string
 }
 
-func fits(vm types.VMSpec, n types.NodeStatus) bool {
+func fits(vm types.VMSpec, n view.Node) bool {
 	return n.Power == types.PowerOn && vm.Requested.FitsIn(n.FreeReserved())
 }
 
 // sortedByID returns nodes sorted by ID for deterministic iteration.
-func sortedByID(nodes []types.NodeStatus) []types.NodeStatus {
-	out := append([]types.NodeStatus(nil), nodes...)
+func sortedByID(nodes []view.Node) []view.Node {
+	out := append([]view.Node(nil), nodes...)
 	sort.Slice(out, func(i, j int) bool { return out[i].Spec.ID < out[j].Spec.ID })
 	return out
 }
@@ -154,7 +162,7 @@ func sortedByID(nodes []types.NodeStatus) []types.NodeStatus {
 type FirstFit struct{}
 
 // Place implements PlacementPolicy.
-func (FirstFit) Place(vm types.VMSpec, nodes []types.NodeStatus) (types.NodeID, bool) {
+func (FirstFit) Place(vm types.VMSpec, nodes []view.Node) (types.NodeID, bool) {
 	for _, n := range sortedByID(nodes) {
 		if fits(vm, n) {
 			return n.Spec.ID, true
@@ -171,7 +179,7 @@ func (FirstFit) Name() string { return "first-fit" }
 type BestFit struct{}
 
 // Place implements PlacementPolicy.
-func (BestFit) Place(vm types.VMSpec, nodes []types.NodeStatus) (types.NodeID, bool) {
+func (BestFit) Place(vm types.VMSpec, nodes []view.Node) (types.NodeID, bool) {
 	best, found := types.NodeID(""), false
 	bestFree := 0.0
 	for _, n := range sortedByID(nodes) {
@@ -194,7 +202,7 @@ func (BestFit) Name() string { return "best-fit" }
 type WorstFit struct{}
 
 // Place implements PlacementPolicy.
-func (WorstFit) Place(vm types.VMSpec, nodes []types.NodeStatus) (types.NodeID, bool) {
+func (WorstFit) Place(vm types.VMSpec, nodes []view.Node) (types.NodeID, bool) {
 	best, found := types.NodeID(""), false
 	bestFree := 0.0
 	for _, n := range sortedByID(nodes) {
@@ -219,7 +227,7 @@ type RoundRobinPlacement struct {
 }
 
 // Place implements PlacementPolicy.
-func (r *RoundRobinPlacement) Place(vm types.VMSpec, nodes []types.NodeStatus) (types.NodeID, bool) {
+func (r *RoundRobinPlacement) Place(vm types.VMSpec, nodes []view.Node) (types.NodeID, bool) {
 	sorted := sortedByID(nodes)
 	n := len(sorted)
 	for i := 0; i < n; i++ {
@@ -277,8 +285,18 @@ type Move struct {
 type RelocationPolicy interface {
 	// Relocate returns moves for VMs on the anomalous node `src`;
 	// `srcVMs` are its current VMs, `others` the GM's other active nodes.
-	Relocate(src types.NodeStatus, srcVMs []types.VMStatus, others []types.NodeStatus) []Move
+	Relocate(src view.Node, srcVMs []types.VMStatus, others []view.Node) []Move
 	Name() string
+}
+
+// SkipsAnomaly is an optional RelocationPolicy extension: a policy that can
+// judge an anomaly to be resolving on its own implements it, so the caller
+// (the GM) can distinguish deliberate inaction from "no feasible moves" —
+// only the latter should escalate (e.g. wake sleeping capacity on an
+// unresolvable overload).
+type SkipsAnomaly interface {
+	// SkipAnomaly reports that the anomaly on src needs no action.
+	SkipAnomaly(src view.Node) bool
 }
 
 // OverloadRelocation moves the smallest set of VMs (largest-first by measured
@@ -290,7 +308,7 @@ type OverloadRelocation struct {
 }
 
 // Relocate implements RelocationPolicy.
-func (p OverloadRelocation) Relocate(src types.NodeStatus, srcVMs []types.VMStatus, others []types.NodeStatus) []Move {
+func (p OverloadRelocation) Relocate(src view.Node, srcVMs []types.VMStatus, others []view.Node) []Move {
 	th := p.Thresholds
 	if th.Overload == 0 {
 		th = DefaultThresholds()
@@ -358,7 +376,7 @@ type UnderloadRelocation struct {
 }
 
 // Relocate implements RelocationPolicy.
-func (p UnderloadRelocation) Relocate(src types.NodeStatus, srcVMs []types.VMStatus, others []types.NodeStatus) []Move {
+func (p UnderloadRelocation) Relocate(src view.Node, srcVMs []types.VMStatus, others []view.Node) []Move {
 	th := p.Thresholds
 	if th.Overload == 0 {
 		th = DefaultThresholds()
@@ -423,8 +441,8 @@ func (p UnderloadRelocation) Relocate(src types.NodeStatus, srcVMs []types.VMSta
 // Name implements RelocationPolicy.
 func (UnderloadRelocation) Name() string { return "underload-relocation" }
 
-func filterActive(nodes []types.NodeStatus, exclude types.NodeID) []types.NodeStatus {
-	var out []types.NodeStatus
+func filterActive(nodes []view.Node, exclude types.NodeID) []view.Node {
+	var out []view.Node
 	for _, n := range nodes {
 		if n.Spec.ID == exclude || n.Power != types.PowerOn {
 			continue
@@ -447,6 +465,8 @@ func NewDispatchPolicy(name string) (DispatchPolicy, error) {
 		return LeastLoadedDispatch{}, nil
 	case "most-loaded":
 		return MostLoadedDispatch{}, nil
+	case "p95-headroom":
+		return P95HeadroomDispatch{}, nil
 	default:
 		return nil, fmt.Errorf("scheduling: unknown dispatch policy %q", name)
 	}
@@ -463,7 +483,25 @@ func NewPlacementPolicy(name string) (PlacementPolicy, error) {
 		return WorstFit{}, nil
 	case "round-robin":
 		return &RoundRobinPlacement{}, nil
+	case "percentile-fit":
+		return PercentileFitPlacement{}, nil
 	default:
 		return nil, fmt.Errorf("scheduling: unknown placement policy %q", name)
+	}
+}
+
+// NewRelocationPolicy returns the named relocation policy. The default
+// (empty) name maps to the overload policy; callers configuring the
+// underload side should name it explicitly.
+func NewRelocationPolicy(name string) (RelocationPolicy, error) {
+	switch name {
+	case "overload-relocation", "":
+		return OverloadRelocation{}, nil
+	case "underload-relocation":
+		return UnderloadRelocation{}, nil
+	case "trend-relocation":
+		return TrendAwareRelocation{}, nil
+	default:
+		return nil, fmt.Errorf("scheduling: unknown relocation policy %q", name)
 	}
 }

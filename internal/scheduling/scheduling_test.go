@@ -3,26 +3,29 @@ package scheduling
 import (
 	"testing"
 
+	"snooze/internal/scheduling/view"
 	"snooze/internal/types"
 )
 
-func gm(id string, usedCPU, totalCPU float64, lcs int) types.GroupSummary {
-	return types.GroupSummary{
+// gm and node build snapshot-only capacity views (no history → not fresh),
+// the fallback form every policy must handle.
+func gm(id string, usedCPU, totalCPU float64, lcs int) view.Group {
+	return view.Group{GroupSummary: types.GroupSummary{
 		GM:        types.GroupManagerID(id),
 		Used:      types.RV(usedCPU, usedCPU*1024, 0, 0),
 		Reserved:  types.RV(usedCPU, usedCPU*1024, 0, 0),
 		Total:     types.RV(totalCPU, totalCPU*1024, 0, 0),
 		ActiveLCs: lcs,
-	}
+	}}
 }
 
-func node(id string, resCPU, capCPU float64) types.NodeStatus {
-	return types.NodeStatus{
+func node(id string, resCPU, capCPU float64) view.Node {
+	return view.Node{NodeStatus: types.NodeStatus{
 		Spec:     types.NodeSpec{ID: types.NodeID(id), Capacity: types.RV(capCPU, capCPU*2048, 0, 0)},
 		Power:    types.PowerOn,
 		Used:     types.RV(resCPU, resCPU*2048, 0, 0),
 		Reserved: types.RV(resCPU, resCPU*2048, 0, 0),
-	}
+	}}
 }
 
 func vmSpec(cpu float64) types.VMSpec {
@@ -31,7 +34,7 @@ func vmSpec(cpu float64) types.VMSpec {
 
 func TestRoundRobinDispatchCycles(t *testing.T) {
 	p := &RoundRobinDispatch{}
-	sums := []types.GroupSummary{gm("gm1", 0, 16, 2), gm("gm2", 0, 16, 2), gm("gm3", 0, 16, 2)}
+	sums := []view.Group{gm("gm1", 0, 16, 2), gm("gm2", 0, 16, 2), gm("gm3", 0, 16, 2)}
 	vm := vmSpec(1)
 	first := p.Candidates(vm, sums)
 	second := p.Candidates(vm, sums)
@@ -49,7 +52,7 @@ func TestRoundRobinDispatchCycles(t *testing.T) {
 }
 
 func TestDispatchFiltersInfeasible(t *testing.T) {
-	sums := []types.GroupSummary{
+	sums := []view.Group{
 		gm("full", 16, 16, 2),
 		gm("empty-lcs", 0, 16, 0), // no LCs at all
 		gm("roomy", 2, 16, 2),
@@ -67,14 +70,14 @@ func TestDispatchCountsAsleepLCs(t *testing.T) {
 	// A GM whose LCs are all asleep still has wakeable capacity.
 	s := gm("sleepy", 0, 16, 0)
 	s.AsleepLCs = 2
-	got := LeastLoadedDispatch{}.Candidates(vmSpec(1), []types.GroupSummary{s})
+	got := LeastLoadedDispatch{}.Candidates(vmSpec(1), []view.Group{s})
 	if len(got) != 1 {
 		t.Fatalf("asleep capacity ignored: %v", got)
 	}
 }
 
 func TestLeastLoadedDispatchOrder(t *testing.T) {
-	sums := []types.GroupSummary{gm("busy", 12, 16, 2), gm("idle", 0, 16, 2), gm("half", 8, 16, 2)}
+	sums := []view.Group{gm("busy", 12, 16, 2), gm("idle", 0, 16, 2), gm("half", 8, 16, 2)}
 	got := LeastLoadedDispatch{}.Candidates(vmSpec(1), sums)
 	if len(got) != 3 || got[0] != "idle" || got[1] != "half" || got[2] != "busy" {
 		t.Fatalf("order: %v", got)
@@ -82,7 +85,7 @@ func TestLeastLoadedDispatchOrder(t *testing.T) {
 }
 
 func TestMostLoadedDispatchOrder(t *testing.T) {
-	sums := []types.GroupSummary{gm("busy", 12, 16, 2), gm("idle", 0, 16, 2), gm("half", 8, 16, 2)}
+	sums := []view.Group{gm("busy", 12, 16, 2), gm("idle", 0, 16, 2), gm("half", 8, 16, 2)}
 	got := MostLoadedDispatch{}.Candidates(vmSpec(1), sums)
 	if len(got) != 3 || got[0] != "busy" || got[2] != "idle" {
 		t.Fatalf("order: %v", got)
@@ -90,7 +93,7 @@ func TestMostLoadedDispatchOrder(t *testing.T) {
 }
 
 func TestFirstFit(t *testing.T) {
-	nodes := []types.NodeStatus{node("n3", 0, 8), node("n1", 7, 8), node("n2", 0, 8)}
+	nodes := []view.Node{node("n3", 0, 8), node("n1", 7, 8), node("n2", 0, 8)}
 	id, ok := FirstFit{}.Place(vmSpec(2), nodes)
 	if !ok || id != "n2" {
 		t.Fatalf("first-fit: %v %v", id, ok)
@@ -104,7 +107,7 @@ func TestFirstFit(t *testing.T) {
 func TestPlacementSkipsUnavailableNodes(t *testing.T) {
 	off := node("n1", 0, 8)
 	off.Power = types.PowerSuspended
-	nodes := []types.NodeStatus{off, node("n2", 0, 8)}
+	nodes := []view.Node{off, node("n2", 0, 8)}
 	for _, p := range []PlacementPolicy{FirstFit{}, BestFit{}, WorstFit{}, &RoundRobinPlacement{}} {
 		id, ok := p.Place(vmSpec(1), nodes)
 		if !ok || id != "n2" {
@@ -114,7 +117,7 @@ func TestPlacementSkipsUnavailableNodes(t *testing.T) {
 }
 
 func TestBestFitTightest(t *testing.T) {
-	nodes := []types.NodeStatus{node("n1", 1, 8), node("n2", 5, 8), node("n3", 7, 8)}
+	nodes := []view.Node{node("n1", 1, 8), node("n2", 5, 8), node("n3", 7, 8)}
 	id, ok := BestFit{}.Place(vmSpec(1), nodes)
 	if !ok || id != "n3" {
 		t.Fatalf("best-fit: %v", id)
@@ -122,7 +125,7 @@ func TestBestFitTightest(t *testing.T) {
 }
 
 func TestWorstFitEmptiest(t *testing.T) {
-	nodes := []types.NodeStatus{node("n1", 1, 8), node("n2", 5, 8), node("n3", 7, 8)}
+	nodes := []view.Node{node("n1", 1, 8), node("n2", 5, 8), node("n3", 7, 8)}
 	id, ok := WorstFit{}.Place(vmSpec(1), nodes)
 	if !ok || id != "n1" {
 		t.Fatalf("worst-fit: %v", id)
@@ -131,7 +134,7 @@ func TestWorstFitEmptiest(t *testing.T) {
 
 func TestRoundRobinPlacementCycles(t *testing.T) {
 	p := &RoundRobinPlacement{}
-	nodes := []types.NodeStatus{node("n1", 0, 8), node("n2", 0, 8), node("n3", 0, 8)}
+	nodes := []view.Node{node("n1", 0, 8), node("n2", 0, 8), node("n3", 0, 8)}
 	a, _ := p.Place(vmSpec(1), nodes)
 	b, _ := p.Place(vmSpec(1), nodes)
 	c, _ := p.Place(vmSpec(1), nodes)
@@ -151,28 +154,28 @@ func TestThresholdsClassify(t *testing.T) {
 	th := DefaultThresholds()
 	over := node("n1", 7.5, 8) // 93.75% > 90%
 	over.VMs = []types.VMID{"v"}
-	if o, u := th.Classify(over); !o || u {
+	if o, u := th.Classify(over.NodeStatus); !o || u {
 		t.Fatalf("overload: %v %v", o, u)
 	}
 	under := node("n2", 1, 8) // 12.5% < 20%
 	under.VMs = []types.VMID{"v"}
-	if o, u := th.Classify(under); o || !u {
+	if o, u := th.Classify(under.NodeStatus); o || !u {
 		t.Fatalf("underload: %v %v", o, u)
 	}
 	mid := node("n3", 4, 8)
 	mid.VMs = []types.VMID{"v"}
-	if o, u := th.Classify(mid); o || u {
+	if o, u := th.Classify(mid.NodeStatus); o || u {
 		t.Fatalf("moderate: %v %v", o, u)
 	}
 	// Empty node is not "underloaded" (it is idle — energy manager's job).
 	empty := node("n4", 0, 8)
-	if o, u := th.Classify(empty); o || u {
+	if o, u := th.Classify(empty.NodeStatus); o || u {
 		t.Fatalf("empty: %v %v", o, u)
 	}
 	// Non-running node is never anomalous.
 	susp := node("n5", 7.5, 8)
 	susp.Power = types.PowerSuspended
-	if o, u := th.Classify(susp); o || u {
+	if o, u := th.Classify(susp.NodeStatus); o || u {
 		t.Fatalf("suspended: %v %v", o, u)
 	}
 }
@@ -193,7 +196,7 @@ func TestOverloadRelocationMovesEnough(t *testing.T) {
 		vmStatus("b", 2, types.VMRunning),
 		vmStatus("c", 2, types.VMRunning),
 	}
-	others := []types.NodeStatus{node("cool", 1, 8), node("warm", 4, 8)}
+	others := []view.Node{node("cool", 1, 8), node("warm", 4, 8)}
 	moves := OverloadRelocation{}.Relocate(src, vms, others)
 	if len(moves) == 0 {
 		t.Fatal("no moves for overloaded node")
@@ -214,7 +217,7 @@ func TestOverloadRelocationRespectsReceiverThreshold(t *testing.T) {
 	vms := []types.VMStatus{vmStatus("a", 4, types.VMRunning)}
 	// Receiver has room by reservation but would exceed 90% measured.
 	crowded := node("crowded", 5, 8)
-	moves := OverloadRelocation{}.Relocate(src, vms, []types.NodeStatus{crowded})
+	moves := OverloadRelocation{}.Relocate(src, vms, []view.Node{crowded})
 	if len(moves) != 0 {
 		t.Fatalf("moved into a would-be-overloaded receiver: %+v", moves)
 	}
@@ -223,7 +226,7 @@ func TestOverloadRelocationRespectsReceiverThreshold(t *testing.T) {
 func TestOverloadRelocationSkipsNonRunning(t *testing.T) {
 	src := node("hot", 8, 8)
 	vms := []types.VMStatus{vmStatus("a", 6, types.VMMigrating), vmStatus("b", 1, types.VMRunning)}
-	others := []types.NodeStatus{node("cool", 0, 8)}
+	others := []view.Node{node("cool", 0, 8)}
 	moves := OverloadRelocation{}.Relocate(src, vms, others)
 	for _, m := range moves {
 		if m.VM == "a" {
@@ -236,7 +239,7 @@ func TestUnderloadRelocationDrainsFully(t *testing.T) {
 	src := node("cold", 1, 8)
 	src.VMs = []types.VMID{"a", "b"}
 	vms := []types.VMStatus{vmStatus("a", 0.5, types.VMRunning), vmStatus("b", 0.5, types.VMRunning)}
-	others := []types.NodeStatus{node("mid", 4, 8), node("empty", 0, 8)}
+	others := []view.Node{node("mid", 4, 8), node("empty", 0, 8)}
 	moves := UnderloadRelocation{}.Relocate(src, vms, others)
 	if len(moves) != 2 {
 		t.Fatalf("moves: %+v", moves)
@@ -253,7 +256,7 @@ func TestUnderloadRelocationAllOrNothing(t *testing.T) {
 	src := node("cold", 1, 8)
 	vms := []types.VMStatus{vmStatus("a", 0.5, types.VMRunning), vmStatus("big", 6, types.VMRunning)}
 	// Receiver can hold "a" but not "big".
-	others := []types.NodeStatus{node("mid", 4, 8)}
+	others := []view.Node{node("mid", 4, 8)}
 	moves := UnderloadRelocation{}.Relocate(src, vms, others)
 	if moves != nil {
 		t.Fatalf("partial drain returned: %+v", moves)
@@ -263,7 +266,7 @@ func TestUnderloadRelocationAllOrNothing(t *testing.T) {
 func TestUnderloadRelocationRefusesBootingVM(t *testing.T) {
 	src := node("cold", 1, 8)
 	vms := []types.VMStatus{vmStatus("a", 0.5, types.VMBooting)}
-	others := []types.NodeStatus{node("mid", 0, 8)}
+	others := []view.Node{node("mid", 0, 8)}
 	if moves := (UnderloadRelocation{}).Relocate(src, vms, others); moves != nil {
 		t.Fatalf("drained a booting VM: %+v", moves)
 	}
@@ -274,7 +277,7 @@ func TestRelocationExcludesSourceAndInactive(t *testing.T) {
 	vms := []types.VMStatus{vmStatus("a", 4, types.VMRunning)}
 	susp := node("susp", 0, 8)
 	susp.Power = types.PowerSuspended
-	others := []types.NodeStatus{src, susp}
+	others := []view.Node{src, susp}
 	if moves := (OverloadRelocation{}).Relocate(src, vms, others); len(moves) != 0 {
 		t.Fatalf("relocated to source/suspended node: %+v", moves)
 	}

@@ -1,0 +1,268 @@
+package scheduling
+
+import (
+	"testing"
+
+	"snooze/internal/scheduling/view"
+	"snooze/internal/types"
+)
+
+func withStats(n view.Node, st view.Stats) view.Node {
+	n.Stats = st
+	return n
+}
+
+func gmWithStats(g view.Group, st view.Stats) view.Group {
+	g.Stats = st
+	return g
+}
+
+func TestP95HeadroomDispatch(t *testing.T) {
+	fresh := func(p95 float64) view.Stats { return view.Stats{Samples: 10, P95: p95, Fresh: true} }
+	cases := []struct {
+		name   string
+		groups []view.Group
+		want   types.GroupManagerID
+	}{
+		{
+			// Both look empty right now; gm1 ran hot for the window, gm2 did
+			// not — the dispatcher must prefer gm2.
+			name: "historically-hot group sorts last",
+			groups: []view.Group{
+				gmWithStats(gm("gm1", 0, 16, 2), fresh(0.9)),
+				gmWithStats(gm("gm2", 0, 16, 2), fresh(0.2)),
+			},
+			want: "gm2",
+		},
+		{
+			// Thin history on both: degrade to instantaneous utilization.
+			name: "thin history falls back to current load",
+			groups: []view.Group{
+				gm("busy", 12, 16, 2),
+				gm("idle", 0, 16, 2),
+			},
+			want: "idle",
+		},
+		{
+			// Stale stats must be ignored even when alarming.
+			name: "stale stats ignored",
+			groups: []view.Group{
+				gmWithStats(gm("gm1", 0, 16, 2), view.Stats{Samples: 10, P95: 0.99, Fresh: false}),
+				gmWithStats(gm("gm2", 4, 16, 2), view.Stats{}),
+			},
+			want: "gm1",
+		},
+		{
+			// The snapshot dominates history when it is hotter: a group that
+			// is loaded right now cannot hide behind a calm window.
+			name: "current load dominates calm history",
+			groups: []view.Group{
+				gmWithStats(gm("gm1", 14, 16, 2), fresh(0.1)),
+				gmWithStats(gm("gm2", 4, 16, 2), fresh(0.4)),
+			},
+			want: "gm2",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := P95HeadroomDispatch{}.Candidates(vmSpec(1), tc.groups)
+			if len(got) == 0 || got[0] != tc.want {
+				t.Fatalf("candidates: %v want head %s", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestP95HeadroomDispatchFiltersInfeasible(t *testing.T) {
+	groups := []view.Group{gm("full", 16, 16, 2), gm("roomy", 2, 16, 2)}
+	got := P95HeadroomDispatch{}.Candidates(vmSpec(4), groups)
+	if len(got) != 1 || got[0] != "roomy" {
+		t.Fatalf("feasibility filter: %v", got)
+	}
+}
+
+func TestPercentileFitPlacement(t *testing.T) {
+	hot := func(p95 float64) view.Stats { return view.Stats{Samples: 20, P95: p95, Fresh: true} }
+	cases := []struct {
+		name  string
+		nodes []view.Node
+		cpu   float64
+		want  types.NodeID
+	}{
+		{
+			// n1 is idle right now but p95-hot: the VM must land on n2 even
+			// though plain best-fit (tie on reservations, ID order) picks n1.
+			name: "avoids transiently idle but historically hot node",
+			nodes: []view.Node{
+				withStats(node("n1", 0, 8), hot(0.95)),
+				withStats(node("n2", 0, 8), hot(0.10)),
+			},
+			cpu:  2,
+			want: "n2",
+		},
+		{
+			// Thin history everywhere: behaves like best-fit (tightest).
+			name: "thin history degrades to best-fit",
+			nodes: []view.Node{
+				node("n1", 1, 8),
+				node("n2", 5, 8),
+			},
+			cpu:  1,
+			want: "n2",
+		},
+		{
+			// Every node fails the safety gate: better an imperfect placement
+			// than none — fall back to best-fit instead of rejecting.
+			name: "all unsafe falls back to best-fit",
+			nodes: []view.Node{
+				withStats(node("n1", 0, 8), hot(0.95)),
+				withStats(node("n2", 1, 8), hot(0.95)),
+			},
+			cpu:  2,
+			want: "n2",
+		},
+		{
+			// Percentile window picks the tightest *safe* fit, not the
+			// tightest overall.
+			name: "tightest safe fit wins",
+			nodes: []view.Node{
+				withStats(node("n1", 6, 8), hot(0.88)), // tightest but unsafe with the VM
+				withStats(node("n2", 4, 8), hot(0.55)),
+				withStats(node("n3", 1, 8), hot(0.20)),
+			},
+			cpu:  2,
+			want: "n2",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := PercentileFitPlacement{}.Place(vmSpec(tc.cpu), tc.nodes)
+			if !ok || got != tc.want {
+				t.Fatalf("place: %v ok=%v want %s", got, ok, tc.want)
+			}
+		})
+	}
+}
+
+func TestPercentileFitPlacementNoCapacity(t *testing.T) {
+	nodes := []view.Node{node("n1", 8, 8)}
+	if _, ok := (PercentileFitPlacement{}).Place(vmSpec(2), nodes); ok {
+		t.Fatal("placed on a full node")
+	}
+}
+
+func TestTrendAwareRelocation(t *testing.T) {
+	overloadedSrc := func(st view.Stats) view.Node {
+		src := node("hot", 8, 8)
+		src.VMs = []types.VMID{"a"}
+		src.Stats = st
+		return src
+	}
+	vms := []types.VMStatus{vmStatus("a", 4, types.VMRunning)}
+	cases := []struct {
+		name      string
+		src       view.Node
+		others    []view.Node
+		wantMoves int
+		wantTo    types.NodeID
+	}{
+		{
+			// Source trend is firmly falling: the spike is resolving itself,
+			// no migration.
+			name:      "falling source is left alone",
+			src:       overloadedSrc(view.Stats{Samples: 10, Trend: -0.05, Fresh: true}),
+			others:    []view.Node{node("cool", 0, 8)},
+			wantMoves: 0,
+		},
+		{
+			// Rising receivers are excluded; the flat one takes the VM.
+			name: "rising receiver excluded",
+			src:  overloadedSrc(view.Stats{Samples: 10, Trend: 0.05, Fresh: true}),
+			others: []view.Node{
+				withStats(node("heating", 0, 8), view.Stats{Samples: 10, Trend: 0.05, Fresh: true}),
+				withStats(node("steady", 1, 8), view.Stats{Samples: 10, Trend: 0, Fresh: true}),
+			},
+			wantMoves: 1,
+			wantTo:    "steady",
+		},
+		{
+			// p95-hot receivers are excluded even when momentarily idle.
+			name: "p95-hot receiver excluded",
+			src:  overloadedSrc(view.Stats{}),
+			others: []view.Node{
+				withStats(node("lurking", 0, 8), view.Stats{Samples: 10, P95: 0.95, Fresh: true}),
+				withStats(node("calm", 1, 8), view.Stats{Samples: 10, P95: 0.30, Fresh: true}),
+			},
+			wantMoves: 1,
+			wantTo:    "calm",
+		},
+		{
+			// Thin/stale histories disarm both gates: plain overload
+			// relocation to the least-loaded receiver.
+			name:      "thin history behaves like overload-relocation",
+			src:       overloadedSrc(view.Stats{}),
+			others:    []view.Node{node("cool", 1, 8), node("warm", 4, 8)},
+			wantMoves: 1,
+			wantTo:    "cool",
+		},
+		{
+			// A stale falling trend on the source must not suppress action.
+			name:      "stale falling trend does not suppress",
+			src:       overloadedSrc(view.Stats{Samples: 10, Trend: -0.5, Fresh: false}),
+			others:    []view.Node{node("cool", 0, 8)},
+			wantMoves: 1,
+			wantTo:    "cool",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			moves := TrendAwareRelocation{}.Relocate(tc.src, vms, tc.others)
+			if len(moves) != tc.wantMoves {
+				t.Fatalf("moves: %+v want %d", moves, tc.wantMoves)
+			}
+			if tc.wantMoves > 0 && moves[0].To != tc.wantTo {
+				t.Fatalf("destination: %s want %s", moves[0].To, tc.wantTo)
+			}
+		})
+	}
+}
+
+func TestTrendAwareSkipAnomaly(t *testing.T) {
+	// The optional SkipsAnomaly extension lets the GM distinguish deliberate
+	// inaction (no wake escalation) from "no feasible moves".
+	var p RelocationPolicy = TrendAwareRelocation{}
+	sk, ok := p.(SkipsAnomaly)
+	if !ok {
+		t.Fatal("trend-relocation must implement SkipsAnomaly")
+	}
+	falling := node("hot", 8, 8)
+	falling.Stats = view.Stats{Samples: 10, Trend: -0.05, Fresh: true}
+	if !sk.SkipAnomaly(falling) {
+		t.Fatal("fresh falling source should be skipped")
+	}
+	stale := falling
+	stale.Stats.Fresh = false
+	if sk.SkipAnomaly(stale) {
+		t.Fatal("stale trend must not suppress action")
+	}
+	if _, ok := RelocationPolicy(OverloadRelocation{}).(SkipsAnomaly); ok {
+		t.Fatal("plain overload relocation should not claim SkipsAnomaly")
+	}
+}
+
+func TestTelemetryPolicyRegistries(t *testing.T) {
+	if p, err := NewDispatchPolicy("p95-headroom"); err != nil || p.Name() != "p95-headroom" {
+		t.Fatalf("p95-headroom: %v", err)
+	}
+	if p, err := NewPlacementPolicy("percentile-fit"); err != nil || p.Name() != "percentile-fit" {
+		t.Fatalf("percentile-fit: %v", err)
+	}
+	for _, n := range []string{"", "overload-relocation", "underload-relocation", "trend-relocation"} {
+		if p, err := NewRelocationPolicy(n); err != nil || p == nil {
+			t.Fatalf("relocation %q: %v", n, err)
+		}
+	}
+	if _, err := NewRelocationPolicy("bogus"); err == nil {
+		t.Fatal("bogus relocation accepted")
+	}
+}

@@ -1,0 +1,274 @@
+// Package view materializes capacity views — the enriched scheduling inputs
+// of the two-level hierarchy. The paper concedes that GL summaries are "not
+// sufficient to take exact dispatching decisions" (Section II-C); a capacity
+// view narrows that gap by pairing each point-in-time snapshot
+// (types.NodeStatus / types.GroupSummary) with windowed statistics drawn from
+// the telemetry store: utilization percentiles over a configurable horizon, a
+// load trend, and a staleness stamp. Policies consume the view and fall back
+// to the bare snapshot whenever the history is too thin or too old to trust
+// (Stats.Fresh == false), so a cold deployment schedules exactly like the
+// pre-telemetry code path.
+//
+// The same Builder also unifies demand estimation: per-VM windows are
+// reconstructed from the store's retained series and reduced with any
+// resource.Estimator, replacing the GM's former ad-hoc per-caller history
+// rings with the store's single retention path.
+package view
+
+import (
+	"math"
+	"time"
+
+	"snooze/internal/resource"
+	"snooze/internal/telemetry"
+	"snooze/internal/types"
+)
+
+// Builder defaults.
+const (
+	// DefaultHorizon is the history window feeding a view's statistics.
+	DefaultHorizon = 5 * time.Minute
+	// DefaultMinSamples is the minimum retained sample count for stats to be
+	// considered fresh; thinner histories fall back to the snapshot.
+	DefaultMinSamples = 5
+	// DefaultMaxAge bounds the age of the newest sample for stats to be
+	// considered fresh; staler series fall back to the snapshot.
+	DefaultMaxAge = time.Minute
+)
+
+// Stats are windowed utilization statistics of one entity's "util" series
+// (L∞ utilization in [0,1]), as recorded by the hierarchy's monitoring flow.
+type Stats struct {
+	// Samples is the number of retained samples inside the horizon.
+	Samples int
+	// P50, P95 and Max summarize the window's utilization distribution.
+	P50, P95, Max float64
+	// Trend is the least-squares utilization slope in 1/second; negative
+	// means the load is falling.
+	Trend float64
+	// Age is now minus the newest sample's timestamp.
+	Age time.Duration
+	// Fresh reports whether the statistics are trustworthy: enough samples
+	// and recent enough. Policies must fall back to the point-in-time
+	// snapshot when false.
+	Fresh bool
+}
+
+// Node is the capacity view of one Local Controller: the monitored snapshot
+// plus windowed statistics.
+type Node struct {
+	types.NodeStatus
+	Stats Stats
+}
+
+// Util returns the node's instantaneous L∞ utilization.
+func (n Node) Util() float64 {
+	return n.Used.Divide(n.Spec.Capacity).NormInf()
+}
+
+// PredictedUtil is the utilization a scheduler should plan against: the p95
+// of recent history when the view is fresh, never less than the
+// instantaneous utilization. With thin or stale history it degrades to the
+// snapshot's utilization.
+func (n Node) PredictedUtil() float64 {
+	u := n.Util()
+	if n.Stats.Fresh && n.Stats.P95 > u {
+		return n.Stats.P95
+	}
+	return u
+}
+
+// Group is the capacity view of one Group Manager: the (inexact) summary
+// plus windowed statistics of the group's "util" series.
+type Group struct {
+	types.GroupSummary
+	Stats Stats
+}
+
+// Util returns the group's instantaneous L∞ utilization.
+func (g Group) Util() float64 {
+	return g.Used.Divide(g.Total).NormInf()
+}
+
+// PredictedUtil mirrors Node.PredictedUtil at group granularity.
+func (g Group) PredictedUtil() float64 {
+	u := g.Util()
+	if g.Stats.Fresh && g.Stats.P95 > u {
+		return g.Stats.P95
+	}
+	return u
+}
+
+// WrapNodes lifts bare snapshots into views with no history (Stats zero, not
+// fresh) — the graceful-fallback form used when no telemetry hub is wired.
+func WrapNodes(sts []types.NodeStatus) []Node {
+	out := make([]Node, len(sts))
+	for i, st := range sts {
+		out[i] = Node{NodeStatus: st}
+	}
+	return out
+}
+
+// WrapGroups lifts bare summaries into views with no history.
+func WrapGroups(sums []types.GroupSummary) []Group {
+	out := make([]Group, len(sums))
+	for i, s := range sums {
+		out[i] = Group{GroupSummary: s}
+	}
+	return out
+}
+
+// Builder materializes capacity views from a telemetry hub. The zero value
+// (nil Hub) builds snapshot-only views, so callers need no special casing
+// for unwired deployments.
+type Builder struct {
+	// Hub is the deployment's telemetry hub; nil disables history.
+	Hub *telemetry.Hub
+	// Horizon is the statistics window (DefaultHorizon when zero).
+	Horizon time.Duration
+	// MinSamples gates freshness (DefaultMinSamples when zero).
+	MinSamples int
+	// MaxAge gates freshness (DefaultMaxAge when zero).
+	MaxAge time.Duration
+}
+
+func (b Builder) horizon() time.Duration {
+	if b.Horizon > 0 {
+		return b.Horizon
+	}
+	return DefaultHorizon
+}
+
+func (b Builder) minSamples() int {
+	if b.MinSamples > 0 {
+		return b.MinSamples
+	}
+	return DefaultMinSamples
+}
+
+func (b Builder) maxAge() time.Duration {
+	if b.MaxAge > 0 {
+		return b.MaxAge
+	}
+	return DefaultMaxAge
+}
+
+// Node builds the capacity view of one node status at virtual time now.
+func (b Builder) Node(now time.Duration, st types.NodeStatus) Node {
+	return Node{NodeStatus: st, Stats: b.Stats(now, telemetry.NodeEntity(st.Spec.ID))}
+}
+
+// Nodes builds views for a node snapshot set.
+func (b Builder) Nodes(now time.Duration, sts []types.NodeStatus) []Node {
+	out := make([]Node, len(sts))
+	for i, st := range sts {
+		out[i] = b.Node(now, st)
+	}
+	return out
+}
+
+// Group builds the capacity view of one group summary at virtual time now.
+func (b Builder) Group(now time.Duration, s types.GroupSummary) Group {
+	return Group{GroupSummary: s, Stats: b.Stats(now, telemetry.GMEntity(s.GM))}
+}
+
+// Groups builds views for a summary set.
+func (b Builder) Groups(now time.Duration, sums []types.GroupSummary) []Group {
+	out := make([]Group, len(sums))
+	for i, s := range sums {
+		out[i] = b.Group(now, s)
+	}
+	return out
+}
+
+// Stats computes the windowed statistics of an entity's "util" series. With
+// no hub or no retained samples it returns the zero Stats (not fresh).
+func (b Builder) Stats(now time.Duration, entity string) Stats {
+	if b.Hub == nil {
+		return Stats{}
+	}
+	from := now - b.horizon()
+	if from < 0 {
+		from = 0
+	}
+	samples := b.Hub.Store().Query(entity, "util", from, now)
+	if len(samples) == 0 {
+		return Stats{}
+	}
+	// Whole-window reductions reuse the store's Downsample primitives
+	// (step <= 0 collapses the window to one sample).
+	st := Stats{
+		Samples: len(samples),
+		P50:     telemetry.Downsample(samples, 0, "p50")[0].Value,
+		P95:     telemetry.Downsample(samples, 0, "p95")[0].Value,
+		Max:     telemetry.Downsample(samples, 0, telemetry.AggMax)[0].Value,
+		Trend:   slopePerSecond(samples),
+		Age:     now - samples[len(samples)-1].At,
+	}
+	st.Fresh = st.Samples >= b.minSamples() && st.Age <= b.maxAge()
+	return st
+}
+
+// slopePerSecond is the least-squares slope of value over time, in 1/second.
+func slopePerSecond(samples []telemetry.Sample) float64 {
+	n := float64(len(samples))
+	if n < 2 {
+		return 0
+	}
+	var sumT, sumV, sumTT, sumTV float64
+	for _, s := range samples {
+		t := s.At.Seconds()
+		sumT += t
+		sumV += s.Value
+		sumTT += t * t
+		sumTV += t * s.Value
+	}
+	denom := n*sumTT - sumT*sumT
+	if denom == 0 || math.IsNaN(denom) {
+		return 0
+	}
+	return (n*sumTV - sumT*sumV) / denom
+}
+
+// DemandMetrics are the per-entity series jointly reconstructed by Demand,
+// in the canonical ResourceVector component order.
+var DemandMetrics = [4]string{"cpu.used", "mem.used", "net.rx", "net.tx"}
+
+// Demand reconstructs a per-dimension utilization window for an entity from
+// the store's retained series and reduces it with est — the store-backed
+// replacement for the GM's former per-VM resource.History rings. The window
+// is [now-Horizon, now]. ok is false when no samples are retained (a caller
+// should then fall back to the most recent measurement in hand).
+func (b Builder) Demand(now time.Duration, entity string, est resource.Estimator) (types.ResourceVector, bool) {
+	if b.Hub == nil || est == nil {
+		return types.ResourceVector{}, false
+	}
+	from := now - b.horizon()
+	if from < 0 {
+		from = 0
+	}
+	var dims [4][]telemetry.Sample
+	n := 0
+	for d, metric := range DemandMetrics {
+		dims[d] = b.Hub.Store().Query(entity, metric, from, now)
+		if len(dims[d]) > n {
+			n = len(dims[d])
+		}
+	}
+	if n == 0 {
+		return types.ResourceVector{}, false
+	}
+	// The hierarchy appends all four dims per report, so the windows align;
+	// tail-align defensively in case a dimension started recording later.
+	window := make([]types.ResourceVector, n)
+	for i := 0; i < n; i++ {
+		var c [4]float64
+		for d := range dims {
+			if j := len(dims[d]) - n + i; j >= 0 {
+				c[d] = dims[d][j].Value
+			}
+		}
+		window[i] = types.FromComponents(c)
+	}
+	return est.Estimate(window), true
+}

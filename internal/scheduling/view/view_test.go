@@ -1,0 +1,215 @@
+package view
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"snooze/internal/resource"
+	"snooze/internal/telemetry"
+	"snooze/internal/types"
+)
+
+func nodeStatus(id string, usedCPU, capCPU float64) types.NodeStatus {
+	return types.NodeStatus{
+		Spec:     types.NodeSpec{ID: types.NodeID(id), Capacity: types.RV(capCPU, capCPU*2048, 0, 0)},
+		Power:    types.PowerOn,
+		Used:     types.RV(usedCPU, usedCPU*2048, 0, 0),
+		Reserved: types.RV(usedCPU, usedCPU*2048, 0, 0),
+	}
+}
+
+func TestStatsFromHistory(t *testing.T) {
+	hub := telemetry.NewHub(telemetry.Options{})
+	entity := telemetry.NodeEntity("n1")
+	// Rising utilization: 0.0, 0.1, ..., 0.9 at 3s spacing.
+	for i := 0; i < 10; i++ {
+		hub.Record(entity, "util", time.Duration(i)*3*time.Second, float64(i)/10)
+	}
+	now := 30 * time.Second
+	b := Builder{Hub: hub}
+	st := b.Stats(now, entity)
+	if st.Samples != 10 {
+		t.Fatalf("samples: %d", st.Samples)
+	}
+	if !st.Fresh {
+		t.Fatalf("stats should be fresh: %+v", st)
+	}
+	if st.Max != 0.9 {
+		t.Fatalf("max: %v", st.Max)
+	}
+	if math.Abs(st.P50-0.45) > 0.01 {
+		t.Fatalf("p50: %v", st.P50)
+	}
+	if st.P95 < 0.85 || st.P95 > 0.9 {
+		t.Fatalf("p95: %v", st.P95)
+	}
+	// 0.1 per 3 seconds.
+	if math.Abs(st.Trend-0.1/3) > 1e-9 {
+		t.Fatalf("trend: %v", st.Trend)
+	}
+	if st.Age != 3*time.Second {
+		t.Fatalf("age: %v", st.Age)
+	}
+}
+
+func TestStatsThinHistoryNotFresh(t *testing.T) {
+	hub := telemetry.NewHub(telemetry.Options{})
+	entity := telemetry.NodeEntity("n1")
+	hub.Record(entity, "util", time.Second, 0.5)
+	hub.Record(entity, "util", 2*time.Second, 0.5)
+	st := Builder{Hub: hub}.Stats(3*time.Second, entity)
+	if st.Fresh {
+		t.Fatalf("2 samples < DefaultMinSamples must not be fresh: %+v", st)
+	}
+	if st.Samples != 2 {
+		t.Fatalf("samples: %d", st.Samples)
+	}
+}
+
+func TestStatsStaleHistoryNotFresh(t *testing.T) {
+	hub := telemetry.NewHub(telemetry.Options{})
+	entity := telemetry.NodeEntity("n1")
+	for i := 0; i < 10; i++ {
+		hub.Record(entity, "util", time.Duration(i)*time.Second, 0.8)
+	}
+	// Newest sample is 10 minutes old with a 1m MaxAge default — stale, and
+	// with the default 5m horizon it is outside the window entirely.
+	st := Builder{Hub: hub}.Stats(10*time.Minute, entity)
+	if st.Fresh {
+		t.Fatalf("stale history must not be fresh: %+v", st)
+	}
+	// With a wide horizon the samples are in-window but still too old.
+	st = Builder{Hub: hub, Horizon: time.Hour}.Stats(10*time.Minute, entity)
+	if st.Samples != 10 || st.Fresh {
+		t.Fatalf("in-window stale stats: %+v", st)
+	}
+}
+
+func TestStatsNilHubAndUnknownEntity(t *testing.T) {
+	if st := (Builder{}).Stats(time.Minute, "node/x"); st.Fresh || st.Samples != 0 {
+		t.Fatalf("nil hub stats: %+v", st)
+	}
+	hub := telemetry.NewHub(telemetry.Options{})
+	if st := (Builder{Hub: hub}).Stats(time.Minute, "node/x"); st.Fresh || st.Samples != 0 {
+		t.Fatalf("unknown entity stats: %+v", st)
+	}
+}
+
+func TestPredictedUtilFallsBackToSnapshot(t *testing.T) {
+	// No history: predicted util equals instantaneous util.
+	n := Node{NodeStatus: nodeStatus("n1", 6, 8)}
+	if got := n.PredictedUtil(); got != 0.75 {
+		t.Fatalf("fallback predicted util: %v", got)
+	}
+	// Fresh history dominates when hotter than the snapshot.
+	n.Stats = Stats{Fresh: true, P95: 0.95}
+	if got := n.PredictedUtil(); got != 0.95 {
+		t.Fatalf("p95 predicted util: %v", got)
+	}
+	// A snapshot hotter than history wins (never plan below observed load).
+	n.Stats = Stats{Fresh: true, P95: 0.5}
+	if got := n.PredictedUtil(); got != 0.75 {
+		t.Fatalf("snapshot-dominant predicted util: %v", got)
+	}
+	// Stale history is ignored.
+	n.Stats = Stats{Fresh: false, P95: 0.95}
+	if got := n.PredictedUtil(); got != 0.75 {
+		t.Fatalf("stale predicted util: %v", got)
+	}
+}
+
+func TestGroupViews(t *testing.T) {
+	hub := telemetry.NewHub(telemetry.Options{})
+	s := types.GroupSummary{
+		GM:        "gm-01",
+		Used:      types.RV(4, 4096, 0, 0),
+		Total:     types.RV(16, 16384, 0, 0),
+		ActiveLCs: 2,
+	}
+	// RecordGroup feeds the util series the group views read.
+	for i := 0; i < 10; i++ {
+		hub.RecordGroup(time.Duration(i)*3*time.Second, s)
+	}
+	g := (Builder{Hub: hub}).Group(30*time.Second, s)
+	if !g.Stats.Fresh {
+		t.Fatalf("group stats not fresh: %+v", g.Stats)
+	}
+	if g.Util() != 0.25 || g.Stats.Max != 0.25 {
+		t.Fatalf("group util: %v max %v", g.Util(), g.Stats.Max)
+	}
+}
+
+func TestDemandReconstruction(t *testing.T) {
+	hub := telemetry.NewHub(telemetry.Options{})
+	vm := types.VMStatus{Spec: types.VMSpec{ID: "v1"}}
+	for i := 0; i < 5; i++ {
+		vm.Used = types.RV(float64(i), float64(i)*100, float64(i)*10, float64(i))
+		hub.RecordVM(time.Duration(i)*3*time.Second, vm)
+	}
+	b := Builder{Hub: hub}
+	now := 15 * time.Second
+
+	// LastValue reproduces the newest full vector.
+	got, ok := b.Demand(now, telemetry.VMEntity("v1"), resource.LastValue{})
+	if !ok {
+		t.Fatal("no demand estimate despite retained samples")
+	}
+	want := types.RV(4, 400, 40, 4)
+	if got != want {
+		t.Fatalf("last-value demand: %v want %v", got, want)
+	}
+
+	// MaxWindow reduces per dimension over the window.
+	got, _ = b.Demand(now, telemetry.VMEntity("v1"), resource.MaxWindow{})
+	if got != want {
+		t.Fatalf("max demand: %v want %v", got, want)
+	}
+
+	// Unknown entity: fall back.
+	if _, ok := b.Demand(now, telemetry.VMEntity("ghost"), resource.LastValue{}); ok {
+		t.Fatal("estimate for unknown entity")
+	}
+	// Nil hub: fall back.
+	if _, ok := (Builder{}).Demand(now, telemetry.VMEntity("v1"), resource.LastValue{}); ok {
+		t.Fatal("estimate from nil hub")
+	}
+}
+
+func TestDemandAlignsShorterDimensions(t *testing.T) {
+	hub := telemetry.NewHub(telemetry.Options{})
+	entity := "vm/v1"
+	// cpu has 4 samples, mem only the last 2 (started recording later).
+	for i := 0; i < 4; i++ {
+		hub.Record(entity, "cpu.used", time.Duration(i)*time.Second, float64(i+1))
+	}
+	hub.Record(entity, "mem.used", 2*time.Second, 30)
+	hub.Record(entity, "mem.used", 3*time.Second, 40)
+	got, ok := (Builder{Hub: hub}).Demand(4*time.Second, entity, resource.LastValue{})
+	if !ok || got.CPU != 4 || got.Memory != 40 {
+		t.Fatalf("tail-aligned demand: %+v ok=%v", got, ok)
+	}
+}
+
+func TestWrapHelpers(t *testing.T) {
+	nodes := WrapNodes([]types.NodeStatus{nodeStatus("a", 1, 8), nodeStatus("b", 2, 8)})
+	if len(nodes) != 2 || nodes[0].Spec.ID != "a" || nodes[0].Stats.Fresh {
+		t.Fatalf("wrap nodes: %+v", nodes)
+	}
+	groups := WrapGroups([]types.GroupSummary{{GM: "g"}})
+	if len(groups) != 1 || groups[0].GM != "g" || groups[0].Stats.Fresh {
+		t.Fatalf("wrap groups: %+v", groups)
+	}
+}
+
+func TestTrendFalling(t *testing.T) {
+	hub := telemetry.NewHub(telemetry.Options{})
+	entity := telemetry.NodeEntity("n1")
+	for i := 0; i < 10; i++ {
+		hub.Record(entity, "util", time.Duration(i)*3*time.Second, 0.9-float64(i)*0.05)
+	}
+	st := Builder{Hub: hub}.Stats(30*time.Second, entity)
+	if st.Trend >= 0 {
+		t.Fatalf("falling load should have negative trend: %v", st.Trend)
+	}
+}

@@ -80,11 +80,21 @@ func (h *Hub) Record(entity, metric string, at time.Duration, v float64) {
 	h.store.Append(entity, metric, at, v)
 }
 
+// TerminalVMStates are the vm.state attrs values that mark a VM as gone for
+// good; emitting one drops the VM's series (see Emit).
+var TerminalVMStates = map[string]bool{"terminated": true, "destroyed": true, "failed": true}
+
 // Emit publishes an event and returns it with its sequence number assigned.
+// A vm.state event carrying a terminal state (TerminalVMStates) additionally
+// forgets the VM's series and detector state, so dead VMs stop lingering in
+// the store under churn.
 func (h *Hub) Emit(typ, entity string, at time.Duration, attrs map[string]string) Event {
 	ev := h.journal.Publish(Event{At: at, Type: typ, Entity: entity, Attrs: attrs})
 	if h.reg != nil {
 		h.reg.Inc("telemetry.events", 1)
+	}
+	if typ == EventVMState && TerminalVMStates[attrs["state"]] {
+		h.ForgetEntity(entity)
 	}
 	return ev
 }
@@ -100,13 +110,28 @@ func (h *Hub) RecordNode(at time.Duration, st types.NodeStatus) {
 }
 
 // RecordGroup appends the standard per-GM series from one group summary:
-// cpu.used, cpu.reserved, vms and active-lcs.
+// cpu.used, cpu.reserved, util (L∞ utilization of the group), vms and
+// active-lcs. The util series feeds the group-level capacity views the GL's
+// dispatch policies consume.
 func (h *Hub) RecordGroup(at time.Duration, s types.GroupSummary) {
 	entity := GMEntity(s.GM)
 	h.Record(entity, "cpu.used", at, s.Used.CPU)
 	h.Record(entity, "cpu.reserved", at, s.Reserved.CPU)
+	h.Record(entity, "util", at, s.Used.Divide(s.Total).NormInf())
 	h.Record(entity, "vms", at, float64(s.VMs))
 	h.Record(entity, "active-lcs", at, float64(s.ActiveLCs))
+}
+
+// RecordVM appends the full per-VM demand series from one monitored VM:
+// cpu.used, mem.used, net.rx and net.tx — the four dimensions the view
+// Builder's Demand reconstruction zips back into ResourceVectors for the
+// GM's estimators.
+func (h *Hub) RecordVM(at time.Duration, vm types.VMStatus) {
+	entity := VMEntity(vm.Spec.ID)
+	h.Record(entity, "cpu.used", at, vm.Used.CPU)
+	h.Record(entity, "mem.used", at, vm.Used.Memory)
+	h.Record(entity, "net.rx", at, vm.Used.NetRx)
+	h.Record(entity, "net.tx", at, vm.Used.NetTx)
 }
 
 // DetectNode feeds one node status into the anomaly detector and publishes

@@ -13,6 +13,7 @@ const (
 	EventNodeOverload  = "node.overload"
 	EventNodeUnderload = "node.underload"
 	EventNodeNormal    = "node.normal"
+	EventNodeIdle      = "node.idle"
 	EventVMState       = "vm.state"
 	EventGMJoin        = "hierarchy.gm-join"
 	EventGMFailed      = "hierarchy.gm-failed"
@@ -83,6 +84,8 @@ type Journal struct {
 	head, n int
 	nextSeq uint64
 	subs    map[*Subscription]struct{}
+	obs     map[uint64]Observer
+	obsSeq  uint64
 }
 
 // NewJournal creates a journal retaining the last capacity events
@@ -91,7 +94,35 @@ func NewJournal(capacity int) *Journal {
 	if capacity <= 0 {
 		capacity = 1024
 	}
-	return &Journal{buf: make([]Event, capacity), nextSeq: 1, subs: make(map[*Subscription]struct{})}
+	return &Journal{
+		buf:     make([]Event, capacity),
+		nextSeq: 1,
+		subs:    make(map[*Subscription]struct{}),
+		obs:     make(map[uint64]Observer),
+	}
+}
+
+// Observer is a synchronous journal consumer: Publish invokes it on the
+// publishing goroutine, after the journal lock is released. Observers must
+// be fast and non-blocking (schedule real work via a runtime timer); unlike
+// channel subscriptions they cannot lag, which makes them the right hook for
+// simulation-deterministic consumers such as the GM's event-driven energy
+// manager.
+type Observer func(Event)
+
+// Observe registers a synchronous observer and returns its cancel function
+// (idempotent).
+func (j *Journal) Observe(fn Observer) (cancel func()) {
+	j.mu.Lock()
+	id := j.obsSeq
+	j.obsSeq++
+	j.obs[id] = fn
+	j.mu.Unlock()
+	return func() {
+		j.mu.Lock()
+		delete(j.obs, id)
+		j.mu.Unlock()
+	}
 }
 
 // Publish assigns the next sequence number, retains the event and fans it out
@@ -119,7 +150,17 @@ func (j *Journal) Publish(ev Event) Event {
 		delete(j.subs, s)
 		s.closeLocked(ErrLagged)
 	}
+	var observers []Observer
+	if len(j.obs) > 0 {
+		observers = make([]Observer, 0, len(j.obs))
+		for _, fn := range j.obs {
+			observers = append(observers, fn)
+		}
+	}
 	j.mu.Unlock()
+	for _, fn := range observers {
+		fn(ev)
+	}
 	return ev
 }
 

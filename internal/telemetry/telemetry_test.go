@@ -339,3 +339,67 @@ func TestHubEndToEnd(t *testing.T) {
 		t.Fatal("event counter not recorded")
 	}
 }
+
+func TestJournalObservers(t *testing.T) {
+	j := NewJournal(16)
+	var seen []uint64
+	cancel := j.Observe(func(ev Event) { seen = append(seen, ev.Seq) })
+	j.Publish(Event{Type: EventVMState})
+	j.Publish(Event{Type: EventNodeIdle})
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Fatalf("observed: %v", seen)
+	}
+	cancel()
+	cancel() // idempotent
+	j.Publish(Event{Type: EventVMState})
+	if len(seen) != 2 {
+		t.Fatalf("observer survived cancel: %v", seen)
+	}
+}
+
+func TestJournalObserverRunsOutsideLock(t *testing.T) {
+	// An observer may publish back into the journal (e.g. a reaction event):
+	// the fan-out must happen after the journal lock is released.
+	j := NewJournal(16)
+	reacted := false
+	var cancel func()
+	cancel = j.Observe(func(ev Event) {
+		if ev.Type == EventNodeIdle && !reacted {
+			reacted = true
+			cancel()
+			j.Publish(Event{Type: EventVMState})
+		}
+	})
+	j.Publish(Event{Type: EventNodeIdle})
+	if !reacted || j.LastSeq() != 2 {
+		t.Fatalf("reentrant publish: reacted=%v lastSeq=%d", reacted, j.LastSeq())
+	}
+}
+
+func TestHubForgetsTerminalVMs(t *testing.T) {
+	h := NewHub(Options{})
+	vm := types.VMStatus{Spec: types.VMSpec{ID: "v1"}, Used: types.RV(1, 100, 1, 1)}
+	h.RecordVM(time.Second, vm)
+	h.RecordVM(2*time.Second, vm)
+	if h.Store().Len(VMEntity("v1"), "cpu.used") == 0 {
+		t.Fatal("fixture: no samples recorded")
+	}
+	// Non-terminal states keep the series.
+	h.Emit(EventVMState, VMEntity("v1"), 3*time.Second, map[string]string{"state": "migrated"})
+	if h.Store().Len(VMEntity("v1"), "cpu.used") == 0 {
+		t.Fatal("non-terminal vm.state dropped the series")
+	}
+	// Terminal state drops every series of the VM.
+	h.Emit(EventVMState, VMEntity("v1"), 4*time.Second, map[string]string{"state": "failed"})
+	for _, k := range h.Store().Keys() {
+		if k.Entity == VMEntity("v1") {
+			t.Fatalf("series %v lingers after terminal vm.state", k)
+		}
+	}
+	// Attr-less events (and other entities) are untouched.
+	h.Record(NodeEntity("n1"), "util", 5*time.Second, 0.5)
+	h.Emit(EventVMState, VMEntity("v2"), 6*time.Second, nil)
+	if h.Store().Len(NodeEntity("n1"), "util") != 1 {
+		t.Fatal("unrelated series affected")
+	}
+}
