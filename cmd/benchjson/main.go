@@ -9,9 +9,14 @@
 //
 // With -compare BASELINE.json the command additionally enforces a regression
 // gate: after emitting the JSON it exits non-zero when any benchmark present
-// in both documents regressed by more than -tolerance (default 0.30, i.e.
-// fail on >30% ns/op growth). Benchmarks new to either side are reported but
-// never fail the gate — renames and additions must not break CI.
+// in both documents regressed by more than -tolerance (default 0.30) in
+// ns/op or in allocs/op (zero-alloc baselines are exempt from the allocation
+// gate — there is no ratio to grow). Benchmarks new to either side are
+// reported but never fail the gate — renames and additions must not break
+// CI — except when NOTHING overlaps the baseline, which fails deliberately:
+// a gate with zero comparisons would pass vacuously forever. -summary FILE
+// appends the comparison as a markdown table (append mode, so pointing it
+// at $GITHUB_STEP_SUMMARY surfaces the deltas on the PR).
 package main
 
 import (
@@ -45,8 +50,9 @@ type Document struct {
 }
 
 func main() {
-	compare := flag.String("compare", "", "baseline JSON file; exit non-zero on ns/op regression beyond -tolerance")
-	tolerance := flag.Float64("tolerance", 0.30, "allowed fractional ns/op regression vs the baseline")
+	compare := flag.String("compare", "", "baseline JSON file; exit non-zero on ns/op or allocs/op regression beyond -tolerance")
+	tolerance := flag.Float64("tolerance", 0.30, "allowed fractional ns/op / allocs/op regression vs the baseline")
+	summary := flag.String("summary", "", "append the comparison as a markdown table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	flag.Parse()
 
 	doc := Document{Benchmarks: []Benchmark{}}
@@ -80,15 +86,26 @@ func main() {
 		os.Exit(1)
 	}
 	if *compare != "" {
-		if !gate(doc, *compare, *tolerance) {
+		if !gate(doc, *compare, *tolerance, *summary) {
 			os.Exit(1)
 		}
 	}
 }
 
-// gate compares doc against the baseline file and reports the outcome;
-// false means at least one shared benchmark regressed beyond tolerance.
-func gate(doc Document, baselinePath string, tolerance float64) bool {
+// allocs dereferences an allocs/op field (-1 when the benchmark was run
+// without -benchmem).
+func allocs(b Benchmark) int64 {
+	if b.AllocsPerOp == nil {
+		return -1
+	}
+	return *b.AllocsPerOp
+}
+
+// gate compares doc against the baseline file and reports the outcome; false
+// means at least one shared benchmark regressed beyond tolerance in ns/op or
+// allocs/op. A non-empty summaryPath additionally receives the comparison as
+// an appended markdown table.
+func gate(doc Document, baselinePath string, tolerance float64, summaryPath string) bool {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson: read baseline:", err)
@@ -105,33 +122,78 @@ func gate(doc Document, baselinePath string, tolerance float64) bool {
 	}
 	ok := true
 	compared := 0
+	var md strings.Builder
+	md.WriteString("### Benchmark comparison vs " + baselinePath + "\n\n")
+	md.WriteString("| benchmark | ns/op (base → new) | Δ ns/op | allocs/op (base → new) | Δ allocs | status |\n")
+	md.WriteString("|---|---|---|---|---|---|\n")
 	for _, cur := range doc.Benchmarks {
 		ref, found := baseline[cur.Name]
 		if !found {
 			fmt.Fprintf(os.Stderr, "benchjson: %s: no baseline (new benchmark, not gated)\n", cur.Name)
+			fmt.Fprintf(&md, "| %s | — → %.1f | new | — → %s | new | not gated |\n",
+				cur.Name, cur.NsPerOp, allocsCell(allocs(cur)))
 			continue
 		}
 		compared++
-		if ref.NsPerOp <= 0 {
-			continue
-		}
-		ratio := cur.NsPerOp / ref.NsPerOp
 		status := "ok"
-		if ratio > 1+tolerance {
-			status = "REGRESSION"
-			ok = false
+		nsDelta := "—"
+		if ref.NsPerOp > 0 {
+			ratio := cur.NsPerOp / ref.NsPerOp
+			nsDelta = fmt.Sprintf("%+.1f%%", (ratio-1)*100)
+			if ratio > 1+tolerance {
+				status = "REGRESSION (ns/op)"
+				ok = false
+			}
 		}
-		fmt.Fprintf(os.Stderr, "benchjson: %s: %.1f -> %.1f ns/op (%+.1f%%) %s\n",
-			ref.Name, ref.NsPerOp, cur.NsPerOp, (ratio-1)*100, status)
+		// Allocations gate with the same tolerance. Zero-alloc baselines are
+		// skipped (no ratio to grow); any new allocation there still shows in
+		// the table.
+		allocDelta := "—"
+		if refA, curA := allocs(ref), allocs(cur); refA > 0 && curA >= 0 {
+			ratio := float64(curA) / float64(refA)
+			allocDelta = fmt.Sprintf("%+.1f%%", (ratio-1)*100)
+			if ratio > 1+tolerance {
+				status = "REGRESSION (allocs/op)"
+				ok = false
+			}
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %.1f -> %.1f ns/op (%s), %s -> %s allocs/op (%s) %s\n",
+			ref.Name, ref.NsPerOp, cur.NsPerOp, nsDelta,
+			allocsCell(allocs(ref)), allocsCell(allocs(cur)), allocDelta, status)
+		fmt.Fprintf(&md, "| %s | %.1f → %.1f | %s | %s → %s | %s | %s |\n",
+			cur.Name, ref.NsPerOp, cur.NsPerOp, nsDelta,
+			allocsCell(allocs(ref)), allocsCell(allocs(cur)), allocDelta, status)
 	}
 	if compared == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmarks shared with the baseline — gate cannot pass vacuously")
 		return false
 	}
 	if !ok {
-		fmt.Fprintf(os.Stderr, "benchjson: ns/op regression beyond %.0f%% tolerance vs %s\n", tolerance*100, baselinePath)
+		fmt.Fprintf(os.Stderr, "benchjson: regression beyond %.0f%% tolerance vs %s\n", tolerance*100, baselinePath)
+		fmt.Fprintf(&md, "\n**Regression beyond %.0f%% tolerance.**\n", tolerance*100)
+	}
+	if summaryPath != "" {
+		f, err := os.OpenFile(summaryPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: open summary:", err)
+			return false
+		}
+		if _, err := f.WriteString(md.String()); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: write summary:", err)
+			f.Close()
+			return false
+		}
+		f.Close()
 	}
 	return ok
+}
+
+// allocsCell renders an allocs/op value for output ("—" when unrecorded).
+func allocsCell(v int64) string {
+	if v < 0 {
+		return "—"
+	}
+	return strconv.FormatInt(v, 10)
 }
 
 // parseLine parses one "BenchmarkFoo-8  N  V unit  V unit ..." result line.

@@ -241,6 +241,10 @@ func NewManager(rt simkernel.Runtime, bus *transport.Bus, svc *coord.Service, cf
 			Horizon:    cfg.ViewHorizon,
 			MinSamples: cfg.ViewMinSamples,
 			MaxAge:     cfg.ViewMaxAge,
+			// The builder lives as long as the manager, so generation-keyed
+			// caching makes repeated builds between monitoring reports (GL
+			// dispatch fan-out, GM relocation scans) map lookups.
+			Cache: view.NewCache(),
 		},
 		lcs: make(map[types.NodeID]*lcRecord),
 		gms: make(map[types.GroupManagerID]*gmRecord),

@@ -1,0 +1,162 @@
+package view
+
+import (
+	"sync"
+	"time"
+
+	"snooze/internal/telemetry"
+	"snooze/internal/types"
+)
+
+// maxCacheEntries bounds the cache map. Entities churn (VMs terminate, nodes
+// fail) and their entries linger until this cap flushes everything — a
+// deliberate blunt bound: the working set (nodes + GMs of one deployment) is
+// tiny, and a flush only costs one rebuild round.
+const maxCacheEntries = 8192
+
+// cacheKey identifies one memoized reduction. The horizon is part of the key
+// so builders with different windows sharing a cache never cross-read.
+type cacheKey struct {
+	entity  string
+	horizon time.Duration
+}
+
+// cacheEntry is the horizon-window reduction of one entity's "util" series,
+// plus the coordinates proving it still valid: the series generation (any
+// append changes it) and the window edges (advancing time may slide retained
+// samples out of the horizon even with no append).
+type cacheEntry struct {
+	gen      uint64
+	at       time.Duration // now at compute time
+	newestAt time.Duration // series' newest retained timestamp at compute time
+	count    int
+	firstAt  time.Duration
+	lastAt   time.Duration
+	p50      float64
+	p95      float64
+	max      float64
+	trend    float64
+}
+
+// valid reports whether the entry still describes the window [from, now] of
+// a series at generation gen: same generation (no appends), time moved
+// forward, no retained sample beyond the compute-time right edge (a sample
+// stamped ahead of the clock would enter the window as now advances), and no
+// cached sample slid out of the window's left edge.
+func (e cacheEntry) valid(gen uint64, now, from time.Duration) bool {
+	if e.gen != gen || now < e.at || e.newestAt > e.at {
+		return false
+	}
+	return e.count == 0 || e.firstAt >= from
+}
+
+// stats materializes Stats at now. Age and Fresh are always recomputed —
+// they depend on now and the builder's freshness gates, not on the series.
+func (e cacheEntry) stats(b Builder, now time.Duration) Stats {
+	if e.count == 0 {
+		return Stats{}
+	}
+	st := Stats{
+		Samples: e.count,
+		P50:     e.p50,
+		P95:     e.p95,
+		Max:     e.max,
+		Trend:   e.trend,
+		Age:     now - e.lastAt,
+	}
+	st.Fresh = st.Samples >= b.minSamples() && st.Age <= b.maxAge()
+	return st
+}
+
+// Cache memoizes windowed statistics across scheduling rounds, keyed by
+// (entity, horizon, series generation). Between appends — a GL fanning one
+// dispatch across its groups, a GM's relocation scan re-viewing the same
+// nodes — a view build degenerates to a map lookup; one Append to an
+// entity's "util" series invalidates exactly that entity. It also owns the
+// reusable reduction spec and the Demand scratch windows, so a cache-equipped
+// Builder allocates nothing on the hot path. Safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]cacheEntry
+	spec    telemetry.SummarySpec
+	hits    uint64
+	misses  uint64
+
+	dims   [4][]telemetry.Sample
+	window []types.ResourceVector
+}
+
+// NewCache creates an empty cache. One cache serves one long-lived Builder
+// (or several builders sharing a store, e.g. a Manager's GL and GM roles).
+func NewCache() *Cache {
+	return &Cache{
+		entries: make(map[cacheKey]cacheEntry),
+		spec: telemetry.SummarySpec{
+			Percentiles: []float64{50, 95},
+			Trend:       true,
+		},
+	}
+}
+
+// Counters returns the lifetime hit/miss counts.
+func (c *Cache) Counters() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// stats serves one Stats build through the cache.
+func (c *Cache) stats(b Builder, store *telemetry.Store, now, from time.Duration, entity string) Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := cacheKey{entity: entity, horizon: b.horizon()}
+	gen := store.Generation(entity, "util")
+	if e, ok := c.entries[key]; ok && e.valid(gen, now, from) {
+		c.hits++
+		return e.stats(b, now)
+	}
+	c.misses++
+	sum, ok := store.Reduce(entity, "util", from, now, &c.spec)
+	e := cacheEntry{gen: sum.Gen, at: now, newestAt: sum.NewestAt}
+	if ok {
+		e.count = sum.Count
+		e.firstAt = sum.FirstAt
+		e.lastAt = sum.LastAt
+		e.p50 = sum.Percentiles[0]
+		e.p95 = sum.Percentiles[1]
+		e.max = sum.Max
+		e.trend = sum.Trend
+	}
+	if len(c.entries) >= maxCacheEntries {
+		c.entries = make(map[cacheKey]cacheEntry)
+	}
+	c.entries[key] = e
+	return e.stats(b, now)
+}
+
+// demand serves one Demand estimate reusing the cache's per-dimension
+// scratch windows. The reconstructed window aliases cache-owned buffers; the
+// estimator must not retain it (none of the resource estimators do).
+func (c *Cache) demand(store *telemetry.Store, now, from time.Duration, entity string, estimate func([]types.ResourceVector) types.ResourceVector) (types.ResourceVector, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for d, metric := range DemandMetrics {
+		c.dims[d] = c.dims[d][:0]
+		store.Window(entity, metric, from, now, func(seg []telemetry.Sample) {
+			c.dims[d] = append(c.dims[d], seg...)
+		})
+		if len(c.dims[d]) > n {
+			n = len(c.dims[d])
+		}
+	}
+	if n == 0 {
+		return types.ResourceVector{}, false
+	}
+	if cap(c.window) < n {
+		c.window = make([]types.ResourceVector, n)
+	}
+	c.window = c.window[:n]
+	alignWindow(c.dims, c.window)
+	return estimate(c.window), true
+}

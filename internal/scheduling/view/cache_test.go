@@ -1,0 +1,174 @@
+package view
+
+import (
+	"testing"
+	"time"
+
+	"snooze/internal/resource"
+	"snooze/internal/telemetry"
+	"snooze/internal/types"
+)
+
+func cacheFixture(t *testing.T, entities, samples int) (*telemetry.Hub, []string) {
+	t.Helper()
+	hub := telemetry.NewHub(telemetry.Options{})
+	names := make([]string, entities)
+	for e := 0; e < entities; e++ {
+		names[e] = telemetry.NodeEntity(types.NodeID(string(rune('a' + e))))
+		for i := 0; i < samples; i++ {
+			hub.Record(names[e], "util", time.Duration(i)*3*time.Second, float64((e+i)%10)/10)
+		}
+	}
+	return hub, names
+}
+
+func TestCachedStatsMatchUncached(t *testing.T) {
+	hub, names := cacheFixture(t, 4, 20)
+	cached := Builder{Hub: hub, Cache: NewCache()}
+	plain := Builder{Hub: hub}
+	for _, now := range []time.Duration{30 * time.Second, time.Minute, 10 * time.Minute} {
+		for _, entity := range names {
+			got, want := cached.Stats(now, entity), plain.Stats(now, entity)
+			if got != want {
+				t.Fatalf("cached stats diverge at now=%v entity=%s: %+v vs %+v", now, entity, got, want)
+			}
+			// Second build: served from cache, still identical.
+			if again := cached.Stats(now, entity); again != want {
+				t.Fatalf("cache hit diverges: %+v vs %+v", again, want)
+			}
+		}
+	}
+}
+
+// TestBuilderStatsSingleReduction pins the acceptance contract: one store
+// reduction per entity per build — not the former three Query + three
+// Downsample passes — and zero reductions when the generation-keyed cache
+// hits.
+func TestBuilderStatsSingleReduction(t *testing.T) {
+	hub, names := cacheFixture(t, 8, 20)
+	store := hub.Store()
+	now := 60 * time.Second
+
+	plain := Builder{Hub: hub}
+	before := store.TotalReductions()
+	for _, entity := range names {
+		plain.Stats(now, entity)
+	}
+	if got := store.TotalReductions() - before; got != uint64(len(names)) {
+		t.Fatalf("uncached build made %d reductions for %d entities", got, len(names))
+	}
+
+	cached := Builder{Hub: hub, Cache: NewCache()}
+	before = store.TotalReductions()
+	for _, entity := range names {
+		cached.Stats(now, entity) // cold: one reduction each
+	}
+	if got := store.TotalReductions() - before; got != uint64(len(names)) {
+		t.Fatalf("cold cached build made %d reductions for %d entities", got, len(names))
+	}
+	before = store.TotalReductions()
+	for _, entity := range names {
+		cached.Stats(now, entity) // warm, no intervening Append: pure lookups
+	}
+	if got := store.TotalReductions() - before; got != 0 {
+		t.Fatalf("warm cached build still made %d reductions", got)
+	}
+	if hits, misses := cached.Cache.Counters(); hits != uint64(len(names)) || misses != uint64(len(names)) {
+		t.Fatalf("counters: hits=%d misses=%d", hits, misses)
+	}
+}
+
+// TestCacheInvalidatedByExactlyOneAppend: one Append invalidates exactly the
+// appended entity's entry; every other entity keeps hitting.
+func TestCacheInvalidatedByExactlyOneAppend(t *testing.T) {
+	hub, names := cacheFixture(t, 4, 20)
+	store := hub.Store()
+	b := Builder{Hub: hub, Cache: NewCache(), MaxAge: time.Hour}
+	now := 60 * time.Second
+	for _, entity := range names {
+		b.Stats(now, entity)
+	}
+
+	hub.Record(names[0], "util", now, 0.99)
+	now += time.Second
+	before := store.TotalReductions()
+	st := b.Stats(now, names[0])
+	if got := store.TotalReductions() - before; got != 1 {
+		t.Fatalf("invalidated entity rebuilt with %d reductions", got)
+	}
+	if st.Max != 0.99 || st.Samples != 21 {
+		t.Fatalf("rebuilt stats missed the new sample: %+v", st)
+	}
+	before = store.TotalReductions()
+	for _, entity := range names[1:] {
+		b.Stats(now, entity)
+	}
+	if got := store.TotalReductions() - before; got != 0 {
+		t.Fatalf("untouched entities recomputed %d times after another entity's append", got)
+	}
+}
+
+// TestCacheRevalidatesWhenWindowSlides: advancing now without appends keeps
+// hitting only while no retained sample slides out of the horizon; once the
+// left edge passes the oldest cached sample the entry recomputes, so cached
+// and uncached stats never diverge.
+func TestCacheRevalidatesWhenWindowSlides(t *testing.T) {
+	hub := telemetry.NewHub(telemetry.Options{})
+	entity := telemetry.NodeEntity("n1")
+	// Samples at 0s..9s; horizon 30s.
+	for i := 0; i < 10; i++ {
+		hub.Record(entity, "util", time.Duration(i)*time.Second, float64(i)/10)
+	}
+	b := Builder{Hub: hub, Horizon: 30 * time.Second, MaxAge: time.Hour}
+	cached := Builder{Hub: hub, Horizon: 30 * time.Second, MaxAge: time.Hour, Cache: NewCache()}
+	store := hub.Store()
+
+	if got, want := cached.Stats(20*time.Second, entity), b.Stats(20*time.Second, entity); got != want {
+		t.Fatalf("cold build: %+v vs %+v", got, want)
+	}
+	// now=29s: window [0, 29s] still spans every sample — hit, fresh Age.
+	before := store.TotalReductions()
+	got, want := cached.Stats(29*time.Second, entity), b.Stats(29*time.Second, entity)
+	if got != want || got.Age != 20*time.Second {
+		t.Fatalf("sliding hit: %+v vs %+v", got, want)
+	}
+	if store.TotalReductions()-before != 1 { // the uncached builder's one
+		t.Fatal("cache recomputed despite identical window content")
+	}
+	// now=35s: window [5s, 35s] drops samples 0s..4s — must recompute.
+	got, want = cached.Stats(35*time.Second, entity), b.Stats(35*time.Second, entity)
+	if got != want || got.Samples != 5 {
+		t.Fatalf("slid-out window: %+v vs %+v", got, want)
+	}
+}
+
+func TestCacheDemandMatchesUncached(t *testing.T) {
+	hub := telemetry.NewHub(telemetry.Options{})
+	vm := types.VMStatus{Spec: types.VMSpec{ID: "v1"}}
+	for i := 0; i < 6; i++ {
+		vm.Used = types.RV(float64(i), float64(i)*100, float64(i)*10, float64(i))
+		hub.RecordVM(time.Duration(i)*3*time.Second, vm)
+	}
+	// A dimension recorded late exercises the tail-alignment path too.
+	hub.Record("vm/v2", "cpu.used", time.Second, 1)
+	hub.Record("vm/v2", "cpu.used", 2*time.Second, 2)
+	hub.Record("vm/v2", "mem.used", 2*time.Second, 20)
+
+	cached := Builder{Hub: hub, Cache: NewCache()}
+	plain := Builder{Hub: hub}
+	now := 20 * time.Second
+	for _, entity := range []string{"vm/v1", "vm/v2"} {
+		for _, est := range []resource.Estimator{resource.LastValue{}, resource.MaxWindow{}} {
+			got, gotOK := cached.Demand(now, entity, est)
+			want, wantOK := plain.Demand(now, entity, est)
+			if got != want || gotOK != wantOK {
+				t.Fatalf("%s: cached demand %v/%v, uncached %v/%v", entity, got, gotOK, want, wantOK)
+			}
+		}
+	}
+	// Unknown entities fall back identically, and scratch from the previous
+	// estimate must not leak into the miss.
+	if _, ok := cached.Demand(now, "vm/ghost", resource.LastValue{}); ok {
+		t.Fatal("estimate for unknown entity via cache scratch leak")
+	}
+}

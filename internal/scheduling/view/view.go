@@ -16,7 +16,7 @@
 package view
 
 import (
-	"math"
+	"sync"
 	"time"
 
 	"snooze/internal/resource"
@@ -130,6 +130,13 @@ type Builder struct {
 	MinSamples int
 	// MaxAge gates freshness (DefaultMaxAge when zero).
 	MaxAge time.Duration
+	// Cache, when set, memoizes per-entity statistics keyed by the series'
+	// append generation and reuses reduction/demand scratch buffers across
+	// builds — the configuration long-lived schedulers (the hierarchy's
+	// GL/GM) run with. Invalidation is automatic: any Append to the entity's
+	// series changes its generation. Nil disables caching; every build then
+	// reduces from the store directly.
+	Cache *Cache
 }
 
 func (b Builder) horizon() time.Duration {
@@ -181,8 +188,18 @@ func (b Builder) Groups(now time.Duration, sums []types.GroupSummary) []Group {
 	return out
 }
 
-// Stats computes the windowed statistics of an entity's "util" series. With
-// no hub or no retained samples it returns the zero Stats (not fresh).
+// specPool recycles reduction specs (and their scratch buffers) for cache-less
+// builders, so even the uncached Stats path settles to zero steady-state
+// allocations beyond the store's own work.
+var specPool = sync.Pool{New: func() any {
+	return &telemetry.SummarySpec{Percentiles: []float64{50, 95}, Trend: true}
+}}
+
+// Stats computes the windowed statistics of an entity's "util" series in a
+// single store reduction (one pass, one sort for both percentiles) — or, with
+// a Cache attached, a map lookup when the series generation is unchanged
+// since the last build. With no hub or no retained samples it returns the
+// zero Stats (not fresh).
 func (b Builder) Stats(now time.Duration, entity string) Stats {
 	if b.Hub == nil {
 		return Stats{}
@@ -191,43 +208,26 @@ func (b Builder) Stats(now time.Duration, entity string) Stats {
 	if from < 0 {
 		from = 0
 	}
-	samples := b.Hub.Store().Query(entity, "util", from, now)
-	if len(samples) == 0 {
+	store := b.Hub.Store()
+	if b.Cache != nil {
+		return b.Cache.stats(b, store, now, from, entity)
+	}
+	spec := specPool.Get().(*telemetry.SummarySpec)
+	defer specPool.Put(spec)
+	sum, ok := store.Reduce(entity, "util", from, now, spec)
+	if !ok {
 		return Stats{}
 	}
-	// Whole-window reductions reuse the store's Downsample primitives
-	// (step <= 0 collapses the window to one sample).
 	st := Stats{
-		Samples: len(samples),
-		P50:     telemetry.Downsample(samples, 0, "p50")[0].Value,
-		P95:     telemetry.Downsample(samples, 0, "p95")[0].Value,
-		Max:     telemetry.Downsample(samples, 0, telemetry.AggMax)[0].Value,
-		Trend:   slopePerSecond(samples),
-		Age:     now - samples[len(samples)-1].At,
+		Samples: sum.Count,
+		P50:     sum.Percentiles[0],
+		P95:     sum.Percentiles[1],
+		Max:     sum.Max,
+		Trend:   sum.Trend,
+		Age:     now - sum.LastAt,
 	}
 	st.Fresh = st.Samples >= b.minSamples() && st.Age <= b.maxAge()
 	return st
-}
-
-// slopePerSecond is the least-squares slope of value over time, in 1/second.
-func slopePerSecond(samples []telemetry.Sample) float64 {
-	n := float64(len(samples))
-	if n < 2 {
-		return 0
-	}
-	var sumT, sumV, sumTT, sumTV float64
-	for _, s := range samples {
-		t := s.At.Seconds()
-		sumT += t
-		sumV += s.Value
-		sumTT += t * t
-		sumTV += t * s.Value
-	}
-	denom := n*sumTT - sumT*sumT
-	if denom == 0 || math.IsNaN(denom) {
-		return 0
-	}
-	return (n*sumTV - sumT*sumV) / denom
 }
 
 // DemandMetrics are the per-entity series jointly reconstructed by Demand,
@@ -247,10 +247,14 @@ func (b Builder) Demand(now time.Duration, entity string, est resource.Estimator
 	if from < 0 {
 		from = 0
 	}
+	store := b.Hub.Store()
+	if b.Cache != nil {
+		return b.Cache.demand(store, now, from, entity, est.Estimate)
+	}
 	var dims [4][]telemetry.Sample
 	n := 0
 	for d, metric := range DemandMetrics {
-		dims[d] = b.Hub.Store().Query(entity, metric, from, now)
+		dims[d] = store.Query(entity, metric, from, now)
 		if len(dims[d]) > n {
 			n = len(dims[d])
 		}
@@ -258,9 +262,16 @@ func (b Builder) Demand(now time.Duration, entity string, est resource.Estimator
 	if n == 0 {
 		return types.ResourceVector{}, false
 	}
-	// The hierarchy appends all four dims per report, so the windows align;
-	// tail-align defensively in case a dimension started recording later.
 	window := make([]types.ResourceVector, n)
+	alignWindow(dims, window)
+	return est.Estimate(window), true
+}
+
+// alignWindow zips per-dimension sample windows into resource vectors. The
+// hierarchy appends all four dims per report, so the windows align;
+// tail-align defensively in case a dimension started recording later.
+func alignWindow(dims [4][]telemetry.Sample, window []types.ResourceVector) {
+	n := len(window)
 	for i := 0; i < n; i++ {
 		var c [4]float64
 		for d := range dims {
@@ -270,5 +281,4 @@ func (b Builder) Demand(now time.Duration, entity string, est resource.Estimator
 		}
 		window[i] = types.FromComponents(c)
 	}
-	return est.Estimate(window), true
 }

@@ -60,6 +60,31 @@ func BenchmarkTelemetryQuery(b *testing.B) {
 	})
 }
 
+// BenchmarkStoreReduce measures the single-pass windowed reduction over full
+// 512-sample rings: min/max/avg/trend plus two percentiles off one sort into
+// the spec's reusable scratch — the store call Builder.Stats makes once per
+// entity (instead of the former three Query copies + three Downsample sorts).
+func BenchmarkStoreReduce(b *testing.B) {
+	s := NewStore(StoreConfig{SeriesCapacity: 512})
+	const entities = 64
+	names := make([]string, entities)
+	for e := 0; e < entities; e++ {
+		names[e] = fmt.Sprintf("node/n%03d", e)
+		for i := 0; i < 512; i++ {
+			s.Append(names[e], "util", time.Duration(i)*time.Second, float64(i%100)/100)
+		}
+	}
+	spec := &SummarySpec{Percentiles: []float64{50, 95}, Trend: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum, ok := s.Reduce(names[i%entities], "util", 0, 512*time.Second, spec)
+		if !ok || sum.Count != 512 {
+			b.Fatalf("reduce: %+v %v", sum, ok)
+		}
+	}
+}
+
 // BenchmarkTelemetryJournalFanout measures Publish with a handful of live
 // subscribers draining concurrently — the /v1/watch fan-out path.
 func BenchmarkTelemetryJournalFanout(b *testing.B) {

@@ -54,8 +54,11 @@ func Downsample(samples []Sample, step time.Duration, agg Agg) []Sample {
 	if len(samples) == 0 {
 		return nil
 	}
+	// One reducer for the whole call: its percentile scratch is allocated
+	// once and reused across every bucket instead of per bucket.
+	var r reducer
 	if step <= 0 {
-		v := reduce(samples, agg)
+		v := r.reduce(samples, agg)
 		return []Sample{{At: samples[0].At, Value: v}}
 	}
 	var out []Sample
@@ -65,7 +68,7 @@ func Downsample(samples []Sample, step time.Duration, agg Agg) []Sample {
 		if i < len(samples) && samples[i].At/step == bucket {
 			continue
 		}
-		out = append(out, Sample{At: bucket * step, Value: reduce(samples[start:i], agg)})
+		out = append(out, Sample{At: bucket * step, Value: r.reduce(samples[start:i], agg)})
 		if i < len(samples) {
 			start = i
 			bucket = samples[i].At / step
@@ -74,7 +77,13 @@ func Downsample(samples []Sample, step time.Duration, agg Agg) []Sample {
 	return out
 }
 
-func reduce(samples []Sample, agg Agg) float64 {
+// reducer reduces sample windows while reusing one percentile scratch buffer
+// across calls — the same single-sort core Store.Reduce builds on.
+type reducer struct {
+	scratch []float64
+}
+
+func (r *reducer) reduce(samples []Sample, agg Agg) float64 {
 	switch agg {
 	case AggMin:
 		v := math.Inf(1)
@@ -98,19 +107,25 @@ func reduce(samples []Sample, agg Agg) float64 {
 		return samples[len(samples)-1].Value
 	}
 	if q, ok := percentile(agg); ok {
-		vals := make([]float64, len(samples))
-		for i, s := range samples {
-			vals[i] = s.Value
+		r.scratch = r.scratch[:0]
+		for _, s := range samples {
+			r.scratch = append(r.scratch, s.Value)
 		}
-		sort.Float64s(vals)
-		rank := q / 100 * float64(len(vals)-1)
-		lo, hi := int(math.Floor(rank)), int(math.Ceil(rank))
-		if lo == hi {
-			return vals[lo]
-		}
-		frac := rank - float64(lo)
-		return vals[lo]*(1-frac) + vals[hi]*frac
+		sort.Float64s(r.scratch)
+		return quantile(r.scratch, q)
 	}
 	// Unknown aggregations fall back to last (callers validate via ParseAgg).
 	return samples[len(samples)-1].Value
+}
+
+// quantile interpolates the q-th percentile (q in [0, 100]) of an ascending
+// sorted, non-empty value slice.
+func quantile(sorted []float64, q float64) float64 {
+	rank := q / 100 * float64(len(sorted)-1)
+	lo, hi := int(math.Floor(rank)), int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }

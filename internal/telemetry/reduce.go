@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// SummarySpec selects what Store.Reduce computes and owns the reusable
+// scratch buffers, so a long-lived spec makes repeated reductions
+// allocation-free. A spec must not be shared between concurrent Reduce calls
+// (give each consumer its own, or serialize externally — the view cache
+// guards its spec with the cache lock).
+type SummarySpec struct {
+	// Percentiles are the percentile ranks to compute, in [0, 100]
+	// (e.g. 50, 95). All of them share one sort of the window's values.
+	Percentiles []float64
+	// Trend requests the least-squares slope of value over time (1/second).
+	Trend bool
+
+	scratch []float64 // window values, sorted once per Reduce
+	out     []float64 // percentile results, aliased by Summary.Percentiles
+}
+
+// Summary is the result of one windowed reduction.
+type Summary struct {
+	// Count is the number of samples in the window. The remaining fields are
+	// meaningful only when Count > 0.
+	Count int
+	// Min, Max and Avg summarize the window's value distribution.
+	Min, Max, Avg float64
+	// First/Last are the oldest/newest values with their timestamps.
+	First, Last     float64
+	FirstAt, LastAt time.Duration
+	// Trend is the least-squares slope in 1/second (0 unless requested and
+	// Count >= 2).
+	Trend float64
+	// NewestAt is the timestamp of the series' newest retained sample — of
+	// the whole series, not the window. A caller reusing this summary for a
+	// later window [from', to'] with to' > to needs NewestAt <= to to prove
+	// the grown right edge admits no sample it has not seen.
+	NewestAt time.Duration
+	// Percentiles holds one value per SummarySpec.Percentiles rank, in spec
+	// order. It aliases the spec's buffer: valid until the next Reduce with
+	// the same spec.
+	Percentiles []float64
+	// Gen is the series' append generation at reduction time (0 for an
+	// unknown series), taken under the same lock as the samples — a caller
+	// caching this summary keyed by Gen can never associate it with data it
+	// did not see.
+	Gen uint64
+}
+
+// Reduce computes the windowed summary of (entity, metric) over At in
+// [from, to] in a single pass under the shard read-lock, with one sort
+// shared by every requested percentile and no per-call window copy: the only
+// buffer touched is the spec's reusable scratch. to <= 0 means "no upper
+// bound"; an empty window (from > to, unknown series, or no samples in
+// range) reports ok == false with the series' generation still populated.
+func (s *Store) Reduce(entity, metric string, from, to time.Duration, spec *SummarySpec) (Summary, bool) {
+	s.reductions.Add(1)
+	if to <= 0 {
+		to = time.Duration(1<<63 - 1)
+	}
+	sum := Summary{}
+	if from > to {
+		sum.Gen = s.Generation(entity, metric)
+		return sum, false
+	}
+	wantPct := len(spec.Percentiles) > 0
+
+	sh := s.shardFor(entity, metric)
+	sh.mu.RLock()
+	ser, ok := sh.series[Key{Entity: entity, Metric: metric}]
+	if !ok {
+		sh.mu.RUnlock()
+		return sum, false
+	}
+	sum.Gen = ser.gen
+	if ser.n > 0 {
+		sum.NewestAt = ser.at(ser.n - 1).At
+	}
+	lo, hi := ser.bounds(from, to)
+	if hi <= lo {
+		sh.mu.RUnlock()
+		return sum, false
+	}
+	sum.Count = hi - lo
+	first, last := ser.at(lo), ser.at(hi-1)
+	sum.First, sum.FirstAt = first.Value, first.At
+	sum.Last, sum.LastAt = last.Value, last.At
+	if wantPct {
+		spec.scratch = spec.scratch[:0]
+	}
+	mn, mx, total := first.Value, first.Value, 0.0
+	var sumT, sumV, sumTT, sumTV float64
+	for i := lo; i < hi; i++ {
+		sm := ser.at(i)
+		if sm.Value < mn {
+			mn = sm.Value
+		}
+		if sm.Value > mx {
+			mx = sm.Value
+		}
+		total += sm.Value
+		if spec.Trend {
+			t := sm.At.Seconds()
+			sumT += t
+			sumV += sm.Value
+			sumTT += t * t
+			sumTV += t * sm.Value
+		}
+		if wantPct {
+			spec.scratch = append(spec.scratch, sm.Value)
+		}
+	}
+	sh.mu.RUnlock()
+
+	sum.Min, sum.Max, sum.Avg = mn, mx, total/float64(sum.Count)
+	if spec.Trend && sum.Count >= 2 {
+		n := float64(sum.Count)
+		if denom := n*sumTT - sumT*sumT; denom != 0 && !math.IsNaN(denom) {
+			sum.Trend = (n*sumTV - sumT*sumV) / denom
+		}
+	}
+	if wantPct {
+		// The single sort all percentile ranks share.
+		sort.Float64s(spec.scratch)
+		if cap(spec.out) < len(spec.Percentiles) {
+			spec.out = make([]float64, len(spec.Percentiles))
+		}
+		spec.out = spec.out[:len(spec.Percentiles)]
+		for i, q := range spec.Percentiles {
+			spec.out[i] = quantile(spec.scratch, q)
+		}
+		sum.Percentiles = spec.out
+	}
+	return sum, true
+}

@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestStoreReduceBasics(t *testing.T) {
+	s := NewStore(StoreConfig{SeriesCapacity: 16})
+	for i := 0; i < 10; i++ { // values 0..9 at 0..9s
+		s.Append("e", "m", sec(i), float64(i))
+	}
+	spec := &SummarySpec{Percentiles: []float64{0, 50, 100}, Trend: true}
+	sum, ok := s.Reduce("e", "m", sec(2), sec(7), spec)
+	if !ok || sum.Count != 6 {
+		t.Fatalf("reduce [2s,7s]: %+v %v", sum, ok)
+	}
+	if sum.Min != 2 || sum.Max != 7 || sum.Avg != 4.5 {
+		t.Fatalf("min/max/avg: %+v", sum)
+	}
+	if sum.First != 2 || sum.FirstAt != sec(2) || sum.Last != 7 || sum.LastAt != sec(7) {
+		t.Fatalf("first/last: %+v", sum)
+	}
+	if len(sum.Percentiles) != 3 || sum.Percentiles[0] != 2 || sum.Percentiles[1] != 4.5 || sum.Percentiles[2] != 7 {
+		t.Fatalf("percentiles: %v", sum.Percentiles)
+	}
+	// Values climb 1 per second.
+	if math.Abs(sum.Trend-1) > 1e-9 {
+		t.Fatalf("trend: %v", sum.Trend)
+	}
+	if sum.Gen != s.Generation("e", "m") {
+		t.Fatalf("gen: %d vs %d", sum.Gen, s.Generation("e", "m"))
+	}
+
+	// Unbounded window (to <= 0).
+	if sum, ok := s.Reduce("e", "m", 0, 0, spec); !ok || sum.Count != 10 {
+		t.Fatalf("unbounded reduce: %+v %v", sum, ok)
+	}
+	// Unknown series: not ok, zero generation.
+	if sum, ok := s.Reduce("ghost", "m", 0, 0, spec); ok || sum.Gen != 0 {
+		t.Fatalf("unknown series: %+v %v", sum, ok)
+	}
+	// Empty window on a live series: not ok, generation still populated.
+	if sum, ok := s.Reduce("e", "m", sec(100), sec(200), spec); ok || sum.Gen == 0 {
+		t.Fatalf("empty window: %+v %v", sum, ok)
+	}
+	// Inverted window (from > to): explicit empty contract.
+	if sum, ok := s.Reduce("e", "m", sec(7), sec(2), spec); ok || sum.Count != 0 {
+		t.Fatalf("inverted window: %+v %v", sum, ok)
+	}
+	// A spec without percentiles or trend skips both.
+	if sum, ok := s.Reduce("e", "m", 0, 0, &SummarySpec{}); !ok || sum.Percentiles != nil || sum.Trend != 0 {
+		t.Fatalf("bare spec: %+v %v", sum, ok)
+	}
+}
+
+// slopePerSecondRef is the pre-Reduce least-squares slope implementation the
+// view package used, kept as the reference for the equivalence property.
+func slopePerSecondRef(samples []Sample) float64 {
+	n := float64(len(samples))
+	if n < 2 {
+		return 0
+	}
+	var sumT, sumV, sumTT, sumTV float64
+	for _, s := range samples {
+		t := s.At.Seconds()
+		sumT += t
+		sumV += s.Value
+		sumTT += t * t
+		sumTV += t * s.Value
+	}
+	denom := n*sumTT - sumT*sumT
+	if denom == 0 || math.IsNaN(denom) {
+		return 0
+	}
+	return (n*sumTV - sumT*sumV) / denom
+}
+
+// TestReduceMatchesDownsample is the property-style equivalence check: over
+// random series (including wrapped rings) and random windows, the single-
+// pass single-sort Reduce must reproduce the legacy three-pass pipeline —
+// Query copy + one whole-window Downsample per aggregate — bit for bit.
+func TestReduceMatchesDownsample(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	spec := &SummarySpec{Percentiles: []float64{50, 95}, Trend: true}
+	for trial := 0; trial < 200; trial++ {
+		capacity := 4 + rng.Intn(60)
+		s := NewStore(StoreConfig{SeriesCapacity: capacity})
+		n := 1 + rng.Intn(2*capacity) // under- and over-filled rings
+		at := time.Duration(0)
+		for i := 0; i < n; i++ {
+			at += time.Duration(1+rng.Intn(5)) * time.Second
+			s.Append("e", "m", at, rng.Float64()*100)
+		}
+		from := time.Duration(rng.Intn(int(at/time.Second)+1)) * time.Second
+		to := from + time.Duration(rng.Intn(int(at/time.Second)+1))*time.Second
+
+		raw := s.Query("e", "m", from, to)
+		sum, ok := s.Reduce("e", "m", from, to, spec)
+		if ok != (len(raw) > 0) || sum.Count != len(raw) {
+			t.Fatalf("trial %d: count %d vs query %d (ok=%v)", trial, sum.Count, len(raw), ok)
+		}
+		if !ok {
+			continue
+		}
+		for i, agg := range []Agg{"p50", "p95"} {
+			if want := Downsample(raw, 0, agg)[0].Value; sum.Percentiles[i] != want {
+				t.Fatalf("trial %d: %s = %v, want %v", trial, agg, sum.Percentiles[i], want)
+			}
+		}
+		if want := Downsample(raw, 0, AggMax)[0].Value; sum.Max != want {
+			t.Fatalf("trial %d: max = %v, want %v", trial, sum.Max, want)
+		}
+		if want := Downsample(raw, 0, AggMin)[0].Value; sum.Min != want {
+			t.Fatalf("trial %d: min = %v, want %v", trial, sum.Min, want)
+		}
+		if want := Downsample(raw, 0, AggAvg)[0].Value; sum.Avg != want {
+			t.Fatalf("trial %d: avg = %v, want %v", trial, sum.Avg, want)
+		}
+		if want := slopePerSecondRef(raw); sum.Trend != want {
+			t.Fatalf("trial %d: trend = %v, want %v", trial, sum.Trend, want)
+		}
+	}
+}
+
+func TestStoreGeneration(t *testing.T) {
+	s := NewStore(StoreConfig{SeriesCapacity: 4})
+	if s.Generation("e", "m") != 0 {
+		t.Fatal("unknown series must report generation 0")
+	}
+	s.Append("e", "m", sec(1), 1)
+	g1 := s.Generation("e", "m")
+	if g1 == 0 {
+		t.Fatal("append did not set a generation")
+	}
+	s.Append("e", "m", sec(2), 2)
+	g2 := s.Generation("e", "m")
+	if g2 <= g1 {
+		t.Fatalf("generation not monotonic: %d then %d", g1, g2)
+	}
+	// Appends to other series never disturb this one.
+	s.Append("other", "m", sec(3), 3)
+	if s.Generation("e", "m") != g2 {
+		t.Fatal("unrelated append changed the generation")
+	}
+	// A dropped and recreated series can never replay an old generation:
+	// generations draw from the store-wide counter.
+	s.RemoveEntity("e")
+	if s.Generation("e", "m") != 0 {
+		t.Fatal("removed series must report generation 0")
+	}
+	s.Append("e", "m", sec(4), 4)
+	if g := s.Generation("e", "m"); g <= g2 {
+		t.Fatalf("recreated series replayed generation %d (old newest %d)", g, g2)
+	}
+}

@@ -46,8 +46,9 @@ type StoreConfig struct {
 // series is a fixed-capacity ring buffer of time-ordered samples.
 type series struct {
 	buf  []Sample
-	head int // index of the oldest sample
-	n    int // number of valid samples
+	head int    // index of the oldest sample
+	n    int    // number of valid samples
+	gen  uint64 // generation of the newest append (store-wide unique)
 }
 
 func (s *series) append(sm Sample) {
@@ -60,14 +61,51 @@ func (s *series) append(sm Sample) {
 	s.head = (s.head + 1) % len(s.buf)
 }
 
-// window appends the samples with At in [from, to] to dst, oldest first.
-func (s *series) window(from, to time.Duration, dst []Sample) []Sample {
-	for i := 0; i < s.n; i++ {
-		sm := s.buf[(s.head+i)%len(s.buf)]
-		if sm.At < from || sm.At > to {
-			continue
+// at returns the i-th retained sample, oldest first.
+func (s *series) at(i int) Sample { return s.buf[(s.head+i)%len(s.buf)] }
+
+// searchAtLeast returns the first retained index whose At is >= t (binary
+// search over the time-ordered ring; s.n when every sample is older).
+func (s *series) searchAtLeast(t time.Duration) int {
+	lo, hi := 0, s.n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.at(mid).At >= t {
+			hi = mid
+		} else {
+			lo = mid + 1
 		}
-		dst = append(dst, sm)
+	}
+	return lo
+}
+
+// bounds returns the retained index range [lo, hi) covering At in [from, to].
+func (s *series) bounds(from, to time.Duration) (lo, hi int) {
+	lo = s.searchAtLeast(from)
+	l, h := lo, s.n // first index with At > to, searched from lo
+	for l < h {
+		mid := int(uint(l+h) >> 1)
+		if s.at(mid).At > to {
+			h = mid
+		} else {
+			l = mid + 1
+		}
+	}
+	return lo, l
+}
+
+// window appends the samples with At in [from, to] to dst, oldest first. The
+// window start/end are located by binary search, not a full ring scan.
+func (s *series) window(from, to time.Duration, dst []Sample) []Sample {
+	lo, hi := s.bounds(from, to)
+	if hi <= lo {
+		return dst
+	}
+	if dst == nil {
+		dst = make([]Sample, 0, hi-lo)
+	}
+	for i := lo; i < hi; i++ {
+		dst = append(dst, s.at(i))
 	}
 	return dst
 }
@@ -82,10 +120,11 @@ type shard struct {
 // serialized by that key's shard lock. Samples per key must arrive in
 // non-decreasing time order (the hierarchy's monitoring flow guarantees it).
 type Store struct {
-	shards   []shard
-	mask     uint64
-	capacity int
-	samples  atomic.Uint64 // total samples ever appended
+	shards     []shard
+	mask       uint64
+	capacity   int
+	samples    atomic.Uint64 // total samples ever appended
+	reductions atomic.Uint64 // total Reduce calls ever served
 }
 
 // NewStore creates a store.
@@ -133,7 +172,8 @@ func (s *Store) shardFor(entity, metric string) *shard {
 }
 
 // Append records one sample. The hot path takes exactly one shard lock and
-// allocates nothing once the series ring exists.
+// allocates nothing once the series ring exists. Every append advances the
+// series' generation (see Generation).
 func (s *Store) Append(entity, metric string, at time.Duration, v float64) {
 	sh := s.shardFor(entity, metric)
 	key := Key{Entity: entity, Metric: metric}
@@ -144,15 +184,36 @@ func (s *Store) Append(entity, metric string, at time.Duration, v float64) {
 		sh.series[key] = ser
 	}
 	ser.append(Sample{At: at, Value: v})
+	// Generations draw from the store-wide sample counter, so they are unique
+	// across series: a series dropped by RemoveEntity and later recreated can
+	// never replay an old generation value to a caching consumer.
+	ser.gen = s.samples.Add(1)
 	sh.mu.Unlock()
-	s.samples.Add(1)
+}
+
+// Generation returns the append generation of one series: a value that
+// changes on every Append and never repeats, 0 for an unknown series. View
+// caches key on it to detect (in)validity without touching the samples.
+func (s *Store) Generation(entity, metric string) uint64 {
+	sh := s.shardFor(entity, metric)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if ser, ok := sh.series[Key{Entity: entity, Metric: metric}]; ok {
+		return ser.gen
+	}
+	return 0
 }
 
 // Query returns the retained samples of (entity, metric) with timestamps in
-// [from, to], oldest first. A to of 0 or less means "no upper bound".
+// [from, to], oldest first. A to of 0 or less means "no upper bound". An
+// empty window (from > to, after the unbounded rewrite) returns nil without
+// touching the series — the explicit empty-window contract.
 func (s *Store) Query(entity, metric string, from, to time.Duration) []Sample {
 	if to <= 0 {
 		to = time.Duration(1<<63 - 1)
+	}
+	if from > to {
+		return nil
 	}
 	sh := s.shardFor(entity, metric)
 	sh.mu.RLock()
@@ -162,6 +223,42 @@ func (s *Store) Query(entity, metric string, from, to time.Duration) []Sample {
 		return nil
 	}
 	return ser.window(from, to, nil)
+}
+
+// Window visits the retained samples of (entity, metric) with timestamps in
+// [from, to] without copying them: visit is called with up to two contiguous
+// ring segments (the window may wrap the ring boundary), oldest first, while
+// the shard read-lock is held. The segments alias the live ring — visit must
+// not retain them past its return, and must not call back into the store.
+// to <= 0 means "no upper bound", as in Query. Returns the visited count.
+func (s *Store) Window(entity, metric string, from, to time.Duration, visit func([]Sample)) int {
+	if to <= 0 {
+		to = time.Duration(1<<63 - 1)
+	}
+	if from > to {
+		return 0
+	}
+	sh := s.shardFor(entity, metric)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	ser, ok := sh.series[Key{Entity: entity, Metric: metric}]
+	if !ok {
+		return 0
+	}
+	lo, hi := ser.bounds(from, to)
+	if hi <= lo {
+		return 0
+	}
+	p := (ser.head + lo) % len(ser.buf)
+	first := hi - lo
+	if wrap := len(ser.buf) - p; first > wrap {
+		first = wrap
+	}
+	visit(ser.buf[p : p+first])
+	if rest := (hi - lo) - first; rest > 0 {
+		visit(ser.buf[:rest])
+	}
+	return hi - lo
 }
 
 // Len returns the retained sample count of one series.
@@ -226,3 +323,8 @@ func (s *Store) NumSeries() int {
 // TotalSamples returns the number of samples ever appended (including ones
 // the rings have since overwritten).
 func (s *Store) TotalSamples() uint64 { return s.samples.Load() }
+
+// TotalReductions returns the number of Reduce calls ever served — the
+// instrumentation view caches use to prove they hit (a cached build performs
+// zero reductions).
+func (s *Store) TotalReductions() uint64 { return s.reductions.Load() }

@@ -57,6 +57,80 @@ func TestStoreRingOverwrite(t *testing.T) {
 	}
 }
 
+func TestStoreQueryEmptyWindow(t *testing.T) {
+	s := NewStore(StoreConfig{SeriesCapacity: 8})
+	for i := 0; i < 5; i++ {
+		s.Append("e", "m", sec(i), float64(i))
+	}
+	// from > to is the explicit empty window: nil, even over a live series.
+	if got := s.Query("e", "m", sec(3), sec(1)); got != nil {
+		t.Fatalf("inverted window: %v", got)
+	}
+	if n := s.Window("e", "m", sec(3), sec(1), func([]Sample) { t.Fatal("visited") }); n != 0 {
+		t.Fatalf("inverted window visit count: %d", n)
+	}
+	// A window past the retained range is empty but not nil-by-accident: the
+	// binary search proves it without scanning.
+	if got := s.Query("e", "m", sec(10), sec(20)); len(got) != 0 {
+		t.Fatalf("future window: %v", got)
+	}
+	// Window edges are inclusive on both ends.
+	if got := s.Query("e", "m", sec(1), sec(1)); len(got) != 1 || got[0].Value != 1 {
+		t.Fatalf("single-point window: %v", got)
+	}
+}
+
+func TestStoreWindowAcrossRingWrap(t *testing.T) {
+	s := NewStore(StoreConfig{SeriesCapacity: 8})
+	for i := 0; i < 12; i++ { // ring wraps: retained are 4s..11s, head mid-buffer
+		s.Append("e", "m", sec(i), float64(i))
+	}
+	// Full retained range.
+	if got := s.Query("e", "m", 0, 0); len(got) != 8 || got[0].Value != 4 || got[7].Value != 11 {
+		t.Fatalf("full wrapped window: %v", got)
+	}
+	// A window straddling the physical ring boundary stays time-ordered.
+	got := s.Query("e", "m", sec(5), sec(10))
+	if len(got) != 6 {
+		t.Fatalf("straddling window: %v", got)
+	}
+	for i, sm := range got {
+		if sm.Value != float64(i+5) {
+			t.Fatalf("straddling window order: %v", got)
+		}
+	}
+	// Edges: from before the oldest retained sample clips to it; to beyond
+	// the newest clips to it.
+	if got := s.Query("e", "m", sec(0), sec(4)); len(got) != 1 || got[0].Value != 4 {
+		t.Fatalf("left-clipped window: %v", got)
+	}
+	if got := s.Query("e", "m", sec(11), sec(99)); len(got) != 1 || got[0].Value != 11 {
+		t.Fatalf("right-clipped window: %v", got)
+	}
+	// The zero-copy visitor sees the same window as Query, in order, split
+	// into at most two ring segments.
+	var visited []Sample
+	segments := 0
+	n := s.Window("e", "m", sec(5), sec(10), func(seg []Sample) {
+		segments++
+		visited = append(visited, seg...)
+	})
+	if n != 6 || segments != 2 || len(visited) != 6 {
+		t.Fatalf("visitor: n=%d segments=%d visited=%v", n, segments, visited)
+	}
+	for i, sm := range visited {
+		if sm.Value != float64(i+5) {
+			t.Fatalf("visitor order: %v", visited)
+		}
+	}
+	if s.Window("e", "m", 0, 0, func([]Sample) {}) != 8 {
+		t.Fatal("visitor full window")
+	}
+	if s.Window("ghost", "m", 0, 0, func([]Sample) { t.Fatal("visited") }) != 0 {
+		t.Fatal("visitor unknown series")
+	}
+}
+
 func TestStoreKeysSortedAndSharded(t *testing.T) {
 	s := NewStore(StoreConfig{Shards: 4})
 	s.Append("b", "y", 0, 1)
