@@ -248,7 +248,21 @@ type SeriesQuery struct {
 	Offset int
 }
 
-// SeriesData is the GET /v1/series windowed-query body.
+// SeriesTier describes one downsampled retention tier of a series: history
+// evicted from the raw ring survives here at Step resolution.
+type SeriesTier struct {
+	StepNs   int64 `json:"stepNs"`
+	Capacity int   `json:"capacity"`
+	// Points is the tier's retained bucket count.
+	Points int `json:"points"`
+}
+
+// SeriesData is the GET /v1/series windowed-query body. Besides the queried
+// points it reports the series' retention state: the retained range
+// [OldestNs, NewestNs], where full-resolution coverage begins (RawFromNs),
+// the tier ladder, and whether THIS query's window reached into decimated or
+// evicted history (Truncated) — the eviction watermark callers use to
+// distinguish a full window from a partial one.
 type SeriesData struct {
 	Entity string `json:"entity"`
 	Metric string `json:"metric"`
@@ -259,6 +273,12 @@ type SeriesData struct {
 	// Total counts the window's points before pagination.
 	Total      int `json:"total"`
 	NextOffset int `json:"nextOffset,omitempty"`
+	// Retention metadata (zero-valued for an unknown series).
+	OldestNs  int64        `json:"oldestNs,omitempty"`
+	NewestNs  int64        `json:"newestNs,omitempty"`
+	RawFromNs int64        `json:"rawFromNs,omitempty"`
+	Truncated bool         `json:"truncated,omitempty"`
+	Tiers     []SeriesTier `json:"tiers,omitempty"`
 }
 
 // Event is one entry of the telemetry journal as served by GET /v1/watch:

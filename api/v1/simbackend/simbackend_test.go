@@ -9,6 +9,7 @@ import (
 
 	apiv1 "snooze/api/v1"
 	"snooze/internal/cluster"
+	"snooze/internal/telemetry"
 	"snooze/internal/workload"
 )
 
@@ -202,5 +203,56 @@ func TestExperimentRoute(t *testing.T) {
 	b := newBackend(t)
 	if _, err := b.Experiment(context.Background(), "nope"); !errors.Is(err, apiv1.ErrNotFound) {
 		t.Fatalf("unknown experiment: %v", err)
+	}
+}
+
+// TestSeriesRetentionMetadata pins the /v1/series retention contract: a tiny
+// raw ring that a long simulation outlives must report its tier ladder, the
+// retained range, and — for windows reaching before full-resolution
+// coverage — the Truncated watermark.
+func TestSeriesRetentionMetadata(t *testing.T) {
+	cfg := cluster.DefaultConfig(workload.Grid5000Topology(3, 1), 11)
+	cfg.Retention = telemetry.StoreConfig{SeriesCapacity: 32} // default tiers
+	c := cluster.New(cfg)
+	c.Settle(30 * time.Second)
+	b := New(c, 0)
+	ctx := context.Background()
+	// 10 minutes of 3s monitoring = ~200 samples per node series: the
+	// 32-sample raw ring wraps many times over.
+	c.Settle(10 * time.Minute)
+
+	keys, err := b.ListSeries(ctx)
+	if err != nil || len(keys) == 0 {
+		t.Fatalf("list: %v %v", keys, err)
+	}
+	entity := ""
+	for _, k := range keys {
+		if k.Metric == "util" {
+			entity = k.Entity
+			break
+		}
+	}
+	full, err := b.QuerySeries(ctx, apiv1.SeriesQuery{Entity: entity, Metric: "util"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Truncated {
+		t.Fatalf("unbounded window over a wrapped ring must be truncated: %+v", full)
+	}
+	if len(full.Tiers) != 2 || time.Duration(full.Tiers[0].StepNs) != time.Minute {
+		t.Fatalf("tier ladder: %+v", full.Tiers)
+	}
+	if full.OldestNs >= full.RawFromNs || full.NewestNs <= full.RawFromNs {
+		t.Fatalf("watermarks: oldest=%d rawFrom=%d newest=%d", full.OldestNs, full.RawFromNs, full.NewestNs)
+	}
+	// Tier buckets really serve the evicted history: points older than
+	// RawFrom exist in the reply.
+	if full.Total == 0 || full.Points[0].AtNs >= full.RawFromNs {
+		t.Fatalf("no decimated history served: %+v", full.Points[:min(3, len(full.Points))])
+	}
+	// A window inside raw coverage is full fidelity.
+	recent, err := b.QuerySeries(ctx, apiv1.SeriesQuery{Entity: entity, Metric: "util", FromNs: full.RawFromNs})
+	if err != nil || recent.Truncated {
+		t.Fatalf("raw-covered window flagged truncated: %+v %v", recent, err)
 	}
 }

@@ -55,6 +55,18 @@ func QueryHubSeries(h *telemetry.Hub, q SeriesQuery) (SeriesData, error) {
 		samples = telemetry.Downsample(samples, time.Duration(q.StepNs), agg)
 	}
 	out := SeriesData{Entity: q.Entity, Metric: q.Metric, Agg: q.Agg, StepNs: q.StepNs, Total: len(samples)}
+	if info, ok := h.Store().Info(q.Entity, q.Metric); ok {
+		out.OldestNs = int64(info.OldestAt)
+		out.NewestNs = int64(info.NewestAt)
+		out.RawFromNs = int64(info.RawFrom)
+		// The watermark is window-relative: this query is truncated when its
+		// left edge precedes full-resolution coverage on a series that has
+		// evicted raw samples (Summary.Truncated's rule).
+		out.Truncated = info.Evicted > 0 && q.FromNs < int64(info.RawFrom)
+		for _, t := range info.Tiers {
+			out.Tiers = append(out.Tiers, SeriesTier{StepNs: int64(t.Step), Capacity: t.Capacity, Points: t.Points})
+		}
+	}
 	lo, hi, next := Page(len(samples), q.Limit, q.Offset)
 	out.NextOffset = next
 	out.Points = make([]SeriesPoint, 0, hi-lo)

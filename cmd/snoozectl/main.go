@@ -171,6 +171,20 @@ func main() {
 			fmt.Printf(" (%s per %s)", data.Agg, time.Duration(data.StepNs))
 		}
 		fmt.Printf(": %d points\n", data.Total)
+		if data.NewestNs > 0 || data.OldestNs > 0 {
+			fmt.Printf("retained [%s, %s], full resolution from %s",
+				time.Duration(data.OldestNs), time.Duration(data.NewestNs), time.Duration(data.RawFromNs))
+			for i, tr := range data.Tiers {
+				if i == 0 {
+					fmt.Printf("; tiers:")
+				}
+				fmt.Printf(" %s×%d (%d pts)", time.Duration(tr.StepNs), tr.Capacity, tr.Points)
+			}
+			fmt.Println()
+		}
+		if data.Truncated {
+			fmt.Println("window TRUNCATED: part of it predates full-resolution retention (decimated or evicted)")
+		}
 		for _, p := range data.Points {
 			fmt.Printf("%14s  %.4f\n", time.Duration(p.AtNs), p.Value)
 		}

@@ -74,8 +74,11 @@ func main() {
 	dispatch := flag.String("dispatch", "", "control role: GL dispatch policy (round-robin | least-loaded | most-loaded | p95-headroom)")
 	placement := flag.String("placement", "", "control role: GM placement policy (first-fit | best-fit | worst-fit | round-robin | percentile-fit)")
 	overload := flag.String("overload", "", "control role: overload relocation policy (overload-relocation | trend-relocation)")
-	underload := flag.String("underload", "underload-relocation", "control role: underload relocation policy")
+	underload := flag.String("underload", "underload-relocation", "control role: underload relocation policy (underload-relocation | trend-underload)")
 	viewHorizon := flag.Duration("view-horizon", 0, "control role: capacity-view history window (0 = default 5m)")
+	seriesCapacity := flag.Int("series-capacity", 0, "control role: raw telemetry ring length per series (0 = 512)")
+	seriesTiers := flag.String("series-tiers", "", `control role: downsampled retention tiers as "step:capacity,..." (default "1m:512,10m:512"; "none" disables)`)
+	vmLivenessGrace := flag.Duration("vm-liveness-grace", 0, "control role: reap vm/* series silent+unknown for this long (0 = 4×LC timeout; <0 disables)")
 	flag.Parse()
 
 	rt := simkernel.NewWallRuntime()
@@ -106,9 +109,17 @@ func main() {
 	switch *role {
 	case "control":
 		reg := metrics.NewRegistry()
+		tiers, err := telemetry.ParseTiers(*seriesTiers)
+		if err != nil {
+			log.Fatalf("-series-tiers: %v", err)
+		}
 		// One telemetry hub per control process: every manager feeds it and
-		// the /v1/series + /v1/watch routes read from it.
-		tel := telemetry.NewHub(telemetry.Options{Metrics: reg})
+		// the /v1/series + /v1/watch routes read from it. The store keeps a
+		// raw ring per series backed by the downsampled retention tiers.
+		tel := telemetry.NewHub(telemetry.Options{
+			Metrics: reg,
+			Store:   telemetry.StoreConfig{SeriesCapacity: *seriesCapacity, Tiers: tiers},
+		})
 		svc := coord.NewService(rt)
 		for i := 0; i < *managers; i++ {
 			id := types.GroupManagerID(fmt.Sprintf("gm-%02d", i))
@@ -116,6 +127,7 @@ func main() {
 			cfg.Metrics = reg
 			cfg.Telemetry = tel
 			cfg.ViewHorizon = *viewHorizon
+			cfg.VMLivenessGrace = *vmLivenessGrace
 			// Policy instances are per manager: the round-robin policies keep
 			// cursor state that must not be shared across processes.
 			var perr error

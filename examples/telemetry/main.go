@@ -4,6 +4,13 @@
 // node, then pull the node's utilization history from GET /v1/series.
 // Everything below the submission is pure typed-client code, so the same
 // program works against a live `snoozed -role control` process.
+//
+// The run deliberately OUTLIVES the raw retention ring: the cluster is
+// configured with a tiny 64-sample raw ring (~3 minutes of 3s monitoring)
+// and then simulated for 30 minutes, so most of the history survives only in
+// the downsampled 1m/10m retention tiers. The final query shows the stitched
+// series, the per-tier metadata, and the Truncated watermark that tells
+// consumers the window is partly decimated.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"snooze"
 	apiv1 "snooze/api/v1"
 	"snooze/internal/scheduling"
+	"snooze/internal/telemetry"
 	"snooze/internal/workload"
 )
 
@@ -35,6 +43,10 @@ func main() {
 	th := scheduling.Thresholds{Overload: 0.85, Underload: 0}
 	cfg.LC.Thresholds = th
 	cfg.Manager.Overload = scheduling.OverloadRelocation{Thresholds: th}
+	// A raw ring of only 64 samples (~3 minutes at the 3s monitoring
+	// cadence): the 30-minute run below evicts most raw history into the
+	// default 1m/10m retention tiers.
+	cfg.Retention = telemetry.StoreConfig{SeriesCapacity: 64}
 	c := snooze.NewCluster(cfg)
 	c.Settle(30 * time.Second)
 
@@ -128,6 +140,20 @@ loop:
 			bar += "#"
 		}
 		fmt.Printf("  %8s %5.2f %s\n", time.Duration(p.AtNs).Round(time.Second), p.Value, bar)
+	}
+
+	// The run outlived the 64-sample raw ring: the reply carries the
+	// eviction watermark. History before rawFrom survives only in the
+	// 1m/10m tiers, and any window reaching before it is flagged Truncated
+	// so consumers (like the capacity-view builder) fall back to snapshots
+	// instead of trusting decimated percentiles.
+	fmt.Printf("\nretention: retained [%s, %s], full resolution from %s, truncated=%v\n",
+		time.Duration(data.OldestNs).Round(time.Second),
+		time.Duration(data.NewestNs).Round(time.Second),
+		time.Duration(data.RawFromNs).Round(time.Second), data.Truncated)
+	for _, tr := range data.Tiers {
+		fmt.Printf("  tier %4s × %d: %d buckets retained\n",
+			time.Duration(tr.StepNs), tr.Capacity, tr.Points)
 	}
 
 	snap, err := cli.Metrics(ctx)

@@ -47,6 +47,10 @@ type Config struct {
 	// (created when nil, with detector thresholds mirroring LC.Thresholds so
 	// the GM-side detector and the LC-side classifier agree).
 	Telemetry *telemetry.Hub
+	// Retention sizes the created hub's series store: raw ring capacity and
+	// the downsampled tier ladder (see telemetry.StoreConfig). Ignored when
+	// Telemetry is provided.
+	Retention telemetry.StoreConfig
 	// AutoRole, when non-nil, enables autonomic manager-population control
 	// (the paper's Section V future work: the framework, not the
 	// administrator, decides which nodes act as GMs).
@@ -102,6 +106,7 @@ func New(cfg Config) *Cluster {
 		}
 		cfg.Telemetry = telemetry.NewHub(telemetry.Options{
 			Metrics: cfg.Metrics,
+			Store:   cfg.Retention,
 			Thresholds: telemetry.Thresholds{
 				Overload:  lcTh.Overload,
 				Underload: lcTh.Underload,
@@ -249,6 +254,10 @@ func mergeDefaults(mcfg hierarchy.ManagerConfig) hierarchy.ManagerConfig {
 		def.ReconfigPeriod = mcfg.ReconfigPeriod
 	}
 	def.RescheduleOnLCFailure = mcfg.RescheduleOnLCFailure
+	if mcfg.VMLivenessGrace != 0 {
+		def.VMLivenessGrace = mcfg.VMLivenessGrace
+	}
+	def.Retention = mcfg.Retention
 	return def
 }
 

@@ -218,3 +218,69 @@ func TestDeepTopologyExport(t *testing.T) {
 		t.Fatalf("deep export VMs: %d", totalVMs)
 	}
 }
+
+// TestVMLivenessSweepReapsSilentlyVanishedVM proves the deployment-level
+// liveness sweep end to end: a VM killed directly on the hypervisor — behind
+// the hierarchy's back, so no terminal vm.state event is ever emitted (the
+// migration-race / crash-mid-handoff signature) — must be reaped: the GM
+// journals a synthetic terminal vm.state "vanished" event and the VM's
+// telemetry series are dropped, while its still-running sibling is left
+// untouched.
+func TestVMLivenessSweepReapsSilentlyVanishedVM(t *testing.T) {
+	top := workload.Grid5000Topology(3, 1)
+	cfg := DefaultConfig(top, 11)
+	cfg.Manager.VMLivenessGrace = 30 * time.Second
+	c := New(cfg)
+	c.Settle(30 * time.Second)
+
+	resp, err := c.SubmitAndWait([]types.VMSpec{
+		vmSpec("victim", 1, 2048),
+		vmSpec("survivor", 1, 2048),
+	}, 2*time.Minute)
+	if err != nil || len(resp.Placed) != 2 {
+		t.Fatalf("submit: %+v %v", resp, err)
+	}
+	// Let monitoring build per-VM series for both.
+	c.Settle(30 * time.Second)
+	store := c.Telemetry.Store()
+	if store.Len("vm/victim", "cpu.used") == 0 || store.Len("vm/survivor", "cpu.used") == 0 {
+		t.Fatal("fixture: per-VM series not recorded")
+	}
+
+	// Kill the victim straight on its hypervisor: the LC's next monitor
+	// report simply stops listing it — no vm.state event anywhere.
+	sweepFloor := c.Telemetry.Journal().LastSeq()
+	node := resp.Placed["victim"]
+	if err := c.Nodes[node].StopVM("victim"); err != nil {
+		t.Fatalf("silent stop: %v", err)
+	}
+
+	// One grace period plus monitoring slack: the inventory shrink arms the
+	// sweep, staleness ripens, the sweep reaps.
+	c.Settle(cfg.Manager.VMLivenessGrace + 15*time.Second)
+
+	if n := store.Len("vm/victim", "cpu.used"); n != 0 {
+		t.Fatalf("victim series survived the sweep: %d samples", n)
+	}
+	if store.Len("vm/survivor", "cpu.used") == 0 {
+		t.Fatal("survivor series was reaped")
+	}
+	var vanished int
+	for _, ev := range c.Telemetry.Journal().Replay(sweepFloor+1, 0) {
+		if ev.Type == "vm.state" && ev.Entity == "vm/victim" {
+			if ev.Attrs["state"] != "vanished" || ev.Attrs["reason"] != "liveness-sweep" {
+				t.Fatalf("unexpected terminal event: %+v", ev)
+			}
+			vanished++
+		}
+		if ev.Type == "vm.state" && ev.Entity == "vm/survivor" && ev.Attrs["state"] == "vanished" {
+			t.Fatalf("survivor falsely reaped: %+v", ev)
+		}
+	}
+	if vanished != 1 {
+		t.Fatalf("want exactly one synthetic vanished event, got %d", vanished)
+	}
+	if n := c.Metrics.Count("gm.vms-vanished"); n != 1 {
+		t.Fatalf("gm.vms-vanished = %d", n)
+	}
+}

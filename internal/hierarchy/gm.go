@@ -48,6 +48,15 @@ func (m *Manager) becomeGMLocked(gl transport.Address) {
 	if m.cfg.Reconfig != nil && m.cfg.ReconfigPeriod > 0 {
 		m.addTicker(m.cfg.ReconfigPeriod, m.gmReconfigTick)
 	}
+	if m.cfg.VMLivenessGrace > 0 {
+		// The deployment-level VM liveness sweep is journal-armed: lifecycle
+		// and membership events (plus inventory shrinkage noticed by
+		// gmOnMonitor) schedule exact-deadline reconciliations of the hub's
+		// vm/* series against this GM's inventory. One bootstrap sweep
+		// covers series that predate this GM stint.
+		m.sweepUnsub = m.tel.Journal().Observe(m.onSweepEvent)
+		m.scheduleVMSweepLocked(m.rt.Now() + m.cfg.VMLivenessGrace)
+	}
 	// Join the GL immediately (heartbeat-paced retries cover failures).
 	m.rt.After(0, m.gmJoinGL)
 }
@@ -203,6 +212,13 @@ func (m *Manager) gmOnMonitor(req *transport.Request) {
 	rec.sleeping = false
 	rec.waking = false
 	rec.status = rep.Status
+	// A VM leaving the report without a terminal vm.state event is the
+	// silent-vanish signature (stopped behind the hierarchy's back, lost in
+	// a migration race): arm the liveness sweep so its series is reconciled
+	// once the grace period proves it gone everywhere.
+	if m.cfg.VMLivenessGrace > 0 && vmsRemoved(rec.vms, rep.VMs) {
+		m.scheduleVMSweepLocked(m.rt.Now() + m.cfg.VMLivenessGrace)
+	}
 	rec.vms = rep.VMs
 	becameIdle := false
 	if rep.Status.Idle {
@@ -788,6 +804,120 @@ func (m *Manager) gmEnergyCheck() {
 	}
 }
 
+// onSweepEvent is the journal observer arming the VM liveness sweep: any
+// event that can orphan a vm/* series — a VM lifecycle outcome, an LC
+// failing or changing hands, a GM failing mid-handoff — schedules a
+// reconciliation one grace period out. Like onEnergyEvent it runs
+// synchronously on the publishing goroutine (possibly under m.mu), so it
+// only debounces and defers.
+func (m *Manager) onSweepEvent(ev telemetry.Event) {
+	switch ev.Type {
+	case telemetry.EventVMState, telemetry.EventLCFailed, telemetry.EventLCJoin, telemetry.EventGMFailed:
+	default:
+		return
+	}
+	if m.sweepKick.CompareAndSwap(false, true) {
+		m.rt.After(0, func() {
+			m.sweepKick.Store(false)
+			m.mu.Lock()
+			if m.role == RoleGM && !m.stopped {
+				m.scheduleVMSweepLocked(m.rt.Now() + m.cfg.VMLivenessGrace)
+			}
+			m.mu.Unlock()
+		})
+	}
+}
+
+// scheduleVMSweepLocked arms (or re-arms) the liveness sweep at the absolute
+// runtime instant at, keeping only the earliest outstanding deadline.
+func (m *Manager) scheduleVMSweepLocked(at time.Duration) {
+	if m.sweepCancel != nil && m.sweepAt <= at {
+		return // an earlier (or equal) sweep is already scheduled
+	}
+	if m.sweepCancel != nil {
+		m.sweepCancel.Cancel()
+	}
+	m.sweepAt = at
+	delay := at - m.rt.Now()
+	if delay < 0 {
+		delay = 0
+	}
+	m.sweepCancel = m.rt.After(delay, func() {
+		m.mu.Lock()
+		m.sweepAt = 0
+		m.sweepCancel = nil
+		m.mu.Unlock()
+		m.gmVMSweep()
+	})
+}
+
+// gmVMSweep reconciles the hub's vm/* series against this GM's inventory:
+// a series belonging to no known VM whose newest sample is older than the
+// grace period is declared vanished — a synthetic terminal vm.state event is
+// journaled (which also drops the series, see telemetry.TerminalVMStates)
+// and the leak is closed. Unknown-but-fresh series (typically another GM's
+// VMs on a shared hub, or a handoff still in flight) re-arm the sweep for
+// the exact instant the earliest of them could ripen.
+func (m *Manager) gmVMSweep() {
+	m.mu.Lock()
+	if m.role != RoleGM || m.stopped || m.cfg.VMLivenessGrace <= 0 {
+		m.mu.Unlock()
+		return
+	}
+	now := m.rt.Now()
+	grace := m.cfg.VMLivenessGrace
+	known := make(map[types.VMID]bool)
+	for _, lc := range m.lcs {
+		// rec.vms covers reported inventory (kept across deliberate
+		// suspends); status.VMs additionally covers optimistic in-flight
+		// placements whose StartVM has not reported back yet.
+		for _, vm := range lc.vms {
+			known[vm.Spec.ID] = true
+		}
+		for _, id := range lc.status.VMs {
+			known[id] = true
+		}
+	}
+	for _, p := range m.pending {
+		known[p.spec.ID] = true
+	}
+	m.mu.Unlock()
+
+	var reap []string
+	var nextRipe time.Duration
+	for entity, newest := range m.tel.Store().EntityNewest(telemetry.EntityVMPrefix) {
+		id, ok := telemetry.VMIDFromEntity(entity)
+		if !ok || known[id] {
+			continue
+		}
+		if ripe := newest + grace; now < ripe {
+			if nextRipe == 0 || ripe < nextRipe {
+				nextRipe = ripe
+			}
+			continue
+		}
+		reap = append(reap, entity)
+	}
+	sort.Strings(reap)
+	for _, entity := range reap {
+		// The terminal state makes Hub.Emit forget the entity's series and
+		// detector state; the event itself is the audit trail.
+		m.emit(telemetry.EventVMState, entity,
+			map[string]string{"state": "vanished", "reason": "liveness-sweep", "gm": string(m.cfg.ID)})
+		m.mark("gm.vms-vanished", 1)
+	}
+	if len(reap) > 0 {
+		m.mark("gm.vm-sweeps", 1)
+	}
+	if nextRipe > 0 {
+		m.mu.Lock()
+		if m.role == RoleGM && !m.stopped {
+			m.scheduleVMSweepLocked(nextRipe)
+		}
+		m.mu.Unlock()
+	}
+}
+
 // gmReconfigTick runs the configured consolidation algorithm over this GM's
 // moderately loaded LCs and executes the resulting migration plan —
 // the periodic "reconfiguration" policy family of Section II-C.
@@ -860,6 +990,26 @@ func vmIDs(specs []types.VMSpec) []types.VMID {
 		out[i] = s.ID
 	}
 	return out
+}
+
+// vmsRemoved reports whether old contains a VM absent from cur — the silent
+// inventory shrink that, without a terminal vm.state event, would leak the
+// VM's telemetry series. Per-node VM counts are small; the nested scan is
+// cheaper than building sets per report.
+func vmsRemoved(old, cur []types.VMStatus) bool {
+	for _, o := range old {
+		found := false
+		for _, c := range cur {
+			if c.Spec.ID == o.Spec.ID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return true
+		}
+	}
+	return false
 }
 
 func removeVMID(ids []types.VMID, id types.VMID) []types.VMID {

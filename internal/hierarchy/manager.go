@@ -90,6 +90,20 @@ type ManagerConfig struct {
 	// surviving LCs (the hypervisor-snapshot recovery of Section II-E).
 	RescheduleOnLCFailure bool
 
+	// VMLivenessGrace drives the GM's deployment-level VM liveness sweep:
+	// a vm/* series whose VM is absent from this GM's inventory AND has not
+	// recorded a sample for this long is declared vanished — the GM journals
+	// a synthetic terminal vm.state event and drops the series, closing the
+	// leak left by VMs that disappear without any terminal event (migration
+	// races, LC crashes mid-handoff). The sweep is journal-armed, not
+	// polled: lifecycle/membership events and inventory shrinkage schedule
+	// exact-deadline checks. 0 selects 4 × LCTimeout; negative disables.
+	// The staleness requirement makes the sweep safe on a hub shared by
+	// several GMs: a VM alive under another GM keeps appending samples and
+	// is never stale, while a VM on a deliberately suspended LC stays in
+	// its GM's inventory.
+	VMLivenessGrace time.Duration
+
 	// ElectionBase is the coordination path of the GL election.
 	ElectionBase string
 
@@ -103,6 +117,11 @@ type ManagerConfig struct {
 	// private hub with default thresholds, so Manager behaviour does not
 	// depend on wiring.
 	Telemetry *telemetry.Hub
+
+	// Retention sizes the private hub's series store (raw ring capacity and
+	// downsampled tier ladder) when Telemetry is nil; a wired hub carries
+	// its own store configuration.
+	Retention telemetry.StoreConfig
 }
 
 // DefaultManagerConfig returns the configuration used by the experiments.
@@ -185,6 +204,11 @@ type Manager struct {
 	energyUnsub  func()
 	energyAt     time.Duration
 	energyCancel simkernel.Canceler
+	// VM liveness sweep (GM role): same shape as the energy machinery — a
+	// journal observer arms exact-deadline sweeps.
+	sweepUnsub  func()
+	sweepAt     time.Duration
+	sweepCancel simkernel.Canceler
 	// GL state.
 	gms   map[types.GroupManagerID]*gmRecord
 	epoch uint64
@@ -196,6 +220,9 @@ type Manager struct {
 	// mu because journal observers run synchronously on the publishing
 	// goroutine, which may hold mu.
 	energyKick atomic.Bool
+	// sweepKick debounces observer-triggered liveness-sweep arming, for the
+	// same reason.
+	sweepKick atomic.Bool
 }
 
 // NewManager creates a Manager. svc is the coordination service used for
@@ -228,8 +255,15 @@ func NewManager(rt simkernel.Runtime, bus *transport.Bus, svc *coord.Service, cf
 	if cfg.ElectionBase == "" {
 		cfg.ElectionBase = "/snooze/election"
 	}
+	if cfg.VMLivenessGrace == 0 {
+		if cfg.LCTimeout > 0 {
+			cfg.VMLivenessGrace = 4 * cfg.LCTimeout
+		} else {
+			cfg.VMLivenessGrace = 48 * time.Second
+		}
+	}
 	if cfg.Telemetry == nil {
-		cfg.Telemetry = telemetry.NewHub(telemetry.Options{Metrics: cfg.Metrics})
+		cfg.Telemetry = telemetry.NewHub(telemetry.Options{Metrics: cfg.Metrics, Store: cfg.Retention})
 	}
 	m := &Manager{
 		rt:  rt,
@@ -375,8 +409,8 @@ func (m *Manager) stopTickersLocked() {
 	m.stopEnergyLocked()
 }
 
-// stopEnergyLocked detaches the journal observer and cancels any scheduled
-// idle check.
+// stopEnergyLocked detaches the journal observers and cancels any scheduled
+// idle check or liveness sweep.
 func (m *Manager) stopEnergyLocked() {
 	if m.energyUnsub != nil {
 		m.energyUnsub()
@@ -387,6 +421,15 @@ func (m *Manager) stopEnergyLocked() {
 		m.energyCancel = nil
 	}
 	m.energyAt = 0
+	if m.sweepUnsub != nil {
+		m.sweepUnsub()
+		m.sweepUnsub = nil
+	}
+	if m.sweepCancel != nil {
+		m.sweepCancel.Cancel()
+		m.sweepCancel = nil
+	}
+	m.sweepAt = 0
 }
 
 func (m *Manager) addTicker(period time.Duration, fn func()) {

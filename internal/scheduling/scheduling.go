@@ -501,6 +501,8 @@ func NewRelocationPolicy(name string) (RelocationPolicy, error) {
 		return UnderloadRelocation{}, nil
 	case "trend-relocation":
 		return TrendAwareRelocation{}, nil
+	case "trend-underload":
+		return TrendAwareUnderload{}, nil
 	default:
 		return nil, fmt.Errorf("scheduling: unknown relocation policy %q", name)
 	}

@@ -165,3 +165,58 @@ func (p TrendAwareRelocation) Relocate(src view.Node, srcVMs []types.VMStatus, o
 
 // Name implements RelocationPolicy.
 func (TrendAwareRelocation) Name() string { return "trend-relocation" }
+
+// TrendAwareUnderload is the symmetric trend gate for the underload side:
+//
+//   - a source whose fresh utilization trend is rising steeper than MinSlope
+//     is left alone — the load is coming back, and draining it now just
+//     re-triggers the empty-receiver oscillation from the other end (the
+//     node would be refilled or re-woken moments after it was emptied);
+//   - receivers whose fresh p95 utilization already sits above the overload
+//     threshold are excluded — consolidating onto a historically hot node
+//     converts an underload event into an overload one.
+//
+// With thin or stale histories both gates disarm and the policy behaves
+// exactly like UnderloadRelocation.
+type TrendAwareUnderload struct {
+	Thresholds Thresholds
+	// MinSlope is the |slope| (1/second) that counts as a real trend
+	// (DefaultTrendSlope when zero).
+	MinSlope float64
+}
+
+func (p TrendAwareUnderload) minSlope() float64 {
+	if p.MinSlope > 0 {
+		return p.MinSlope
+	}
+	return DefaultTrendSlope
+}
+
+// SkipAnomaly implements SkipsAnomaly: a source whose fresh trend is rising
+// back needs no draining — and, in particular, no woken capacity to drain
+// into.
+func (p TrendAwareUnderload) SkipAnomaly(src view.Node) bool {
+	return src.Stats.Fresh && src.Stats.Trend >= p.minSlope()
+}
+
+// Relocate implements RelocationPolicy.
+func (p TrendAwareUnderload) Relocate(src view.Node, srcVMs []types.VMStatus, others []view.Node) []Move {
+	th := p.Thresholds
+	if th.Overload == 0 {
+		th = DefaultThresholds()
+	}
+	if p.SkipAnomaly(src) {
+		return nil // load rising back: draining would oscillate
+	}
+	kept := make([]view.Node, 0, len(others))
+	for _, n := range others {
+		if n.Stats.Fresh && n.Stats.P95 > th.Overload {
+			continue
+		}
+		kept = append(kept, n)
+	}
+	return UnderloadRelocation{Thresholds: th}.Relocate(src, srcVMs, kept)
+}
+
+// Name implements RelocationPolicy.
+func (TrendAwareUnderload) Name() string { return "trend-underload" }

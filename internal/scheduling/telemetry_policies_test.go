@@ -257,12 +257,118 @@ func TestTelemetryPolicyRegistries(t *testing.T) {
 	if p, err := NewPlacementPolicy("percentile-fit"); err != nil || p.Name() != "percentile-fit" {
 		t.Fatalf("percentile-fit: %v", err)
 	}
-	for _, n := range []string{"", "overload-relocation", "underload-relocation", "trend-relocation"} {
+	for _, n := range []string{"", "overload-relocation", "underload-relocation", "trend-relocation", "trend-underload"} {
 		if p, err := NewRelocationPolicy(n); err != nil || p == nil {
 			t.Fatalf("relocation %q: %v", n, err)
 		}
 	}
 	if _, err := NewRelocationPolicy("bogus"); err == nil {
 		t.Fatal("bogus relocation accepted")
+	}
+}
+
+func TestTrendAwareUnderload(t *testing.T) {
+	underloadedSrc := func(st view.Stats) view.Node {
+		src := node("quiet", 1, 8)
+		src.VMs = []types.VMID{"a"}
+		src.Stats = st
+		return src
+	}
+	vms := []types.VMStatus{vmStatus("a", 1, types.VMRunning)}
+	cases := []struct {
+		name      string
+		src       view.Node
+		others    []view.Node
+		wantMoves int
+		wantTo    types.NodeID
+	}{
+		{
+			// The load is rising back: draining now would oscillate — the
+			// PR 2 empty-receiver loop from the other end.
+			name:      "rising source is left alone",
+			src:       underloadedSrc(view.Stats{Samples: 10, Trend: 0.05, Fresh: true}),
+			others:    []view.Node{node("busy", 4, 8)},
+			wantMoves: 0,
+		},
+		{
+			// Falling or flat load: drain like plain underload relocation.
+			name:      "falling source drains fully",
+			src:       underloadedSrc(view.Stats{Samples: 10, Trend: -0.05, Fresh: true}),
+			others:    []view.Node{node("busy", 4, 8)},
+			wantMoves: 1,
+			wantTo:    "busy",
+		},
+		{
+			// Receivers that ran hot for the window are excluded even when
+			// momentarily moderate: consolidating onto them converts the
+			// underload into an overload.
+			name: "p95-hot receiver excluded",
+			src:  underloadedSrc(view.Stats{Samples: 10, Trend: 0, Fresh: true}),
+			others: []view.Node{
+				withStats(node("lurking", 3, 8), view.Stats{Samples: 10, P95: 0.95, Fresh: true}),
+				withStats(node("moderate", 2, 8), view.Stats{Samples: 10, P95: 0.40, Fresh: true}),
+			},
+			wantMoves: 1,
+			wantTo:    "moderate",
+		},
+		{
+			// Thin history disarms both gates: behaves exactly like
+			// UnderloadRelocation (most-loaded receiver preferred).
+			name:      "thin history behaves like underload-relocation",
+			src:       underloadedSrc(view.Stats{}),
+			others:    []view.Node{node("warm", 2, 8), node("warmer", 4, 8)},
+			wantMoves: 1,
+			wantTo:    "warmer",
+		},
+		{
+			// A stale rising trend must not suppress a real drain.
+			name:      "stale rising trend does not suppress",
+			src:       underloadedSrc(view.Stats{Samples: 10, Trend: 0.5, Fresh: false}),
+			others:    []view.Node{node("busy", 4, 8)},
+			wantMoves: 1,
+			wantTo:    "busy",
+		},
+		{
+			// Empty receivers stay excluded (inherited from the underload
+			// core): with only an empty peer there is nowhere to drain.
+			name:      "empty receiver still excluded",
+			src:       underloadedSrc(view.Stats{Samples: 10, Trend: -0.05, Fresh: true}),
+			others:    []view.Node{node("empty", 0, 8)},
+			wantMoves: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			moves := TrendAwareUnderload{}.Relocate(tc.src, vms, tc.others)
+			if len(moves) != tc.wantMoves {
+				t.Fatalf("moves: %+v want %d", moves, tc.wantMoves)
+			}
+			if tc.wantMoves > 0 && moves[0].To != tc.wantTo {
+				t.Fatalf("destination: %s want %s", moves[0].To, tc.wantTo)
+			}
+		})
+	}
+}
+
+func TestTrendAwareUnderloadSkipAnomaly(t *testing.T) {
+	var p RelocationPolicy = TrendAwareUnderload{}
+	sk, ok := p.(SkipsAnomaly)
+	if !ok {
+		t.Fatal("trend-underload must implement SkipsAnomaly")
+	}
+	rising := node("quiet", 1, 8)
+	rising.Stats = view.Stats{Samples: 10, Trend: 0.05, Fresh: true}
+	if !sk.SkipAnomaly(rising) {
+		t.Fatal("fresh rising source should be skipped")
+	}
+	falling := rising
+	falling.Stats.Trend = -0.05
+	if sk.SkipAnomaly(falling) {
+		t.Fatal("falling source must drain")
+	}
+	stale := rising
+	stale.Stats.Fresh = false
+	if sk.SkipAnomaly(stale) {
+		t.Fatal("stale trend must not suppress action")
 	}
 }

@@ -36,6 +36,12 @@ type cacheEntry struct {
 	p95      float64
 	max      float64
 	trend    float64
+	// truncated records the reduction's eviction watermark. It stays valid
+	// under the entry's reuse rules: the retention state only changes on an
+	// append (a generation change), and the firstAt >= from guard means a
+	// reused entry covers the same point set — truncation is a property of
+	// that set (it contains sub-raw-resolution points or not).
+	truncated bool
 }
 
 // valid reports whether the entry still describes the window [from, now] of
@@ -57,14 +63,15 @@ func (e cacheEntry) stats(b Builder, now time.Duration) Stats {
 		return Stats{}
 	}
 	st := Stats{
-		Samples: e.count,
-		P50:     e.p50,
-		P95:     e.p95,
-		Max:     e.max,
-		Trend:   e.trend,
-		Age:     now - e.lastAt,
+		Samples:   e.count,
+		P50:       e.p50,
+		P95:       e.p95,
+		Max:       e.max,
+		Trend:     e.trend,
+		Age:       now - e.lastAt,
+		Truncated: e.truncated,
 	}
-	st.Fresh = st.Samples >= b.minSamples() && st.Age <= b.maxAge()
+	st.Fresh = st.Samples >= b.minSamples() && st.Age <= b.maxAge() && !st.Truncated
 	return st
 }
 
@@ -126,6 +133,7 @@ func (c *Cache) stats(b Builder, store *telemetry.Store, now, from time.Duration
 		e.p95 = sum.Percentiles[1]
 		e.max = sum.Max
 		e.trend = sum.Trend
+		e.truncated = sum.Truncated
 	}
 	if len(c.entries) >= maxCacheEntries {
 		c.entries = make(map[cacheKey]cacheEntry)

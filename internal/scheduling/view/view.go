@@ -48,9 +48,14 @@ type Stats struct {
 	Trend float64
 	// Age is now minus the newest sample's timestamp.
 	Age time.Duration
-	// Fresh reports whether the statistics are trustworthy: enough samples
-	// and recent enough. Policies must fall back to the point-in-time
-	// snapshot when false.
+	// Truncated reports that the statistics window reached into evicted
+	// history: the store served part of it at downsampled tier resolution
+	// (or not at all), so the percentiles describe a decimated sample set,
+	// not the full horizon. Truncated stats are never Fresh.
+	Truncated bool
+	// Fresh reports whether the statistics are trustworthy: enough samples,
+	// recent enough, and at full resolution (not Truncated). Policies must
+	// fall back to the point-in-time snapshot when false.
 	Fresh bool
 }
 
@@ -219,14 +224,15 @@ func (b Builder) Stats(now time.Duration, entity string) Stats {
 		return Stats{}
 	}
 	st := Stats{
-		Samples: sum.Count,
-		P50:     sum.Percentiles[0],
-		P95:     sum.Percentiles[1],
-		Max:     sum.Max,
-		Trend:   sum.Trend,
-		Age:     now - sum.LastAt,
+		Samples:   sum.Count,
+		P50:       sum.Percentiles[0],
+		P95:       sum.Percentiles[1],
+		Max:       sum.Max,
+		Trend:     sum.Trend,
+		Age:       now - sum.LastAt,
+		Truncated: sum.Truncated,
 	}
-	st.Fresh = st.Samples >= b.minSamples() && st.Age <= b.maxAge()
+	st.Fresh = st.Samples >= b.minSamples() && st.Age <= b.maxAge() && !st.Truncated
 	return st
 }
 
@@ -237,8 +243,10 @@ var DemandMetrics = [4]string{"cpu.used", "mem.used", "net.rx", "net.tx"}
 // Demand reconstructs a per-dimension utilization window for an entity from
 // the store's retained series and reduces it with est — the store-backed
 // replacement for the GM's former per-VM resource.History rings. The window
-// is [now-Horizon, now]. ok is false when no samples are retained (a caller
-// should then fall back to the most recent measurement in hand).
+// is [now-Horizon, now], read at raw resolution only (Store.Window): demand
+// estimators reduce real measurements, never retention-tier bucket averages.
+// ok is false when no samples are retained (a caller should then fall back
+// to the most recent measurement in hand).
 func (b Builder) Demand(now time.Duration, entity string, est resource.Estimator) (types.ResourceVector, bool) {
 	if b.Hub == nil || est == nil {
 		return types.ResourceVector{}, false
@@ -254,7 +262,11 @@ func (b Builder) Demand(now time.Duration, entity string, est resource.Estimator
 	var dims [4][]telemetry.Sample
 	n := 0
 	for d, metric := range DemandMetrics {
-		dims[d] = store.Query(entity, metric, from, now)
+		dst := dims[d]
+		store.Window(entity, metric, from, now, func(seg []telemetry.Sample) {
+			dst = append(dst, seg...)
+		})
+		dims[d] = dst
 		if len(dims[d]) > n {
 			n = len(dims[d])
 		}

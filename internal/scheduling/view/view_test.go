@@ -213,3 +213,77 @@ func TestTrendFalling(t *testing.T) {
 		t.Fatalf("falling load should have negative trend: %v", st.Trend)
 	}
 }
+
+// TestTruncatedWindowNotFresh is the eviction-watermark regression test: a
+// small raw ring under a horizon longer than its retained span used to pass
+// percentile gating on whatever fraction of the horizon survived. The stats
+// must now carry Truncated and demote to snapshot fallback (not Fresh) —
+// cached and uncached builders alike.
+func TestTruncatedWindowNotFresh(t *testing.T) {
+	hub := telemetry.NewHub(telemetry.Options{
+		// A 512-sample ring with tiers disabled: long histories silently
+		// evict, the pre-tiering deployment shape.
+		Store: telemetry.StoreConfig{SeriesCapacity: 512, Tiers: telemetry.NoTiers},
+	})
+	entity := telemetry.NodeEntity("n1")
+	// 1h of 3s reports = 1200 samples: the ring retains the last 512
+	// (~25.6m) — the 1h horizon can only be partially served.
+	for i := 0; i < 1200; i++ {
+		hub.Record(entity, "util", time.Duration(i)*3*time.Second, 0.5)
+	}
+	now := 1200 * 3 * time.Second
+	for _, b := range []Builder{
+		{Hub: hub, Horizon: time.Hour, MaxAge: 24 * time.Hour},
+		{Hub: hub, Horizon: time.Hour, MaxAge: 24 * time.Hour, Cache: NewCache()},
+	} {
+		st := b.Stats(now, entity)
+		if st.Samples != 512 {
+			t.Fatalf("samples: %d", st.Samples)
+		}
+		if !st.Truncated {
+			t.Fatalf("truncated window not flagged: %+v", st)
+		}
+		if st.Fresh {
+			t.Fatalf("truncated stats must not be fresh (cache=%v): %+v", b.Cache != nil, st)
+		}
+		// A horizon inside raw coverage is full fidelity and fresh again.
+		st = Builder{Hub: hub, Horizon: 10 * time.Minute, MaxAge: 24 * time.Hour, Cache: b.Cache}.Stats(now, entity)
+		if st.Truncated || !st.Fresh {
+			t.Fatalf("raw-covered horizon: %+v", st)
+		}
+	}
+}
+
+// TestTruncatedWindowWithTiersStillNotFresh pins the same gate when tiers
+// ARE retaining the evicted history: the horizon is fully covered, but part
+// of it only at bucket resolution — decimated percentiles must not steer
+// placement either.
+func TestTruncatedWindowWithTiersStillNotFresh(t *testing.T) {
+	hub := telemetry.NewHub(telemetry.Options{
+		Store: telemetry.StoreConfig{SeriesCapacity: 64}, // default tiers
+	})
+	entity := telemetry.NodeEntity("n1")
+	for i := 0; i < 1200; i++ {
+		hub.Record(entity, "util", time.Duration(i)*3*time.Second, 0.5)
+	}
+	now := 1200 * 3 * time.Second
+	st := Builder{Hub: hub, Horizon: time.Hour, MaxAge: 24 * time.Hour}.Stats(now, entity)
+	if !st.Truncated || st.Fresh {
+		t.Fatalf("tier-covered horizon must still demote: %+v", st)
+	}
+	// The cache keeps the verdict across reuse and revalidation rounds.
+	c := NewCache()
+	b := Builder{Hub: hub, Horizon: time.Hour, MaxAge: 24 * time.Hour, Cache: c}
+	first := b.Stats(now, entity)
+	// Same instant, same generation — the GL fan-out repeat-build case. (A
+	// slid window whose left edge passes the first retained point forces a
+	// revalidating miss instead; that conservatism is deliberate.)
+	again := b.Stats(now, entity)
+	if !first.Truncated || !again.Truncated || again.Fresh {
+		t.Fatalf("cached truncation lost: %+v -> %+v", first, again)
+	}
+	hits, _ := c.Counters()
+	if hits == 0 {
+		t.Fatal("expected a cache hit")
+	}
+}

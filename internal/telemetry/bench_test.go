@@ -111,3 +111,57 @@ func BenchmarkTelemetryJournalFanout(b *testing.B) {
 	b.StopTimer()
 	close(done)
 }
+
+// BenchmarkRetentionAppend measures the Append hot path once the raw ring is
+// saturated: every append evicts a sample through the tier compaction
+// cascade (fold into the 1m pending bucket, periodically flush into the 1m
+// ring, rarely cascade into the 10m ring) — the steady state of any
+// long-running deployment. Compaction must stay allocation-free after the
+// tier rings exist.
+func BenchmarkRetentionAppend(b *testing.B) {
+	s := NewStore(StoreConfig{SeriesCapacity: 512}) // default 1m/10m tiers
+	const entities = 64
+	names := make([]string, entities)
+	for i := range names {
+		names[i] = fmt.Sprintf("node/n%03d", i)
+		// Pre-wrap each ring so the timed region is pure steady-state
+		// eviction (and the lazily-created tier rings already exist).
+		for j := 0; j < 1024; j++ {
+			s.Append(names[i], "util", time.Duration(j)*3*time.Second, float64(j%100)/100)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := names[i%entities]
+		at := time.Duration(1024+i/entities) * 3 * time.Second
+		s.Append(e, "util", at, float64(i%100)/100)
+	}
+}
+
+// BenchmarkTieredReduce measures the stitched windowed reduction over a
+// series whose history spans all three resolutions: the unbounded window
+// covers the 10m ring, the 1m ring and the raw ring in one pass — the
+// /v1/series long-range query shape and the worst case for Reduce.
+func BenchmarkTieredReduce(b *testing.B) {
+	s := NewStore(StoreConfig{SeriesCapacity: 512})
+	const entities = 16
+	names := make([]string, entities)
+	for e := 0; e < entities; e++ {
+		names[e] = fmt.Sprintf("node/n%03d", e)
+		// ~25h of 3s cadence: wraps raw (512), fills the 1m ring (512
+		// buckets) and spills well into the 10m ring.
+		for i := 0; i < 30000; i++ {
+			s.Append(names[e], "util", time.Duration(i)*3*time.Second, float64(i%100)/100)
+		}
+	}
+	spec := &SummarySpec{Percentiles: []float64{50, 95}, Trend: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum, ok := s.Reduce(names[i%entities], "util", 1, 0, spec)
+		if !ok || !sum.Truncated {
+			b.Fatalf("reduce: %+v %v", sum, ok)
+		}
+	}
+}

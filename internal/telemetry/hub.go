@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"sync"
 	"time"
 
 	"snooze/internal/metrics"
@@ -14,14 +15,58 @@ const (
 	EntityGMPrefix   = "gm/"
 )
 
-// NodeEntity returns the canonical entity name of a node.
-func NodeEntity(id types.NodeID) string { return EntityNodePrefix + string(id) }
+// internTable interns canonical entity names so the hot paths that resolve
+// one name per entity per round — capacity-view builds resolve a node entity
+// for every member on every build — allocate only on the first sighting of
+// an ID. The read path is an RLock + map hit (string keys, no boxing); the
+// table is bluntly capped like view.Cache: entity churn past the cap flushes
+// everything, costing one re-intern round.
+type internTable struct {
+	prefix string
+	mu     sync.RWMutex
+	m      map[string]string
+}
 
-// VMEntity returns the canonical entity name of a VM.
-func VMEntity(id types.VMID) string { return EntityVMPrefix + string(id) }
+const maxInternEntries = 8192
 
-// GMEntity returns the canonical entity name of a group manager.
-func GMEntity(id types.GroupManagerID) string { return EntityGMPrefix + string(id) }
+func newInternTable(prefix string) *internTable {
+	return &internTable{prefix: prefix, m: make(map[string]string)}
+}
+
+func (t *internTable) get(id string) string {
+	t.mu.RLock()
+	s, ok := t.m[id]
+	t.mu.RUnlock()
+	if ok {
+		return s
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s, ok := t.m[id]; ok {
+		return s
+	}
+	if len(t.m) >= maxInternEntries {
+		t.m = make(map[string]string)
+	}
+	s = t.prefix + id
+	t.m[id] = s
+	return s
+}
+
+var (
+	nodeEntities = newInternTable(EntityNodePrefix)
+	vmEntities   = newInternTable(EntityVMPrefix)
+	gmEntities   = newInternTable(EntityGMPrefix)
+)
+
+// NodeEntity returns the canonical (interned) entity name of a node.
+func NodeEntity(id types.NodeID) string { return nodeEntities.get(string(id)) }
+
+// VMEntity returns the canonical (interned) entity name of a VM.
+func VMEntity(id types.VMID) string { return vmEntities.get(string(id)) }
+
+// GMEntity returns the canonical (interned) entity name of a group manager.
+func GMEntity(id types.GroupManagerID) string { return gmEntities.get(string(id)) }
 
 // NodeIDFromEntity recovers the node ID from a canonical node entity name.
 func NodeIDFromEntity(entity string) (types.NodeID, bool) {
@@ -29,6 +74,14 @@ func NodeIDFromEntity(entity string) (types.NodeID, bool) {
 		return "", false
 	}
 	return types.NodeID(entity[len(EntityNodePrefix):]), true
+}
+
+// VMIDFromEntity recovers the VM ID from a canonical VM entity name.
+func VMIDFromEntity(entity string) (types.VMID, bool) {
+	if len(entity) <= len(EntityVMPrefix) || entity[:len(EntityVMPrefix)] != EntityVMPrefix {
+		return "", false
+	}
+	return types.VMID(entity[len(EntityVMPrefix):]), true
 }
 
 // Options parameterize a Hub.
@@ -81,8 +134,10 @@ func (h *Hub) Record(entity, metric string, at time.Duration, v float64) {
 }
 
 // TerminalVMStates are the vm.state attrs values that mark a VM as gone for
-// good; emitting one drops the VM's series (see Emit).
-var TerminalVMStates = map[string]bool{"terminated": true, "destroyed": true, "failed": true}
+// good; emitting one drops the VM's series (see Emit). "vanished" is the
+// synthetic state the GM's liveness sweep journals for VMs that disappeared
+// without any terminal event (migration races, LC crashes mid-handoff).
+var TerminalVMStates = map[string]bool{"terminated": true, "destroyed": true, "failed": true, "vanished": true}
 
 // Emit publishes an event and returns it with its sequence number assigned.
 // A vm.state event carrying a terminal state (TerminalVMStates) additionally

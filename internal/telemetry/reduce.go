@@ -22,14 +22,24 @@ type SummarySpec struct {
 	out     []float64 // percentile results, aliased by Summary.Percentiles
 }
 
-// Summary is the result of one windowed reduction.
+// Summary is the result of one windowed reduction over the stitched series:
+// raw samples plus, where the window reaches past the raw ring, downsampled
+// tier buckets (valued at the bucket average). Min and Max are exact — they
+// come from the buckets' retained extremes — while Avg, Percentiles and
+// Trend are computed over the stitched point values, so on a Truncated
+// window they are decimation approximations. Callers gating decisions on
+// them must honour Truncated.
 type Summary struct {
-	// Count is the number of samples in the window. The remaining fields are
-	// meaningful only when Count > 0.
+	// Count is the number of stitched points in the window (raw samples
+	// count one each; a tier bucket counts one regardless of how many raw
+	// samples it absorbed). The remaining fields are meaningful only when
+	// Count > 0.
 	Count int
-	// Min, Max and Avg summarize the window's value distribution.
+	// Min, Max and Avg summarize the window's value distribution. Min/Max
+	// are exact even across compacted history; Avg weights each stitched
+	// point equally.
 	Min, Max, Avg float64
-	// First/Last are the oldest/newest values with their timestamps.
+	// First/Last are the oldest/newest point values with their timestamps.
 	First, Last     float64
 	FirstAt, LastAt time.Duration
 	// Trend is the least-squares slope in 1/second (0 unless requested and
@@ -38,8 +48,23 @@ type Summary struct {
 	// NewestAt is the timestamp of the series' newest retained sample — of
 	// the whole series, not the window. A caller reusing this summary for a
 	// later window [from', to'] with to' > to needs NewestAt <= to to prove
-	// the grown right edge admits no sample it has not seen.
+	// the grown right edge admits nothing new.
 	NewestAt time.Duration
+	// OldestAt is the oldest retained timestamp of the series across every
+	// retention tier — the eviction watermark's far edge. History before it
+	// is gone entirely.
+	OldestAt time.Duration
+	// RawFrom is where full-resolution coverage begins: samples older than
+	// RawFrom survive only as downsampled tier buckets (or not at all).
+	// Equals OldestAt while nothing has been evicted.
+	RawFrom time.Duration
+	// Truncated reports that the window's left edge precedes RawFrom while
+	// the series has evicted raw samples: part of the requested window was
+	// decimated to tier resolution or lost outright, so percentile and trend
+	// figures are approximations. Consumers feeding control decisions
+	// (view.Builder freshness gating) must treat a truncated window as
+	// untrustworthy history rather than a full-fidelity sample set.
+	Truncated bool
 	// Percentiles holds one value per SummarySpec.Percentiles rank, in spec
 	// order. It aliases the spec's buffer: valid until the next Reduce with
 	// the same spec.
@@ -54,9 +79,12 @@ type Summary struct {
 // Reduce computes the windowed summary of (entity, metric) over At in
 // [from, to] in a single pass under the shard read-lock, with one sort
 // shared by every requested percentile and no per-call window copy: the only
-// buffer touched is the spec's reusable scratch. to <= 0 means "no upper
-// bound"; an empty window (from > to, unknown series, or no samples in
-// range) reports ok == false with the series' generation still populated.
+// buffer touched is the spec's reusable scratch. The window is stitched
+// across retention tiers (see Query); the returned watermark fields
+// (Truncated, OldestAt, RawFrom) tell the caller whether it saw full-
+// resolution history. to <= 0 means "no upper bound"; an empty window
+// (from > to, unknown series, or no points in range) reports ok == false
+// with the series' generation and watermark still populated.
 func (s *Store) Reduce(entity, metric string, from, to time.Duration, spec *SummarySpec) (Summary, bool) {
 	s.reductions.Add(1)
 	if to <= 0 {
@@ -79,46 +107,90 @@ func (s *Store) Reduce(entity, metric string, from, to time.Duration, spec *Summ
 	sum.Gen = ser.gen
 	if ser.n > 0 {
 		sum.NewestAt = ser.at(ser.n - 1).At
+		sum.OldestAt = ser.oldestAt()
+		sum.RawFrom = ser.rawFrom()
+		sum.Truncated = ser.truncated(from)
 	}
-	lo, hi := ser.bounds(from, to)
-	if hi <= lo {
-		sh.mu.RUnlock()
-		return sum, false
-	}
-	sum.Count = hi - lo
-	first, last := ser.at(lo), ser.at(hi-1)
-	sum.First, sum.FirstAt = first.Value, first.At
-	sum.Last, sum.LastAt = last.Value, last.At
 	if wantPct {
 		spec.scratch = spec.scratch[:0]
 	}
-	mn, mx, total := first.Value, first.Value, 0.0
+	var first, last point
+	var mn, mx, total float64
 	var sumT, sumV, sumTT, sumTV float64
-	for i := lo; i < hi; i++ {
-		sm := ser.at(i)
-		if sm.Value < mn {
-			mn = sm.Value
+	count := 0
+	// Tier-resident (evicted) part of the window. Usually empty — scheduling
+	// horizons live inside the raw ring — so the closure indirection is paid
+	// only by genuinely truncated windows.
+	if sum.Truncated && len(ser.tiers) > 0 {
+		ser.visitTierPoints(from, to, func(p point) {
+			if count == 0 {
+				first, mn, mx = p, p.min, p.max
+			} else {
+				if p.min < mn {
+					mn = p.min
+				}
+				if p.max > mx {
+					mx = p.max
+				}
+			}
+			last = p
+			count++
+			total += p.value
+			if spec.Trend {
+				t := p.at.Seconds()
+				sumT += t
+				sumV += p.value
+				sumTT += t * t
+				sumTV += t * p.value
+			}
+			if wantPct {
+				spec.scratch = append(spec.scratch, p.value)
+			}
+		})
+	}
+	// Raw part: the hot path, kept as the branch-light inline loop the
+	// pre-tiering Reduce ran (first/last hoisted, extremes on bare values).
+	lo, hi := ser.bounds(from, to)
+	if hi > lo {
+		firstRaw, lastRaw := ser.at(lo), ser.at(hi-1)
+		if count == 0 {
+			first = rawPoint(firstRaw)
+			mn, mx = firstRaw.Value, firstRaw.Value
 		}
-		if sm.Value > mx {
-			mx = sm.Value
-		}
-		total += sm.Value
-		if spec.Trend {
-			t := sm.At.Seconds()
-			sumT += t
-			sumV += sm.Value
-			sumTT += t * t
-			sumTV += t * sm.Value
-		}
-		if wantPct {
-			spec.scratch = append(spec.scratch, sm.Value)
+		last = rawPoint(lastRaw)
+		count += hi - lo
+		for i := lo; i < hi; i++ {
+			sm := ser.at(i)
+			if sm.Value < mn {
+				mn = sm.Value
+			}
+			if sm.Value > mx {
+				mx = sm.Value
+			}
+			total += sm.Value
+			if spec.Trend {
+				t := sm.At.Seconds()
+				sumT += t
+				sumV += sm.Value
+				sumTT += t * t
+				sumTV += t * sm.Value
+			}
+			if wantPct {
+				spec.scratch = append(spec.scratch, sm.Value)
+			}
 		}
 	}
 	sh.mu.RUnlock()
+	if count == 0 {
+		return sum, false
+	}
 
-	sum.Min, sum.Max, sum.Avg = mn, mx, total/float64(sum.Count)
-	if spec.Trend && sum.Count >= 2 {
-		n := float64(sum.Count)
+	sum.Count = count
+	sum.First, sum.FirstAt = first.value, first.at
+	sum.Last, sum.LastAt = last.value, last.at
+	sum.Min, sum.Max, sum.Avg = mn, mx, total/float64(count)
+	if spec.Trend && count >= 2 {
+		n := float64(count)
 		if denom := n*sumTT - sumT*sumT; denom != 0 && !math.IsNaN(denom) {
 			sum.Trend = (n*sumTV - sumT*sumV) / denom
 		}

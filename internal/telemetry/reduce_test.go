@@ -87,7 +87,10 @@ func TestReduceMatchesDownsample(t *testing.T) {
 	spec := &SummarySpec{Percentiles: []float64{50, 95}, Trend: true}
 	for trial := 0; trial < 200; trial++ {
 		capacity := 4 + rng.Intn(60)
-		s := NewStore(StoreConfig{SeriesCapacity: capacity})
+		// NoTiers: this property pins the RAW single-pass reduction against
+		// the Query+Downsample reference; the tiered (stitched) equivalence
+		// has its own reference-model test in retention_test.go.
+		s := NewStore(StoreConfig{SeriesCapacity: capacity, Tiers: NoTiers})
 		n := 1 + rng.Intn(2*capacity) // under- and over-filled rings
 		at := time.Duration(0)
 		for i := 0; i < n; i++ {

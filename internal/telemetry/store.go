@@ -35,20 +35,29 @@ type Sample struct {
 
 // StoreConfig parameterizes a Store.
 type StoreConfig struct {
-	// SeriesCapacity is the fixed ring-buffer length of every series
-	// (default 512 samples). Older samples are overwritten.
+	// SeriesCapacity is the fixed raw ring-buffer length of every series
+	// (default 512 samples). Samples evicted from the raw ring are folded
+	// into the downsampled tiers rather than lost (see retention.go).
 	SeriesCapacity int
 	// Shards is the lock-shard count, rounded up to a power of two
 	// (default 32). More shards = less contention on concurrent ingest.
 	Shards int
+	// Tiers is the downsampled retention ladder behind the raw ring, finest
+	// first with strictly ascending steps. Nil selects DefaultTiers
+	// (1m × 512, 10m × 512); NoTiers (an empty slice) disables tiering and
+	// restores plain ring overwrite.
+	Tiers []TierConfig
 }
 
-// series is a fixed-capacity ring buffer of time-ordered samples.
+// series is a fixed-capacity ring buffer of time-ordered samples, backed by
+// downsampled retention tiers (retention.go) that absorb evicted samples.
 type series struct {
-	buf  []Sample
-	head int    // index of the oldest sample
-	n    int    // number of valid samples
-	gen  uint64 // generation of the newest append (store-wide unique)
+	buf     []Sample
+	head    int    // index of the oldest sample
+	n       int    // number of valid samples
+	gen     uint64 // generation of the newest append (store-wide unique)
+	evicted uint64 // raw samples pushed out of the raw ring
+	tiers   []tier // downsampled rings, finest first (bufs lazily allocated)
 }
 
 func (s *series) append(sm Sample) {
@@ -57,6 +66,7 @@ func (s *series) append(sm Sample) {
 		s.n++
 		return
 	}
+	s.evictRaw(s.buf[s.head])
 	s.buf[s.head] = sm
 	s.head = (s.head + 1) % len(s.buf)
 }
@@ -123,6 +133,7 @@ type Store struct {
 	shards     []shard
 	mask       uint64
 	capacity   int
+	tiers      []TierConfig  // sanitized retention ladder for new series
 	samples    atomic.Uint64 // total samples ever appended
 	reductions atomic.Uint64 // total Reduce calls ever served
 }
@@ -141,7 +152,7 @@ func NewStore(cfg StoreConfig) *Store {
 	for size < n {
 		size <<= 1
 	}
-	s := &Store{shards: make([]shard, size), mask: uint64(size - 1), capacity: cfg.SeriesCapacity}
+	s := &Store{shards: make([]shard, size), mask: uint64(size - 1), capacity: cfg.SeriesCapacity, tiers: sanitizeTiers(cfg.Tiers)}
 	for i := range s.shards {
 		s.shards[i].series = make(map[Key]*series)
 	}
@@ -181,6 +192,14 @@ func (s *Store) Append(entity, metric string, at time.Duration, v float64) {
 	ser, ok := sh.series[key]
 	if !ok {
 		ser = &series{buf: make([]Sample, s.capacity)}
+		if len(s.tiers) > 0 {
+			// Tier headers only: the bucket rings allocate on first eviction,
+			// so short-lived series never pay for retention they don't use.
+			ser.tiers = make([]tier, len(s.tiers))
+			for i, tc := range s.tiers {
+				ser.tiers[i] = tier{step: tc.Step, cap: tc.Capacity}
+			}
+		}
 		sh.series[key] = ser
 	}
 	ser.append(Sample{At: at, Value: v})
@@ -204,10 +223,15 @@ func (s *Store) Generation(entity, metric string) uint64 {
 	return 0
 }
 
-// Query returns the retained samples of (entity, metric) with timestamps in
-// [from, to], oldest first. A to of 0 or less means "no upper bound". An
-// empty window (from > to, after the unbounded rewrite) returns nil without
-// touching the series — the explicit empty-window contract.
+// Query returns the retained points of (entity, metric) with timestamps in
+// [from, to], oldest first, stitched across the retention tiers: history that
+// has left the raw ring is served from the downsampled tier rings (one point
+// per bucket, stamped at the bucket start, valued at the bucket average),
+// seamlessly followed by the raw samples. A to of 0 or less means "no upper
+// bound". An empty window (from > to, after the unbounded rewrite) returns
+// nil without touching the series — the explicit empty-window contract.
+// Callers needing to distinguish full-resolution from decimated coverage
+// consult Info (or Reduce's Summary.Truncated watermark).
 func (s *Store) Query(entity, metric string, from, to time.Duration) []Sample {
 	if to <= 0 {
 		to = time.Duration(1<<63 - 1)
@@ -222,15 +246,18 @@ func (s *Store) Query(entity, metric string, from, to time.Duration) []Sample {
 	if !ok {
 		return nil
 	}
-	return ser.window(from, to, nil)
+	return ser.stitchWindow(from, to, nil)
 }
 
-// Window visits the retained samples of (entity, metric) with timestamps in
-// [from, to] without copying them: visit is called with up to two contiguous
-// ring segments (the window may wrap the ring boundary), oldest first, while
-// the shard read-lock is held. The segments alias the live ring — visit must
-// not retain them past its return, and must not call back into the store.
-// to <= 0 means "no upper bound", as in Query. Returns the visited count.
+// Window visits the retained RAW samples of (entity, metric) with timestamps
+// in [from, to] without copying them: visit is called with up to two
+// contiguous ring segments (the window may wrap the ring boundary), oldest
+// first, while the shard read-lock is held. Unlike Query it does not stitch
+// retention tiers — it is the full-resolution fast path for consumers that
+// must not mix measurements with bucket averages (demand estimation). The
+// segments alias the live ring — visit must not retain them past its return,
+// and must not call back into the store. to <= 0 means "no upper bound", as
+// in Query. Returns the visited count.
 func (s *Store) Window(entity, metric string, from, to time.Duration, visit func([]Sample)) int {
 	if to <= 0 {
 		to = time.Duration(1<<63 - 1)
@@ -261,7 +288,8 @@ func (s *Store) Window(entity, metric string, from, to time.Duration, visit func
 	return hi - lo
 }
 
-// Len returns the retained sample count of one series.
+// Len returns the raw-ring sample count of one series (tier points excluded;
+// see Info for the full retention picture).
 func (s *Store) Len(entity, metric string) int {
 	sh := s.shardFor(entity, metric)
 	sh.mu.RLock()

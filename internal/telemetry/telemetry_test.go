@@ -36,7 +36,9 @@ func TestStoreAppendQueryWindow(t *testing.T) {
 }
 
 func TestStoreRingOverwrite(t *testing.T) {
-	s := NewStore(StoreConfig{SeriesCapacity: 4})
+	// NoTiers isolates the raw ring: evicted samples are dropped, not folded
+	// into retention tiers (retention_test.go covers the tiered path).
+	s := NewStore(StoreConfig{SeriesCapacity: 4, Tiers: NoTiers})
 	for i := 0; i < 10; i++ {
 		s.Append("e", "m", sec(i), float64(i))
 	}
@@ -81,7 +83,7 @@ func TestStoreQueryEmptyWindow(t *testing.T) {
 }
 
 func TestStoreWindowAcrossRingWrap(t *testing.T) {
-	s := NewStore(StoreConfig{SeriesCapacity: 8})
+	s := NewStore(StoreConfig{SeriesCapacity: 8, Tiers: NoTiers})
 	for i := 0; i < 12; i++ { // ring wraps: retained are 4s..11s, head mid-buffer
 		s.Append("e", "m", sec(i), float64(i))
 	}
