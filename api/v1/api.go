@@ -18,6 +18,9 @@
 //	POST /v1/nodes/{id}/fail  crash-stop a node (simulation backends)
 //	GET  /v1/topology         hierarchy export (?deep=true for per-LC detail)
 //	POST /v1/consolidations   compute a consolidation plan (dry run)
+//	GET  /v1/consolidations/status  online consolidation optimizer state, per GM
+//	POST /v1/consolidations/start   start the online optimizer on every GM
+//	POST /v1/consolidations/stop    stop the online optimizer on every GM
 //	GET  /v1/metrics          control-plane counters, gauges and latency series
 //	GET  /v1/series           telemetry: list series keys, or windowed queries
 //	                          (?entity=&metric=&fromNs=&toNs=&agg=&stepNs=)
@@ -153,13 +156,25 @@ const (
 	AlgorithmOptimal = "optimal"
 )
 
+// Demand modes accepted by ConsolidationRequest.
+const (
+	// DemandRequested prices each VM at its reservation (the default).
+	DemandRequested = "requested"
+	// DemandP95 prices each VM at the p95 of its windowed telemetry demand
+	// (snapshot fallback) — the same chain the online optimizer plans with,
+	// so a demand=p95 dry run predicts the online service's packing.
+	DemandP95 = "p95"
+)
+
 // ConsolidationRequest is the POST /v1/consolidations body: compute a
 // migration plan packing the currently running VMs onto fewer hosts
 // (Section III). The plan is a dry run — executing it stays with the GMs'
-// periodic reconfiguration policy.
+// periodic reconfiguration policy and the online optimizer.
 type ConsolidationRequest struct {
 	// Algorithm selects the solver: "aco" (default), "ffd" or "optimal".
 	Algorithm string `json:"algorithm,omitempty"`
+	// Demand selects VM pricing: "requested" (default) or "p95".
+	Demand string `json:"demand,omitempty"`
 }
 
 // Migration is one VM move of a consolidation plan.
@@ -182,6 +197,45 @@ type ConsolidationPlan struct {
 	// Cycles is the solver iteration count (ACO cycles, B&B nodes).
 	Cycles     int         `json:"cycles,omitempty"`
 	Migrations []Migration `json:"migrations,omitempty"`
+}
+
+// ConsolidationRound summarizes one completed round of a GM's online
+// consolidation optimizer.
+type ConsolidationRound struct {
+	Round       uint64 `json:"round"`
+	AtNs        int64  `json:"atNs"`
+	HostsBefore int    `json:"hostsBefore"`
+	HostsAfter  int    `json:"hostsAfter"`
+	Planned     int    `json:"planned"`
+	Executed    int    `json:"executed"`
+	Failed      int    `json:"failed"`
+	Cancelled   int    `json:"cancelled"`
+}
+
+// ConsolidationStatus is one GM's online consolidation optimizer state: the
+// continuous packing service that periodically replans from live capacity
+// views and executes budgeted migration plans (Section III, run online).
+type ConsolidationStatus struct {
+	GM      string `json:"gm"`
+	Running bool   `json:"running"`
+	// InRound is set while a planned migration sequence is executing.
+	InRound bool `json:"inRound"`
+	// Rounds/Migrations/Cancels/Failures are lifetime totals.
+	Rounds     uint64 `json:"rounds"`
+	Migrations uint64 `json:"migrations"`
+	Cancels    uint64 `json:"cancels"`
+	Failures   uint64 `json:"failures"`
+	// Budget is the per-round migration cap (< 0 = unlimited).
+	Budget   int   `json:"budget"`
+	PeriodNs int64 `json:"periodNs"`
+	// LastRound is the most recently completed round, when any.
+	LastRound *ConsolidationRound `json:"lastRound,omitempty"`
+}
+
+// ConsolidationStatusList is the body of the /v1/consolidations/{status,
+// start,stop} routes: one entry per reachable GM, sorted by GM ID.
+type ConsolidationStatusList struct {
+	Items []ConsolidationStatus `json:"items"`
 }
 
 // SeriesSummary describes one latency/size series statistically.

@@ -29,6 +29,15 @@ type Backend interface {
 	// Consolidate computes a dry-run consolidation plan over the currently
 	// running VMs (Section III).
 	Consolidate(ctx context.Context, req ConsolidationRequest) (ConsolidationPlan, error)
+	// ConsolidationStatus reports the online consolidation optimizer's state
+	// on every reachable GM, sorted by GM ID.
+	ConsolidationStatus(ctx context.Context) (ConsolidationStatusList, error)
+	// StartConsolidation starts the online optimizer on every reachable GM
+	// (idempotent) and returns the resulting states.
+	StartConsolidation(ctx context.Context) (ConsolidationStatusList, error)
+	// StopConsolidation stops the online optimizer on every reachable GM,
+	// abandoning any in-flight plan, and returns the resulting states.
+	StopConsolidation(ctx context.Context) (ConsolidationStatusList, error)
 	// Metrics snapshots control-plane counters, gauges and series.
 	Metrics(ctx context.Context) (MetricsSnapshot, error)
 	// ListSeries lists the telemetry series keys, sorted by entity then

@@ -225,6 +225,27 @@ func (c *Client) Consolidate(ctx context.Context, req apiv1.ConsolidationRequest
 	return out, err
 }
 
+// ConsolidationStatus implements apiv1.Backend.
+func (c *Client) ConsolidationStatus(ctx context.Context) (apiv1.ConsolidationStatusList, error) {
+	var out apiv1.ConsolidationStatusList
+	err := c.do(ctx, http.MethodGet, "/v1/consolidations/status", nil, nil, &out)
+	return out, err
+}
+
+// StartConsolidation implements apiv1.Backend.
+func (c *Client) StartConsolidation(ctx context.Context) (apiv1.ConsolidationStatusList, error) {
+	var out apiv1.ConsolidationStatusList
+	err := c.do(ctx, http.MethodPost, "/v1/consolidations/start", nil, nil, &out)
+	return out, err
+}
+
+// StopConsolidation implements apiv1.Backend.
+func (c *Client) StopConsolidation(ctx context.Context) (apiv1.ConsolidationStatusList, error) {
+	var out apiv1.ConsolidationStatusList
+	err := c.do(ctx, http.MethodPost, "/v1/consolidations/stop", nil, nil, &out)
+	return out, err
+}
+
 // Metrics implements apiv1.Backend.
 func (c *Client) Metrics(ctx context.Context) (apiv1.MetricsSnapshot, error) {
 	var out apiv1.MetricsSnapshot

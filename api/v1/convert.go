@@ -9,11 +9,14 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"snooze/internal/consolidation"
 	"snooze/internal/experiments"
 	"snooze/internal/metrics"
 	"snooze/internal/protocol"
+	"snooze/internal/scheduling/view"
+	"snooze/internal/telemetry"
 	"snooze/internal/types"
 )
 
@@ -164,13 +167,70 @@ func FromRegistry(r *metrics.Registry) MetricsSnapshot {
 // Shared backend logic
 // ---------------------------------------------------------------------------
 
+// FromConsolidationCtl converts one GM's consolidation control response.
+func FromConsolidationCtl(resp protocol.ConsolidationCtlResponse) ConsolidationStatus {
+	st := ConsolidationStatus{
+		GM:         string(resp.GM),
+		Running:    resp.Running,
+		InRound:    resp.InRound,
+		Rounds:     resp.Rounds,
+		Migrations: resp.Migrations,
+		Cancels:    resp.Cancels,
+		Failures:   resp.Failures,
+		Budget:     resp.Budget,
+		PeriodNs:   resp.PeriodNs,
+	}
+	if lr := resp.LastRound; lr != nil {
+		st.LastRound = &ConsolidationRound{
+			Round:       lr.Round,
+			AtNs:        lr.AtNs,
+			HostsBefore: lr.HostsBefore,
+			HostsAfter:  lr.HostsAfter,
+			Planned:     lr.Planned,
+			Executed:    lr.Executed,
+			Failed:      lr.Failed,
+			Cancelled:   lr.Cancelled,
+		}
+	}
+	return st
+}
+
+// DemandFunc prices one VM for consolidation planning (demand=p95 mode).
+type DemandFunc func(vm VM) types.ResourceVector
+
+// P95Demand builds a DemandFunc over a telemetry hub at the given
+// runtime-relative instant. It prices through view.ConsolidationDemand —
+// the identical chain (p95 windowed demand, snapshot fallback, reservation)
+// the online consolidation optimizer plans with, so both backends' dry runs
+// and the online service cannot drift.
+func P95Demand(hub *telemetry.Hub, now time.Duration) DemandFunc {
+	b := view.Builder{Hub: hub}
+	return func(vm VM) types.ResourceVector {
+		return b.ConsolidationDemand(now, types.VMStatus{
+			Spec: types.VMSpec{ID: types.VMID(vm.ID), Requested: ToResourceVector(vm.Requested)},
+			Used: ToResourceVector(vm.Used),
+		})
+	}
+}
+
 // PlanConsolidation is the backend-neutral Consolidate implementation: pack
 // the running VMs of vms onto the powered-on hosts of nodes with the
 // requested algorithm and derive the capacity-feasible migration sequence.
-func PlanConsolidation(vms []VM, nodes []Node, req ConsolidationRequest) (ConsolidationPlan, error) {
+// demand prices VMs when req.Demand is "p95"; it may be nil otherwise.
+func PlanConsolidation(vms []VM, nodes []Node, req ConsolidationRequest, demand DemandFunc) (ConsolidationPlan, error) {
 	algoName := req.Algorithm
 	if algoName == "" {
 		algoName = AlgorithmACO
+	}
+	switch req.Demand {
+	case "", DemandRequested:
+		demand = nil
+	case DemandP95:
+		if demand == nil {
+			return ConsolidationPlan{}, fmt.Errorf("%w: this backend cannot price p95 demand", ErrUnsupported)
+		}
+	default:
+		return ConsolidationPlan{}, fmt.Errorf("%w: unknown demand mode %q (want requested|p95)", ErrInvalid, req.Demand)
 	}
 	var algo consolidation.Algorithm
 	switch algoName {
@@ -205,6 +265,9 @@ func PlanConsolidation(vms []VM, nodes []Node, req ConsolidationRequest) (Consol
 			continue // host mid-transition; skip rather than plan blind
 		}
 		spec := types.VMSpec{ID: types.VMID(vm.ID), Requested: ToResourceVector(vm.Requested)}
+		if demand != nil {
+			spec.Requested = demand(vm)
+		}
 		problem.VMs = append(problem.VMs, spec)
 		specs[spec.ID] = spec
 		current[spec.ID] = types.NodeID(vm.Node)

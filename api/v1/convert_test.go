@@ -123,7 +123,7 @@ func TestPlanConsolidation(t *testing.T) {
 		{ID: "b", State: "running", Node: "n2", Requested: Resources{CPU: 1, MemoryMB: 1024, NetRxMbps: 10, NetTxMbps: 10}},
 		{ID: "c", State: "pending", Node: "n1", Requested: Resources{CPU: 1, MemoryMB: 1024, NetRxMbps: 10, NetTxMbps: 10}},
 	}
-	plan, err := PlanConsolidation(vms, nodes, ConsolidationRequest{Algorithm: AlgorithmFFD})
+	plan, err := PlanConsolidation(vms, nodes, ConsolidationRequest{Algorithm: AlgorithmFFD}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,13 +135,43 @@ func TestPlanConsolidation(t *testing.T) {
 	if len(plan.Migrations) != 1 {
 		t.Fatalf("migrations: %+v", plan.Migrations)
 	}
-	if _, err := PlanConsolidation(vms, nodes, ConsolidationRequest{Algorithm: "magic"}); !errors.Is(err, ErrInvalid) {
+	if _, err := PlanConsolidation(vms, nodes, ConsolidationRequest{Algorithm: "magic"}, nil); !errors.Is(err, ErrInvalid) {
 		t.Fatalf("unknown algorithm: %v", err)
 	}
 	// Default algorithm is ACO; empty inputs plan nothing without error.
-	empty, err := PlanConsolidation(nil, nodes, ConsolidationRequest{})
+	empty, err := PlanConsolidation(nil, nodes, ConsolidationRequest{}, nil)
 	if err != nil || empty.Algorithm != AlgorithmACO || empty.VMs != 0 {
 		t.Fatalf("empty plan: %+v %v", empty, err)
+	}
+}
+
+func TestPlanConsolidationDemandModes(t *testing.T) {
+	nodes := []Node{
+		{ID: "n1", Power: "on", Capacity: Resources{CPU: 8, MemoryMB: 32768, NetRxMbps: 1000, NetTxMbps: 1000}},
+		{ID: "n2", Power: "on", Capacity: Resources{CPU: 8, MemoryMB: 32768, NetRxMbps: 1000, NetTxMbps: 1000}},
+	}
+	// Each VM reserves more than half a host, so at reservation pricing the
+	// pair cannot share; their measured demand is tiny.
+	vms := []VM{
+		{ID: "a", State: "running", Node: "n1", Requested: Resources{CPU: 5, MemoryMB: 1024}},
+		{ID: "b", State: "running", Node: "n2", Requested: Resources{CPU: 5, MemoryMB: 1024}},
+	}
+	demand := func(vm VM) types.ResourceVector {
+		return types.ResourceVector{CPU: 1, Memory: 512}
+	}
+	plan, err := PlanConsolidation(vms, nodes, ConsolidationRequest{Algorithm: AlgorithmFFD}, demand)
+	if err != nil || plan.HostsAfter != 2 {
+		t.Fatalf("requested pricing should keep 2 hosts: %+v %v", plan, err)
+	}
+	plan, err = PlanConsolidation(vms, nodes, ConsolidationRequest{Algorithm: AlgorithmFFD, Demand: DemandP95}, demand)
+	if err != nil || plan.HostsAfter != 1 {
+		t.Fatalf("p95 pricing should pack onto 1 host: %+v %v", plan, err)
+	}
+	if _, err := PlanConsolidation(vms, nodes, ConsolidationRequest{Demand: "peak"}, demand); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("unknown demand mode: %v", err)
+	}
+	if _, err := PlanConsolidation(vms, nodes, ConsolidationRequest{Demand: DemandP95}, nil); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("p95 without a pricing source: %v", err)
 	}
 }
 

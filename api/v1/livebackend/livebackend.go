@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	apiv1 "snooze/api/v1"
@@ -44,6 +45,11 @@ type Config struct {
 	// see the hierarchy's monitoring flow. Nil creates an empty private hub:
 	// the routes work but stay silent.
 	Telemetry *telemetry.Hub
+	// Now reports the runtime-relative clock telemetry samples are stamped
+	// with — pass the hierarchy runtime's Now (cmd/snoozed wires this) so
+	// demand=p95 consolidation dry runs window the hub correctly. Nil falls
+	// back to this backend's own uptime.
+	Now func() time.Duration
 }
 
 // Backend serves the api/v1 control plane from a live hierarchy.
@@ -66,6 +72,10 @@ func New(cfg Config) *Backend {
 	}
 	if cfg.Telemetry == nil {
 		cfg.Telemetry = telemetry.NewHub(telemetry.Options{Metrics: cfg.Metrics})
+	}
+	if cfg.Now == nil {
+		start := time.Now()
+		cfg.Now = func() time.Duration { return time.Since(start) }
 	}
 	b := &Backend{cfg: cfg}
 	cfg.Bus.Register(cfg.Addr, func(req *transport.Request) {
@@ -261,13 +271,61 @@ func (b *Backend) GetNode(ctx context.Context, id string) (apiv1.Node, error) {
 	return apiv1.Node{}, fmt.Errorf("%w: node %q", apiv1.ErrNotFound, id)
 }
 
-// Consolidate implements Backend over the GM-reported state.
+// Consolidate implements Backend over the GM-reported state. demand=p95
+// prices from the process telemetry hub at the runtime's current instant.
 func (b *Backend) Consolidate(ctx context.Context, req apiv1.ConsolidationRequest) (apiv1.ConsolidationPlan, error) {
 	nodes, vms, err := b.inventory(ctx)
 	if err != nil {
 		return apiv1.ConsolidationPlan{}, err
 	}
-	return apiv1.PlanConsolidation(vms, nodes, req)
+	demand := apiv1.P95Demand(b.cfg.Telemetry, b.cfg.Now())
+	return apiv1.PlanConsolidation(vms, nodes, req, demand)
+}
+
+// consolidationCtl fans one online-optimizer control action out to every GM
+// in the topology. GMs that fail mid-call are skipped, mirroring inventory:
+// a partial listing is what the hierarchy itself would report during a
+// membership change.
+func (b *Backend) consolidationCtl(ctx context.Context, action string) (apiv1.ConsolidationStatusList, error) {
+	topo, err := b.topology(ctx, false)
+	if err != nil {
+		return apiv1.ConsolidationStatusList{}, err
+	}
+	var list apiv1.ConsolidationStatusList
+	seen := make(map[string]bool)
+	for _, gm := range topo.GMs {
+		reply, err := b.call(ctx, transport.Address(gm.Addr), protocol.KindConsolidation,
+			protocol.ConsolidationCtlRequest{Action: action})
+		if err != nil {
+			if ctx.Err() != nil {
+				return apiv1.ConsolidationStatusList{}, ctx.Err()
+			}
+			continue
+		}
+		resp, ok := reply.(protocol.ConsolidationCtlResponse)
+		if !ok || seen[string(resp.GM)] {
+			continue
+		}
+		seen[string(resp.GM)] = true
+		list.Items = append(list.Items, apiv1.FromConsolidationCtl(resp))
+	}
+	sort.Slice(list.Items, func(i, j int) bool { return list.Items[i].GM < list.Items[j].GM })
+	return list, nil
+}
+
+// ConsolidationStatus implements Backend.
+func (b *Backend) ConsolidationStatus(ctx context.Context) (apiv1.ConsolidationStatusList, error) {
+	return b.consolidationCtl(ctx, protocol.ConsolidationStatus)
+}
+
+// StartConsolidation implements Backend.
+func (b *Backend) StartConsolidation(ctx context.Context) (apiv1.ConsolidationStatusList, error) {
+	return b.consolidationCtl(ctx, protocol.ConsolidationStart)
+}
+
+// StopConsolidation implements Backend.
+func (b *Backend) StopConsolidation(ctx context.Context) (apiv1.ConsolidationStatusList, error) {
+	return b.consolidationCtl(ctx, protocol.ConsolidationStop)
 }
 
 // Metrics implements Backend from the process registry.

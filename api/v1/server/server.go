@@ -53,6 +53,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/nodes/{id}/fail", s.handleFailNode)
 	mux.HandleFunc("GET /v1/topology", s.handleTopology)
 	mux.HandleFunc("POST /v1/consolidations", s.handleConsolidate)
+	mux.HandleFunc("GET /v1/consolidations/status", s.handleConsolidationCtl(apiv1.Backend.ConsolidationStatus))
+	mux.HandleFunc("POST /v1/consolidations/start", s.handleConsolidationCtl(apiv1.Backend.StartConsolidation))
+	mux.HandleFunc("POST /v1/consolidations/stop", s.handleConsolidationCtl(apiv1.Backend.StopConsolidation))
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/series", s.handleSeries)
 	mux.HandleFunc("GET /v1/watch", s.handleWatch)
@@ -186,6 +189,22 @@ func (s *Server) handleConsolidate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, plan)
+}
+
+// handleConsolidationCtl serves the three online-optimizer control routes,
+// parameterized by the Backend method they invoke.
+func (s *Server) handleConsolidationCtl(call func(apiv1.Backend, context.Context) (apiv1.ConsolidationStatusList, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := s.ctx(r)
+		defer cancel()
+		list, err := call(s.backend, ctx)
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		list.Items = emptyAsSlice(list.Items)
+		writeJSON(w, http.StatusOK, list)
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -16,6 +16,7 @@ import (
 
 	apiv1 "snooze/api/v1"
 	"snooze/internal/cluster"
+	"snooze/internal/consolidation/online"
 	"snooze/internal/hierarchy"
 	"snooze/internal/types"
 )
@@ -188,12 +189,76 @@ func (b *Backend) Topology(ctx context.Context, deep bool) (apiv1.Topology, erro
 }
 
 // Consolidate implements Backend over the simulator's ground-truth state.
+// demand=p95 prices from the cluster's telemetry hub at the current virtual
+// instant — the same series the GMs' online optimizers plan from.
 func (b *Backend) Consolidate(ctx context.Context, req apiv1.ConsolidationRequest) (apiv1.ConsolidationPlan, error) {
 	if err := b.lock(ctx); err != nil {
 		return apiv1.ConsolidationPlan{}, err
 	}
 	defer b.unlock()
-	return apiv1.PlanConsolidation(b.snapshotVMs(), b.snapshotNodes(), req)
+	demand := apiv1.P95Demand(b.c.Telemetry, b.c.Kernel.Now())
+	return apiv1.PlanConsolidation(b.snapshotVMs(), b.snapshotNodes(), req, demand)
+}
+
+// consolidationCtl drives one control action against every GM of the
+// simulated hierarchy directly (the managers run in-process).
+func (b *Backend) consolidationCtl(ctx context.Context, call func(*hierarchy.Manager) (online.Status, bool)) (apiv1.ConsolidationStatusList, error) {
+	if err := b.lock(ctx); err != nil {
+		return apiv1.ConsolidationStatusList{}, err
+	}
+	defer b.unlock()
+	var list apiv1.ConsolidationStatusList
+	for _, mgr := range b.c.GroupManagers() {
+		st, ok := call(mgr)
+		if !ok {
+			continue
+		}
+		list.Items = append(list.Items, consolidationStatusDTO(string(mgr.ID()), st))
+	}
+	sort.Slice(list.Items, func(i, j int) bool { return list.Items[i].GM < list.Items[j].GM })
+	return list, nil
+}
+
+func consolidationStatusDTO(gm string, st online.Status) apiv1.ConsolidationStatus {
+	out := apiv1.ConsolidationStatus{
+		GM:         gm,
+		Running:    st.Running,
+		InRound:    st.InRound,
+		Rounds:     st.Rounds,
+		Migrations: st.Migrations,
+		Cancels:    st.Cancels,
+		Failures:   st.Failures,
+		Budget:     st.Budget,
+		PeriodNs:   int64(st.Period),
+	}
+	if lr := st.LastRound; lr != nil {
+		out.LastRound = &apiv1.ConsolidationRound{
+			Round:       lr.Round,
+			AtNs:        int64(lr.At),
+			HostsBefore: lr.HostsBefore,
+			HostsAfter:  lr.HostsAfter,
+			Planned:     lr.Planned,
+			Executed:    lr.Executed,
+			Failed:      lr.Failed,
+			Cancelled:   lr.Cancelled,
+		}
+	}
+	return out
+}
+
+// ConsolidationStatus implements Backend.
+func (b *Backend) ConsolidationStatus(ctx context.Context) (apiv1.ConsolidationStatusList, error) {
+	return b.consolidationCtl(ctx, (*hierarchy.Manager).ConsolidationStatus)
+}
+
+// StartConsolidation implements Backend.
+func (b *Backend) StartConsolidation(ctx context.Context) (apiv1.ConsolidationStatusList, error) {
+	return b.consolidationCtl(ctx, (*hierarchy.Manager).StartConsolidation)
+}
+
+// StopConsolidation implements Backend.
+func (b *Backend) StopConsolidation(ctx context.Context) (apiv1.ConsolidationStatusList, error) {
+	return b.consolidationCtl(ctx, (*hierarchy.Manager).StopConsolidation)
 }
 
 // Metrics implements Backend from the cluster's shared registry.

@@ -117,10 +117,30 @@ func main() {
 		fmt.Printf("node %s failed\n", args[1])
 
 	case "consolidate":
+		// "consolidate status|start|stop" controls the online optimizer;
+		// anything else computes a dry-run plan.
+		if len(args) > 1 {
+			var call func(context.Context) (apiv1.ConsolidationStatusList, error)
+			switch args[1] {
+			case "status":
+				call = cli.ConsolidationStatus
+			case "start":
+				call = cli.StartConsolidation
+			case "stop":
+				call = cli.StopConsolidation
+			}
+			if call != nil {
+				list, err := call(ctx)
+				fatalIf(err)
+				printConsolidationStatus(list)
+				break
+			}
+		}
 		fs := flag.NewFlagSet("consolidate", flag.ExitOnError)
 		algo := fs.String("algorithm", apiv1.AlgorithmACO, "solver: aco | ffd | optimal")
+		demand := fs.String("demand", "", "VM pricing: requested (default) | p95 (windowed telemetry demand)")
 		fatalIf(fs.Parse(args[1:]))
-		plan, err := cli.Consolidate(ctx, apiv1.ConsolidationRequest{Algorithm: *algo})
+		plan, err := cli.Consolidate(ctx, apiv1.ConsolidationRequest{Algorithm: *algo, Demand: *demand})
 		fatalIf(err)
 		fmt.Printf("%s: %d VMs on %d/%d hosts -> %d hosts (%d migrations)\n",
 			plan.Algorithm, plan.VMs, plan.HostsBefore, plan.HostsTotal, plan.HostsAfter, len(plan.Migrations))
@@ -256,6 +276,25 @@ func printTopology(topo apiv1.Topology) {
 	}
 }
 
+func printConsolidationStatus(list apiv1.ConsolidationStatusList) {
+	for _, st := range list.Items {
+		state := "stopped"
+		if st.Running {
+			state = "running"
+		}
+		if st.InRound {
+			state += " (in round)"
+		}
+		fmt.Printf("GM %-10s %-18s period=%s budget=%d rounds=%d migrations=%d cancels=%d failures=%d\n",
+			st.GM, state, time.Duration(st.PeriodNs), st.Budget, st.Rounds, st.Migrations, st.Cancels, st.Failures)
+		if lr := st.LastRound; lr != nil {
+			fmt.Printf("  last round %d at %s: hosts %d -> %d, planned=%d executed=%d failed=%d cancelled=%d\n",
+				lr.Round, time.Duration(lr.AtNs), lr.HostsBefore, lr.HostsAfter, lr.Planned, lr.Executed, lr.Failed, lr.Cancelled)
+		}
+	}
+	fmt.Printf("%d GMs\n", len(list.Items))
+}
+
 func sortedKeys[V any](m map[string]V) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {
@@ -279,7 +318,10 @@ commands:
   vms | vm ID             list VMs / show one VM
   nodes | node ID         list nodes / show one node
   fail ID                 crash-stop a node (simulation backends)
-  consolidate [-algorithm aco|ffd|optimal]
+  consolidate [-algorithm aco|ffd|optimal] [-demand requested|p95]
+                          compute a dry-run consolidation plan
+  consolidate status|start|stop
+                          control the online consolidation optimizer (per GM)
   metrics                 control-plane counters, gauges and latency series
   series [-entity -metric -from -to -agg -step]
                           list telemetry series, or dump one as a table

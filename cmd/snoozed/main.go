@@ -43,6 +43,7 @@ import (
 
 	"snooze/api/v1/livebackend"
 	apiserver "snooze/api/v1/server"
+	"snooze/internal/consolidation/online"
 	"snooze/internal/coord"
 	"snooze/internal/hierarchy"
 	"snooze/internal/hypervisor"
@@ -79,6 +80,10 @@ func main() {
 	seriesCapacity := flag.Int("series-capacity", 0, "control role: raw telemetry ring length per series (0 = 512)")
 	seriesTiers := flag.String("series-tiers", "", `control role: downsampled retention tiers as "step:capacity,..." (default "1m:512,10m:512"; "none" disables)`)
 	vmLivenessGrace := flag.Duration("vm-liveness-grace", 0, "control role: reap vm/* series silent+unknown for this long (0 = 4×LC timeout; <0 disables)")
+	consolidation := flag.Bool("consolidation", false, "control role: run the online consolidation optimizer on the elected GM")
+	consolidationPeriod := flag.Duration("consolidation-period", 0, "control role: online consolidation round period (0 = default 30s)")
+	consolidationBudget := flag.Int("consolidation-budget", 0, "control role: migrations per consolidation round (0 = default 4; <0 unlimited)")
+	consolidationColonies := flag.Int("consolidation-colonies", 0, "control role: parallel ant colonies per consolidation round (0 = default 4)")
 	flag.Parse()
 
 	rt := simkernel.NewWallRuntime()
@@ -128,6 +133,12 @@ func main() {
 			cfg.Telemetry = tel
 			cfg.ViewHorizon = *viewHorizon
 			cfg.VMLivenessGrace = *vmLivenessGrace
+			cfg.Consolidation = online.Config{
+				Enabled:         *consolidation,
+				Period:          *consolidationPeriod,
+				MigrationBudget: *consolidationBudget,
+				Colonies:        *consolidationColonies,
+			}
 			// Policy instances are per manager: the round-robin policies keep
 			// cursor state that must not be shared across processes.
 			var perr error
@@ -160,6 +171,7 @@ func main() {
 			EPs:       []transport.Address{"ep:0"},
 			Metrics:   reg,
 			Telemetry: tel,
+			Now:       rt.Now,
 		})
 		api := apiserver.New(backend)
 		api.StreamContext = ctx

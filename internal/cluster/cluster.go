@@ -258,6 +258,7 @@ func mergeDefaults(mcfg hierarchy.ManagerConfig) hierarchy.ManagerConfig {
 		def.VMLivenessGrace = mcfg.VMLivenessGrace
 	}
 	def.Retention = mcfg.Retention
+	def.Consolidation = mcfg.Consolidation
 	return def
 }
 

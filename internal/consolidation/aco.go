@@ -73,7 +73,36 @@ func (ACO) Name() string { return "aco" }
 // best; the pheromone matrix evaporates by ρ and the global best's pairs are
 // reinforced, with Max-Min clamping to keep exploration alive.
 func (a ACO) Solve(p Problem) (Result, error) {
-	cfg := a.Config
+	inst, res, err := newACOInstance(a.Config, p)
+	if inst == nil {
+		return res, err
+	}
+	col := newColony(inst, inst.cfg.Seed)
+	for c := 0; c < inst.cfg.Cycles; c++ {
+		if col.runCycle() {
+			break
+		}
+	}
+	return inst.result(col.best, col.cycles)
+}
+
+// acoInstance is the shared, read-only part of one ACO run: the validated and
+// deterministically ordered problem plus the Max-Min pheromone bounds. One
+// instance backs a single serial colony (ACO) or several exchanging colonies
+// (ParallelACO).
+type acoInstance struct {
+	cfg    ACOConfig
+	vms    []types.VMSpec
+	nodes  []types.NodeSpec
+	lb     int
+	tauMax float64
+	tauMin float64
+}
+
+// newACOInstance validates the problem and precomputes the shared run state.
+// A nil instance means the run is already decided: the accompanying Result
+// and error are final (empty problem, no hosts, or an unpackable VM).
+func newACOInstance(cfg ACOConfig, p Problem) (*acoInstance, Result, error) {
 	if cfg.Ants <= 0 || cfg.Cycles <= 0 {
 		cfg = DefaultACOConfig()
 	}
@@ -84,173 +113,211 @@ func (a ACO) Solve(p Problem) (Result, error) {
 		cfg.Q = 2
 	}
 	nodes := sortedNodes(p)
-	nVMs, nHosts := len(p.VMs), len(nodes)
-	if nVMs == 0 {
-		return Result{Placement: types.Placement{}}, nil
+	if len(p.VMs) == 0 {
+		return nil, Result{Placement: types.Placement{}}, nil
 	}
-	if nHosts == 0 {
-		return Result{}, fmt.Errorf("%w: no hosts", ErrInfeasible)
+	if len(nodes) == 0 {
+		return nil, Result{}, fmt.Errorf("%w: no hosts", ErrInfeasible)
 	}
 	vms := append([]types.VMSpec(nil), p.VMs...)
 	sort.Slice(vms, func(i, j int) bool { return vms[i].ID < vms[j].ID })
 	for _, vm := range vms {
 		if !fitsAny(vm, nodes) {
-			return Result{}, fmt.Errorf("%w: %s", ErrInfeasible, vm.ID)
+			return nil, Result{}, fmt.Errorf("%w: %s", ErrInfeasible, vm.ID)
 		}
 	}
-
 	// Max-Min pheromone bounds. τmax tracks the theoretical deposit on an
 	// ideal solution; τmin keeps every pair selectable.
 	lb := p.LowerBound()
 	tauMax := cfg.Q / (cfg.Rho * math.Max(1, float64(lb)))
-	tauMin := tauMax / (2 * float64(nVMs))
-	tau := make([][]float64, nVMs)
-	for i := range tau {
-		tau[i] = make([]float64, nHosts)
-		for j := range tau[i] {
-			tau[i][j] = tauMax
-		}
-	}
+	tauMin := tauMax / (2 * float64(len(vms)))
+	return &acoInstance{cfg: cfg, vms: vms, nodes: nodes, lb: lb, tauMax: tauMax, tauMin: tauMin}, Result{}, nil
+}
 
-	type solution struct {
-		assign []int // VM index -> host index
-		used   int
-	}
-
-	construct := func(rng *rand.Rand) solution {
-		assign := make([]int, nVMs)
-		for i := range assign {
-			assign[i] = -1
-		}
-		remaining := nVMs
-		used := 0
-		host := 0
-		residual := nodes[0].Capacity
-		var probs []float64
-		var cands []int
-		for remaining > 0 && host < nHosts {
-			// Candidates: unassigned VMs that fit the residual.
-			cands = cands[:0]
-			for i := range vms {
-				if assign[i] < 0 && vms[i].Requested.FitsIn(residual) {
-					cands = append(cands, i)
-				}
-			}
-			if len(cands) == 0 {
-				host++
-				if host < nHosts {
-					residual = nodes[host].Capacity
-				}
-				continue
-			}
-			// Probabilistic decision rule.
-			probs = probs[:0]
-			var total float64
-			for _, i := range cands {
-				after := nodes[host].Capacity.Sub(residual).Add(vms[i].Requested)
-				eta := after.UtilizationL1(nodes[host].Capacity)
-				w := math.Pow(tau[i][host], cfg.Alpha) * math.Pow(eta+1e-9, cfg.Beta)
-				probs = append(probs, w)
-				total += w
-			}
-			pick := cands[len(cands)-1]
-			if total > 0 {
-				r := rng.Float64() * total
-				acc := 0.0
-				for k, w := range probs {
-					acc += w
-					if r <= acc {
-						pick = cands[k]
-						break
-					}
-				}
-			}
-			if residual == nodes[host].Capacity {
-				used++ // first VM on this host
-			}
-			assign[pick] = host
-			residual = residual.Sub(vms[pick].Requested)
-			remaining--
-		}
-		return solution{assign: assign, used: used}
-	}
-
-	complete := func(s solution) bool {
-		for _, h := range s.assign {
-			if h < 0 {
-				return false
-			}
-		}
-		return true
-	}
-
-	var best solution
-	best.used = nHosts + 1
-	rootRNG := rand.New(rand.NewSource(cfg.Seed))
-	cycles := 0
-	for c := 0; c < cfg.Cycles; c++ {
-		cycles++
-		sols := make([]solution, cfg.Ants)
-		if cfg.Parallel {
-			done := make(chan int, cfg.Ants)
-			for a := 0; a < cfg.Ants; a++ {
-				a := a
-				seed := rootRNG.Int63()
-				go func() {
-					sols[a] = construct(rand.New(rand.NewSource(seed)))
-					done <- a
-				}()
-			}
-			for a := 0; a < cfg.Ants; a++ {
-				<-done
-			}
-		} else {
-			for a := 0; a < cfg.Ants; a++ {
-				sols[a] = construct(rand.New(rand.NewSource(rootRNG.Int63())))
-			}
-		}
-		// "At the end of each cycle, local solutions are compared and the
-		// one requiring the least number of LCs is saved as the new
-		// globally optimal solution."
-		for _, s := range sols {
-			if complete(s) && s.used < best.used {
-				best = s
-			}
-		}
-		if best.used > nHosts {
-			continue // no complete solution yet; keep exploring
-		}
-		// Evaporation + reinforcement of the global best (MMAS).
-		deposit := cfg.Q / float64(best.used)
-		for i := range tau {
-			for j := range tau[i] {
-				tau[i][j] *= 1 - cfg.Rho
-				if best.assign[i] == j {
-					tau[i][j] += deposit
-				}
-				if tau[i][j] > tauMax {
-					tau[i][j] = tauMax
-				}
-				if tau[i][j] < tauMin {
-					tau[i][j] = tauMin
-				}
-			}
-		}
-		if best.used == lb {
-			break // provably optimal; stop early
-		}
-	}
-	if best.used > nHosts {
+// result maps a best solution back onto VM/node IDs.
+func (inst *acoInstance) result(best acoSolution, cycles int) (Result, error) {
+	if best.assign == nil {
 		return Result{}, fmt.Errorf("%w: ants found no complete packing", ErrInfeasible)
 	}
-	placement := make(types.Placement, nVMs)
+	placement := make(types.Placement, len(inst.vms))
 	for i, h := range best.assign {
-		placement[vms[i].ID] = nodes[h].ID
+		placement[inst.vms[i].ID] = inst.nodes[h].ID
 	}
 	return Result{
 		Placement: placement,
 		HostsUsed: placement.NodesUsed(),
-		Optimal:   best.used == lb,
+		Optimal:   best.used == inst.lb,
 		Cycles:    cycles,
 	}, nil
+}
+
+// acoSolution is one complete VM→host assignment by VM index. The assign
+// slice is never mutated after construction, so solutions may be shared
+// across colonies without copying. A nil assign marks "no complete solution
+// yet".
+type acoSolution struct {
+	assign []int // VM index -> host index
+	used   int
+}
+
+// colony is one pheromone matrix plus its ants: the unit both the serial ACO
+// and the parallel multi-colony variant iterate. All methods run on a single
+// goroutine; cross-colony exchange happens only at ParallelACO's barriers.
+type colony struct {
+	inst   *acoInstance
+	rng    *rand.Rand
+	tau    [][]float64
+	best   acoSolution
+	cycles int
+}
+
+func newColony(inst *acoInstance, seed int64) *colony {
+	tau := make([][]float64, len(inst.vms))
+	for i := range tau {
+		tau[i] = make([]float64, len(inst.nodes))
+		for j := range tau[i] {
+			tau[i][j] = inst.tauMax
+		}
+	}
+	return &colony{inst: inst, rng: rand.New(rand.NewSource(seed)), tau: tau}
+}
+
+// construct builds one ant's solution host by host (see ACO.Solve).
+func (c *colony) construct(rng *rand.Rand) acoSolution {
+	inst := c.inst
+	nVMs, nHosts := len(inst.vms), len(inst.nodes)
+	assign := make([]int, nVMs)
+	for i := range assign {
+		assign[i] = -1
+	}
+	remaining := nVMs
+	used := 0
+	host := 0
+	residual := inst.nodes[0].Capacity
+	var probs []float64
+	var cands []int
+	for remaining > 0 && host < nHosts {
+		// Candidates: unassigned VMs that fit the residual.
+		cands = cands[:0]
+		for i := range inst.vms {
+			if assign[i] < 0 && inst.vms[i].Requested.FitsIn(residual) {
+				cands = append(cands, i)
+			}
+		}
+		if len(cands) == 0 {
+			host++
+			if host < nHosts {
+				residual = inst.nodes[host].Capacity
+			}
+			continue
+		}
+		// Probabilistic decision rule.
+		probs = probs[:0]
+		var total float64
+		for _, i := range cands {
+			after := inst.nodes[host].Capacity.Sub(residual).Add(inst.vms[i].Requested)
+			eta := after.UtilizationL1(inst.nodes[host].Capacity)
+			w := math.Pow(c.tau[i][host], inst.cfg.Alpha) * math.Pow(eta+1e-9, inst.cfg.Beta)
+			probs = append(probs, w)
+			total += w
+		}
+		pick := cands[len(cands)-1]
+		if total > 0 {
+			r := rng.Float64() * total
+			acc := 0.0
+			for k, w := range probs {
+				acc += w
+				if r <= acc {
+					pick = cands[k]
+					break
+				}
+			}
+		}
+		if residual == inst.nodes[host].Capacity {
+			used++ // first VM on this host
+		}
+		assign[pick] = host
+		residual = residual.Sub(inst.vms[pick].Requested)
+		remaining--
+	}
+	if remaining > 0 {
+		return acoSolution{assign: nil, used: nHosts + 1} // incomplete
+	}
+	return acoSolution{assign: assign, used: used}
+}
+
+// runCycle runs one cycle (ant construction, best update, pheromone update)
+// and reports whether the colony's best is provably optimal, i.e. further
+// cycles cannot improve it.
+func (c *colony) runCycle() bool {
+	inst := c.inst
+	cfg := inst.cfg
+	c.cycles++
+	sols := make([]acoSolution, cfg.Ants)
+	if cfg.Parallel {
+		done := make(chan int, cfg.Ants)
+		for a := 0; a < cfg.Ants; a++ {
+			a := a
+			// Ant seeds are drawn serially so the construction order cannot
+			// perturb determinism.
+			seed := c.rng.Int63()
+			go func() {
+				sols[a] = c.construct(rand.New(rand.NewSource(seed)))
+				done <- a
+			}()
+		}
+		for a := 0; a < cfg.Ants; a++ {
+			<-done
+		}
+	} else {
+		for a := 0; a < cfg.Ants; a++ {
+			sols[a] = c.construct(rand.New(rand.NewSource(c.rng.Int63())))
+		}
+	}
+	// "At the end of each cycle, local solutions are compared and the one
+	// requiring the least number of LCs is saved as the new globally optimal
+	// solution."
+	for _, s := range sols {
+		if s.assign != nil && (c.best.assign == nil || s.used < c.best.used) {
+			c.best = s
+		}
+	}
+	if c.best.assign == nil {
+		return false // no complete solution yet; keep exploring
+	}
+	c.reinforce()
+	return c.best.used == inst.lb
+}
+
+// reinforce evaporates the pheromone matrix and deposits on the colony's best
+// solution's pairs, with Max-Min clamping (MMAS).
+func (c *colony) reinforce() {
+	inst := c.inst
+	deposit := inst.cfg.Q / float64(c.best.used)
+	for i := range c.tau {
+		for j := range c.tau[i] {
+			c.tau[i][j] *= 1 - inst.cfg.Rho
+			if c.best.assign[i] == j {
+				c.tau[i][j] += deposit
+			}
+			if c.tau[i][j] > inst.tauMax {
+				c.tau[i][j] = inst.tauMax
+			}
+			if c.tau[i][j] < inst.tauMin {
+				c.tau[i][j] = inst.tauMin
+			}
+		}
+	}
+}
+
+// adopt imports an external best solution if it strictly beats the colony's
+// own; subsequent cycles then reinforce the imported assignment. The solution
+// is shared, not copied — acoSolution assign slices are immutable.
+func (c *colony) adopt(s acoSolution) {
+	if s.assign == nil {
+		return
+	}
+	if c.best.assign == nil || s.used < c.best.used {
+		c.best = s
+	}
 }

@@ -1,0 +1,24 @@
+package online
+
+import (
+	"testing"
+
+	"snooze/internal/simkernel"
+)
+
+// BenchmarkOnlineRound prices one full optimizer round — snapshot, parallel
+// solve, budgeted plan execution on the virtual-time kernel — over 16 nodes
+// carrying 32 VMs.
+func BenchmarkOnlineRound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := simkernel.New(1)
+		h := newFakeHost(k, 16, 2)
+		o := New(k, h, testConfig())
+		o.Start()
+		k.Run(o.Config().Period * 2) // one round plus its migrations
+		o.Stop()
+		if len(h.migrations) == 0 {
+			b.Fatal("round executed no migrations")
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package consolidation
+
+import (
+	"sync"
+)
+
+// ParallelACO runs several independent ant colonies on separate goroutines
+// over one shared problem instance, exchanging the best plan at barrier
+// epochs — the coarse-grained parallelization Section III-A anticipates ("the
+// algorithm is well suited for parallelization"). Each colony owns a private
+// pheromone matrix and RNG, so runs are deterministic under a seed; the only
+// cross-colony interaction is the deterministic best-plan exchange.
+//
+// Colony 0 is the reference colony: it exports its best into the exchange but
+// never imports, so its trajectory is bit-identical to a serial ACO run with
+// the same configuration. The returned result is the best across colonies —
+// by construction never worse than the serial result for the same seed.
+type ParallelACO struct {
+	// Colonies is the number of concurrent colonies (default 4). A value of
+	// 1 degenerates to the serial ACO.
+	Colonies int
+	// ExchangeEvery is the number of cycles each colony runs between
+	// best-plan exchanges (default 5).
+	ExchangeEvery int
+	// Config parameterizes every colony. Seeds are derived per colony;
+	// colony 0 uses Config.Seed itself (the serial-reference property).
+	Config ACOConfig
+}
+
+// Name implements Algorithm.
+func (ParallelACO) Name() string { return "aco-parallel" }
+
+// colonySeed derives colony i's RNG seed. Colony 0 keeps the base seed so it
+// replays the serial run exactly; the golden-ratio multiplier decorrelates
+// the rest.
+func colonySeed(base int64, i int) int64 {
+	if i == 0 {
+		return base
+	}
+	return base ^ (int64(i) * -0x61c8864680b583eb) // 2^64/φ, signed
+}
+
+// Solve implements Algorithm.
+func (p ParallelACO) Solve(pr Problem) (Result, error) {
+	nCols := p.Colonies
+	if nCols <= 0 {
+		nCols = 4
+	}
+	if nCols == 1 {
+		return ACO{Config: p.Config}.Solve(pr)
+	}
+	cfg := p.Config
+	// Parallelism lives across colonies here; per-ant goroutines inside each
+	// colony would only add scheduling overhead.
+	cfg.Parallel = false
+	inst, res, err := newACOInstance(cfg, pr)
+	if inst == nil {
+		return res, err
+	}
+	every := p.ExchangeEvery
+	if every <= 0 {
+		every = 5
+	}
+	cols := make([]*colony, nCols)
+	for i := range cols {
+		cols[i] = newColony(inst, colonySeed(inst.cfg.Seed, i))
+	}
+	remaining := inst.cfg.Cycles
+	for remaining > 0 {
+		span := every
+		if span > remaining {
+			span = remaining
+		}
+		var wg sync.WaitGroup
+		for _, c := range cols {
+			wg.Add(1)
+			go func(c *colony) {
+				defer wg.Done()
+				for k := 0; k < span; k++ {
+					if c.runCycle() {
+						return // colony-local optimum; nothing left to improve
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		remaining -= span
+		// Deterministic reduction: fewest hosts wins, ties go to the lowest
+		// colony index.
+		best := globalBest(cols)
+		if best.assign == nil {
+			continue
+		}
+		if best.used == inst.lb {
+			break // provably optimal; stop early
+		}
+		// Exchange: colonies adopt the global best and reinforce it next
+		// epoch. Colony 0 only exports, preserving its serial identity.
+		for i, c := range cols {
+			if i == 0 {
+				continue
+			}
+			c.adopt(best)
+		}
+	}
+	cycles := 0
+	for _, c := range cols {
+		if c.cycles > cycles {
+			cycles = c.cycles
+		}
+	}
+	return inst.result(globalBest(cols), cycles)
+}
+
+// globalBest reduces the colonies' bests deterministically: fewest hosts,
+// ties broken by colony order.
+func globalBest(cols []*colony) acoSolution {
+	best := acoSolution{}
+	for _, c := range cols {
+		if c.best.assign == nil {
+			continue
+		}
+		if best.assign == nil || c.best.used < best.used {
+			best = c.best
+		}
+	}
+	return best
+}

@@ -48,6 +48,11 @@ func (m *Manager) becomeGMLocked(gl transport.Address) {
 	if m.cfg.Reconfig != nil && m.cfg.ReconfigPeriod > 0 {
 		m.addTicker(m.cfg.ReconfigPeriod, m.gmReconfigTick)
 	}
+	if m.cfg.Consolidation.Enabled {
+		// The continuous consolidation service runs for the duration of the
+		// GM stint; stopTickersLocked stops it on demotion/promotion.
+		m.optimizerLocked().Start()
+	}
 	if m.cfg.VMLivenessGrace > 0 {
 		// The deployment-level VM liveness sweep is journal-armed: lifecycle
 		// and membership events (plus inventory shrinkage noticed by
@@ -234,7 +239,11 @@ func (m *Manager) gmOnMonitor(req *transport.Request) {
 	now := m.rt.Now()
 	m.tel.RecordNode(now, rep.Status)
 	for _, vm := range rep.VMs {
+		entity := telemetry.VMEntity(vm.Spec.ID)
 		m.tel.RecordVM(now, vm)
+		// Stamp the series with this GM: on a shared hub the stamp fences
+		// other GMs' liveness sweeps away from entities we are feeding.
+		m.tel.Claim(entity, string(m.cfg.ID))
 	}
 	if becameIdle {
 		m.emit(telemetry.EventNodeIdle, telemetry.NodeEntity(id),
@@ -581,49 +590,61 @@ func (m *Manager) relocate(kind protocol.AnomalyKind, status types.NodeStatus, s
 // markers so schedulers leave the endpoints alone mid-transfer.
 func (m *Manager) executeMovesLocked(moves []scheduling.Move) {
 	for _, mv := range moves {
-		src, okS := m.lcs[mv.From]
-		dst, okD := m.lcs[mv.To]
-		if !okS || !okD {
-			continue
-		}
-		src.busy++
-		dst.busy++
-		// Reflect the reservation shift optimistically.
-		var spec types.VMSpec
-		for _, vm := range src.vms {
-			if vm.Spec.ID == mv.VM {
-				spec = vm.Spec
-				break
-			}
-		}
-		dst.status.Reserved = dst.status.Reserved.Add(spec.Requested)
-		mreq := protocol.MigrateVMRequest{VM: mv.VM, DestNode: mv.To, DestAddr: string(dst.addr)}
-		srcAddr := src.addr
-		from, to := mv.From, mv.To
-		m.rt.After(0, func() {
-			m.bus.Call(m.cfg.Addr, srcAddr, protocol.KindMigrateVM, mreq, m.cfg.CallTimeout,
-				func(reply any, err error) {
-					m.mu.Lock()
-					if s, ok := m.lcs[from]; ok && s.busy > 0 {
-						s.busy--
-					}
-					if d, ok := m.lcs[to]; ok {
-						if d.busy > 0 {
-							d.busy--
-						}
-					}
-					m.mu.Unlock()
-					ack, isAck := reply.(protocol.MigrateVMResponse)
-					if err != nil || !isAck || !ack.OK {
-						m.mark("gm.migrations-failed", 1)
-						return
-					}
-					m.mark("gm.migrations-ok", 1)
-					m.emit(telemetry.EventVMState, telemetry.VMEntity(mv.VM),
-						map[string]string{"state": "migrated", "from": string(from), "to": string(to)})
-				})
-		})
+		m.migrateVMLocked(types.Migration{VM: mv.VM, From: mv.From, To: mv.To}, func(bool) {})
 	}
+}
+
+// migrateVMLocked issues one live migration, maintaining busy markers and the
+// optimistic reservation shift; done is invoked exactly once with the
+// outcome, never while m.mu is held. It is the single migration primitive —
+// relocation, reconfiguration and the online consolidation optimizer all
+// funnel through it.
+func (m *Manager) migrateVMLocked(mv types.Migration, done func(ok bool)) {
+	src, okS := m.lcs[mv.From]
+	dst, okD := m.lcs[mv.To]
+	if !okS || !okD {
+		m.rt.After(0, func() { done(false) })
+		return
+	}
+	src.busy++
+	dst.busy++
+	// Reflect the reservation shift optimistically.
+	var spec types.VMSpec
+	for _, vm := range src.vms {
+		if vm.Spec.ID == mv.VM {
+			spec = vm.Spec
+			break
+		}
+	}
+	dst.status.Reserved = dst.status.Reserved.Add(spec.Requested)
+	mreq := protocol.MigrateVMRequest{VM: mv.VM, DestNode: mv.To, DestAddr: string(dst.addr)}
+	srcAddr := src.addr
+	from, to := mv.From, mv.To
+	m.rt.After(0, func() {
+		m.bus.Call(m.cfg.Addr, srcAddr, protocol.KindMigrateVM, mreq, m.cfg.CallTimeout,
+			func(reply any, err error) {
+				m.mu.Lock()
+				if s, ok := m.lcs[from]; ok && s.busy > 0 {
+					s.busy--
+				}
+				if d, ok := m.lcs[to]; ok {
+					if d.busy > 0 {
+						d.busy--
+					}
+				}
+				m.mu.Unlock()
+				ack, isAck := reply.(protocol.MigrateVMResponse)
+				if err != nil || !isAck || !ack.OK {
+					m.mark("gm.migrations-failed", 1)
+					done(false)
+					return
+				}
+				m.mark("gm.migrations-ok", 1)
+				m.emit(telemetry.EventVMState, telemetry.VMEntity(mv.VM),
+					map[string]string{"state": "migrated", "from": string(from), "to": string(to)})
+				done(true)
+			})
+	})
 }
 
 // gmSweepTick detects failed LCs ("GM failures are detected by the GL based
@@ -855,9 +876,11 @@ func (m *Manager) scheduleVMSweepLocked(at time.Duration) {
 // a series belonging to no known VM whose newest sample is older than the
 // grace period is declared vanished — a synthetic terminal vm.state event is
 // journaled (which also drops the series, see telemetry.TerminalVMStates)
-// and the leak is closed. Unknown-but-fresh series (typically another GM's
-// VMs on a shared hub, or a handoff still in flight) re-arm the sweep for
-// the exact instant the earliest of them could ripen.
+// and the leak is closed. Series stamped with another GM's owner claim
+// (Hub.Claim, set by that GM's monitoring flow) are skipped outright — on a
+// shared hub they are that GM's to reconcile. Remaining unknown-but-fresh
+// series (typically a handoff still in flight) re-arm the sweep for the
+// exact instant the earliest of them could ripen.
 func (m *Manager) gmVMSweep() {
 	m.mu.Lock()
 	if m.role != RoleGM || m.stopped || m.cfg.VMLivenessGrace <= 0 {
@@ -888,6 +911,12 @@ func (m *Manager) gmVMSweep() {
 	for entity, newest := range m.tel.Store().EntityNewest(telemetry.EntityVMPrefix) {
 		id, ok := telemetry.VMIDFromEntity(entity)
 		if !ok || known[id] {
+			continue
+		}
+		// GM fencing: on a shared hub, a series stamped with another GM's
+		// identity is that GM's to reconcile — skip it outright rather than
+		// waiting out its staleness.
+		if owner, ok := m.tel.Owner(entity); ok && owner != string(m.cfg.ID) {
 			continue
 		}
 		if ripe := newest + grace; now < ripe {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"snooze/internal/consolidation"
+	"snooze/internal/consolidation/online"
 	"snooze/internal/coord"
 	"snooze/internal/election"
 	"snooze/internal/metrics"
@@ -85,6 +86,15 @@ type ManagerConfig struct {
 	// Reconfiguration (periodic consolidation, Section II-C). Nil disables.
 	Reconfig       consolidation.Algorithm
 	ReconfigPeriod time.Duration
+
+	// Consolidation configures the continuous online consolidation service
+	// (internal/consolidation/online): with Enabled set, every GM stint runs
+	// an Optimizer that periodically re-packs the group's VMs from p95
+	// capacity views within a per-round migration budget. Whether or not
+	// Enabled is set, the optimizer can be started and stopped at runtime
+	// via the gm.consolidation control message (api/v1 consolidation
+	// routes).
+	Consolidation online.Config
 
 	// RescheduleOnLCFailure re-places the VMs of a failed LC on the
 	// surviving LCs (the hypervisor-snapshot recovery of Section II-E).
@@ -209,6 +219,11 @@ type Manager struct {
 	sweepUnsub  func()
 	sweepAt     time.Duration
 	sweepCancel simkernel.Canceler
+	// optimizer is the online consolidation service (GM role), created
+	// lazily and reused across GM stints. The optimizer never holds its own
+	// lock while calling back into the Manager, so m.mu → optimizer-lock is
+	// the only ordering.
+	optimizer *online.Optimizer
 	// GL state.
 	gms   map[types.GroupManagerID]*gmRecord
 	epoch uint64
@@ -407,6 +422,9 @@ func (m *Manager) stopTickersLocked() {
 	}
 	m.tickers = nil
 	m.stopEnergyLocked()
+	if m.optimizer != nil {
+		m.optimizer.Stop()
+	}
 }
 
 // stopEnergyLocked detaches the journal observers and cancels any scheduled
@@ -467,6 +485,8 @@ func (m *Manager) handle(req *transport.Request) {
 		m.gmOnLCList(req)
 	case protocol.KindInventory:
 		m.gmOnInventory(req)
+	case protocol.KindConsolidation:
+		m.gmOnConsolidation(req)
 	default:
 		req.RespondErr(fmt.Errorf("manager %s: unknown message kind %q", m.cfg.ID, req.Kind))
 	}

@@ -43,6 +43,8 @@ func DecodeRequest(kind string, data json.RawMessage) (any, error) {
 		return decode[ShedRequest](data)
 	case KindTopology:
 		return decode[TopologyRequest](data)
+	case KindConsolidation:
+		return decode[ConsolidationCtlRequest](data)
 	case KindSuspendHost, KindWakeHost, KindGLQuery, KindRejoin, KindLCList, KindInventory:
 		return struct{}{}, nil
 	default:
@@ -77,6 +79,8 @@ func DecodeReply(kind string, data json.RawMessage) (any, error) {
 		return decode[LCListResponse](data)
 	case KindInventory:
 		return decode[InventoryResponse](data)
+	case KindConsolidation:
+		return decode[ConsolidationCtlResponse](data)
 	case KindGLHeartbeat, KindGMHeartbeat, KindSummary, KindMonitor, KindAnomaly,
 		KindStopVM, KindSuspendHost, KindWakeHost, KindRejoin:
 		return struct{}{}, nil

@@ -294,3 +294,49 @@ type InventoryResponse struct {
 	Nodes []InventoryNode  `json:"nodes"`
 	VMs   []types.VMStatus `json:"vms"`
 }
+
+// KindConsolidation controls one GM's online consolidation optimizer
+// (internal/consolidation/online). The api/v1 control-plane backends fan it
+// out to every GM for GET /v1/consolidations/status and the start/stop
+// routes.
+const KindConsolidation = "gm.consolidation"
+
+// Consolidation control actions.
+const (
+	ConsolidationStatus = "status"
+	ConsolidationStart  = "start"
+	ConsolidationStop   = "stop"
+)
+
+// ConsolidationCtlRequest asks a GM to report, start or stop its online
+// consolidation optimizer. An empty Action means status.
+type ConsolidationCtlRequest struct {
+	Action string `json:"action"`
+}
+
+// ConsolidationRound summarizes one completed consolidation round.
+type ConsolidationRound struct {
+	Round       uint64 `json:"round"`
+	AtNs        int64  `json:"atNs"`
+	HostsBefore int    `json:"hostsBefore"`
+	HostsAfter  int    `json:"hostsAfter"`
+	Planned     int    `json:"planned"`
+	Executed    int    `json:"executed"`
+	Failed      int    `json:"failed"`
+	Cancelled   int    `json:"cancelled"`
+}
+
+// ConsolidationCtlResponse reports one GM's optimizer state after the
+// requested action was applied.
+type ConsolidationCtlResponse struct {
+	GM         types.GroupManagerID `json:"gm"`
+	Running    bool                 `json:"running"`
+	InRound    bool                 `json:"inRound"`
+	Rounds     uint64               `json:"rounds"`
+	Migrations uint64               `json:"migrations"`
+	Cancels    uint64               `json:"cancels"`
+	Failures   uint64               `json:"failures"`
+	Budget     int                  `json:"budget"`
+	PeriodNs   int64                `json:"periodNs"`
+	LastRound  *ConsolidationRound  `json:"lastRound,omitempty"`
+}

@@ -105,6 +105,13 @@ type Hub struct {
 	journal  *Journal
 	detector *Detector
 	reg      *metrics.Registry
+
+	// owners stamps entities with the identity of the GM whose monitoring
+	// flow feeds their series (see Claim). On a hub shared by several GMs it
+	// fences cross-GM reconciliation: the VM liveness sweep skips entities
+	// owned by another GM outright instead of relying on staleness alone.
+	ownerMu sync.RWMutex
+	owners  map[string]string
 }
 
 // NewHub creates a hub.
@@ -114,6 +121,7 @@ func NewHub(opts Options) *Hub {
 		journal:  NewJournal(opts.JournalCapacity),
 		detector: NewDetector(opts.Thresholds),
 		reg:      opts.Metrics,
+		owners:   make(map[string]string),
 	}
 }
 
@@ -200,12 +208,39 @@ func (h *Hub) DetectNode(at time.Duration, st types.NodeStatus) (Event, bool) {
 	return h.Emit(ev.Type, ev.Entity, ev.At, ev.Attrs), true
 }
 
-// ForgetEntity drops an entity's series and detector state when it leaves
-// the deployment (node failure, VM destruction) so the store does not grow
-// without bound under churn.
+// Claim stamps entity as owned by owner — the GM whose monitoring flow feeds
+// its series. Ownership follows the monitoring flow: when an LC rejoins
+// another GM, the new GM's next report re-claims its entities. The fast path
+// (unchanged owner) is a read-lock and a map hit.
+func (h *Hub) Claim(entity, owner string) {
+	h.ownerMu.RLock()
+	cur, ok := h.owners[entity]
+	h.ownerMu.RUnlock()
+	if ok && cur == owner {
+		return
+	}
+	h.ownerMu.Lock()
+	h.owners[entity] = owner
+	h.ownerMu.Unlock()
+}
+
+// Owner returns the owning-GM identity stamped on entity, if any.
+func (h *Hub) Owner(entity string) (string, bool) {
+	h.ownerMu.RLock()
+	defer h.ownerMu.RUnlock()
+	owner, ok := h.owners[entity]
+	return owner, ok
+}
+
+// ForgetEntity drops an entity's series, detector state and owner stamp when
+// it leaves the deployment (node failure, VM destruction) so the store does
+// not grow without bound under churn.
 func (h *Hub) ForgetEntity(entity string) {
 	h.store.RemoveEntity(entity)
 	h.detector.Forget(entity)
+	h.ownerMu.Lock()
+	delete(h.owners, entity)
+	h.ownerMu.Unlock()
 }
 
 // PublishGauges refreshes the hub's registry gauges (series/sample/event

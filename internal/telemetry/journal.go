@@ -21,6 +21,11 @@ const (
 	EventLCFailed      = "hierarchy.lc-failed"
 	EventGLElected     = "hierarchy.gl-elected"
 	EventRebalance     = "hierarchy.rebalance"
+	// consolidation.* events are journaled by the online consolidation
+	// optimizer: one per completed round and one per migration outcome
+	// (executed, failed or cancelled by a trend shift).
+	EventConsolidationRound     = "consolidation.round"
+	EventConsolidationMigration = "consolidation.migration"
 )
 
 // Event is one journal entry. Seq is assigned by the journal and is strictly
