@@ -22,11 +22,17 @@
 //	POST /v1/consolidations/start   start the online optimizer on every GM
 //	POST /v1/consolidations/stop    stop the online optimizer on every GM
 //	GET  /v1/metrics          control-plane counters, gauges and latency series
+//	GET  /v1/traces           decision traces: spans with policy evidence
+//	                          (?traceId=&entity=&kind=&limit=&offset=)
 //	GET  /v1/series           telemetry: list series keys, or windowed queries
 //	                          (?entity=&metric=&fromNs=&toNs=&agg=&stepNs=)
 //	GET  /v1/watch            telemetry: SSE event stream (?from=seq replay)
 //	GET  /v1/experiments/{id} run one reproduced experiment (quick scale)
 //	GET  /v1/healthz          liveness
+//
+// Deployments additionally expose GET /metrics (no version segment): the
+// same counters, gauges and histograms in Prometheus text format, rendered
+// by api/v1/server.PrometheusHandler.
 //
 // Errors travel as an ErrorBody envelope with a machine-readable code; the
 // client converts codes back into the sentinel errors of this package, so
@@ -252,11 +258,94 @@ type SeriesSummary struct {
 
 // MetricsSnapshot is the GET /v1/metrics body: control-plane counters (VM
 // placements, relocations, failovers, ...), point-in-time gauges (telemetry
-// volume) and duration series summaries.
+// volume), duration series summaries and fixed-bucket histograms.
 type MetricsSnapshot struct {
 	Counters map[string]int64         `json:"counters,omitempty"`
 	Gauges   map[string]float64       `json:"gauges,omitempty"`
 	Series   map[string]SeriesSummary `json:"series,omitempty"`
+	// Histograms carries the fixed-bucket distribution behind each series:
+	// lifetime count/sum/extremes plus per-bucket counts (the Prometheus
+	// /metrics exposition renders from these).
+	Histograms map[string]Histogram `json:"histograms,omitempty"`
+}
+
+// Histogram is one observed series' fixed-bucket distribution. Counts[i]
+// holds observations <= Bounds[i] (and greater than the previous bound);
+// the final entry past the last bound is the +Inf overflow bucket.
+type Histogram struct {
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// ---------------------------------------------------------------------------
+// Decision traces
+// ---------------------------------------------------------------------------
+
+// TraceSpan is one finished decision span of the autonomic loop, as served
+// by GET /v1/traces: who decided (policy), over what evidence (view,
+// candidates), what it chose and how it ended. Spans sharing a TraceID form
+// one causal chain (e.g. submit→dispatch→placement); Parent links a span to
+// its parent span within the trace.
+type TraceSpan struct {
+	TraceID string `json:"traceId"`
+	SpanID  string `json:"spanId"`
+	Parent  string `json:"parent,omitempty"`
+	// Kind is the decision kind: dispatch, placement, relocation,
+	// migration, energy, consolidation.round or consolidation.migration.
+	Kind string `json:"kind"`
+	// Entity is the decision subject ("vm/<id>", "node/<id>", ...).
+	Entity string `json:"entity,omitempty"`
+	// Policy is the deciding scheduling policy's name.
+	Policy string `json:"policy,omitempty"`
+	// Target is the chosen destination, when any.
+	Target  string `json:"target,omitempty"`
+	Outcome string `json:"outcome,omitempty"`
+	StartNs int64  `json:"startNs"`
+	EndNs   int64  `json:"endNs"`
+	// View is the capacity-view evidence the decision was priced from.
+	View *TraceView `json:"view,omitempty"`
+	// Candidates lists every considered target with per-candidate
+	// rejection reasons, in policy-visit order.
+	Candidates []TraceCandidate  `json:"candidates,omitempty"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+// TraceView pins a decision to the telemetry view it consumed.
+type TraceView struct {
+	// Gen is the series append generation the view was reduced from.
+	Gen       uint64 `json:"gen"`
+	Samples   int    `json:"samples"`
+	Fresh     bool   `json:"fresh"`
+	Truncated bool   `json:"truncated,omitempty"`
+}
+
+// TraceCandidate is one considered target and, if rejected, why.
+type TraceCandidate struct {
+	ID     string `json:"id"`
+	Chosen bool   `json:"chosen,omitempty"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// TraceQuery filters GET /v1/traces. Zero filter fields match everything;
+// Limit/Offset paginate the matching spans.
+type TraceQuery struct {
+	TraceID string
+	Entity  string
+	Kind    string
+	Limit   int
+	Offset  int
+}
+
+// TraceList is the paginated GET /v1/traces body, ordered by trace ID then
+// span start time.
+type TraceList struct {
+	Items      []TraceSpan `json:"items"`
+	Total      int         `json:"total"`
+	NextOffset int         `json:"nextOffset,omitempty"`
 }
 
 // ---------------------------------------------------------------------------

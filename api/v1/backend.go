@@ -40,6 +40,10 @@ type Backend interface {
 	StopConsolidation(ctx context.Context) (ConsolidationStatusList, error)
 	// Metrics snapshots control-plane counters, gauges and series.
 	Metrics(ctx context.Context) (MetricsSnapshot, error)
+	// ListTraces returns finished decision spans matching the query,
+	// ordered by trace ID then start time. Backends without a tracer
+	// return an empty list, not an error.
+	ListTraces(ctx context.Context, q TraceQuery) (TraceList, error)
 	// ListSeries lists the telemetry series keys, sorted by entity then
 	// metric.
 	ListSeries(ctx context.Context) ([]SeriesKey, error)

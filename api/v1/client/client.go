@@ -299,6 +299,23 @@ func (c *Client) QuerySeries(ctx context.Context, q apiv1.SeriesQuery) (apiv1.Se
 	return out, err
 }
 
+// ListTraces implements apiv1.Backend.
+func (c *Client) ListTraces(ctx context.Context, q apiv1.TraceQuery) (apiv1.TraceList, error) {
+	vals := pageQuery(q.Limit, q.Offset)
+	if q.TraceID != "" {
+		vals.Set("traceId", q.TraceID)
+	}
+	if q.Entity != "" {
+		vals.Set("entity", q.Entity)
+	}
+	if q.Kind != "" {
+		vals.Set("kind", q.Kind)
+	}
+	var out apiv1.TraceList
+	err := c.do(ctx, http.MethodGet, "/v1/traces", vals, nil, &out)
+	return out, err
+}
+
 // Watch implements apiv1.Backend: it consumes the server's /v1/watch SSE
 // stream, replaying retained events with seq >= from before following live.
 // The stream is exempt from the client's per-request timeout; cancel ctx or

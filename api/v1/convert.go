@@ -159,6 +159,15 @@ func FromRegistry(r *metrics.Registry) MetricsSnapshot {
 				P50: s.P50, P95: s.P95, P99: s.P99, Stddev: s.Stddev,
 			}
 		}
+		if h, ok := r.Histogram(name); ok && h.Count > 0 {
+			if snap.Histograms == nil {
+				snap.Histograms = make(map[string]Histogram)
+			}
+			snap.Histograms[name] = Histogram{
+				Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max,
+				Bounds: h.Bounds, Counts: h.Counts,
+			}
+		}
 	}
 	return snap
 }

@@ -21,6 +21,7 @@ import (
 
 	apiv1 "snooze/api/v1"
 	"snooze/internal/metrics"
+	"snooze/internal/obs"
 	"snooze/internal/protocol"
 	"snooze/internal/telemetry"
 	"snooze/internal/transport"
@@ -50,6 +51,10 @@ type Config struct {
 	// demand=p95 consolidation dry runs window the hub correctly. Nil falls
 	// back to this backend's own uptime.
 	Now func() time.Duration
+	// Tracer is the process-wide decision tracer served by GET /v1/traces —
+	// pass the tracer the manager processes record into (cmd/snoozed wires
+	// this). Nil keeps the route working with an empty list.
+	Tracer *obs.Tracer
 }
 
 // Backend serves the api/v1 control plane from a live hierarchy.
@@ -342,6 +347,11 @@ func (b *Backend) ListSeries(ctx context.Context) ([]apiv1.SeriesKey, error) {
 // QuerySeries implements Backend.
 func (b *Backend) QuerySeries(ctx context.Context, q apiv1.SeriesQuery) (apiv1.SeriesData, error) {
 	return apiv1.QueryHubSeries(b.cfg.Telemetry, q)
+}
+
+// ListTraces implements Backend over the process decision tracer.
+func (b *Backend) ListTraces(ctx context.Context, q apiv1.TraceQuery) (apiv1.TraceList, error) {
+	return apiv1.QueryTraces(b.cfg.Tracer, q), nil
 }
 
 // Watch implements Backend over the process telemetry hub.

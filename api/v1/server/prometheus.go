@@ -1,0 +1,96 @@
+package server
+
+// Prometheus text-format exposition (stdlib only, format version 0.0.4).
+// The handler renders the backend's MetricsSnapshot — counters, gauges and
+// fixed-bucket histograms — so it works over any Backend, including the
+// typed HTTP client chaining to a remote deployment. Mount it at /metrics
+// (outside the /v1 prefix, following Prometheus convention).
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	apiv1 "snooze/api/v1"
+)
+
+// PrometheusHandler serves the backend's metrics in Prometheus text format.
+func (s *Server) PrometheusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := s.ctx(r)
+		defer cancel()
+		snap, err := s.backend.Metrics(ctx)
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(RenderPrometheus(snap)))
+	})
+}
+
+// RenderPrometheus renders a metrics snapshot as Prometheus text format:
+// counters as `snooze_<name>_total`, gauges as `snooze_<name>`, histograms
+// as the conventional `_bucket`/`_sum`/`_count` triplet with cumulative
+// `le` labels. Metric names are sanitized (dots and dashes to underscores),
+// so e.g. the "placement.duration.seconds" series becomes
+// snooze_placement_duration_seconds.
+func RenderPrometheus(snap apiv1.MetricsSnapshot) string {
+	var b strings.Builder
+	for _, name := range sortedNames(snap.Counters) {
+		pn := promName(name) + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", pn, pn, snap.Counters[name])
+	}
+	for _, name := range sortedNames(snap.Gauges) {
+		pn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", pn, pn, formatFloat(snap.Gauges[name]))
+	}
+	for _, name := range sortedNames(snap.Histograms) {
+		h := snap.Histograms[name]
+		pn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", pn)
+		// Prometheus buckets are cumulative; the snapshot's are per-bucket.
+		var cum int64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d\n", pn, formatFloat(bound), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+		fmt.Fprintf(&b, "%s_sum %s\n", pn, formatFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", pn, h.Count)
+	}
+	return b.String()
+}
+
+// promName sanitizes a registry metric name into a Prometheus one under the
+// snooze_ namespace.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("snooze_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedNames[T any](m map[string]T) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

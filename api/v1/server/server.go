@@ -57,6 +57,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/consolidations/start", s.handleConsolidationCtl(apiv1.Backend.StartConsolidation))
 	mux.HandleFunc("POST /v1/consolidations/stop", s.handleConsolidationCtl(apiv1.Backend.StopConsolidation))
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	mux.HandleFunc("GET /v1/series", s.handleSeries)
 	mux.HandleFunc("GET /v1/watch", s.handleWatch)
 	mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
@@ -216,6 +217,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleTraces serves the decision-trace store: finished spans of the
+// autonomic loop, filterable by trace ID, entity and span kind.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.ctx(r)
+	defer cancel()
+	limit, offset, ok := pageParams(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	list, err := s.backend.ListTraces(ctx, apiv1.TraceQuery{
+		TraceID: q.Get("traceId"),
+		Entity:  q.Get("entity"),
+		Kind:    q.Get("kind"),
+		Limit:   limit,
+		Offset:  offset,
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	list.Items = emptyAsSlice(list.Items)
+	writeJSON(w, http.StatusOK, list)
 }
 
 // handleSeries serves the telemetry store: without an entity parameter it

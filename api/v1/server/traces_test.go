@@ -1,0 +1,113 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	apiv1 "snooze/api/v1"
+)
+
+// TestTracesAndPrometheusEndToEnd drives a submission through the full
+// client → server → simulated cluster path, then reads the decision trace
+// back over /v1/traces and the latency histograms over /metrics.
+func TestTracesAndPrometheusEndToEnd(t *testing.T) {
+	f := newFixture(t)
+	ctx := context.Background()
+
+	spec := apiv1.VMSpec{ID: "traced-vm", Requested: apiv1.Resources{CPU: 1, MemoryMB: 1024, NetRxMbps: 10, NetTxMbps: 10}}
+	result, err := f.cli.SubmitVMs(ctx, []apiv1.VMSpec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(result.Placed) != 1 {
+		t.Fatalf("submit: %+v", result)
+	}
+
+	// The VM's trace over the wire: dispatch root + placement child.
+	list, err := f.cli.ListTraces(ctx, apiv1.TraceQuery{Entity: "vm/traced-vm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Items) < 2 {
+		t.Fatalf("ListTraces: %d spans, want >= 2 (%+v)", len(list.Items), list)
+	}
+	var dispatch, placement *apiv1.TraceSpan
+	for i := range list.Items {
+		switch list.Items[i].Kind {
+		case "dispatch":
+			dispatch = &list.Items[i]
+		case "placement":
+			placement = &list.Items[i]
+		}
+	}
+	if dispatch == nil || placement == nil {
+		t.Fatalf("missing span kinds: %+v", list.Items)
+	}
+	if placement.TraceID != dispatch.TraceID || placement.Parent != dispatch.SpanID {
+		t.Fatalf("broken parentage: dispatch=%+v placement=%+v", dispatch, placement)
+	}
+
+	// Filtering by trace ID and by kind narrows correctly.
+	byID, err := f.cli.ListTraces(ctx, apiv1.TraceQuery{TraceID: dispatch.TraceID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byID.Items) != len(list.Items) {
+		t.Fatalf("ListTraces(traceId) = %d spans, want %d", len(byID.Items), len(list.Items))
+	}
+	byKind, err := f.cli.ListTraces(ctx, apiv1.TraceQuery{TraceID: dispatch.TraceID, Kind: "placement"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byKind.Items) != 1 {
+		t.Fatalf("ListTraces(kind=placement) = %d spans, want 1", len(byKind.Items))
+	}
+
+	// Pagination: limit=1 pages through the trace.
+	page, err := f.cli.ListTraces(ctx, apiv1.TraceQuery{TraceID: dispatch.TraceID, Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Items) != 1 || page.Total != len(list.Items) || page.NextOffset != 1 {
+		t.Fatalf("pagination: %+v", page)
+	}
+
+	// Prometheus exposition renders the span-duration histograms the Finish
+	// path observed, with non-zero counts after the traffic above.
+	srv := httptest.NewServer(New(f.backend).PrometheusHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE snooze_placement_duration_seconds histogram",
+		"snooze_placement_duration_seconds_bucket{le=\"+Inf\"}",
+		"snooze_placement_duration_seconds_count",
+		"# TYPE snooze_gl_submissions_total counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "snooze_placement_duration_seconds_count ") {
+			if strings.TrimPrefix(line, "snooze_placement_duration_seconds_count ") == "0" {
+				t.Fatalf("placement histogram has zero count: %s", line)
+			}
+		}
+	}
+}

@@ -283,6 +283,13 @@ func (b *Backend) QuerySeries(ctx context.Context, q apiv1.SeriesQuery) (apiv1.S
 	return apiv1.QueryHubSeries(b.c.Telemetry, q)
 }
 
+// ListTraces implements Backend over the cluster's decision tracer. The
+// trace store is internally sharded and lock-protected, so — like the
+// telemetry reads above — this skips the kernel slot.
+func (b *Backend) ListTraces(ctx context.Context, q apiv1.TraceQuery) (apiv1.TraceList, error) {
+	return apiv1.QueryTraces(b.c.Tracer, q), nil
+}
+
 // Watch implements Backend. Events flow while virtual time advances — any
 // concurrent control-plane call (or direct kernel driving by the test /
 // example that owns the cluster) pumps the stream.

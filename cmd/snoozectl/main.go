@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	apiv1 "snooze/api/v1"
@@ -236,6 +237,18 @@ func main() {
 		// internally, and after a voluntary -n break a stale one would
 		// race the next delivery's reset.
 
+	case "trace":
+		if len(args) < 2 {
+			usage()
+		}
+		list, err := queryTraces(ctx, cli, args[1])
+		fatalIf(err)
+		if len(list.Items) == 0 {
+			fmt.Printf("no decision traces for %q (tracing samples every trace by default; see snoozed -trace-sample)\n", args[1])
+			break
+		}
+		printTraces(list.Items)
+
 	case "experiment":
 		if len(args) < 2 {
 			usage()
@@ -249,6 +262,115 @@ func main() {
 
 	default:
 		usage()
+	}
+}
+
+// queryTraces resolves the trace argument: a bare ID is tried as a VM first
+// ("trace vm-123" is the common case), then as a trace ID; an entity path
+// like node/n1 or gm/gm-00 is used verbatim. Entity matches are widened to
+// their full traces so the output shows the whole decision chain, not only
+// the spans naming that entity.
+func queryTraces(ctx context.Context, cli *apiclient.Client, arg string) (apiv1.TraceList, error) {
+	entity := arg
+	if !strings.Contains(arg, "/") {
+		entity = "vm/" + arg
+	}
+	list, err := cli.ListTraces(ctx, apiv1.TraceQuery{Entity: entity})
+	if err != nil {
+		return apiv1.TraceList{}, err
+	}
+	if len(list.Items) == 0 && !strings.Contains(arg, "/") {
+		if list, err = cli.ListTraces(ctx, apiv1.TraceQuery{TraceID: arg}); err != nil {
+			return apiv1.TraceList{}, err
+		}
+		return list, nil
+	}
+	// Widen each matched trace to its complete span chain.
+	seen := map[string]bool{}
+	var full apiv1.TraceList
+	for _, sp := range list.Items {
+		if seen[sp.TraceID] {
+			continue
+		}
+		seen[sp.TraceID] = true
+		chain, err := cli.ListTraces(ctx, apiv1.TraceQuery{TraceID: sp.TraceID})
+		if err != nil {
+			return apiv1.TraceList{}, err
+		}
+		full.Items = append(full.Items, chain.Items...)
+	}
+	full.Total = len(full.Items)
+	return full, nil
+}
+
+// printTraces renders span chains grouped by trace, children indented under
+// their parents, with the decision evidence (policy, capacity-view
+// generation, per-candidate rejection reasons) each span recorded.
+func printTraces(spans []apiv1.TraceSpan) {
+	byTrace := map[string][]apiv1.TraceSpan{}
+	var order []string
+	for _, sp := range spans {
+		if _, ok := byTrace[sp.TraceID]; !ok {
+			order = append(order, sp.TraceID)
+		}
+		byTrace[sp.TraceID] = append(byTrace[sp.TraceID], sp)
+	}
+	for _, tid := range order {
+		fmt.Printf("trace %s\n", tid)
+		chain := byTrace[tid]
+		children := map[string][]apiv1.TraceSpan{}
+		var roots []apiv1.TraceSpan
+		byID := map[string]bool{}
+		for _, sp := range chain {
+			byID[sp.SpanID] = true
+		}
+		for _, sp := range chain {
+			if sp.Parent != "" && byID[sp.Parent] {
+				children[sp.Parent] = append(children[sp.Parent], sp)
+			} else {
+				roots = append(roots, sp)
+			}
+		}
+		var walk func(sp apiv1.TraceSpan, depth int)
+		walk = func(sp apiv1.TraceSpan, depth int) {
+			printSpan(sp, depth)
+			for _, c := range children[sp.SpanID] {
+				walk(c, depth+1)
+			}
+		}
+		for _, r := range roots {
+			walk(r, 1)
+		}
+	}
+}
+
+func printSpan(sp apiv1.TraceSpan, depth int) {
+	indent := strings.Repeat("  ", depth)
+	fmt.Printf("%s%-12s %-16s", indent, sp.Kind, sp.Entity)
+	if sp.Policy != "" {
+		fmt.Printf(" policy=%s", sp.Policy)
+	}
+	if sp.Target != "" {
+		fmt.Printf(" -> %s", sp.Target)
+	}
+	fmt.Printf(" [%s, %s]", sp.Outcome, time.Duration(sp.EndNs-sp.StartNs))
+	if v := sp.View; v != nil {
+		fmt.Printf(" view(gen=%d samples=%d fresh=%t", v.Gen, v.Samples, v.Fresh)
+		if v.Truncated {
+			fmt.Printf(" truncated")
+		}
+		fmt.Printf(")")
+	}
+	for _, k := range sortedKeys(sp.Attrs) {
+		fmt.Printf(" %s=%s", k, sp.Attrs[k])
+	}
+	fmt.Println()
+	for _, c := range sp.Candidates {
+		if c.Chosen {
+			fmt.Printf("%s  + %-16s chosen\n", indent, c.ID)
+		} else {
+			fmt.Printf("%s  - %-16s rejected: %s\n", indent, c.ID, c.Reason)
+		}
 	}
 }
 
@@ -327,6 +449,9 @@ commands:
                           list telemetry series, or dump one as a table
   watch [-from SEQ] [-n N]
                           stream telemetry events (overloads, vm.state, ...)
+  trace VM-ID|TRACE-ID|ENTITY
+                          show decision traces (dispatch -> placement chain
+                          with per-candidate rejection reasons)
   experiment ID           reproduce one evaluation table (e1..e8, a1, a2)`)
 	os.Exit(2)
 }

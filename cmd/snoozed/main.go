@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,6 +49,7 @@ import (
 	"snooze/internal/hierarchy"
 	"snooze/internal/hypervisor"
 	"snooze/internal/metrics"
+	"snooze/internal/obs"
 	"snooze/internal/protocol"
 	"snooze/internal/rest"
 	"snooze/internal/scheduling"
@@ -84,6 +86,8 @@ func main() {
 	consolidationPeriod := flag.Duration("consolidation-period", 0, "control role: online consolidation round period (0 = default 30s)")
 	consolidationBudget := flag.Int("consolidation-budget", 0, "control role: migrations per consolidation round (0 = default 4; <0 unlimited)")
 	consolidationColonies := flag.Int("consolidation-colonies", 0, "control role: parallel ant colonies per consolidation round (0 = default 4)")
+	traceSample := flag.Int("trace-sample", 1, "control role: record every Nth decision trace (<=1 records all)")
+	pprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (profiling is opt-in)")
 	flag.Parse()
 
 	rt := simkernel.NewWallRuntime()
@@ -126,11 +130,24 @@ func main() {
 			Store:   telemetry.StoreConfig{SeriesCapacity: *seriesCapacity, Tiers: tiers},
 		})
 		svc := coord.NewService(rt)
+		// One decision tracer per control process: every manager records its
+		// dispatch/placement/relocation spans into it and GET /v1/traces reads
+		// them back. Span completions also land in the journal as
+		// decision.trace events, so /v1/watch streams them.
+		tracer := obs.New(obs.Config{
+			Sample:  *traceSample,
+			Now:     rt.Now,
+			Metrics: reg,
+			Emit: func(entity string, attrs map[string]string) {
+				tel.Emit(telemetry.EventDecisionTrace, entity, rt.Now(), attrs)
+			},
+		})
 		for i := 0; i < *managers; i++ {
 			id := types.GroupManagerID(fmt.Sprintf("gm-%02d", i))
 			cfg := hierarchy.DefaultManagerConfig(id, transport.Address("mgr:"+string(id)))
 			cfg.Metrics = reg
 			cfg.Telemetry = tel
+			cfg.Tracer = tracer
 			cfg.ViewHorizon = *viewHorizon
 			cfg.VMLivenessGrace = *vmLivenessGrace
 			cfg.Consolidation = online.Config{
@@ -172,11 +189,13 @@ func main() {
 			Metrics:   reg,
 			Telemetry: tel,
 			Now:       rt.Now,
+			Tracer:    tracer,
 		})
 		api := apiserver.New(backend)
 		api.StreamContext = ctx
 		mux.Handle("/v1/", api.Handler())
-		log.Printf("api/v1 mounted at /v1")
+		mux.Handle("/metrics", api.PrometheusHandler())
+		log.Printf("api/v1 mounted at /v1 (Prometheus exposition at /metrics)")
 	case "node":
 		spec := types.NodeSpec{ID: types.NodeID(*nodeID), Capacity: types.RV(*cpu, *memMB, 1000, 1000)}
 		node := hypervisor.NewNode(rt, spec, hypervisor.DefaultConfig())
@@ -190,6 +209,18 @@ func main() {
 		log.Fatalf("unknown role %q (want control|node)", *role)
 	}
 	_ = protocol.GroupGL // groups are wired through the peers file
+
+	if *pprof {
+		// net/http/pprof self-registers on DefaultServeMux, which this
+		// process does not serve; mount its handlers explicitly so profiling
+		// stays opt-in.
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		log.Printf("pprof mounted at /debug/pprof/")
+	}
 
 	srv := rest.NewServer(bus, 60*time.Second)
 	mux.Handle("/", srv.Handler())

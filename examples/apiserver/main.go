@@ -39,7 +39,10 @@ func main() {
 	backend := snooze.NewSimBackend(c, 0)
 	api := snooze.NewAPIServer(backend)
 	api.StreamContext = ctx
-	httpSrv := &http.Server{Handler: api.Handler()}
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", api.Handler())
+	mux.Handle("/metrics", api.PrometheusHandler())
+	httpSrv := &http.Server{Handler: mux}
 	go func() { _ = httpSrv.Serve(ln) }()
 	base := "http://" + ln.Addr().String()
 	fmt.Printf("api/v1 serving the simulated cluster at %s\n\n", base)
@@ -95,6 +98,19 @@ func main() {
 	}
 	fmt.Printf("control-plane counters: %d submissions, %d placements ok\n",
 		snap.Counters["gl.submissions"], snap.Counters["gm.place-ok"])
+
+	// Decision traces: the submit above left one trace per VM — a dispatch
+	// root span with the GM probe order and a placement child span carrying
+	// per-candidate rejection reasons. (`snoozectl trace vm-00` renders the
+	// same chain; `curl <base>/metrics` exposes the latency histograms.)
+	traces, err := cli.ListTraces(ctx, apiv1.TraceQuery{Entity: "vm/vm-00"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, sp := range traces.Items {
+		fmt.Printf("trace %s span %s: %s %s policy=%s -> %s (%s)\n",
+			sp.TraceID, sp.SpanID, sp.Kind, sp.Entity, sp.Policy, sp.Target, sp.Outcome)
+	}
 
 	// Keep serving for interactive exploration (snoozectl -server <base>);
 	// ctrl-C shuts the server down gracefully.

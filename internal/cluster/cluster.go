@@ -16,6 +16,7 @@ import (
 	"snooze/internal/hierarchy"
 	"snooze/internal/hypervisor"
 	"snooze/internal/metrics"
+	"snooze/internal/obs"
 	"snooze/internal/protocol"
 	"snooze/internal/simkernel"
 	"snooze/internal/telemetry"
@@ -43,6 +44,10 @@ type Config struct {
 	MeterPeriod time.Duration
 	// Metrics receives counters from all managers (created when nil).
 	Metrics *metrics.Registry
+	// Tracer records decision traces across the hierarchy (created when
+	// nil, clocked by the sim kernel and journaling decision.trace events
+	// on the telemetry hub).
+	Tracer *obs.Tracer
 	// Telemetry is the deployment-wide telemetry hub shared by every manager
 	// (created when nil, with detector thresholds mirroring LC.Thresholds so
 	// the GM-side detector and the LC-side classifier agree).
@@ -83,6 +88,7 @@ type Cluster struct {
 	Client    *hierarchy.Client
 	Metrics   *metrics.Registry
 	Telemetry *telemetry.Hub
+	Tracer    *obs.Tracer
 	AutoRole  *hierarchy.AutoRole
 
 	cfg   Config
@@ -115,6 +121,16 @@ func New(cfg Config) *Cluster {
 		})
 	}
 	k := simkernel.New(cfg.Seed)
+	if cfg.Tracer == nil {
+		hub := cfg.Telemetry
+		cfg.Tracer = obs.New(obs.Config{
+			Now:     k.Now,
+			Metrics: cfg.Metrics,
+			Emit: func(entity string, attrs map[string]string) {
+				hub.Emit(telemetry.EventDecisionTrace, entity, k.Now(), attrs)
+			},
+		})
+	}
 	bus := transport.NewBus(k, cfg.Bus)
 	svc := coord.NewService(k)
 	c := &Cluster{
@@ -125,6 +141,7 @@ func New(cfg Config) *Cluster {
 		LCs:       make(map[types.NodeID]*hierarchy.LC),
 		Metrics:   cfg.Metrics,
 		Telemetry: cfg.Telemetry,
+		Tracer:    cfg.Tracer,
 		cfg:       cfg,
 	}
 
@@ -157,6 +174,7 @@ func New(cfg Config) *Cluster {
 		}
 		mcfg.Metrics = cfg.Metrics
 		mcfg.Telemetry = cfg.Telemetry
+		mcfg.Tracer = cfg.Tracer
 		m := hierarchy.NewManager(k, bus, svc, mcfg)
 		c.Managers = append(c.Managers, m)
 		if err := m.Start(); err != nil {
@@ -191,6 +209,7 @@ func New(cfg Config) *Cluster {
 			}
 			mcfg.Metrics = cfg.Metrics
 			mcfg.Telemetry = cfg.Telemetry
+			mcfg.Tracer = cfg.Tracer
 			m := hierarchy.NewManager(k, bus, svc, mcfg)
 			if err := m.Start(); err != nil {
 				return nil, err

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"snooze/internal/obs"
+	"snooze/internal/scheduling"
+	"snooze/internal/telemetry"
+	"snooze/internal/types"
+	"snooze/internal/workload"
+)
+
+// TestDecisionTraceAcrossDispatchAndPlacement is the end-to-end check for
+// the decision-tracing pipeline: a VM submission must leave one trace whose
+// dispatch root (GL) and placement child (GM) are linked by parentage, with
+// the placement span carrying percentile-fit's per-candidate rejection
+// reasons and the capacity-view generation the decision was priced from.
+func TestDecisionTraceAcrossDispatchAndPlacement(t *testing.T) {
+	top := workload.Grid5000Topology(8, 2)
+	cfg := DefaultConfig(top, 17)
+	cfg.Manager.Placement = scheduling.PercentileFitPlacement{}
+	c := New(cfg)
+	c.Settle(2 * time.Minute) // hierarchy formed, telemetry flowing
+
+	resp, err := c.SubmitAndWait([]types.VMSpec{vmSpec("traced", 1, 1024)}, 2*time.Minute)
+	if err != nil || len(resp.Placed) != 1 {
+		t.Fatalf("submit: %+v %v", resp, err)
+	}
+
+	recs := c.Tracer.Select(obs.Query{Entity: telemetry.VMEntity("traced")})
+	var dispatch, placement *obs.Record
+	for i := range recs {
+		switch recs[i].Kind {
+		case obs.KindDispatch:
+			dispatch = &recs[i]
+		case obs.KindPlacement:
+			placement = &recs[i]
+		}
+	}
+	if dispatch == nil || placement == nil {
+		t.Fatalf("want dispatch and placement spans, got %+v", recs)
+	}
+
+	// One trace end to end, linked by parentage across the GL→GM hop.
+	if dispatch.TraceID != placement.TraceID {
+		t.Fatalf("trace split across hops: dispatch=%s placement=%s", dispatch.TraceID, placement.TraceID)
+	}
+	if placement.Parent != dispatch.SpanID {
+		t.Fatalf("placement.Parent = %q, want dispatch span %q", placement.Parent, dispatch.SpanID)
+	}
+	if dispatch.Parent != "" {
+		t.Fatalf("dispatch must be the trace root, has parent %q", dispatch.Parent)
+	}
+	if dispatch.Outcome != "placed" || placement.Outcome != "placed" {
+		t.Fatalf("outcomes: dispatch=%q placement=%q", dispatch.Outcome, placement.Outcome)
+	}
+
+	// The evidence: deciding policy, chosen target, and — with 4 nodes per
+	// group — at least one candidate percentile-fit rejected, with a reason.
+	if placement.Policy != "percentile-fit" {
+		t.Fatalf("placement.Policy = %q", placement.Policy)
+	}
+	if placement.Target == "" || placement.Target != string(resp.Placed["traced"]) {
+		t.Fatalf("placement.Target = %q, placed on %q", placement.Target, resp.Placed["traced"])
+	}
+	chosen, rejected := 0, 0
+	for _, cand := range placement.Candidates {
+		if cand.Chosen {
+			chosen++
+			continue
+		}
+		rejected++
+		if cand.Reason == "" {
+			t.Fatalf("rejected candidate %q has no reason", cand.ID)
+		}
+	}
+	if chosen != 1 || rejected == 0 {
+		t.Fatalf("candidates: chosen=%d rejected=%d (%+v)", chosen, rejected, placement.Candidates)
+	}
+
+	// The capacity view the decision consumed is pinned by generation — the
+	// cluster has been running monitoring for minutes, so it cannot be 0.
+	if placement.View.Gen == 0 {
+		t.Fatalf("placement.View.Gen = 0, want the telemetry append generation (view evidence missing)")
+	}
+
+	// Span completion also journals a decision.trace event carrying the
+	// trace ID, so watch streams correlate with /v1/traces.
+	found := false
+	for _, ev := range c.Telemetry.Journal().Replay(0, 1<<20) {
+		if ev.Type == telemetry.EventDecisionTrace && ev.Attrs["trace"] == dispatch.TraceID && ev.Attrs["kind"] == obs.KindDispatch {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no decision.trace journal event for trace %s", dispatch.TraceID)
+	}
+}

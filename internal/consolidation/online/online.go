@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"snooze/internal/consolidation"
+	"snooze/internal/obs"
 	"snooze/internal/simkernel"
 	"snooze/internal/telemetry"
 	"snooze/internal/types"
@@ -81,6 +82,10 @@ type Config struct {
 	// MinNodes is the minimum active node count worth consolidating
 	// (DefaultMinNodes when zero).
 	MinNodes int
+	// Tracer records a consolidation.round span per round and a
+	// consolidation.migration child span per planned migration (nil
+	// disables tracing).
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -202,6 +207,7 @@ type Optimizer struct {
 	last    *RoundInfo
 
 	// Current plan execution state (valid while inRound).
+	span    obs.Span // round span (no-op when tracing is off)
 	plan    []types.Migration
 	next    int
 	applied []types.Migration // successfully executed moves, in order
@@ -241,6 +247,7 @@ func (o *Optimizer) Stop() {
 	o.running = false
 	o.gen++
 	o.inRound = false
+	o.span = obs.Span{}
 	o.plan = nil
 	o.start = nil
 	if o.ticker != nil {
@@ -282,13 +289,19 @@ func (o *Optimizer) tick() {
 	}
 	o.inRound = true
 	gen := o.gen
+	// The round is trace-root: the period tick, not a request, started it;
+	// its migrations become child spans.
+	span := o.cfg.Tracer.StartTrace(obs.KindConsolidationRound, "consolidation")
+	o.span = span
 	o.mu.Unlock()
 
 	snap, ok := o.host.ConsolidationSnapshot()
 	if !ok || len(snap.Nodes) < o.cfg.MinNodes || len(snap.VMs) == 0 {
 		o.mu.Lock()
 		o.inRound = false
+		o.span = obs.Span{}
 		o.mu.Unlock()
+		span.Finish("skipped")
 		return
 	}
 	o.runRound(gen, snap)
@@ -416,6 +429,13 @@ func (o *Optimizer) roundNumber() uint64 {
 	return o.round
 }
 
+// roundSpan returns the current round's span (a no-op span between rounds).
+func (o *Optimizer) roundSpan() obs.Span {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.span
+}
+
 // executeNext issues the next migration of the current plan, re-validating it
 // against fresh views first. A tripped gate cancels the remainder of the
 // plan; an exhausted plan finishes the round.
@@ -436,10 +456,15 @@ func (o *Optimizer) executeNext(gen uint64) {
 		o.next++
 		o.mu.Unlock()
 
+		sp := o.cfg.Tracer.StartSpan(obs.KindConsolidationMigration, telemetry.VMEntity(m.VM), o.roundSpan().Context())
+		sp.SetTarget(string(m.To))
+		sp.Annotate("from", string(m.From))
 		if reason, tripped := o.revalidate(m); tripped {
 			// The trends the plan was computed from have shifted under it:
 			// cancel this migration and the rest of the plan. The next round
 			// re-plans from live state.
+			sp.Annotate("reason", reason)
+			sp.Finish("cancelled")
 			o.host.Mark("gm.consolidation-cancels", 1)
 			o.host.Emit(telemetry.EventConsolidationMigration, telemetry.VMEntity(m.VM), map[string]string{
 				"outcome": "cancelled",
@@ -458,6 +483,11 @@ func (o *Optimizer) executeNext(gen uint64) {
 		}
 
 		o.host.Migrate(m, func(ok bool) {
+			if ok {
+				sp.Finish("executed")
+			} else {
+				sp.Finish("failed")
+			}
 			o.onMigrationDone(gen, m, ok)
 		})
 		return // onMigrationDone chains to the next migration
@@ -528,10 +558,17 @@ func (o *Optimizer) finishRound(gen uint64, info RoundInfo) {
 	}
 	o.last = &info
 	o.inRound = false
+	span := o.span
+	o.span = obs.Span{}
 	o.plan = nil
 	o.start = nil
 	o.mu.Unlock()
 
+	span.Annotate("hostsBefore", fmt.Sprintf("%d", info.HostsBefore))
+	span.Annotate("hostsAfter", fmt.Sprintf("%d", info.HostsAfter))
+	span.Annotate("planned", fmt.Sprintf("%d", info.Planned))
+	span.Annotate("executed", fmt.Sprintf("%d", info.Executed))
+	span.Finish("completed")
 	o.host.Mark("gm.consolidation-rounds", 1)
 	o.host.Emit(telemetry.EventConsolidationRound, "", map[string]string{
 		"round":       fmt.Sprintf("%d", info.Round),

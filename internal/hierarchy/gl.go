@@ -3,8 +3,12 @@ package hierarchy
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
+	"snooze/internal/obs"
 	"snooze/internal/protocol"
+	"snooze/internal/scheduling"
+	"snooze/internal/scheduling/view"
 	"snooze/internal/telemetry"
 	"snooze/internal/transport"
 	"snooze/internal/types"
@@ -275,25 +279,75 @@ func (m *Manager) dispatchVM(spec types.VMSpec, cb func(node types.NodeID, ok bo
 		addrs[gm.id] = gm.addr
 	}
 	sort.Slice(summaries, func(i, j int) bool { return summaries[i].GM < summaries[j].GM })
+	// The dispatch decision opens the trace the rest of the chain joins:
+	// the chosen GM's placement span links back here via the PlaceRequest's
+	// trace attributes.
+	span := m.cfg.Tracer.StartTrace(obs.KindDispatch, telemetry.VMEntity(spec.ID))
+	span.SetPolicy(m.cfg.Dispatch.Name())
+	var ex *scheduling.Explain
+	if span.Enabled() {
+		ex = &scheduling.Explain{}
+	}
 	// Dispatch consumes capacity views: the summaries enriched with windowed
 	// statistics of each group's util series (fed by glOnSummary).
-	candidates := m.cfg.Dispatch.Candidates(spec, m.views.Groups(m.rt.Now(), summaries))
+	groups := m.views.Groups(m.rt.Now(), summaries)
+	candidates := m.cfg.Dispatch.Candidates(spec, groups, ex)
+	var groupStats map[types.GroupManagerID]view.Stats
+	if span.Enabled() {
+		groupStats = make(map[types.GroupManagerID]view.Stats, len(groups))
+		for _, g := range groups {
+			groupStats[g.GM] = g.Stats
+		}
+	}
+	// The policy only ranks; which shortlisted GM wins is decided by the
+	// probe loop below. Candidate evidence is therefore recorded at the end,
+	// once chosen = the GM whose placement succeeded (empty when none did)
+	// and probed = how deep the linear search got.
+	recordDispatchCandidates := func(chosen types.GroupManagerID, probed int) {
+		if ex == nil {
+			return
+		}
+		probeIndex := make(map[string]int, len(candidates))
+		for i, id := range candidates {
+			probeIndex[string(id)] = i
+		}
+		for _, c := range ex.Candidates {
+			reason := c.Reason
+			if c.ID == string(chosen) {
+				span.Candidate(c.ID, true, "")
+				continue
+			}
+			if reason == "" { // shortlisted, not chosen: why not?
+				if i, ok := probeIndex[c.ID]; ok && i < probed {
+					reason = "place-rejected"
+				} else {
+					reason = "not-probed"
+				}
+			}
+			span.Candidate(c.ID, false, reason)
+		}
+	}
 	m.mu.Unlock()
 
 	if len(candidates) == 0 {
 		m.mark("gl.dispatch-no-candidates", 1)
+		recordDispatchCandidates("", 0)
+		span.Finish("no-candidates")
 		cb("", false)
 		return
 	}
+	sc := span.Context()
 	var probe func(i int)
 	probe = func(i int) {
 		if i >= len(candidates) {
 			m.mark("gl.dispatch-exhausted", 1)
+			recordDispatchCandidates("", len(candidates))
+			span.Finish("exhausted")
 			cb("", false)
 			return
 		}
 		addr := addrs[candidates[i]]
-		preq := protocol.PlaceRequest{VMs: []types.VMSpec{spec}}
+		preq := protocol.PlaceRequest{VMs: []types.VMSpec{spec}, TraceID: sc.TraceID, ParentSpan: sc.SpanID}
 		m.bus.Call(m.cfg.Addr, addr, protocol.KindPlace, preq, m.cfg.CallTimeout, func(reply any, err error) {
 			if err == nil {
 				if pr, ok := reply.(protocol.PlaceResponse); ok {
@@ -308,6 +362,14 @@ func (m *Manager) dispatchVM(spec types.VMSpec, cb func(node types.NodeID, ok bo
 							gm.summary.VMs++
 						}
 						m.mu.Unlock()
+						span.SetTarget(string(candidates[i]))
+						if st, ok := groupStats[candidates[i]]; ok {
+							span.SetView(st.Gen, st.Samples, st.Fresh, st.Truncated)
+						}
+						span.Annotate("node", string(node))
+						span.Annotate("probe-depth", strconv.Itoa(i+1))
+						recordDispatchCandidates(candidates[i], i)
+						span.Finish("placed")
 						cb(node, true)
 						return
 					}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"snooze/internal/consolidation"
+	"snooze/internal/obs"
 	"snooze/internal/protocol"
 	"snooze/internal/scheduling"
 	"snooze/internal/scheduling/view"
@@ -346,22 +347,45 @@ func (m *Manager) gmOnPlace(req *transport.Request) {
 			req.Respond(resp)
 		}
 	}
+	parent := obs.SpanContext{TraceID: pr.TraceID, SpanID: pr.ParentSpan}
 	for _, spec := range pr.VMs {
 		spec := spec
-		m.placeVM(spec, func(node types.NodeID, ok bool) { finishOne(spec.ID, node, ok) })
+		m.placeVM(spec, parent, func(node types.NodeID, ok bool) { finishOne(spec.ID, node, ok) })
 	}
 }
 
 // placeVM runs one VM through the placement policy; cb is invoked exactly
-// once with the outcome.
-func (m *Manager) placeVM(spec types.VMSpec, cb func(node types.NodeID, ok bool)) {
+// once with the outcome. parent is the dispatch span that probed this GM
+// (invalid when the submission was untraced).
+func (m *Manager) placeVM(spec types.VMSpec, parent obs.SpanContext, cb func(node types.NodeID, ok bool)) {
 	m.mu.Lock()
 	if m.stopped || m.role != RoleGM {
 		m.mu.Unlock()
 		cb("", false)
 		return
 	}
-	nodeID, ok := m.cfg.Placement.Place(spec, m.activeViewsLocked())
+	span := m.cfg.Tracer.StartSpan(obs.KindPlacement, telemetry.VMEntity(spec.ID), parent)
+	span.SetPolicy(m.cfg.Placement.Name())
+	var ex *scheduling.Explain
+	if span.Enabled() {
+		ex = &scheduling.Explain{}
+	}
+	nodes := m.activeViewsLocked()
+	nodeID, ok := m.cfg.Placement.Place(spec, nodes, ex)
+	if span.Enabled() {
+		for _, c := range ex.Candidates {
+			span.Candidate(c.ID, c.Chosen, c.Reason)
+		}
+		if ok {
+			span.SetTarget(string(nodeID))
+			for _, n := range nodes {
+				if n.Spec.ID == nodeID {
+					span.SetView(n.Stats.Gen, n.Stats.Samples, n.Stats.Fresh, n.Stats.Truncated)
+					break
+				}
+			}
+		}
+	}
 	if !ok {
 		// No active LC fits. Queue for a wake if energy management can
 		// create capacity, else fail fast.
@@ -370,6 +394,7 @@ func (m *Manager) placeVM(spec types.VMSpec, cb func(node types.NodeID, ok bool)
 				spec:     spec,
 				deadline: m.rt.Now() + m.cfg.PendingTimeout,
 				respond:  cb,
+				trace:    parent,
 			})
 			m.wakeOneLocked()
 			// Arm the retry heartbeat: if the wake call is lost, no journal
@@ -380,9 +405,11 @@ func (m *Manager) placeVM(spec types.VMSpec, cb func(node types.NodeID, ok bool)
 			m.scheduleEnergyCheckLocked(m.rt.Now() + m.cfg.IdleThreshold/2)
 			m.mu.Unlock()
 			m.mark("gm.place-queued", 1)
+			span.Finish("queued")
 			return
 		}
 		m.mu.Unlock()
+		span.Finish("no-fit")
 		cb("", false)
 		return
 	}
@@ -393,7 +420,9 @@ func (m *Manager) placeVM(spec types.VMSpec, cb func(node types.NodeID, ok bool)
 	addr := rec.addr
 	m.mu.Unlock()
 
-	m.bus.Call(m.cfg.Addr, addr, protocol.KindStartVM, protocol.StartVMRequest{Spec: spec}, m.cfg.CallTimeout,
+	sc := span.Context()
+	sreq := protocol.StartVMRequest{Spec: spec, TraceID: sc.TraceID, ParentSpan: sc.SpanID}
+	m.bus.Call(m.cfg.Addr, addr, protocol.KindStartVM, sreq, m.cfg.CallTimeout,
 		func(reply any, err error) {
 			ack, isAck := reply.(protocol.StartVMResponse)
 			if err != nil || !isAck || !ack.OK {
@@ -405,12 +434,14 @@ func (m *Manager) placeVM(spec types.VMSpec, cb func(node types.NodeID, ok bool)
 				}
 				m.mu.Unlock()
 				m.mark("gm.place-failed", 1)
+				span.Finish("start-failed")
 				cb("", false)
 				return
 			}
 			m.mark("gm.place-ok", 1)
 			m.emit(telemetry.EventVMState, telemetry.VMEntity(spec.ID),
-				map[string]string{"state": "placed", "node": string(nodeID)})
+				vmStateAttrs(sc, "state", "placed", "node", string(nodeID)))
+			span.Finish("placed")
 			cb(nodeID, true)
 		})
 }
@@ -442,8 +473,16 @@ func (m *Manager) wakeOneLocked() {
 	best.waking = true
 	oob := best.oob
 	m.mark("gm.wakes", 1)
+	sp := m.cfg.Tracer.StartTrace(obs.KindEnergy, telemetry.NodeEntity(best.id))
+	sp.Annotate("action", "wake")
 	m.rt.After(0, func() {
-		m.bus.Call(m.cfg.Addr, oob, protocol.KindWakeHost, struct{}{}, m.cfg.CallTimeout, func(any, error) {})
+		m.bus.Call(m.cfg.Addr, oob, protocol.KindWakeHost, struct{}{}, m.cfg.CallTimeout, func(_ any, err error) {
+			if err != nil {
+				sp.Finish("failed")
+				return
+			}
+			sp.Finish("ok")
+		})
 	})
 }
 
@@ -468,19 +507,44 @@ func (m *Manager) drainPending() {
 			continue
 		}
 		m.mu.Lock()
-		nodeID, ok := m.cfg.Placement.Place(p.spec, m.activeViewsLocked())
+		span := m.cfg.Tracer.StartSpan(obs.KindPlacement, telemetry.VMEntity(p.spec.ID), p.trace)
+		span.SetPolicy(m.cfg.Placement.Name())
+		span.Annotate("retry", "pending-queue")
+		var ex *scheduling.Explain
+		if span.Enabled() {
+			ex = &scheduling.Explain{}
+		}
+		nodes := m.activeViewsLocked()
+		nodeID, ok := m.cfg.Placement.Place(p.spec, nodes, ex)
+		if span.Enabled() {
+			for _, c := range ex.Candidates {
+				span.Candidate(c.ID, c.Chosen, c.Reason)
+			}
+		}
 		if !ok {
 			// Still no room: requeue.
 			m.pending = append(m.pending, p)
 			m.mu.Unlock()
+			span.Finish("requeued")
 			continue
+		}
+		if span.Enabled() {
+			span.SetTarget(string(nodeID))
+			for _, n := range nodes {
+				if n.Spec.ID == nodeID {
+					span.SetView(n.Stats.Gen, n.Stats.Samples, n.Stats.Fresh, n.Stats.Truncated)
+					break
+				}
+			}
 		}
 		rec := m.lcs[nodeID]
 		rec.status.Reserved = rec.status.Reserved.Add(p.spec.Requested)
 		rec.status.VMs = append(rec.status.VMs, p.spec.ID)
 		addr := rec.addr
 		m.mu.Unlock()
-		m.bus.Call(m.cfg.Addr, addr, protocol.KindStartVM, protocol.StartVMRequest{Spec: p.spec}, m.cfg.CallTimeout,
+		sc := span.Context()
+		sreq := protocol.StartVMRequest{Spec: p.spec, TraceID: sc.TraceID, ParentSpan: sc.SpanID}
+		m.bus.Call(m.cfg.Addr, addr, protocol.KindStartVM, sreq, m.cfg.CallTimeout,
 			func(reply any, err error) {
 				ack, isAck := reply.(protocol.StartVMResponse)
 				if err != nil || !isAck || !ack.OK {
@@ -490,11 +554,13 @@ func (m *Manager) drainPending() {
 						rec.status.VMs = removeVMID(rec.status.VMs, p.spec.ID)
 					}
 					m.mu.Unlock()
+					span.Finish("start-failed")
 					p.respond("", false)
 					return
 				}
 				m.emit(telemetry.EventVMState, telemetry.VMEntity(p.spec.ID),
-					map[string]string{"state": "placed", "node": string(nodeID)})
+					vmStateAttrs(sc, "state", "placed", "node", string(nodeID)))
+				span.Finish("placed")
 				p.respond(nodeID, true)
 			})
 	}
@@ -557,15 +623,31 @@ func (m *Manager) relocate(kind protocol.AnomalyKind, status types.NodeStatus, s
 		policy = m.cfg.Underload
 	}
 	srcView := m.views.Node(now, status)
+	// A relocation is trace-root: the detector event, not a user request,
+	// started this chain. Its migrations become child spans.
+	span := m.cfg.Tracer.StartTrace(obs.KindRelocation, telemetry.NodeEntity(status.Spec.ID))
+	span.SetPolicy(policy.Name())
+	span.Annotate("anomaly", kind.String())
+	span.SetView(srcView.Stats.Gen, srcView.Stats.Samples, srcView.Stats.Fresh, srcView.Stats.Truncated)
 	if sk, ok := policy.(scheduling.SkipsAnomaly); ok && sk.SkipAnomaly(srcView) {
 		// Deliberate inaction (e.g. trend-relocation judging the spike to be
 		// draining on its own) — in particular, do NOT wake sleeping
 		// capacity for it.
 		m.mark("gm.relocations-skipped", 1)
 		m.mu.Unlock()
+		span.Finish("skipped")
 		return
 	}
-	moves := policy.Relocate(srcView, vms, m.views.Nodes(now, others))
+	var ex *scheduling.Explain
+	if span.Enabled() {
+		ex = &scheduling.Explain{}
+	}
+	moves := policy.Relocate(srcView, vms, m.views.Nodes(now, others), ex)
+	if span.Enabled() {
+		for _, c := range ex.Candidates {
+			span.Candidate(c.ID, c.Chosen, c.Reason)
+		}
+	}
 	if len(moves) == 0 {
 		// An unresolvable overload wakes sleeping capacity (Section III:
 		// "LCs are woken up by the GM in case ... overload situations on
@@ -574,6 +656,7 @@ func (m *Manager) relocate(kind protocol.AnomalyKind, status types.NodeStatus, s
 			m.wakeOneLocked()
 		}
 		m.mu.Unlock()
+		span.Finish("no-moves")
 		return
 	}
 	m.mark("gm.relocations", int64(len(moves)))
@@ -582,15 +665,26 @@ func (m *Manager) relocate(kind protocol.AnomalyKind, status types.NodeStatus, s
 	} else {
 		m.mark("gm.underload-events", 1)
 	}
-	m.executeMovesLocked(moves)
+	m.executeMovesLocked(moves, span.Context())
 	m.mu.Unlock()
+	span.Finish("executing")
 }
 
 // executeMovesLocked issues migrations for the given moves, maintaining busy
-// markers so schedulers leave the endpoints alone mid-transfer.
-func (m *Manager) executeMovesLocked(moves []scheduling.Move) {
+// markers so schedulers leave the endpoints alone mid-transfer. parent is
+// the relocation span the migrations hang off (invalid when untraced).
+func (m *Manager) executeMovesLocked(moves []scheduling.Move, parent obs.SpanContext) {
 	for _, mv := range moves {
-		m.migrateVMLocked(types.Migration{VM: mv.VM, From: mv.From, To: mv.To}, func(bool) {})
+		sp := m.cfg.Tracer.StartSpan(obs.KindMigration, telemetry.VMEntity(mv.VM), parent)
+		sp.SetTarget(string(mv.To))
+		sp.Annotate("from", string(mv.From))
+		m.migrateVMTracedLocked(types.Migration{VM: mv.VM, From: mv.From, To: mv.To}, sp.Context(), func(ok bool) {
+			if ok {
+				sp.Finish("migrated")
+			} else {
+				sp.Finish("failed")
+			}
+		})
 	}
 }
 
@@ -600,6 +694,13 @@ func (m *Manager) executeMovesLocked(moves []scheduling.Move) {
 // relocation, reconfiguration and the online consolidation optimizer all
 // funnel through it.
 func (m *Manager) migrateVMLocked(mv types.Migration, done func(ok bool)) {
+	m.migrateVMTracedLocked(mv, obs.SpanContext{}, done)
+}
+
+// migrateVMTracedLocked is migrateVMLocked with the issuing decision span's
+// context, carried to the LC on the MigrateVMRequest and tagged onto the
+// vm.state journal event.
+func (m *Manager) migrateVMTracedLocked(mv types.Migration, sc obs.SpanContext, done func(ok bool)) {
 	src, okS := m.lcs[mv.From]
 	dst, okD := m.lcs[mv.To]
 	if !okS || !okD {
@@ -617,7 +718,7 @@ func (m *Manager) migrateVMLocked(mv types.Migration, done func(ok bool)) {
 		}
 	}
 	dst.status.Reserved = dst.status.Reserved.Add(spec.Requested)
-	mreq := protocol.MigrateVMRequest{VM: mv.VM, DestNode: mv.To, DestAddr: string(dst.addr)}
+	mreq := protocol.MigrateVMRequest{VM: mv.VM, DestNode: mv.To, DestAddr: string(dst.addr), TraceID: sc.TraceID, ParentSpan: sc.SpanID}
 	srcAddr := src.addr
 	from, to := mv.From, mv.To
 	m.rt.After(0, func() {
@@ -641,7 +742,7 @@ func (m *Manager) migrateVMLocked(mv types.Migration, done func(ok bool)) {
 				}
 				m.mark("gm.migrations-ok", 1)
 				m.emit(telemetry.EventVMState, telemetry.VMEntity(mv.VM),
-					map[string]string{"state": "migrated", "from": string(from), "to": string(to)})
+					vmStateAttrs(sc, "state", "migrated", "from", string(from), "to", string(to)))
 				done(true)
 			})
 	})
@@ -696,7 +797,7 @@ func (m *Manager) gmSweepTick() {
 	for _, spec := range lost {
 		spec := spec
 		m.mark("gm.vm-reschedules", 1)
-		m.placeVM(spec, func(types.NodeID, bool) {})
+		m.placeVM(spec, obs.SpanContext{}, func(types.NodeID, bool) {})
 	}
 }
 
@@ -797,9 +898,12 @@ func (m *Manager) gmEnergyCheck() {
 	sort.Slice(toSuspend, func(i, j int) bool { return toSuspend[i].id < toSuspend[j].id })
 	for _, t := range toSuspend {
 		m.mark("gm.suspends", 1)
+		sp := m.cfg.Tracer.StartTrace(obs.KindEnergy, telemetry.NodeEntity(t.id))
+		sp.Annotate("action", "suspend")
 		m.bus.Call(m.cfg.Addr, t.addr, protocol.KindSuspendHost, struct{}{}, m.cfg.CallTimeout,
 			func(reply any, err error) {
 				if err != nil {
+					sp.Finish("failed")
 					// Suspend refused (e.g. a VM landed meanwhile) or lost:
 					// unmark and arm a re-check. Without it a still-idle node
 					// would stay powered forever — its continuing idle
@@ -814,7 +918,9 @@ func (m *Manager) gmEnergyCheck() {
 						m.scheduleEnergyCheckLocked(m.rt.Now() + m.cfg.IdleThreshold/2)
 					}
 					m.mu.Unlock()
+					return
 				}
+				sp.Finish("ok")
 			})
 	}
 	if pendingLeft > 0 {
@@ -1002,9 +1108,13 @@ func (m *Manager) gmReconfigTick() {
 	for _, mg := range plan {
 		moves = append(moves, scheduling.Move{VM: mg.VM, From: mg.From, To: mg.To})
 	}
+	span := m.cfg.Tracer.StartTrace(obs.KindRelocation, telemetry.GMEntity(m.cfg.ID))
+	span.SetPolicy(m.cfg.Reconfig.Name())
+	span.Annotate("origin", "reconfig")
 	m.mu.Lock()
-	m.executeMovesLocked(moves)
+	m.executeMovesLocked(moves, span.Context())
 	m.mu.Unlock()
+	span.Finish("executing")
 }
 
 // ---------------------------------------------------------------------------

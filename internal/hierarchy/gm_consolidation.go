@@ -20,7 +20,9 @@ import (
 // surface can report and start it even when Consolidation.Enabled is off.
 func (m *Manager) optimizerLocked() *online.Optimizer {
 	if m.optimizer == nil {
-		m.optimizer = online.New(m.rt, gmHost{m}, m.cfg.Consolidation)
+		cfg := m.cfg.Consolidation
+		cfg.Tracer = m.cfg.Tracer
+		m.optimizer = online.New(m.rt, gmHost{m}, cfg)
 	}
 	return m.optimizer
 }

@@ -11,6 +11,7 @@ import (
 	"snooze/internal/coord"
 	"snooze/internal/election"
 	"snooze/internal/metrics"
+	"snooze/internal/obs"
 	"snooze/internal/protocol"
 	"snooze/internal/resource"
 	"snooze/internal/scheduling"
@@ -120,6 +121,11 @@ type ManagerConfig struct {
 	// Metrics receives counters and latency series (may be nil).
 	Metrics *metrics.Registry
 
+	// Tracer records decision traces for dispatch, placement, relocation,
+	// migration, energy and consolidation actions (nil disables tracing;
+	// every instrumentation site is a no-op then).
+	Tracer *obs.Tracer
+
 	// Telemetry is the deployment-wide telemetry hub: monitoring reports and
 	// group summaries feed its time-series store, membership changes and the
 	// anomaly detector feed its event journal, and the GM runs relocation off
@@ -189,6 +195,9 @@ type pendingPlacement struct {
 	spec     types.VMSpec
 	deadline time.Duration
 	respond  func(node types.NodeID, ok bool)
+	// trace is the originating dispatch's span context, so the retried
+	// placement joins the submit chain when it finally runs.
+	trace obs.SpanContext
 }
 
 // Manager is one GM/GL process. It enrolls in the GL election at Start; the
@@ -391,6 +400,20 @@ func (m *Manager) Telemetry() *telemetry.Hub { return m.tel }
 // emit publishes a hierarchy event on the telemetry journal.
 func (m *Manager) emit(typ, entity string, attrs map[string]string) {
 	m.tel.Emit(typ, entity, m.rt.Now(), attrs)
+}
+
+// vmStateAttrs builds a vm.state attribute map from key/value pairs,
+// tagging it with the decision trace ID when one is active so watch streams
+// correlate with /v1/traces.
+func vmStateAttrs(sc obs.SpanContext, kv ...string) map[string]string {
+	attrs := make(map[string]string, len(kv)/2+1)
+	for i := 0; i+1 < len(kv); i += 2 {
+		attrs[kv[i]] = kv[i+1]
+	}
+	if sc.Valid() {
+		attrs["trace"] = sc.TraceID
+	}
+	return attrs
 }
 
 // onElection reacts to election transitions: follower → run the GM role

@@ -18,7 +18,7 @@ type Registry struct {
 	mu     sync.Mutex
 	counts map[string]int64
 	gauges map[string]float64
-	series map[string][]float64
+	hists  map[string]*histogram
 }
 
 // NewRegistry creates an empty registry.
@@ -26,7 +26,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counts: make(map[string]int64),
 		gauges: make(map[string]float64),
-		series: make(map[string][]float64),
+		hists:  make(map[string]*histogram),
 	}
 }
 
@@ -70,23 +70,163 @@ func (r *Registry) Gauges() map[string]float64 {
 	return out
 }
 
-// Observe appends a sample to the named series.
+// ReservoirSize bounds the per-series sample reservoir backing Series and
+// Summarize: a sliding window of the most recent observations. Everything
+// older survives only in the fixed-bucket histogram (count, sum, min, max,
+// bucket counts), so a long-running process holds a constant amount of
+// memory per metric no matter how many samples it observes.
+const ReservoirSize = 512
+
+// DefaultBuckets are the histogram upper bounds shared by every observed
+// series: an exponential ladder (factor 4 from 1µs) wide enough to cover
+// second-unit decision latencies, millisecond-unit durations and small
+// counts like probe depths in one fixed layout. Values above the last bound
+// land in the implicit +Inf overflow bucket.
+var DefaultBuckets = func() []float64 {
+	bounds := make([]float64, 20)
+	b := 1e-6
+	for i := range bounds {
+		bounds[i] = b
+		b *= 4
+	}
+	return bounds
+}()
+
+// histogram is one observed series: fixed cumulative-style bucket counts
+// plus a bounded ring of the most recent raw samples for quantiles.
+type histogram struct {
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	buckets []int64 // per-bucket counts; len(DefaultBuckets)+1, last = +Inf
+	ring    []float64
+	head    int // next write position
+	n       int // valid ring entries
+}
+
+func (h *histogram) observe(v float64) {
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	i := sort.SearchFloat64s(DefaultBuckets, v) // first bound >= v: the le bucket
+	h.buckets[i]++
+	if h.n < len(h.ring) {
+		h.ring[h.head] = v
+		h.head++
+		h.n++
+		if h.head == len(h.ring) {
+			h.head = 0
+		}
+		return
+	}
+	h.ring[h.head] = v
+	h.head = (h.head + 1) % len(h.ring)
+}
+
+// samples appends the retained reservoir to dst, oldest first.
+func (h *histogram) samples(dst []float64) []float64 {
+	start := h.head - h.n
+	if start < 0 {
+		start += len(h.ring)
+	}
+	for i := 0; i < h.n; i++ {
+		dst = append(dst, h.ring[(start+i)%len(h.ring)])
+	}
+	return dst
+}
+
+// Observe records a sample into the named series: its fixed-bucket histogram
+// and its bounded reservoir. Unlike the former raw-slice series this never
+// grows — long-running snoozed processes hold ReservoirSize samples plus the
+// bucket counts per metric, total.
 func (r *Registry) Observe(name string, v float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.series[name] = append(r.series[name], v)
+	h := r.hists[name]
+	if h == nil {
+		h = &histogram{
+			buckets: make([]int64, len(DefaultBuckets)+1),
+			ring:    make([]float64, ReservoirSize),
+		}
+		r.hists[name] = h
+	}
+	h.observe(v)
 }
 
-// ObserveDuration appends a duration sample in milliseconds.
+// ObserveDuration records a duration sample in milliseconds.
 func (r *Registry) ObserveDuration(name string, d time.Duration) {
 	r.Observe(name, float64(d)/float64(time.Millisecond))
 }
 
-// Series returns a copy of the named series.
+// Series returns a copy of the named series' retained reservoir (the most
+// recent ReservoirSize samples, oldest first).
 func (r *Registry) Series(name string) []float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return append([]float64(nil), r.series[name]...)
+	h := r.hists[name]
+	if h == nil || h.n == 0 {
+		return nil
+	}
+	return h.samples(make([]float64, 0, h.n))
+}
+
+// HistogramSnapshot is a point-in-time copy of one observed series'
+// fixed-bucket histogram.
+type HistogramSnapshot struct {
+	// Count and Sum cover every observation ever made, not just the
+	// reservoir window.
+	Count int64
+	Sum   float64
+	// Min and Max are lifetime extremes.
+	Min, Max float64
+	// Bounds are the bucket upper bounds (le semantics, DefaultBuckets).
+	Bounds []float64
+	// Counts are per-bucket observation counts, len(Bounds)+1: Counts[i]
+	// holds observations v <= Bounds[i] (and > Bounds[i-1]); the final
+	// entry is the +Inf overflow bucket.
+	Counts []int64
+}
+
+// Histogram returns the named series' histogram snapshot.
+func (r *Registry) Histogram(name string) (HistogramSnapshot, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		return HistogramSnapshot{}, false
+	}
+	return HistogramSnapshot{
+		Count:  h.count,
+		Sum:    h.sum,
+		Min:    h.min,
+		Max:    h.max,
+		Bounds: DefaultBuckets,
+		Counts: append([]int64(nil), h.buckets...),
+	}, true
+}
+
+// Histograms returns snapshots of every observed series, keyed by name.
+func (r *Registry) Histograms() map[string]HistogramSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]HistogramSnapshot, len(r.hists))
+	for n, h := range r.hists {
+		out[n] = HistogramSnapshot{
+			Count:  h.count,
+			Sum:    h.sum,
+			Min:    h.min,
+			Max:    h.max,
+			Bounds: DefaultBuckets,
+			Counts: append([]int64(nil), h.buckets...),
+		}
+	}
+	return out
 }
 
 // Names returns all metric names, sorted.
@@ -100,7 +240,7 @@ func (r *Registry) Names() []string {
 	for n := range r.gauges {
 		seen[n] = struct{}{}
 	}
-	for n := range r.series {
+	for n := range r.hists {
 		seen[n] = struct{}{}
 	}
 	out := make([]string, 0, len(seen))

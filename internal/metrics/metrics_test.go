@@ -95,8 +95,59 @@ func TestConcurrentAccess(t *testing.T) {
 	if r.Count("c") != 8000 {
 		t.Fatalf("count: %d", r.Count("c"))
 	}
-	if len(r.Series("s")) != 8000 {
-		t.Fatalf("series len: %d", len(r.Series("s")))
+	// The reservoir is bounded: every sample is counted in the histogram,
+	// but only the most recent ReservoirSize survive as raw samples.
+	if got := len(r.Series("s")); got != ReservoirSize {
+		t.Fatalf("series len: %d, want %d", got, ReservoirSize)
+	}
+	h, ok := r.Histogram("s")
+	if !ok || h.Count != 8000 {
+		t.Fatalf("histogram count: %+v ok=%v", h, ok)
+	}
+}
+
+func TestHistogramBounded(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 3*ReservoirSize; i++ {
+		r.Observe("h", float64(i))
+	}
+	s := r.Series("h")
+	if len(s) != ReservoirSize {
+		t.Fatalf("reservoir len: %d", len(s))
+	}
+	// Oldest-first sliding window of the most recent observations.
+	if s[0] != float64(2*ReservoirSize) || s[len(s)-1] != float64(3*ReservoirSize-1) {
+		t.Fatalf("window: first=%v last=%v", s[0], s[len(s)-1])
+	}
+	h, ok := r.Histogram("h")
+	if !ok {
+		t.Fatal("missing histogram")
+	}
+	if h.Count != int64(3*ReservoirSize) || h.Min != 0 || h.Max != float64(3*ReservoirSize-1) {
+		t.Fatalf("snapshot: %+v", h)
+	}
+	var total int64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != h.Count {
+		t.Fatalf("bucket counts sum %d, want %d", total, h.Count)
+	}
+	if len(h.Counts) != len(h.Bounds)+1 {
+		t.Fatalf("bucket layout: %d counts for %d bounds", len(h.Counts), len(h.Bounds))
+	}
+	// 0 lands in the first bucket (le 1e-6); huge values overflow to +Inf.
+	r.Observe("inf", 1e12)
+	hi, _ := r.Histogram("inf")
+	if hi.Counts[len(hi.Counts)-1] != 1 {
+		t.Fatalf("overflow bucket: %+v", hi.Counts)
+	}
+	if _, ok := r.Histogram("missing"); ok {
+		t.Fatal("missing series should not have a histogram")
+	}
+	all := r.Histograms()
+	if len(all) != 2 || all["h"].Count != h.Count {
+		t.Fatalf("Histograms(): %+v", all)
 	}
 }
 

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Record is one finished span.
+type Record struct {
+	TraceID string
+	SpanID  string
+	// Parent is the parent span's ID within the trace (empty for roots).
+	Parent string
+	Kind   string
+	// Entity names the subject, e.g. "vm/web-1" or "node/n3".
+	Entity string
+	// Policy is the deciding policy's registered name.
+	Policy string
+	// Target is the chosen destination (node, GM), if any.
+	Target  string
+	Outcome string
+	Start   time.Duration
+	End     time.Duration
+	// View is the capacity-view evidence the decision was priced from.
+	View ViewEvidence
+	// Candidates lists every considered target in policy-visit order.
+	Candidates []Candidate
+	Attrs      map[string]string
+}
+
+// ViewEvidence pins the decision to the capacity view it consumed.
+type ViewEvidence struct {
+	// Gen is the telemetry append generation of the series the view was
+	// reduced from (0 when the decision used snapshots only).
+	Gen       uint64
+	Samples   int
+	Fresh     bool
+	Truncated bool
+}
+
+// Candidate is one considered target and, if rejected, why.
+type Candidate struct {
+	ID     string
+	Chosen bool
+	Reason string
+}
+
+// Query filters Select. Zero fields match everything.
+type Query struct {
+	TraceID string
+	Entity  string
+	Kind    string
+}
+
+func (q Query) matches(r *Record) bool {
+	if q.TraceID != "" && r.TraceID != q.TraceID {
+		return false
+	}
+	if q.Entity != "" && r.Entity != q.Entity {
+		return false
+	}
+	if q.Kind != "" && r.Kind != q.Kind {
+		return false
+	}
+	return true
+}
+
+// Store retains finished spans in lock-sharded bounded rings. Spans are
+// sharded by trace ID, so a whole trace is evicted (ring-overwritten)
+// together-ish and a trace query touches one shard.
+type Store struct {
+	mask   uint64
+	shards []storeShard
+}
+
+type storeShard struct {
+	mu   sync.RWMutex
+	ring []Record
+	head int // next write position
+	n    int // valid entries
+}
+
+func newStore(shards, capacity int) *Store {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	st := &Store{mask: uint64(n - 1), shards: make([]storeShard, n)}
+	for i := range st.shards {
+		st.shards[i].ring = make([]Record, capacity)
+	}
+	return st
+}
+
+// hashKey is FNV-1a, matching internal/telemetry's sharding discipline.
+func hashKey(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (st *Store) shardFor(traceID string) *storeShard {
+	return &st.shards[hashKey(traceID)&st.mask]
+}
+
+func (st *Store) add(r Record) {
+	sh := st.shardFor(r.TraceID)
+	sh.mu.Lock()
+	sh.ring[sh.head] = r
+	sh.head = (sh.head + 1) % len(sh.ring)
+	if sh.n < len(sh.ring) {
+		sh.n++
+	}
+	sh.mu.Unlock()
+}
+
+// Len returns the number of retained spans.
+func (st *Store) Len() int {
+	total := 0
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		total += sh.n
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// Select returns copies of the retained spans matching q, ordered by trace
+// ID, then start time, then span ID — so a trace reads as a stable
+// chronological chain. A query with a TraceID only scans that trace's shard.
+func (st *Store) Select(q Query) []Record {
+	var out []Record
+	collect := func(sh *storeShard) {
+		sh.mu.RLock()
+		start := sh.head - sh.n
+		if start < 0 {
+			start += len(sh.ring)
+		}
+		for i := 0; i < sh.n; i++ {
+			r := &sh.ring[(start+i)%len(sh.ring)]
+			if q.matches(r) {
+				out = append(out, *r)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	if q.TraceID != "" {
+		collect(st.shardFor(q.TraceID))
+	} else {
+		for i := range st.shards {
+			collect(&st.shards[i])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TraceID != out[j].TraceID {
+			return out[i].TraceID < out[j].TraceID
+		}
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].SpanID < out[j].SpanID
+	})
+	return out
+}

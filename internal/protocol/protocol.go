@@ -178,6 +178,11 @@ type SubmitResponse struct {
 // search step of Section II-C).
 type PlaceRequest struct {
 	VMs []types.VMSpec `json:"vms"`
+	// TraceID/ParentSpan carry the dispatch decision's trace across the
+	// GL→GM hop, so the placement span joins the submit chain. Empty when
+	// tracing is disabled or the trace was sampled out.
+	TraceID    string `json:"traceId,omitempty"`
+	ParentSpan string `json:"parentSpan,omitempty"`
 }
 
 // PlaceResponse reports which of the probed VMs the GM managed to place.
@@ -189,6 +194,10 @@ type PlaceResponse struct {
 // StartVMRequest instructs an LC to start a VM.
 type StartVMRequest struct {
 	Spec types.VMSpec `json:"spec"`
+	// TraceID/ParentSpan carry the placement decision's trace across the
+	// GM→LC hop (the LC echoes them back untouched today).
+	TraceID    string `json:"traceId,omitempty"`
+	ParentSpan string `json:"parentSpan,omitempty"`
 }
 
 // StartVMResponse acknowledges (or refuses) the start.
@@ -208,6 +217,10 @@ type MigrateVMRequest struct {
 	VM       types.VMID   `json:"vm"`
 	DestNode types.NodeID `json:"destNode"`
 	DestAddr string       `json:"destAddr"`
+	// TraceID/ParentSpan carry the relocation/consolidation decision's
+	// trace across the GM→LC hop.
+	TraceID    string `json:"traceId,omitempty"`
+	ParentSpan string `json:"parentSpan,omitempty"`
 }
 
 // MigrateVMResponse reports migration initiation/completion.

@@ -1,0 +1,61 @@
+package scheduling
+
+// Rejection reasons recorded into an Explain. Policies use these constants so
+// trace consumers can match on them; free-form reasons are allowed too.
+const (
+	// ReasonPoweredOff: the node is not powered on (sleeping or failed).
+	ReasonPoweredOff = "powered-off"
+	// ReasonNoFit: the snapshot reservation cannot hold the VM's request.
+	ReasonNoFit = "no-fit"
+	// ReasonInfeasible: the group summary cannot possibly hold the VM.
+	ReasonInfeasible = "infeasible-summary"
+	// ReasonP95OverThreshold: the windowed p95 utilization plus the VM's
+	// demand would cross the placement safety threshold (percentile-fit).
+	ReasonP95OverThreshold = "p95-over-threshold"
+	// ReasonOutscored: feasible, but another candidate scored better.
+	ReasonOutscored = "outscored"
+)
+
+// Explain collects the evidence behind one scheduling decision: which
+// candidates the policy considered, which it rejected and why, and which it
+// chose. A nil *Explain disables collection — every method is nil-receiver
+// safe, so policies record unconditionally and the caller decides whether
+// evidence is wanted (the hot path passes nil and pays nothing).
+type Explain struct {
+	// Candidates lists the considered targets in policy-visit order.
+	Candidates []CandidateDecision
+}
+
+// CandidateDecision is one considered target: a GM for dispatching, a node
+// for placement, a "vm→node" move for relocation.
+type CandidateDecision struct {
+	ID     string
+	Chosen bool
+	// Reason is the rejection reason (empty for chosen or shortlisted
+	// candidates — a dispatch shortlist has many non-rejected entries).
+	Reason string
+}
+
+// Reject records a considered-and-rejected candidate.
+func (e *Explain) Reject(id, reason string) {
+	if e == nil {
+		return
+	}
+	e.Candidates = append(e.Candidates, CandidateDecision{ID: id, Reason: reason})
+}
+
+// Shortlist records a candidate kept in a ranked shortlist (dispatch).
+func (e *Explain) Shortlist(id string) {
+	if e == nil {
+		return
+	}
+	e.Candidates = append(e.Candidates, CandidateDecision{ID: id})
+}
+
+// Choose records the chosen candidate.
+func (e *Explain) Choose(id string) {
+	if e == nil {
+		return
+	}
+	e.Candidates = append(e.Candidates, CandidateDecision{ID: id, Chosen: true})
+}

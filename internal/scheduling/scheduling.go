@@ -32,8 +32,9 @@ import (
 type DispatchPolicy interface {
 	// Candidates returns GM IDs to probe, best first. Groups whose free
 	// capacity cannot possibly hold the VM are filtered out (they may still
-	// fail the probe: free capacity may be fragmented across LCs).
-	Candidates(vm types.VMSpec, groups []view.Group) []types.GroupManagerID
+	// fail the probe: free capacity may be fragmented across LCs). A non-nil
+	// ex collects per-group consideration evidence (nil disables).
+	Candidates(vm types.VMSpec, groups []view.Group, ex *Explain) []types.GroupManagerID
 	Name() string
 }
 
@@ -48,7 +49,7 @@ type RoundRobinDispatch struct {
 }
 
 // Candidates implements DispatchPolicy.
-func (r *RoundRobinDispatch) Candidates(vm types.VMSpec, groups []view.Group) []types.GroupManagerID {
+func (r *RoundRobinDispatch) Candidates(vm types.VMSpec, groups []view.Group, ex *Explain) []types.GroupManagerID {
 	sorted := append([]view.Group(nil), groups...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].GM < sorted[j].GM })
 	n := len(sorted)
@@ -57,6 +58,9 @@ func (r *RoundRobinDispatch) Candidates(vm types.VMSpec, groups []view.Group) []
 		g := sorted[(r.next+i)%n]
 		if feasible(vm, g) {
 			out = append(out, g.GM)
+			ex.Shortlist(string(g.GM))
+		} else {
+			ex.Reject(string(g.GM), ReasonInfeasible)
 		}
 	}
 	if n > 0 {
@@ -73,7 +77,7 @@ func (r *RoundRobinDispatch) Name() string { return "round-robin" }
 type LeastLoadedDispatch struct{}
 
 // Candidates implements DispatchPolicy.
-func (LeastLoadedDispatch) Candidates(vm types.VMSpec, groups []view.Group) []types.GroupManagerID {
+func (LeastLoadedDispatch) Candidates(vm types.VMSpec, groups []view.Group, ex *Explain) []types.GroupManagerID {
 	type scored struct {
 		id   types.GroupManagerID
 		free float64
@@ -81,6 +85,7 @@ func (LeastLoadedDispatch) Candidates(vm types.VMSpec, groups []view.Group) []ty
 	var sc []scored
 	for _, g := range groups {
 		if !feasible(vm, g) {
+			ex.Reject(string(g.GM), ReasonInfeasible)
 			continue
 		}
 		sc = append(sc, scored{id: g.GM, free: g.Free().UtilizationL1(g.Total)})
@@ -94,6 +99,7 @@ func (LeastLoadedDispatch) Candidates(vm types.VMSpec, groups []view.Group) []ty
 	out := make([]types.GroupManagerID, len(sc))
 	for i, s := range sc {
 		out[i] = s.id
+		ex.Shortlist(string(s.id))
 	}
 	return out
 }
@@ -106,7 +112,7 @@ func (LeastLoadedDispatch) Name() string { return "least-loaded" }
 type MostLoadedDispatch struct{}
 
 // Candidates implements DispatchPolicy.
-func (MostLoadedDispatch) Candidates(vm types.VMSpec, groups []view.Group) []types.GroupManagerID {
+func (MostLoadedDispatch) Candidates(vm types.VMSpec, groups []view.Group, ex *Explain) []types.GroupManagerID {
 	type scored struct {
 		id   types.GroupManagerID
 		free float64
@@ -114,6 +120,7 @@ func (MostLoadedDispatch) Candidates(vm types.VMSpec, groups []view.Group) []typ
 	var sc []scored
 	for _, g := range groups {
 		if !feasible(vm, g) {
+			ex.Reject(string(g.GM), ReasonInfeasible)
 			continue
 		}
 		sc = append(sc, scored{id: g.GM, free: g.Free().UtilizationL1(g.Total)})
@@ -127,6 +134,7 @@ func (MostLoadedDispatch) Candidates(vm types.VMSpec, groups []view.Group) []typ
 	out := make([]types.GroupManagerID, len(sc))
 	for i, s := range sc {
 		out[i] = s.id
+		ex.Shortlist(string(s.id))
 	}
 	return out
 }
@@ -141,13 +149,22 @@ func (MostLoadedDispatch) Name() string { return "most-loaded" }
 // PlacementPolicy chooses an LC for one VM. Nodes are offered with their
 // current reservations; only PowerOn nodes are offered.
 type PlacementPolicy interface {
-	// Place returns the chosen node ID, or false if no active node fits.
-	Place(vm types.VMSpec, nodes []view.Node) (types.NodeID, bool)
+	// Place returns the chosen node ID, or false if no active node fits. A
+	// non-nil ex collects per-node rejection evidence (nil disables).
+	Place(vm types.VMSpec, nodes []view.Node, ex *Explain) (types.NodeID, bool)
 	Name() string
 }
 
 func fits(vm types.VMSpec, n view.Node) bool {
 	return n.Power == types.PowerOn && vm.Requested.FitsIn(n.FreeReserved())
+}
+
+// unfitReason classifies why fits failed for evidence recording.
+func unfitReason(n view.Node) string {
+	if n.Power != types.PowerOn {
+		return ReasonPoweredOff
+	}
+	return ReasonNoFit
 }
 
 // sortedByID returns nodes sorted by ID for deterministic iteration.
@@ -162,11 +179,13 @@ func sortedByID(nodes []view.Node) []view.Node {
 type FirstFit struct{}
 
 // Place implements PlacementPolicy.
-func (FirstFit) Place(vm types.VMSpec, nodes []view.Node) (types.NodeID, bool) {
+func (FirstFit) Place(vm types.VMSpec, nodes []view.Node, ex *Explain) (types.NodeID, bool) {
 	for _, n := range sortedByID(nodes) {
 		if fits(vm, n) {
+			ex.Choose(string(n.Spec.ID))
 			return n.Spec.ID, true
 		}
+		ex.Reject(string(n.Spec.ID), unfitReason(n))
 	}
 	return "", false
 }
@@ -179,18 +198,24 @@ func (FirstFit) Name() string { return "first-fit" }
 type BestFit struct{}
 
 // Place implements PlacementPolicy.
-func (BestFit) Place(vm types.VMSpec, nodes []view.Node) (types.NodeID, bool) {
+func (BestFit) Place(vm types.VMSpec, nodes []view.Node, ex *Explain) (types.NodeID, bool) {
 	best, found := types.NodeID(""), false
 	bestFree := 0.0
+	var feasibleIDs []types.NodeID
 	for _, n := range sortedByID(nodes) {
 		if !fits(vm, n) {
+			ex.Reject(string(n.Spec.ID), unfitReason(n))
 			continue
+		}
+		if ex != nil {
+			feasibleIDs = append(feasibleIDs, n.Spec.ID)
 		}
 		free := n.FreeReserved().Sub(vm.Requested).UtilizationL1(n.Spec.Capacity)
 		if !found || free < bestFree {
 			best, bestFree, found = n.Spec.ID, free, true
 		}
 	}
+	recordScored(ex, feasibleIDs, best)
 	return best, found
 }
 
@@ -202,18 +227,24 @@ func (BestFit) Name() string { return "best-fit" }
 type WorstFit struct{}
 
 // Place implements PlacementPolicy.
-func (WorstFit) Place(vm types.VMSpec, nodes []view.Node) (types.NodeID, bool) {
+func (WorstFit) Place(vm types.VMSpec, nodes []view.Node, ex *Explain) (types.NodeID, bool) {
 	best, found := types.NodeID(""), false
 	bestFree := 0.0
+	var feasibleIDs []types.NodeID
 	for _, n := range sortedByID(nodes) {
 		if !fits(vm, n) {
+			ex.Reject(string(n.Spec.ID), unfitReason(n))
 			continue
+		}
+		if ex != nil {
+			feasibleIDs = append(feasibleIDs, n.Spec.ID)
 		}
 		free := n.FreeReserved().Sub(vm.Requested).UtilizationL1(n.Spec.Capacity)
 		if !found || free > bestFree {
 			best, bestFree, found = n.Spec.ID, free, true
 		}
 	}
+	recordScored(ex, feasibleIDs, best)
 	return best, found
 }
 
@@ -227,15 +258,17 @@ type RoundRobinPlacement struct {
 }
 
 // Place implements PlacementPolicy.
-func (r *RoundRobinPlacement) Place(vm types.VMSpec, nodes []view.Node) (types.NodeID, bool) {
+func (r *RoundRobinPlacement) Place(vm types.VMSpec, nodes []view.Node, ex *Explain) (types.NodeID, bool) {
 	sorted := sortedByID(nodes)
 	n := len(sorted)
 	for i := 0; i < n; i++ {
 		cand := sorted[(r.next+i)%n]
 		if fits(vm, cand) {
 			r.next = (r.next + i + 1) % n
+			ex.Choose(string(cand.Spec.ID))
 			return cand.Spec.ID, true
 		}
+		ex.Reject(string(cand.Spec.ID), unfitReason(cand))
 	}
 	return "", false
 }
@@ -285,8 +318,35 @@ type Move struct {
 type RelocationPolicy interface {
 	// Relocate returns moves for VMs on the anomalous node `src`;
 	// `srcVMs` are its current VMs, `others` the GM's other active nodes.
-	Relocate(src view.Node, srcVMs []types.VMStatus, others []view.Node) []Move
+	// A non-nil ex records each planned move as a chosen "vm→node"
+	// candidate (nil disables).
+	Relocate(src view.Node, srcVMs []types.VMStatus, others []view.Node, ex *Explain) []Move
 	Name() string
+}
+
+// recordScored marks the feasible candidates of a scored placement pass:
+// the winner as chosen, the rest as outscored.
+func recordScored(ex *Explain, feasible []types.NodeID, chosen types.NodeID) {
+	if ex == nil {
+		return
+	}
+	for _, id := range feasible {
+		if id == chosen {
+			ex.Choose(string(id))
+		} else {
+			ex.Reject(string(id), ReasonOutscored)
+		}
+	}
+}
+
+// recordMoves records planned relocation moves as chosen candidates.
+func recordMoves(ex *Explain, moves []Move) {
+	if ex == nil {
+		return
+	}
+	for _, mv := range moves {
+		ex.Choose(string(mv.VM) + "→" + string(mv.To))
+	}
 }
 
 // SkipsAnomaly is an optional RelocationPolicy extension: a policy that can
@@ -308,7 +368,7 @@ type OverloadRelocation struct {
 }
 
 // Relocate implements RelocationPolicy.
-func (p OverloadRelocation) Relocate(src view.Node, srcVMs []types.VMStatus, others []view.Node) []Move {
+func (p OverloadRelocation) Relocate(src view.Node, srcVMs []types.VMStatus, others []view.Node, ex *Explain) []Move {
 	th := p.Thresholds
 	if th.Overload == 0 {
 		th = DefaultThresholds()
@@ -360,6 +420,7 @@ func (p OverloadRelocation) Relocate(src view.Node, srcVMs []types.VMStatus, oth
 			break
 		}
 	}
+	recordMoves(ex, moves)
 	return moves
 }
 
@@ -376,7 +437,7 @@ type UnderloadRelocation struct {
 }
 
 // Relocate implements RelocationPolicy.
-func (p UnderloadRelocation) Relocate(src view.Node, srcVMs []types.VMStatus, others []view.Node) []Move {
+func (p UnderloadRelocation) Relocate(src view.Node, srcVMs []types.VMStatus, others []view.Node, ex *Explain) []Move {
 	th := p.Thresholds
 	if th.Overload == 0 {
 		th = DefaultThresholds()
@@ -435,6 +496,7 @@ func (p UnderloadRelocation) Relocate(src view.Node, srcVMs []types.VMStatus, ot
 			return nil // all-or-nothing
 		}
 	}
+	recordMoves(ex, moves)
 	return moves
 }
 

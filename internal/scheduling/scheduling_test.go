@@ -36,16 +36,16 @@ func TestRoundRobinDispatchCycles(t *testing.T) {
 	p := &RoundRobinDispatch{}
 	sums := []view.Group{gm("gm1", 0, 16, 2), gm("gm2", 0, 16, 2), gm("gm3", 0, 16, 2)}
 	vm := vmSpec(1)
-	first := p.Candidates(vm, sums)
-	second := p.Candidates(vm, sums)
-	third := p.Candidates(vm, sums)
+	first := p.Candidates(vm, sums, nil)
+	second := p.Candidates(vm, sums, nil)
+	third := p.Candidates(vm, sums, nil)
 	if first[0] != "gm1" || second[0] != "gm2" || third[0] != "gm3" {
 		t.Fatalf("heads: %v %v %v", first[0], second[0], third[0])
 	}
 	if len(first) != 3 {
 		t.Fatalf("all feasible GMs should be listed: %v", first)
 	}
-	fourth := p.Candidates(vm, sums)
+	fourth := p.Candidates(vm, sums, nil)
 	if fourth[0] != "gm1" {
 		t.Fatalf("wrap-around: %v", fourth[0])
 	}
@@ -59,7 +59,7 @@ func TestDispatchFiltersInfeasible(t *testing.T) {
 	}
 	vm := vmSpec(4)
 	for _, p := range []DispatchPolicy{&RoundRobinDispatch{}, LeastLoadedDispatch{}, MostLoadedDispatch{}} {
-		got := p.Candidates(vm, sums)
+		got := p.Candidates(vm, sums, nil)
 		if len(got) != 1 || got[0] != "roomy" {
 			t.Errorf("%s: %v", p.Name(), got)
 		}
@@ -70,7 +70,7 @@ func TestDispatchCountsAsleepLCs(t *testing.T) {
 	// A GM whose LCs are all asleep still has wakeable capacity.
 	s := gm("sleepy", 0, 16, 0)
 	s.AsleepLCs = 2
-	got := LeastLoadedDispatch{}.Candidates(vmSpec(1), []view.Group{s})
+	got := LeastLoadedDispatch{}.Candidates(vmSpec(1), []view.Group{s}, nil)
 	if len(got) != 1 {
 		t.Fatalf("asleep capacity ignored: %v", got)
 	}
@@ -78,7 +78,7 @@ func TestDispatchCountsAsleepLCs(t *testing.T) {
 
 func TestLeastLoadedDispatchOrder(t *testing.T) {
 	sums := []view.Group{gm("busy", 12, 16, 2), gm("idle", 0, 16, 2), gm("half", 8, 16, 2)}
-	got := LeastLoadedDispatch{}.Candidates(vmSpec(1), sums)
+	got := LeastLoadedDispatch{}.Candidates(vmSpec(1), sums, nil)
 	if len(got) != 3 || got[0] != "idle" || got[1] != "half" || got[2] != "busy" {
 		t.Fatalf("order: %v", got)
 	}
@@ -86,7 +86,7 @@ func TestLeastLoadedDispatchOrder(t *testing.T) {
 
 func TestMostLoadedDispatchOrder(t *testing.T) {
 	sums := []view.Group{gm("busy", 12, 16, 2), gm("idle", 0, 16, 2), gm("half", 8, 16, 2)}
-	got := MostLoadedDispatch{}.Candidates(vmSpec(1), sums)
+	got := MostLoadedDispatch{}.Candidates(vmSpec(1), sums, nil)
 	if len(got) != 3 || got[0] != "busy" || got[2] != "idle" {
 		t.Fatalf("order: %v", got)
 	}
@@ -94,12 +94,12 @@ func TestMostLoadedDispatchOrder(t *testing.T) {
 
 func TestFirstFit(t *testing.T) {
 	nodes := []view.Node{node("n3", 0, 8), node("n1", 7, 8), node("n2", 0, 8)}
-	id, ok := FirstFit{}.Place(vmSpec(2), nodes)
+	id, ok := FirstFit{}.Place(vmSpec(2), nodes, nil)
 	if !ok || id != "n2" {
 		t.Fatalf("first-fit: %v %v", id, ok)
 	}
 	// Nothing fits.
-	if _, ok := (FirstFit{}).Place(vmSpec(100), nodes); ok {
+	if _, ok := (FirstFit{}).Place(vmSpec(100), nodes, nil); ok {
 		t.Fatal("oversized VM placed")
 	}
 }
@@ -109,7 +109,7 @@ func TestPlacementSkipsUnavailableNodes(t *testing.T) {
 	off.Power = types.PowerSuspended
 	nodes := []view.Node{off, node("n2", 0, 8)}
 	for _, p := range []PlacementPolicy{FirstFit{}, BestFit{}, WorstFit{}, &RoundRobinPlacement{}} {
-		id, ok := p.Place(vmSpec(1), nodes)
+		id, ok := p.Place(vmSpec(1), nodes, nil)
 		if !ok || id != "n2" {
 			t.Errorf("%s chose %v (ok=%v)", p.Name(), id, ok)
 		}
@@ -118,7 +118,7 @@ func TestPlacementSkipsUnavailableNodes(t *testing.T) {
 
 func TestBestFitTightest(t *testing.T) {
 	nodes := []view.Node{node("n1", 1, 8), node("n2", 5, 8), node("n3", 7, 8)}
-	id, ok := BestFit{}.Place(vmSpec(1), nodes)
+	id, ok := BestFit{}.Place(vmSpec(1), nodes, nil)
 	if !ok || id != "n3" {
 		t.Fatalf("best-fit: %v", id)
 	}
@@ -126,7 +126,7 @@ func TestBestFitTightest(t *testing.T) {
 
 func TestWorstFitEmptiest(t *testing.T) {
 	nodes := []view.Node{node("n1", 1, 8), node("n2", 5, 8), node("n3", 7, 8)}
-	id, ok := WorstFit{}.Place(vmSpec(1), nodes)
+	id, ok := WorstFit{}.Place(vmSpec(1), nodes, nil)
 	if !ok || id != "n1" {
 		t.Fatalf("worst-fit: %v", id)
 	}
@@ -135,16 +135,16 @@ func TestWorstFitEmptiest(t *testing.T) {
 func TestRoundRobinPlacementCycles(t *testing.T) {
 	p := &RoundRobinPlacement{}
 	nodes := []view.Node{node("n1", 0, 8), node("n2", 0, 8), node("n3", 0, 8)}
-	a, _ := p.Place(vmSpec(1), nodes)
-	b, _ := p.Place(vmSpec(1), nodes)
-	c, _ := p.Place(vmSpec(1), nodes)
-	d, _ := p.Place(vmSpec(1), nodes)
+	a, _ := p.Place(vmSpec(1), nodes, nil)
+	b, _ := p.Place(vmSpec(1), nodes, nil)
+	c, _ := p.Place(vmSpec(1), nodes, nil)
+	d, _ := p.Place(vmSpec(1), nodes, nil)
 	if a != "n1" || b != "n2" || c != "n3" || d != "n1" {
 		t.Fatalf("cycle: %v %v %v %v", a, b, c, d)
 	}
 	// Skips full nodes.
 	nodes[0] = node("n1", 8, 8)
-	e, ok := p.Place(vmSpec(1), nodes)
+	e, ok := p.Place(vmSpec(1), nodes, nil)
 	if !ok || e == "n1" {
 		t.Fatalf("rr skipped full node: %v %v", e, ok)
 	}
@@ -197,7 +197,7 @@ func TestOverloadRelocationMovesEnough(t *testing.T) {
 		vmStatus("c", 2, types.VMRunning),
 	}
 	others := []view.Node{node("cool", 1, 8), node("warm", 4, 8)}
-	moves := OverloadRelocation{}.Relocate(src, vms, others)
+	moves := OverloadRelocation{}.Relocate(src, vms, others, nil)
 	if len(moves) == 0 {
 		t.Fatal("no moves for overloaded node")
 	}
@@ -217,7 +217,7 @@ func TestOverloadRelocationRespectsReceiverThreshold(t *testing.T) {
 	vms := []types.VMStatus{vmStatus("a", 4, types.VMRunning)}
 	// Receiver has room by reservation but would exceed 90% measured.
 	crowded := node("crowded", 5, 8)
-	moves := OverloadRelocation{}.Relocate(src, vms, []view.Node{crowded})
+	moves := OverloadRelocation{}.Relocate(src, vms, []view.Node{crowded}, nil)
 	if len(moves) != 0 {
 		t.Fatalf("moved into a would-be-overloaded receiver: %+v", moves)
 	}
@@ -227,7 +227,7 @@ func TestOverloadRelocationSkipsNonRunning(t *testing.T) {
 	src := node("hot", 8, 8)
 	vms := []types.VMStatus{vmStatus("a", 6, types.VMMigrating), vmStatus("b", 1, types.VMRunning)}
 	others := []view.Node{node("cool", 0, 8)}
-	moves := OverloadRelocation{}.Relocate(src, vms, others)
+	moves := OverloadRelocation{}.Relocate(src, vms, others, nil)
 	for _, m := range moves {
 		if m.VM == "a" {
 			t.Fatal("migrating VM selected for relocation")
@@ -240,7 +240,7 @@ func TestUnderloadRelocationDrainsFully(t *testing.T) {
 	src.VMs = []types.VMID{"a", "b"}
 	vms := []types.VMStatus{vmStatus("a", 0.5, types.VMRunning), vmStatus("b", 0.5, types.VMRunning)}
 	others := []view.Node{node("mid", 4, 8), node("empty", 0, 8)}
-	moves := UnderloadRelocation{}.Relocate(src, vms, others)
+	moves := UnderloadRelocation{}.Relocate(src, vms, others, nil)
 	if len(moves) != 2 {
 		t.Fatalf("moves: %+v", moves)
 	}
@@ -257,7 +257,7 @@ func TestUnderloadRelocationAllOrNothing(t *testing.T) {
 	vms := []types.VMStatus{vmStatus("a", 0.5, types.VMRunning), vmStatus("big", 6, types.VMRunning)}
 	// Receiver can hold "a" but not "big".
 	others := []view.Node{node("mid", 4, 8)}
-	moves := UnderloadRelocation{}.Relocate(src, vms, others)
+	moves := UnderloadRelocation{}.Relocate(src, vms, others, nil)
 	if moves != nil {
 		t.Fatalf("partial drain returned: %+v", moves)
 	}
@@ -267,7 +267,7 @@ func TestUnderloadRelocationRefusesBootingVM(t *testing.T) {
 	src := node("cold", 1, 8)
 	vms := []types.VMStatus{vmStatus("a", 0.5, types.VMBooting)}
 	others := []view.Node{node("mid", 0, 8)}
-	if moves := (UnderloadRelocation{}).Relocate(src, vms, others); moves != nil {
+	if moves := (UnderloadRelocation{}).Relocate(src, vms, others, nil); moves != nil {
 		t.Fatalf("drained a booting VM: %+v", moves)
 	}
 }
@@ -278,7 +278,7 @@ func TestRelocationExcludesSourceAndInactive(t *testing.T) {
 	susp := node("susp", 0, 8)
 	susp.Power = types.PowerSuspended
 	others := []view.Node{src, susp}
-	if moves := (OverloadRelocation{}).Relocate(src, vms, others); len(moves) != 0 {
+	if moves := (OverloadRelocation{}).Relocate(src, vms, others, nil); len(moves) != 0 {
 		t.Fatalf("relocated to source/suspended node: %+v", moves)
 	}
 }

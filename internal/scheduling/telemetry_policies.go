@@ -22,7 +22,7 @@ import (
 type P95HeadroomDispatch struct{}
 
 // Candidates implements DispatchPolicy.
-func (P95HeadroomDispatch) Candidates(vm types.VMSpec, groups []view.Group) []types.GroupManagerID {
+func (P95HeadroomDispatch) Candidates(vm types.VMSpec, groups []view.Group, ex *Explain) []types.GroupManagerID {
 	type scored struct {
 		id       types.GroupManagerID
 		headroom float64
@@ -31,6 +31,7 @@ func (P95HeadroomDispatch) Candidates(vm types.VMSpec, groups []view.Group) []ty
 	var sc []scored
 	for _, g := range groups {
 		if !feasible(vm, g) {
+			ex.Reject(string(g.GM), ReasonInfeasible)
 			continue
 		}
 		sc = append(sc, scored{
@@ -51,6 +52,7 @@ func (P95HeadroomDispatch) Candidates(vm types.VMSpec, groups []view.Group) []ty
 	out := make([]types.GroupManagerID, len(sc))
 	for i, s := range sc {
 		out[i] = s.id
+		ex.Shortlist(string(s.id))
 	}
 	return out
 }
@@ -78,7 +80,7 @@ func (p PercentileFitPlacement) threshold() float64 {
 }
 
 // Place implements PlacementPolicy.
-func (p PercentileFitPlacement) Place(vm types.VMSpec, nodes []view.Node) (types.NodeID, bool) {
+func (p PercentileFitPlacement) Place(vm types.VMSpec, nodes []view.Node, ex *Explain) (types.NodeID, bool) {
 	th := p.threshold()
 	best, found := types.NodeID(""), false
 	bestFree := 0.0
@@ -86,9 +88,18 @@ func (p PercentileFitPlacement) Place(vm types.VMSpec, nodes []view.Node) (types
 		demand := vm.Requested.Divide(n.Spec.Capacity).NormInf()
 		return n.PredictedUtil()+demand <= th
 	}
+	var feasibleIDs []types.NodeID
 	for _, n := range sortedByID(nodes) {
-		if !fits(vm, n) || !safe(n) {
+		if !fits(vm, n) {
+			ex.Reject(string(n.Spec.ID), unfitReason(n))
 			continue
+		}
+		if !safe(n) {
+			ex.Reject(string(n.Spec.ID), ReasonP95OverThreshold)
+			continue
+		}
+		if ex != nil {
+			feasibleIDs = append(feasibleIDs, n.Spec.ID)
 		}
 		free := n.FreeReserved().Sub(vm.Requested).UtilizationL1(n.Spec.Capacity)
 		if !found || free < bestFree {
@@ -96,11 +107,14 @@ func (p PercentileFitPlacement) Place(vm types.VMSpec, nodes []view.Node) (types
 		}
 	}
 	if found {
+		recordScored(ex, feasibleIDs, best)
 		return best, true
 	}
 	// No node passes the safety gate: better an imperfect placement than
-	// none (the relocation policies clean up afterwards).
-	return BestFit{}.Place(vm, nodes)
+	// none (the relocation policies clean up afterwards). The fallback's
+	// evidence is appended after the gate rejections above, so a trace shows
+	// both phases of the decision.
+	return BestFit{}.Place(vm, nodes, ex)
 }
 
 // Name implements PlacementPolicy.
@@ -144,7 +158,7 @@ func (p TrendAwareRelocation) SkipAnomaly(src view.Node) bool {
 }
 
 // Relocate implements RelocationPolicy.
-func (p TrendAwareRelocation) Relocate(src view.Node, srcVMs []types.VMStatus, others []view.Node) []Move {
+func (p TrendAwareRelocation) Relocate(src view.Node, srcVMs []types.VMStatus, others []view.Node, ex *Explain) []Move {
 	th := p.Thresholds
 	if th.Overload == 0 {
 		th = DefaultThresholds()
@@ -156,11 +170,12 @@ func (p TrendAwareRelocation) Relocate(src view.Node, srcVMs []types.VMStatus, o
 	kept := make([]view.Node, 0, len(others))
 	for _, n := range others {
 		if n.Stats.Fresh && (n.Stats.Trend >= slope || n.Stats.P95 > th.Overload) {
+			ex.Reject(string(n.Spec.ID), "receiver-trend-hot")
 			continue
 		}
 		kept = append(kept, n)
 	}
-	return OverloadRelocation{Thresholds: th}.Relocate(src, srcVMs, kept)
+	return OverloadRelocation{Thresholds: th}.Relocate(src, srcVMs, kept, ex)
 }
 
 // Name implements RelocationPolicy.
@@ -200,7 +215,7 @@ func (p TrendAwareUnderload) SkipAnomaly(src view.Node) bool {
 }
 
 // Relocate implements RelocationPolicy.
-func (p TrendAwareUnderload) Relocate(src view.Node, srcVMs []types.VMStatus, others []view.Node) []Move {
+func (p TrendAwareUnderload) Relocate(src view.Node, srcVMs []types.VMStatus, others []view.Node, ex *Explain) []Move {
 	th := p.Thresholds
 	if th.Overload == 0 {
 		th = DefaultThresholds()
@@ -211,11 +226,12 @@ func (p TrendAwareUnderload) Relocate(src view.Node, srcVMs []types.VMStatus, ot
 	kept := make([]view.Node, 0, len(others))
 	for _, n := range others {
 		if n.Stats.Fresh && n.Stats.P95 > th.Overload {
+			ex.Reject(string(n.Spec.ID), "receiver-p95-hot")
 			continue
 		}
 		kept = append(kept, n)
 	}
-	return UnderloadRelocation{Thresholds: th}.Relocate(src, srcVMs, kept)
+	return UnderloadRelocation{Thresholds: th}.Relocate(src, srcVMs, kept, ex)
 }
 
 // Name implements RelocationPolicy.

@@ -65,7 +65,7 @@ func TestP95HeadroomDispatch(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			got := P95HeadroomDispatch{}.Candidates(vmSpec(1), tc.groups)
+			got := P95HeadroomDispatch{}.Candidates(vmSpec(1), tc.groups, nil)
 			if len(got) == 0 || got[0] != tc.want {
 				t.Fatalf("candidates: %v want head %s", got, tc.want)
 			}
@@ -75,7 +75,7 @@ func TestP95HeadroomDispatch(t *testing.T) {
 
 func TestP95HeadroomDispatchFiltersInfeasible(t *testing.T) {
 	groups := []view.Group{gm("full", 16, 16, 2), gm("roomy", 2, 16, 2)}
-	got := P95HeadroomDispatch{}.Candidates(vmSpec(4), groups)
+	got := P95HeadroomDispatch{}.Candidates(vmSpec(4), groups, nil)
 	if len(got) != 1 || got[0] != "roomy" {
 		t.Fatalf("feasibility filter: %v", got)
 	}
@@ -136,7 +136,7 @@ func TestPercentileFitPlacement(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			got, ok := PercentileFitPlacement{}.Place(vmSpec(tc.cpu), tc.nodes)
+			got, ok := PercentileFitPlacement{}.Place(vmSpec(tc.cpu), tc.nodes, nil)
 			if !ok || got != tc.want {
 				t.Fatalf("place: %v ok=%v want %s", got, ok, tc.want)
 			}
@@ -146,7 +146,7 @@ func TestPercentileFitPlacement(t *testing.T) {
 
 func TestPercentileFitPlacementNoCapacity(t *testing.T) {
 	nodes := []view.Node{node("n1", 8, 8)}
-	if _, ok := (PercentileFitPlacement{}).Place(vmSpec(2), nodes); ok {
+	if _, ok := (PercentileFitPlacement{}).Place(vmSpec(2), nodes, nil); ok {
 		t.Fatal("placed on a full node")
 	}
 }
@@ -216,7 +216,7 @@ func TestTrendAwareRelocation(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			moves := TrendAwareRelocation{}.Relocate(tc.src, vms, tc.others)
+			moves := TrendAwareRelocation{}.Relocate(tc.src, vms, tc.others, nil)
 			if len(moves) != tc.wantMoves {
 				t.Fatalf("moves: %+v want %d", moves, tc.wantMoves)
 			}
@@ -339,7 +339,7 @@ func TestTrendAwareUnderload(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			moves := TrendAwareUnderload{}.Relocate(tc.src, vms, tc.others)
+			moves := TrendAwareUnderload{}.Relocate(tc.src, vms, tc.others, nil)
 			if len(moves) != tc.wantMoves {
 				t.Fatalf("moves: %+v want %d", moves, tc.wantMoves)
 			}

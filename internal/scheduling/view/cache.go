@@ -70,6 +70,7 @@ func (e cacheEntry) stats(b Builder, now time.Duration) Stats {
 		Trend:     e.trend,
 		Age:       now - e.lastAt,
 		Truncated: e.truncated,
+		Gen:       e.gen,
 	}
 	st.Fresh = st.Samples >= b.minSamples() && st.Age <= b.maxAge() && !st.Truncated
 	return st

@@ -57,6 +57,10 @@ type Stats struct {
 	// recent enough, and at full resolution (not Truncated). Policies must
 	// fall back to the point-in-time snapshot when false.
 	Fresh bool
+	// Gen is the telemetry append generation of the series these statistics
+	// were reduced from (0 with no history) — the evidence a decision trace
+	// records to pin a choice to the exact view it was priced from.
+	Gen uint64
 }
 
 // Node is the capacity view of one Local Controller: the monitored snapshot
@@ -231,6 +235,7 @@ func (b Builder) Stats(now time.Duration, entity string) Stats {
 		Trend:     sum.Trend,
 		Age:       now - sum.LastAt,
 		Truncated: sum.Truncated,
+		Gen:       sum.Gen,
 	}
 	st.Fresh = st.Samples >= b.minSamples() && st.Age <= b.maxAge() && !st.Truncated
 	return st

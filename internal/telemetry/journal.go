@@ -26,6 +26,10 @@ const (
 	// (executed, failed or cancelled by a trend shift).
 	EventConsolidationRound     = "consolidation.round"
 	EventConsolidationMigration = "consolidation.migration"
+	// EventDecisionTrace is journaled once per finished decision span, with
+	// the trace/span IDs in its attributes, so watch streams correlate with
+	// GET /v1/traces.
+	EventDecisionTrace = "decision.trace"
 )
 
 // Event is one journal entry. Seq is assigned by the journal and is strictly
