@@ -241,7 +241,7 @@ func TestListHubSeriesAndWatchHub(t *testing.T) {
 		t.Fatalf("keys: %+v", keys)
 	}
 
-	h.Emit("vm.state", "vm/a", time.Second, map[string]string{"state": "placed"})
+	h.Emit("vm.state", "vm/a", time.Second, telemetry.A("state", "placed"))
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	stream := WatchHub(ctx, h, 0)
@@ -253,7 +253,7 @@ func TestListHubSeriesAndWatchHub(t *testing.T) {
 	case <-time.After(time.Second):
 		t.Fatal("no replay")
 	}
-	live := h.Emit("node.overload", "node/n1", 2*time.Second, nil)
+	live := h.Emit("node.overload", "node/n1", 2*time.Second, telemetry.Attrs{})
 	select {
 	case ev := <-stream.Events():
 		if ev.Seq != live.Seq {

@@ -28,7 +28,7 @@ func (b watchBackend) Watch(ctx context.Context, from uint64) (apiv1.EventStream
 func TestWatchHonorsLastEventID(t *testing.T) {
 	hub := telemetry.NewHub(telemetry.Options{})
 	for i := 0; i < 5; i++ {
-		hub.Emit(telemetry.EventVMState, "vm/v", time.Duration(i)*time.Second, nil)
+		hub.Emit(telemetry.EventVMState, "vm/v", time.Duration(i)*time.Second, telemetry.Attrs{})
 	}
 	srv := httptest.NewServer(New(watchBackend{hub: hub}).Handler())
 	defer srv.Close()
@@ -60,7 +60,7 @@ func TestWatchHonorsLastEventID(t *testing.T) {
 func TestWatchExplicitFromBeatsLastEventID(t *testing.T) {
 	hub := telemetry.NewHub(telemetry.Options{})
 	for i := 0; i < 5; i++ {
-		hub.Emit(telemetry.EventVMState, "vm/v", time.Duration(i)*time.Second, nil)
+		hub.Emit(telemetry.EventVMState, "vm/v", time.Duration(i)*time.Second, telemetry.Attrs{})
 	}
 	srv := httptest.NewServer(New(watchBackend{hub: hub}).Handler())
 	defer srv.Close()

@@ -16,7 +16,7 @@ import (
 
 // FromTelemetryEvent converts a journal event to the wire form.
 func FromTelemetryEvent(ev telemetry.Event) Event {
-	return Event{Seq: ev.Seq, AtNs: int64(ev.At), Type: ev.Type, Entity: ev.Entity, Attrs: ev.Attrs}
+	return Event{Seq: ev.Seq, AtNs: int64(ev.At), Type: ev.Type, Entity: ev.Entity, Attrs: ev.Attrs.Map()}
 }
 
 // ListHubSeries implements Backend.ListSeries over a telemetry hub.

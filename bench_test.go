@@ -122,6 +122,104 @@ func BenchmarkDistributedACOSolve400(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// Fleet-scale scheduling throughput (README "Fleet scale"; CI-gated via
+// BENCH_telemetry.json).
+// ---------------------------------------------------------------------------
+
+// BenchmarkPlacementsPerSecond measures end-to-end scheduling throughput of
+// the GL→GM→LC hierarchy: waves of VM submissions against settled 512-LC
+// fleets, timed wall-clock. sequential is the paper-faithful per-VM dispatch
+// (one probe chain per VM); batched coalesces each wave into one multi-VM
+// placement request per candidate GM (ManagerConfig.DispatchBatch).
+func BenchmarkPlacementsPerSecond(b *testing.B) {
+	b.Run("sequential", func(b *testing.B) { benchPlacements(b, 1) })
+	b.Run("batched", func(b *testing.B) { benchPlacements(b, 32) })
+}
+
+func benchPlacements(b *testing.B, batch int) {
+	skipInShort(b)
+	const lcs, gms, wave = 512, 32, 256
+	b.ReportAllocs()
+	placed := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := cluster.DefaultConfig(workload.Grid5000Topology(lcs, gms), int64(1300+i))
+		cfg.Manager.DispatchBatch = batch
+		c := cluster.New(cfg)
+		c.Settle(30 * time.Second)
+		vms := workload.NewGenerator(int64(i), nil).Batch(wave)
+		b.StartTimer()
+		resp, err := c.SubmitAndWait(vms, time.Hour)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(resp.Placed) == 0 {
+			b.Fatal("nothing placed")
+		}
+		placed += len(resp.Placed)
+	}
+	b.ReportMetric(float64(placed)/b.Elapsed().Seconds(), "placements/s")
+}
+
+// BenchmarkFleetRelocationScan measures the wall cost of periodic
+// reconfiguration scans over a populated fleet — with the group-wide view
+// epoch gate on (default) vs recomputing every scan (DisableScanGating).
+// The reconfiguration period deliberately outpaces monitor ingestion:
+// between report bursts nothing moves, which is exactly the condition the
+// epoch gate detects and skips. The solver runs dry (plan discarded) so the
+// fleet stays quiescent instead of churning on migrations, isolating the
+// scan overhead itself.
+func BenchmarkFleetRelocationScan(b *testing.B) {
+	b.Run("gated", func(b *testing.B) { benchRelocationScan(b, true) })
+	b.Run("ungated", func(b *testing.B) { benchRelocationScan(b, false) })
+}
+
+// dryRunReconfig pays the full consolidation-scan cost (problem build, demand
+// estimates, FFD solve) and then reports no plan, keeping the benchmarked
+// fleet free of migration churn.
+type dryRunReconfig struct{ inner consolidation.FFD }
+
+var errDryRun = fmtError("bench: dry-run reconfiguration, plan discarded")
+
+type fmtError string
+
+func (e fmtError) Error() string { return string(e) }
+
+func (dryRunReconfig) Name() string { return "dry-run-ffd" }
+
+func (d dryRunReconfig) Solve(p consolidation.Problem) (consolidation.Result, error) {
+	if _, err := d.inner.Solve(p); err != nil {
+		return consolidation.Result{}, err
+	}
+	return consolidation.Result{}, errDryRun
+}
+
+func benchRelocationScan(b *testing.B, gated bool) {
+	skipInShort(b)
+	cfg := cluster.DefaultConfig(workload.Grid5000Topology(256, 16), 77)
+	cfg.Manager.DispatchBatch = 32
+	cfg.Manager.Reconfig = dryRunReconfig{inner: consolidation.FFD{Key: consolidation.SortCPU}}
+	cfg.Manager.ReconfigPeriod = 250 * time.Millisecond
+	cfg.Manager.DisableScanGating = !gated
+	c := cluster.New(cfg)
+	c.Settle(30 * time.Second)
+	if _, err := c.SubmitAndWait(workload.NewGenerator(7, nil).Batch(512), time.Hour); err != nil {
+		b.Fatal(err)
+	}
+	c.Settle(time.Minute)
+	skips0 := c.Metrics.Count("gm.reconfig-skipped-unchanged")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Settle(10 * time.Second)
+	}
+	b.StopTimer()
+	simSecs := float64(b.N) * 10
+	b.ReportMetric(float64(c.Metrics.Count("gm.reconfig-skipped-unchanged")-skips0)/simSecs, "skips/simsec")
+}
+
+// ---------------------------------------------------------------------------
 // Core algorithm micro-benchmarks.
 // ---------------------------------------------------------------------------
 

@@ -14,9 +14,12 @@
 // gate — there is no ratio to grow). Benchmarks new to either side are
 // reported but never fail the gate — renames and additions must not break
 // CI — except when NOTHING overlaps the baseline, which fails deliberately:
-// a gate with zero comparisons would pass vacuously forever. -summary FILE
-// appends the comparison as a markdown table (append mode, so pointing it
-// at $GITHUB_STEP_SUMMARY surfaces the deltas on the PR).
+// a gate with zero comparisons would pass vacuously forever. Custom units
+// (placements/s, skips/simsec, ...) get an informational delta column but
+// never gate: throughput numbers are machine-dependent, so the wall-clock
+// ns/op ratio is the enforced signal. -summary FILE appends the comparison
+// as a markdown table (append mode, so pointing it at $GITHUB_STEP_SUMMARY
+// surfaces the deltas on the PR).
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -124,14 +128,14 @@ func gate(doc Document, baselinePath string, tolerance float64, summaryPath stri
 	compared := 0
 	var md strings.Builder
 	md.WriteString("### Benchmark comparison vs " + baselinePath + "\n\n")
-	md.WriteString("| benchmark | ns/op (base → new) | Δ ns/op | allocs/op (base → new) | Δ allocs | status |\n")
-	md.WriteString("|---|---|---|---|---|---|\n")
+	md.WriteString("| benchmark | ns/op (base → new) | Δ ns/op | allocs/op (base → new) | Δ allocs | extra | status |\n")
+	md.WriteString("|---|---|---|---|---|---|---|\n")
 	for _, cur := range doc.Benchmarks {
 		ref, found := baseline[cur.Name]
 		if !found {
 			fmt.Fprintf(os.Stderr, "benchjson: %s: no baseline (new benchmark, not gated)\n", cur.Name)
-			fmt.Fprintf(&md, "| %s | — → %.1f | new | — → %s | new | not gated |\n",
-				cur.Name, cur.NsPerOp, allocsCell(allocs(cur)))
+			fmt.Fprintf(&md, "| %s | — → %.1f | new | — → %s | new | %s | not gated |\n",
+				cur.Name, cur.NsPerOp, allocsCell(allocs(cur)), extraDeltas(Benchmark{}, cur))
 			continue
 		}
 		compared++
@@ -157,12 +161,13 @@ func gate(doc Document, baselinePath string, tolerance float64, summaryPath stri
 				ok = false
 			}
 		}
-		fmt.Fprintf(os.Stderr, "benchjson: %s: %.1f -> %.1f ns/op (%s), %s -> %s allocs/op (%s) %s\n",
+		extras := extraDeltas(ref, cur)
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %.1f -> %.1f ns/op (%s), %s -> %s allocs/op (%s), extra: %s %s\n",
 			ref.Name, ref.NsPerOp, cur.NsPerOp, nsDelta,
-			allocsCell(allocs(ref)), allocsCell(allocs(cur)), allocDelta, status)
-		fmt.Fprintf(&md, "| %s | %.1f → %.1f | %s | %s → %s | %s | %s |\n",
+			allocsCell(allocs(ref)), allocsCell(allocs(cur)), allocDelta, extras, status)
+		fmt.Fprintf(&md, "| %s | %.1f → %.1f | %s | %s → %s | %s | %s | %s |\n",
 			cur.Name, ref.NsPerOp, cur.NsPerOp, nsDelta,
-			allocsCell(allocs(ref)), allocsCell(allocs(cur)), allocDelta, status)
+			allocsCell(allocs(ref)), allocsCell(allocs(cur)), allocDelta, extras, status)
 	}
 	if compared == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmarks shared with the baseline — gate cannot pass vacuously")
@@ -186,6 +191,36 @@ func gate(doc Document, baselinePath string, tolerance float64, summaryPath stri
 		f.Close()
 	}
 	return ok
+}
+
+// extraDeltas renders the custom-unit metrics (b.ReportMetric: items/s,
+// placements/s, skips/simsec, ...) as "unit base → new (Δ%)" pairs. Purely
+// informational — throughput units are machine-dependent, so they never
+// gate; the enforced signal stays ns/op and allocs/op. A zero-value ref
+// (new benchmark) renders the current values without deltas.
+func extraDeltas(ref, cur Benchmark) string {
+	if len(cur.Extra) == 0 {
+		return "—"
+	}
+	units := make([]string, 0, len(cur.Extra))
+	for u := range cur.Extra {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	parts := make([]string, 0, len(units))
+	for _, u := range units {
+		cv := cur.Extra[u]
+		rv, shared := ref.Extra[u]
+		switch {
+		case !shared:
+			parts = append(parts, fmt.Sprintf("%s %.1f", u, cv))
+		case rv != 0:
+			parts = append(parts, fmt.Sprintf("%s %.1f → %.1f (%+.1f%%)", u, rv, cv, (cv/rv-1)*100))
+		default:
+			parts = append(parts, fmt.Sprintf("%s %.1f → %.1f", u, rv, cv))
+		}
+	}
+	return strings.Join(parts, "; ")
 }
 
 // allocsCell renders an allocs/op value for output ("—" when unrecorded).

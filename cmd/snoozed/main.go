@@ -87,6 +87,8 @@ func main() {
 	consolidationBudget := flag.Int("consolidation-budget", 0, "control role: migrations per consolidation round (0 = default 4; <0 unlimited)")
 	consolidationColonies := flag.Int("consolidation-colonies", 0, "control role: parallel ant colonies per consolidation round (0 = default 4)")
 	traceSample := flag.Int("trace-sample", 1, "control role: record every Nth decision trace (<=1 records all)")
+	dispatchBatch := flag.Int("dispatch-batch", 0, "control role: max VMs the GL coalesces into one placement request per GM (<=1 sequential dispatch)")
+	rollupInterval := flag.Duration("rollup-interval", 0, "control role: GM rollup series debounce (0 = heartbeat period; <0 disables rollups)")
 	pprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (profiling is opt-in)")
 	flag.Parse()
 
@@ -139,7 +141,7 @@ func main() {
 			Now:     rt.Now,
 			Metrics: reg,
 			Emit: func(entity string, attrs map[string]string) {
-				tel.Emit(telemetry.EventDecisionTrace, entity, rt.Now(), attrs)
+				tel.Emit(telemetry.EventDecisionTrace, entity, rt.Now(), telemetry.AttrsFromMap(attrs))
 			},
 		})
 		for i := 0; i < *managers; i++ {
@@ -150,6 +152,8 @@ func main() {
 			cfg.Tracer = tracer
 			cfg.ViewHorizon = *viewHorizon
 			cfg.VMLivenessGrace = *vmLivenessGrace
+			cfg.DispatchBatch = *dispatchBatch
+			cfg.RollupInterval = *rollupInterval
 			cfg.Consolidation = online.Config{
 				Enabled:         *consolidation,
 				Period:          *consolidationPeriod,

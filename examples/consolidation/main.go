@@ -114,9 +114,9 @@ func onlineRun() {
 			continue
 		}
 		fmt.Printf("  round %2s @%-5v hosts %s -> %s  (planned %s, executed %s, failed %s, cancelled %s)\n",
-			ev.Attrs["round"], ev.At.Truncate(time.Second),
-			ev.Attrs["hostsBefore"], ev.Attrs["hostsAfter"],
-			ev.Attrs["planned"], ev.Attrs["executed"], ev.Attrs["failed"], ev.Attrs["cancelled"])
+			ev.Attrs.Get("round"), ev.At.Truncate(time.Second),
+			ev.Attrs.Get("hostsBefore"), ev.Attrs.Get("hostsAfter"),
+			ev.Attrs.Get("planned"), ev.Attrs.Get("executed"), ev.Attrs.Get("failed"), ev.Attrs.Get("cancelled"))
 	}
 	after := occupied(c)
 	fmt.Printf("\npacked: %d VMs across %d nodes (packing ratio %.1f VMs/host)\n",

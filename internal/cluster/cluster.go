@@ -127,7 +127,7 @@ func New(cfg Config) *Cluster {
 			Now:     k.Now,
 			Metrics: cfg.Metrics,
 			Emit: func(entity string, attrs map[string]string) {
-				hub.Emit(telemetry.EventDecisionTrace, entity, k.Now(), attrs)
+				hub.Emit(telemetry.EventDecisionTrace, entity, k.Now(), telemetry.AttrsFromMap(attrs))
 			},
 		})
 	}
@@ -278,6 +278,13 @@ func mergeDefaults(mcfg hierarchy.ManagerConfig) hierarchy.ManagerConfig {
 	}
 	def.Retention = mcfg.Retention
 	def.Consolidation = mcfg.Consolidation
+	if mcfg.DispatchBatch != 0 {
+		def.DispatchBatch = mcfg.DispatchBatch
+	}
+	if mcfg.RollupInterval != 0 {
+		def.RollupInterval = mcfg.RollupInterval
+	}
+	def.DisableScanGating = mcfg.DisableScanGating
 	return def
 }
 

@@ -268,12 +268,12 @@ func TestVMLivenessSweepReapsSilentlyVanishedVM(t *testing.T) {
 	var vanished int
 	for _, ev := range c.Telemetry.Journal().Replay(sweepFloor+1, 0) {
 		if ev.Type == "vm.state" && ev.Entity == "vm/victim" {
-			if ev.Attrs["state"] != "vanished" || ev.Attrs["reason"] != "liveness-sweep" {
+			if ev.Attrs.Get("state") != "vanished" || ev.Attrs.Get("reason") != "liveness-sweep" {
 				t.Fatalf("unexpected terminal event: %+v", ev)
 			}
 			vanished++
 		}
-		if ev.Type == "vm.state" && ev.Entity == "vm/survivor" && ev.Attrs["state"] == "vanished" {
+		if ev.Type == "vm.state" && ev.Entity == "vm/survivor" && ev.Attrs.Get("state") == "vanished" {
 			t.Fatalf("survivor falsely reaped: %+v", ev)
 		}
 	}

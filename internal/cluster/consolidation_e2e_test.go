@@ -191,7 +191,7 @@ func TestOnlineConsolidationCancelsOnTrendReversal(t *testing.T) {
 	for _, ev := range c.Telemetry.Journal().Replay(floor+1, 0) {
 		switch ev.Type {
 		case telemetry.EventConsolidationMigration:
-			if ev.Attrs["outcome"] != "cancelled" || ev.Attrs["reason"] != "source-trend-falling" {
+			if ev.Attrs.Get("outcome") != "cancelled" || ev.Attrs.Get("reason") != "source-trend-falling" {
 				t.Fatalf("unexpected migration event: %+v", ev)
 			}
 			cancelled++
@@ -221,7 +221,7 @@ func TestOnlineConsolidationCancelsOnTrendReversal(t *testing.T) {
 
 func atoiAttr(t *testing.T, ev telemetry.Event, key string) int {
 	t.Helper()
-	n, err := strconv.Atoi(ev.Attrs[key])
+	n, err := strconv.Atoi(ev.Attrs.Get(key))
 	if err != nil {
 		t.Fatalf("event %+v: attr %q: %v", ev, key, err)
 	}

@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"snooze/internal/types"
+	"snooze/internal/workload"
+)
+
+// TestRollupEquivalentPlacements pins the GM rollup series' contract: the
+// rollup is an observability substitution — the GL reads one gm/<id> series
+// per group instead of N per-node views — and must not perturb scheduling.
+// Two identically-seeded clusters, one with rollups on (the default) and one
+// with rollups disabled, must dispatch an identical workload to identical
+// nodes, in both the sequential and the batched dispatch paths.
+func TestRollupEquivalentPlacements(t *testing.T) {
+	run := func(t *testing.T, rollup time.Duration, batch int) (map[types.VMID]types.NodeID, []types.VMID, int64) {
+		t.Helper()
+		cfg := DefaultConfig(workload.Grid5000Topology(48, 4), 7)
+		cfg.Manager.RollupInterval = rollup
+		cfg.Manager.DispatchBatch = batch
+		c := New(cfg)
+		c.Settle(30 * time.Second)
+		gen := workload.NewGenerator(7, nil)
+		resp, err := c.SubmitAndWait(gen.Batch(60), time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.Placed, resp.Unplaced, c.Metrics.Count("gm.rollups")
+	}
+
+	for _, tc := range []struct {
+		name  string
+		batch int
+	}{
+		{"sequential", 1},
+		{"batched", 32},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			withPlaced, withUnplaced, withRollups := run(t, 0, tc.batch) // 0 = default: on
+			offPlaced, offUnplaced, offRollups := run(t, -1, tc.batch)   // negative disables
+
+			// The comparison is only meaningful if the two runs actually took
+			// different telemetry paths.
+			if withRollups == 0 {
+				t.Fatal("fixture: rollup run recorded no gm.rollups")
+			}
+			if offRollups != 0 {
+				t.Fatalf("fixture: rollup-disabled run recorded %d gm.rollups", offRollups)
+			}
+
+			if len(withPlaced) != len(offPlaced) || len(withUnplaced) != len(offUnplaced) {
+				t.Fatalf("placement outcome diverged: rollup %d placed / %d unplaced, per-node %d / %d",
+					len(withPlaced), len(withUnplaced), len(offPlaced), len(offUnplaced))
+			}
+			for vm, node := range withPlaced {
+				if got, ok := offPlaced[vm]; !ok || got != node {
+					t.Fatalf("VM %s: rollup run placed on %q, per-node run on %q", vm, node, got)
+				}
+			}
+		})
+	}
+}

@@ -89,7 +89,7 @@ func TestDecisionTraceAcrossDispatchAndPlacement(t *testing.T) {
 	// trace ID, so watch streams correlate with /v1/traces.
 	found := false
 	for _, ev := range c.Telemetry.Journal().Replay(0, 1<<20) {
-		if ev.Type == telemetry.EventDecisionTrace && ev.Attrs["trace"] == dispatch.TraceID && ev.Attrs["kind"] == obs.KindDispatch {
+		if ev.Type == telemetry.EventDecisionTrace && ev.Attrs.Get("trace") == dispatch.TraceID && ev.Attrs.Get("kind") == obs.KindDispatch {
 			found = true
 		}
 	}

@@ -139,6 +139,13 @@ type Snapshot struct {
 	Now   time.Duration
 	Nodes []NodeLoad
 	VMs   []VMDemand
+	// Epoch is the host's group-wide view epoch at assembly time (0 when the
+	// host does not track one): a counter bumped by every state change that
+	// can alter the views — monitor ingestion, reservations, migrations,
+	// sleep/wake, membership. An unchanged epoch since the last completed
+	// round means nothing moved, and the optimizer skips the round's solve
+	// entirely.
+	Epoch uint64
 }
 
 // Host is the optimizer's interface to the GM: problem input, fresh per-node
@@ -198,6 +205,9 @@ type Optimizer struct {
 	running bool
 	ticker  *simkernel.Ticker
 	gen     uint64 // bumped by Stop; orphans in-flight migration callbacks
+	// lastEpoch is the snapshot epoch of the last round that ran its solve;
+	// a tick whose snapshot carries the same (non-zero) epoch skips outright.
+	lastEpoch uint64
 
 	inRound bool
 	round   uint64 // rounds completed
@@ -246,6 +256,7 @@ func (o *Optimizer) Stop() {
 	}
 	o.running = false
 	o.gen++
+	o.lastEpoch = 0 // a restarted optimizer re-plans unconditionally
 	o.inRound = false
 	o.span = obs.Span{}
 	o.plan = nil
@@ -304,6 +315,22 @@ func (o *Optimizer) tick() {
 		span.Finish("skipped")
 		return
 	}
+	// Epoch gate: an unchanged group-wide view epoch means no monitor
+	// ingestion, placement, migration, sleep/wake or membership change
+	// happened since the last solve — the same problem would be rebuilt and
+	// re-solved. Skip the whole scan (including the ACO solve, the expensive
+	// part) and wait for something to move.
+	o.mu.Lock()
+	if snap.Epoch != 0 && snap.Epoch == o.lastEpoch {
+		o.inRound = false
+		o.span = obs.Span{}
+		o.mu.Unlock()
+		span.Finish("skipped-unchanged")
+		o.host.Mark("gm.consolidation-skips-unchanged", 1)
+		return
+	}
+	o.lastEpoch = snap.Epoch
+	o.mu.Unlock()
 	o.runRound(gen, snap)
 }
 

@@ -67,6 +67,7 @@ func All(scale Scale) []Result {
 		E8DistributedACO(scale),
 		A1EstimatorAblation(scale),
 		A2DispatchAblation(scale),
+		F1FleetThroughput(scale),
 	}
 }
 
@@ -93,6 +94,8 @@ func ByID(id string, scale Scale) (Result, error) {
 		return A1EstimatorAblation(scale), nil
 	case "a2", "dispatch-ablation":
 		return A2DispatchAblation(scale), nil
+	case "f1", "fleet-throughput":
+		return F1FleetThroughput(scale), nil
 	default:
 		return Result{}, fmt.Errorf("experiments: unknown experiment %q", id)
 	}

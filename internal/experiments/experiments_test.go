@@ -122,6 +122,29 @@ func TestE7AblationRuns(t *testing.T) {
 	tableText(t, r)
 }
 
+func TestF1FleetThroughputShape(t *testing.T) {
+	r := F1FleetThroughput(ScaleQuick)
+	txt := tableText(t, r)
+	// Every dispatch variant must place the full workload: batching may only
+	// change throughput, never the placement outcome (unplaced VMs fall back
+	// to the sequential probe).
+	lines := strings.Split(strings.TrimSpace(txt), "\n")
+	rows := 0
+	for _, line := range lines[2:] {
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		rows++
+		if placed, err := strconv.Atoi(fields[3]); err != nil || placed != 6*24 {
+			t.Fatalf("variant %s placed %s of %d VMs:\n%s", fields[0], fields[3], 6*24, txt)
+		}
+	}
+	if rows != 4 {
+		t.Fatalf("expected 4 variants, got %d:\n%s", rows, txt)
+	}
+}
+
 func TestByID(t *testing.T) {
 	for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7",
 		"submission-scalability", "aco-vs-ffd"} {

@@ -26,7 +26,7 @@ func (m *Manager) becomeGLLocked() {
 	m.epoch++
 	m.mark("gl.promotions", 1)
 	m.emit(telemetry.EventGLElected, telemetry.GMEntity(m.cfg.ID),
-		map[string]string{"addr": string(m.cfg.Addr)})
+		telemetry.A("addr", string(m.cfg.Addr)))
 	// GM-side state is abandoned: "GL and GMs do not host VMs" and the
 	// paper's promoted GM sheds its LCs, which rejoin through the new GL.
 	m.lcs = make(map[types.NodeID]*lcRecord)
@@ -117,12 +117,12 @@ func (m *Manager) glSweepTick() {
 	m.mu.Unlock()
 	sort.Slice(failedGMs, func(i, j int) bool { return failedGMs[i] < failedGMs[j] })
 	for _, id := range failedGMs {
-		m.emit(telemetry.EventGMFailed, telemetry.GMEntity(id), nil)
+		m.emit(telemetry.EventGMFailed, telemetry.GMEntity(id), telemetry.Attrs{})
 	}
 	if shed > 0 {
 		m.mark("gl.rebalances", 1)
 		m.emit(telemetry.EventRebalance, telemetry.GMEntity(shedID),
-			map[string]string{"shed": fmt.Sprintf("%d", shed)})
+			telemetry.A("shed", fmt.Sprintf("%d", shed)))
 		m.bus.Call(m.cfg.Addr, shedAddr, protocol.KindShed, protocol.ShedRequest{Count: shed}, m.cfg.CallTimeout,
 			func(any, error) {})
 	}
@@ -152,7 +152,7 @@ func (m *Manager) glOnGMJoin(req *transport.Request) {
 	m.mark("gl.gm-joins", 1)
 	if !exists {
 		m.emit(telemetry.EventGMJoin, telemetry.GMEntity(join.GM),
-			map[string]string{"addr": join.Addr})
+			telemetry.A("addr", join.Addr))
 	}
 	req.Respond(protocol.GMJoinResponse{Accepted: true})
 }
@@ -177,6 +177,23 @@ func (m *Manager) glOnSummary(req *transport.Request) {
 	rec.summary = up.Summary
 	rec.lastSeen = m.rt.Now()
 	m.mu.Unlock()
+	// A GM pushing rollups on a hub shared with this GL already appends the
+	// gm/<id> series from its own monitoring flow (gmOnMonitor) at heartbeat
+	// cadence; re-recording the coarser summary here would double-feed the
+	// series. The GM's claim stamp plus an O(1) freshness probe distinguishes
+	// that case from a live deployment with per-process hubs, where this
+	// record is the series' only feed. The staleness bound keeps the GL
+	// recording when a claimed rollup went quiet (a GM whose LCs all left
+	// stops ingesting monitor reports, hence stops rolling up).
+	if up.Rollup {
+		entity := telemetry.GMEntity(up.Summary.GM)
+		if owner, ok := m.tel.Owner(entity); ok && owner == string(up.Summary.GM) {
+			if sm, ok := m.tel.Store().Newest(entity, "util"); ok && m.rt.Now()-sm.At <= 2*m.cfg.SummaryPeriod {
+				m.mark("gl.summary-rollup-skips", 1)
+				return
+			}
+		}
+	}
 	m.tel.RecordGroup(m.rt.Now(), up.Summary)
 }
 
@@ -239,6 +256,15 @@ func (m *Manager) glOnSubmit(req *transport.Request) {
 	resp := protocol.SubmitResponse{Placed: make(map[types.VMID]types.NodeID)}
 	if len(sub.VMs) == 0 {
 		req.Respond(resp)
+		return
+	}
+	if m.cfg.DispatchBatch > 1 && len(sub.VMs) > 1 {
+		m.dispatchBatch(sub.VMs, func(placed map[types.VMID]types.NodeID, unplaced []types.VMID) {
+			resp.Placed = placed
+			resp.Unplaced = unplaced
+			m.observe("gl.submit-latency", m.rt.Now()-start)
+			req.Respond(resp)
+		})
 		return
 	}
 	// VMs are dispatched one after another, as in the Snooze GL where a
@@ -379,6 +405,177 @@ func (m *Manager) dispatchVM(spec types.VMSpec, cb func(node types.NodeID, ok bo
 		})
 	}
 	probe(0)
+}
+
+// dispatchBatch coalesces one submission into multi-VM placement requests:
+// the group views are built once, every VM is ranked through the dispatch
+// policy against that single snapshot, and the VMs are grouped by their
+// first-choice GM — one PlaceRequest per GM (chunked at DispatchBatch VMs)
+// instead of one probe chain per VM. VMs whose batch the GM rejected fall
+// back to the sequential per-VM probe, which walks the full candidate list
+// with refreshed views. The batch is ranked largest-first before grouping,
+// so under capacity pressure the placement order packs at least as well as
+// arrival order (first-fit-decreasing).
+//
+// Under overcommit (aggregate demand exceeding fleet capacity) both paths
+// saturate the cluster and place identical resource totals, but the admitted
+// *set* differs: largest-first admits fewer, larger VMs where arrival order
+// admits more small ones. That is an admission-ordering property of FFD, not
+// a capacity loss — callers who care about admitted-VM count rather than
+// admitted resources under scarcity should keep DispatchBatch at 1.
+func (m *Manager) dispatchBatch(specs []types.VMSpec, done func(placed map[types.VMID]types.NodeID, unplaced []types.VMID)) {
+	m.mu.Lock()
+	if m.role != RoleGL || m.stopped {
+		m.mu.Unlock()
+		done(nil, vmIDs(specs))
+		return
+	}
+	summaries := make([]types.GroupSummary, 0, len(m.gms))
+	addrs := make(map[types.GroupManagerID]transport.Address, len(m.gms))
+	for _, gm := range m.gms {
+		summaries = append(summaries, gm.summary)
+		addrs[gm.id] = gm.addr
+	}
+	sort.Slice(summaries, func(i, j int) bool { return summaries[i].GM < summaries[j].GM })
+	// One Groups build and one policy pass per VM against the same snapshot
+	// replace the sequential path's N rebuilds — the views are equally stale
+	// for every VM in the batch, which is exactly the summary inexactness the
+	// dispatch policy already tolerates.
+	groups := m.views.Groups(m.rt.Now(), summaries)
+	// Rank the batch largest-first (decreasing CPU, then memory, ID
+	// tie-break): under capacity pressure the placement order decides how
+	// well the bins pack, and first-fit-decreasing beats arrival order.
+	ranked := append([]types.VMSpec(nil), specs...)
+	sort.Slice(ranked, func(i, j int) bool {
+		a, b := ranked[i].Requested, ranked[j].Requested
+		if a.CPU != b.CPU {
+			return a.CPU > b.CPU
+		}
+		if a.Memory != b.Memory {
+			return a.Memory > b.Memory
+		}
+		return ranked[i].ID < ranked[j].ID
+	})
+	byGM := make(map[types.GroupManagerID][]types.VMSpec)
+	var gmOrder []types.GroupManagerID
+	var noCandidates []types.VMID
+	for _, spec := range ranked {
+		cands := m.cfg.Dispatch.Candidates(spec, groups, nil)
+		if len(cands) == 0 {
+			noCandidates = append(noCandidates, spec.ID)
+			continue
+		}
+		if _, seen := byGM[cands[0]]; !seen {
+			gmOrder = append(gmOrder, cands[0])
+		}
+		byGM[cands[0]] = append(byGM[cands[0]], spec)
+	}
+	m.mu.Unlock()
+	if n := len(noCandidates); n > 0 {
+		m.mark("gl.dispatch-no-candidates", int64(n))
+	}
+
+	placed := make(map[types.VMID]types.NodeID, len(specs))
+	unplaced := noCandidates
+	var fallback []types.VMSpec
+	// Fallback runs after every batch response arrived: the optimistic
+	// summary updates from the placed VMs are then visible, so the linear
+	// probes rank GMs against post-batch capacity.
+	runFallback := func() {
+		var next func(i int)
+		next = func(i int) {
+			if i >= len(fallback) {
+				done(placed, unplaced)
+				return
+			}
+			spec := fallback[i]
+			m.dispatchVM(spec, func(node types.NodeID, ok bool) {
+				if ok {
+					placed[spec.ID] = node
+				} else {
+					unplaced = append(unplaced, spec.ID)
+				}
+				next(i + 1)
+			})
+		}
+		next(0)
+	}
+
+	// Chunk each GM's share at DispatchBatch VMs per request and issue all
+	// requests concurrently; a channel gate serializes the aggregation.
+	type chunk struct {
+		gm   types.GroupManagerID
+		addr transport.Address
+		vms  []types.VMSpec
+	}
+	var chunks []chunk
+	for _, id := range gmOrder {
+		vms := byGM[id]
+		for len(vms) > 0 {
+			n := m.cfg.DispatchBatch
+			if n > len(vms) {
+				n = len(vms)
+			}
+			chunks = append(chunks, chunk{gm: id, addr: addrs[id], vms: vms[:n]})
+			vms = vms[n:]
+		}
+	}
+	if len(chunks) == 0 {
+		runFallback()
+		return
+	}
+	m.mark("gl.dispatch-batches", int64(len(chunks)))
+	remaining := len(chunks)
+	gate := make(chan struct{}, 1)
+	gate <- struct{}{}
+	for _, c := range chunks {
+		c := c
+		// One dispatch trace covers the whole chunk; the GM's per-VM
+		// placement spans link back through the request's trace fields.
+		span := m.cfg.Tracer.StartTrace(obs.KindDispatch, telemetry.GMEntity(c.gm))
+		span.SetPolicy(m.cfg.Dispatch.Name())
+		span.SetTarget(string(c.gm))
+		span.Annotate("batch", strconv.Itoa(len(c.vms)))
+		sc := span.Context()
+		preq := protocol.PlaceRequest{VMs: c.vms, TraceID: sc.TraceID, ParentSpan: sc.SpanID}
+		m.bus.Call(m.cfg.Addr, c.addr, protocol.KindPlace, preq, m.cfg.CallTimeout, func(reply any, err error) {
+			pr, ok := protocol.PlaceResponse{}, false
+			if err == nil {
+				pr, ok = reply.(protocol.PlaceResponse)
+			}
+			<-gate
+			got := 0
+			for _, spec := range c.vms {
+				if node, hit := pr.Placed[spec.ID]; ok && hit {
+					placed[spec.ID] = node
+					got++
+					m.mu.Lock()
+					if gm, live := m.gms[c.gm]; live {
+						gm.summary.Reserved = gm.summary.Reserved.Add(spec.Requested)
+						gm.summary.VMs++
+					}
+					m.mu.Unlock()
+				} else {
+					fallback = append(fallback, spec)
+				}
+			}
+			remaining--
+			last := remaining == 0
+			gate <- struct{}{}
+			span.Annotate("placed", strconv.Itoa(got))
+			switch {
+			case got == len(c.vms):
+				span.Finish("placed")
+			case got > 0:
+				span.Finish("partial")
+			default:
+				span.Finish("rejected")
+			}
+			if last {
+				runFallback()
+			}
+		})
+	}
 }
 
 // glOnTopology exports the hierarchy for CLI visualization (Section II-A).

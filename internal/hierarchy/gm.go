@@ -34,6 +34,9 @@ func (m *Manager) becomeGMLocked(gl transport.Address) {
 	if !sameGL {
 		m.mark("gm.gl-changes", 1)
 	}
+	m.lastRollup = 0 // fresh stint: first monitor report rolls up immediately
+	m.bumpViewEpochLocked()
+	m.viewMemo.Invalidate()
 	m.stopTickersLocked()
 	m.addTicker(m.cfg.HeartbeatPeriod, m.gmHeartbeatTick)
 	m.addTicker(m.cfg.SummaryPeriod, m.gmSummaryTick)
@@ -120,7 +123,11 @@ func (m *Manager) gmSummaryTick() {
 	if !joined {
 		m.gmJoinGL()
 	}
-	_ = m.bus.Send(m.cfg.Addr, gl, protocol.KindSummary, protocol.SummaryUpdate{Summary: summary, Addr: string(m.cfg.Addr)})
+	_ = m.bus.Send(m.cfg.Addr, gl, protocol.KindSummary, protocol.SummaryUpdate{
+		Summary: summary,
+		Addr:    string(m.cfg.Addr),
+		Rollup:  m.rollupEvery() > 0,
+	})
 }
 
 // summaryLocked aggregates used/total capacity over the GM's LCs, counting
@@ -168,9 +175,10 @@ func (m *Manager) gmOnLCJoin(req *transport.Request) {
 	rec.lastSeen = m.rt.Now()
 	rec.sleeping = false
 	rec.waking = false
+	m.bumpViewEpochLocked()
 	m.mu.Unlock()
 	m.mark("gm.lc-joins", 1)
-	m.emit(telemetry.EventLCJoin, telemetry.NodeEntity(id), map[string]string{"gm": string(m.cfg.ID)})
+	m.emit(telemetry.EventLCJoin, telemetry.NodeEntity(id), telemetry.A("gm", string(m.cfg.ID)))
 	req.Respond(protocol.LCJoinResponse{Accepted: true})
 	// Fresh capacity may satisfy queued placements.
 	m.drainPending()
@@ -235,9 +243,34 @@ func (m *Manager) gmOnMonitor(req *transport.Request) {
 	} else {
 		rec.idleAnnounced = false
 	}
+	// One ingested report = one epoch bump: the member series are about to be
+	// appended below, so every consumer keyed on the epoch re-reads exactly
+	// once per report (the property the epoch test pins down).
+	m.bumpViewEpochLocked()
+	// Rollup: at most once per rollupEvery, aggregate the group and append
+	// the gm/<id> series right here on the monitoring flow — the GL's group
+	// views then track capacity at monitoring cadence, without the GL ever
+	// touching per-node state (the hierarchy's whole point).
+	var rollup types.GroupSummary
+	doRollup := false
+	if every := m.rollupEvery(); every > 0 {
+		if now := m.rt.Now(); m.lastRollup == 0 || now-m.lastRollup >= every {
+			m.lastRollup = now
+			rollup = m.summaryLocked()
+			doRollup = true
+		}
+	}
 	m.mu.Unlock()
 
 	now := m.rt.Now()
+	if doRollup {
+		m.tel.RecordGroup(now, rollup)
+		// Stamp the rollup series like the per-VM series: on a shared hub the
+		// claim tells the GL that this GM's monitoring flow feeds gm/<id>
+		// directly, so glOnSummary skips its own (coarser) re-record.
+		m.tel.Claim(telemetry.GMEntity(m.cfg.ID), string(m.cfg.ID))
+		m.mark("gm.rollups", 1)
+	}
 	m.tel.RecordNode(now, rep.Status)
 	for _, vm := range rep.VMs {
 		entity := telemetry.VMEntity(vm.Spec.ID)
@@ -248,7 +281,7 @@ func (m *Manager) gmOnMonitor(req *transport.Request) {
 	}
 	if becameIdle {
 		m.emit(telemetry.EventNodeIdle, telemetry.NodeEntity(id),
-			map[string]string{"sinceNs": fmt.Sprintf("%d", rep.Status.IdleSince)})
+			telemetry.A("sinceNs", fmt.Sprintf("%d", rep.Status.IdleSince)))
 	}
 	if ev, fired := m.tel.DetectNode(now, rep.Status); fired {
 		m.onTelemetryEvent(ev, rep.Status, rep.VMs)
@@ -301,9 +334,23 @@ func (m *Manager) activeStatusesLocked() []types.NodeStatus {
 }
 
 // activeViewsLocked builds capacity views over the schedulable LCs — the
-// input every placement decision consumes.
+// input every placement decision consumes. Builds are memoized on the GM-wide
+// view epoch: while nothing moved (no monitor ingestion, reservation,
+// migration, sleep/wake or membership change bumped the epoch), a burst of
+// placements reuses the previous build outright — zero per-entity cache
+// probes, zero store reductions. The heartbeat period bounds the Age drift a
+// reused build may carry.
 func (m *Manager) activeViewsLocked() []view.Node {
-	return m.views.Nodes(m.rt.Now(), m.activeStatusesLocked())
+	now := m.rt.Now()
+	if m.cfg.DisableScanGating {
+		return m.views.Nodes(now, m.activeStatusesLocked())
+	}
+	if nodes, ok := m.viewMemo.Get(m.viewEpoch, now, m.cfg.HeartbeatPeriod); ok {
+		return nodes
+	}
+	nodes := m.views.Nodes(now, m.activeStatusesLocked())
+	m.viewMemo.Put(m.viewEpoch, now, nodes)
+	return nodes
 }
 
 // gmOnPlace serves the GL's placement probe: run the placement policy per VM
@@ -417,6 +464,7 @@ func (m *Manager) placeVM(spec types.VMSpec, parent obs.SpanContext, cb func(nod
 	// Optimistic reservation so concurrent placements see the load.
 	rec.status.Reserved = rec.status.Reserved.Add(spec.Requested)
 	rec.status.VMs = append(rec.status.VMs, spec.ID)
+	m.bumpViewEpochLocked()
 	addr := rec.addr
 	m.mu.Unlock()
 
@@ -431,6 +479,7 @@ func (m *Manager) placeVM(spec types.VMSpec, parent obs.SpanContext, cb func(nod
 				if rec, ok := m.lcs[nodeID]; ok {
 					rec.status.Reserved = rec.status.Reserved.Sub(spec.Requested).Max(types.ResourceVector{})
 					rec.status.VMs = removeVMID(rec.status.VMs, spec.ID)
+					m.bumpViewEpochLocked()
 				}
 				m.mu.Unlock()
 				m.mark("gm.place-failed", 1)
@@ -540,6 +589,7 @@ func (m *Manager) drainPending() {
 		rec := m.lcs[nodeID]
 		rec.status.Reserved = rec.status.Reserved.Add(p.spec.Requested)
 		rec.status.VMs = append(rec.status.VMs, p.spec.ID)
+		m.bumpViewEpochLocked()
 		addr := rec.addr
 		m.mu.Unlock()
 		sc := span.Context()
@@ -552,6 +602,7 @@ func (m *Manager) drainPending() {
 					if rec, ok := m.lcs[nodeID]; ok {
 						rec.status.Reserved = rec.status.Reserved.Sub(p.spec.Requested).Max(types.ResourceVector{})
 						rec.status.VMs = removeVMID(rec.status.VMs, p.spec.ID)
+						m.bumpViewEpochLocked()
 					}
 					m.mu.Unlock()
 					span.Finish("start-failed")
@@ -718,6 +769,7 @@ func (m *Manager) migrateVMTracedLocked(mv types.Migration, sc obs.SpanContext, 
 		}
 	}
 	dst.status.Reserved = dst.status.Reserved.Add(spec.Requested)
+	m.bumpViewEpochLocked()
 	mreq := protocol.MigrateVMRequest{VM: mv.VM, DestNode: mv.To, DestAddr: string(dst.addr), TraceID: sc.TraceID, ParentSpan: sc.SpanID}
 	srcAddr := src.addr
 	from, to := mv.From, mv.To
@@ -733,6 +785,7 @@ func (m *Manager) migrateVMTracedLocked(mv types.Migration, sc obs.SpanContext, 
 						d.busy--
 					}
 				}
+				m.bumpViewEpochLocked()
 				m.mu.Unlock()
 				ack, isAck := reply.(protocol.MigrateVMResponse)
 				if err != nil || !isAck || !ack.OK {
@@ -778,20 +831,29 @@ func (m *Manager) gmSweepTick() {
 			m.mark("gm.lc-failures", 1)
 		}
 	}
+	if len(failed) > 0 {
+		m.bumpViewEpochLocked()
+	}
 	m.mu.Unlock()
 	sort.Slice(failed, func(i, j int) bool { return failed[i] < failed[j] })
 	for _, id := range failed {
 		entity := telemetry.NodeEntity(id)
-		m.emit(telemetry.EventLCFailed, entity, map[string]string{"gm": string(m.cfg.ID)})
+		m.emit(telemetry.EventLCFailed, entity, telemetry.A("gm", string(m.cfg.ID)))
 		m.tel.ForgetEntity(entity)
 	}
 	// VMs that died with the node (no rescheduling) get a terminal vm.state;
 	// the hub drops their series on that event, so dead VMs do not linger in
 	// the store. Rescheduled VMs keep their series — the workload lives on.
-	sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
-	for _, id := range dead {
-		m.emit(telemetry.EventVMState, telemetry.VMEntity(id),
-			map[string]string{"state": "failed"})
+	// One journaled batch covers the whole wave: a failed LC can take dozens
+	// of VMs with it, and per-event fan-out locking would serialize the sweep.
+	if len(dead) > 0 {
+		sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
+		evs := make([]telemetry.Event, len(dead))
+		for i, id := range dead {
+			evs[i] = telemetry.Event{At: now, Type: telemetry.EventVMState,
+				Entity: telemetry.VMEntity(id), Attrs: telemetry.A("state", "failed")}
+		}
+		m.tel.EmitBatch(evs)
 	}
 	sort.Slice(lost, func(i, j int) bool { return lost[i].ID < lost[j].ID })
 	for _, spec := range lost {
@@ -882,6 +944,9 @@ func (m *Manager) gmEnergyCheck() {
 			nextRipe = ripe
 		}
 	}
+	if len(toSuspend) > 0 {
+		m.bumpViewEpochLocked()
+	}
 	pendingLeft := len(m.pending)
 	if pendingLeft > 0 {
 		// Queued placements keep a bounded retry heartbeat alive (a wake
@@ -913,6 +978,7 @@ func (m *Manager) gmEnergyCheck() {
 					if rec, ok := m.lcs[t.id]; ok {
 						rec.sleeping = false
 						rec.status.Power = types.PowerOn
+						m.bumpViewEpochLocked()
 					}
 					if m.role == RoleGM && !m.stopped {
 						m.scheduleEnergyCheckLocked(m.rt.Now() + m.cfg.IdleThreshold/2)
@@ -1034,14 +1100,17 @@ func (m *Manager) gmVMSweep() {
 		reap = append(reap, entity)
 	}
 	sort.Strings(reap)
-	for _, entity := range reap {
-		// The terminal state makes Hub.Emit forget the entity's series and
-		// detector state; the event itself is the audit trail.
-		m.emit(telemetry.EventVMState, entity,
-			map[string]string{"state": "vanished", "reason": "liveness-sweep", "gm": string(m.cfg.ID)})
-		m.mark("gm.vms-vanished", 1)
-	}
 	if len(reap) > 0 {
+		// The terminal state makes the hub forget each entity's series and
+		// detector state; the events are the audit trail. A sweep can reap a
+		// whole wave at once, so they go through one batched journal append.
+		evs := make([]telemetry.Event, len(reap))
+		for i, entity := range reap {
+			evs[i] = telemetry.Event{At: now, Type: telemetry.EventVMState, Entity: entity,
+				Attrs: telemetry.A("state", "vanished", "reason", "liveness-sweep", "gm", string(m.cfg.ID))}
+		}
+		m.tel.EmitBatch(evs)
+		m.mark("gm.vms-vanished", int64(len(reap)))
 		m.mark("gm.vm-sweeps", 1)
 	}
 	if nextRipe > 0 {
@@ -1062,6 +1131,16 @@ func (m *Manager) gmReconfigTick() {
 		m.mu.Unlock()
 		return
 	}
+	// Epoch gate: nothing moved since the last solve (no monitor ingestion,
+	// placement, migration, sleep/wake or membership change bumped the view
+	// epoch) means the same problem would be rebuilt and re-solved for the
+	// same answer — skip the whole scan.
+	if !m.cfg.DisableScanGating && m.lastReconfigEpoch == m.viewEpoch {
+		m.mu.Unlock()
+		m.mark("gm.reconfig-skipped-unchanged", 1)
+		return
+	}
+	m.lastReconfigEpoch = m.viewEpoch
 	// Build the consolidation problem: active, non-busy LCs and their VMs
 	// with estimated demand.
 	var problem consolidation.Problem
@@ -1219,6 +1298,9 @@ func (m *Manager) gmOnShed(req *transport.Request) {
 		delete(m.lcs, c.id)
 		toNotify = append(toNotify, c.addr)
 		released++
+	}
+	if released > 0 {
+		m.bumpViewEpochLocked()
 	}
 	m.mu.Unlock()
 	for _, addr := range toNotify {

@@ -7,6 +7,7 @@ import (
 
 	"snooze/internal/consolidation/online"
 	"snooze/internal/protocol"
+	"snooze/internal/telemetry"
 	"snooze/internal/transport"
 	"snooze/internal/types"
 )
@@ -128,6 +129,9 @@ func (h gmHost) ConsolidationSnapshot() (online.Snapshot, bool) {
 	}
 	now := m.rt.Now()
 	snap := online.Snapshot{Now: now}
+	if !m.cfg.DisableScanGating {
+		snap.Epoch = m.viewEpoch // zero disables the optimizer's epoch gate
+	}
 	for _, lc := range m.lcs {
 		if lc.sleeping || lc.busy > 0 || lc.status.Power != types.PowerOn {
 			continue
@@ -195,9 +199,11 @@ func (h gmHost) Migrate(mig types.Migration, done func(ok bool)) {
 	m.mu.Unlock()
 }
 
-// Emit implements online.Host.
+// Emit implements online.Host. The online optimizer's event rate is one per
+// round plus one per migration, so adopting the map via AttrsFromMap (rather
+// than widening the Host interface to the telemetry type) costs nothing.
 func (h gmHost) Emit(typ, entity string, attrs map[string]string) {
-	h.m.emit(typ, entity, attrs)
+	h.m.emit(typ, entity, telemetry.AttrsFromMap(attrs))
 }
 
 // Mark implements online.Host.

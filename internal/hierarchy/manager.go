@@ -67,6 +67,32 @@ type ManagerConfig struct {
 	Overload  scheduling.RelocationPolicy
 	Underload scheduling.RelocationPolicy
 
+	// DispatchBatch is the largest number of a submission's VMs the GL
+	// coalesces into one PlaceRequest per candidate GM. Values above 1 enable
+	// batched dispatch: the GL ranks every queued VM against the group views
+	// once, groups the VMs by first-choice GM and probes each GM with a
+	// single multi-VM request, falling back to the per-VM linear probe only
+	// for the VMs a batch left unplaced. <=1 keeps the paper-faithful
+	// sequential dispatch, whose submission time scales with the batch size
+	// (experiment E1).
+	DispatchBatch int
+
+	// RollupInterval debounces the GM-level rollup series: on monitor
+	// ingestion, at most once per interval, the GM aggregates its LC records
+	// (summaryLocked) and appends the gm/<id> series itself — so the group
+	// capacity views the GL's dispatch consumes are fed at monitoring cadence
+	// instead of the slower GM→GL summary push. 0 selects HeartbeatPeriod;
+	// negative disables rollups and restores summary-fed group series only.
+	RollupInterval time.Duration
+
+	// DisableScanGating turns off the group-wide view-epoch gates: the
+	// memoized activeViews build, the reconfiguration tick's skip-unchanged
+	// check and the online optimizer's epoch gate all re-run from scratch on
+	// every invocation. The default (false) keeps the gates on; the knob
+	// exists for A/B measurement (BenchmarkFleetRelocationScan) and for
+	// operators who want every scan recomputed regardless of churn.
+	DisableScanGating bool
+
 	// Demand estimation (Section II-B). Estimates are computed over the
 	// telemetry store's retained per-VM series (see view.Builder.Demand);
 	// the estimator reduces the windowed samples to one demand vector.
@@ -247,6 +273,53 @@ type Manager struct {
 	// sweepKick debounces observer-triggered liveness-sweep arming, for the
 	// same reason.
 	sweepKick atomic.Bool
+
+	// lastRollup is the virtual time of the last GM rollup append (GM role,
+	// under mu); 0 means none yet this stint.
+	lastRollup time.Duration
+
+	// viewEpoch is the GM-wide cache epoch (under mu): the O(1) group-level
+	// stand-in for "max of the member series' Store.Generations", bumped by
+	// every state change that can alter the capacity views the GM schedules
+	// over — monitor ingestion (member appends), optimistic reservations and
+	// their rollbacks, migrations, sleep/wake transitions, membership churn.
+	// viewMemo keys whole []view.Node builds on it, and the relocation /
+	// consolidation scans skip outright when it has not moved.
+	viewEpoch uint64
+	viewMemo  view.Memo
+	// lastReconfigEpoch fences gmReconfigTick: a tick finding the epoch
+	// unchanged since the last solve skips the whole consolidation scan.
+	lastReconfigEpoch uint64
+}
+
+// bumpViewEpochLocked advances the GM-wide view epoch; m.mu must be held.
+func (m *Manager) bumpViewEpochLocked() { m.viewEpoch++ }
+
+// ViewEpoch returns the current GM-wide view epoch (instrumentation/tests).
+func (m *Manager) ViewEpoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.viewEpoch
+}
+
+// ViewMemoCounters returns the lifetime hit/miss counts of the memoized
+// whole-group view builds (instrumentation/tests).
+func (m *Manager) ViewMemoCounters() (hits, misses uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.viewMemo.Counters()
+}
+
+// rollupEvery resolves the effective rollup debounce interval (0 = rollups
+// disabled): RollupInterval, defaulting to HeartbeatPeriod.
+func (m *Manager) rollupEvery() time.Duration {
+	if m.cfg.RollupInterval < 0 {
+		return 0
+	}
+	if m.cfg.RollupInterval == 0 {
+		return m.cfg.HeartbeatPeriod
+	}
+	return m.cfg.RollupInterval
 }
 
 // NewManager creates a Manager. svc is the coordination service used for
@@ -398,20 +471,18 @@ func (m *Manager) observeValue(name string, v float64) {
 func (m *Manager) Telemetry() *telemetry.Hub { return m.tel }
 
 // emit publishes a hierarchy event on the telemetry journal.
-func (m *Manager) emit(typ, entity string, attrs map[string]string) {
+func (m *Manager) emit(typ, entity string, attrs telemetry.Attrs) {
 	m.tel.Emit(typ, entity, m.rt.Now(), attrs)
 }
 
-// vmStateAttrs builds a vm.state attribute map from key/value pairs,
-// tagging it with the decision trace ID when one is active so watch streams
-// correlate with /v1/traces.
-func vmStateAttrs(sc obs.SpanContext, kv ...string) map[string]string {
-	attrs := make(map[string]string, len(kv)/2+1)
-	for i := 0; i+1 < len(kv); i += 2 {
-		attrs[kv[i]] = kv[i+1]
-	}
+// vmStateAttrs builds a vm.state attribute set from key/value pairs, tagging
+// it with the decision trace ID when one is active so watch streams correlate
+// with /v1/traces. The inline Attrs representation keeps this allocation-free
+// on the emit hot path.
+func vmStateAttrs(sc obs.SpanContext, kv ...string) telemetry.Attrs {
+	attrs := telemetry.A(kv...)
 	if sc.Valid() {
-		attrs["trace"] = sc.TraceID
+		attrs.Set("trace", sc.TraceID)
 	}
 	return attrs
 }

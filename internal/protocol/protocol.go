@@ -103,10 +103,14 @@ type GMJoinResponse struct {
 	Accepted bool `json:"accepted"`
 }
 
-// SummaryUpdate is a GM's periodic aggregate (Section II-B).
+// SummaryUpdate is a GM's periodic aggregate (Section II-B). Rollup reports
+// that the sending GM also appends its own gm/<id> rollup series on monitor
+// ingestion, so a GL sharing the sender's telemetry hub need not re-record
+// the summary.
 type SummaryUpdate struct {
 	Summary types.GroupSummary `json:"summary"`
 	Addr    string             `json:"addr"`
+	Rollup  bool               `json:"rollup,omitempty"`
 }
 
 // LCAssignRequest asks the GL for a GM assignment.

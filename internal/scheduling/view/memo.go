@@ -1,0 +1,60 @@
+package view
+
+import "time"
+
+// Memo memoizes one whole built []Node slice against a group-wide view
+// epoch — the O(1) "did anything move?" gate in front of Cache's per-entity
+// generation checks. The GM bumps its epoch on every state change that can
+// alter the views it schedules over (a monitor ingestion appending member
+// series, a reservation, a migration, a sleep/wake, membership churn); while
+// the epoch stands still, a placement burst or relocation scan reuses the
+// previous build outright, performing zero per-entity probes and zero store
+// reductions.
+//
+// A hit additionally requires the memoized build to be no older than the
+// caller's tolerance: statistics age with the clock even when nothing is
+// appended, and the tolerance bounds how much Age drift a reused view may
+// carry (the GM passes its heartbeat period — new monitor reports bump the
+// epoch at that cadence anyway, so the bound only matters for quiescent
+// groups).
+//
+// Memo is not safe for concurrent use; the owning manager serializes access
+// under its own lock. The memoized slice is shared across callers — treat it
+// as immutable (the scheduling policies only read views).
+type Memo struct {
+	valid   bool
+	epoch   uint64
+	builtAt time.Duration
+	nodes   []Node
+
+	hits   uint64
+	misses uint64
+}
+
+// Get returns the memoized views when they were built at the same epoch no
+// longer than tolerance ago.
+func (m *Memo) Get(epoch uint64, now, tolerance time.Duration) ([]Node, bool) {
+	if m.valid && m.epoch == epoch && now >= m.builtAt && now-m.builtAt <= tolerance {
+		m.hits++
+		return m.nodes, true
+	}
+	m.misses++
+	return nil, false
+}
+
+// Put memoizes a fresh build for the given epoch.
+func (m *Memo) Put(epoch uint64, now time.Duration, nodes []Node) {
+	m.valid = true
+	m.epoch = epoch
+	m.builtAt = now
+	m.nodes = nodes
+}
+
+// Invalidate drops the memoized build (role changes, config swaps).
+func (m *Memo) Invalidate() {
+	m.valid = false
+	m.nodes = nil
+}
+
+// Counters returns the lifetime hit/miss counts.
+func (m *Memo) Counters() (hits, misses uint64) { return m.hits, m.misses }

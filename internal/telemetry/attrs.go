@@ -1,0 +1,184 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+)
+
+// attrsInline is the number of key/value pairs an Attrs holds without any
+// heap allocation. Every emitter in the hierarchy fits (vm.state carries at
+// most five pairs including the trace correlation); the overflow map only
+// exists for external producers.
+const attrsInline = 5
+
+// Attrs is a small-size-optimized attribute set for journal events. Up to
+// attrsInline pairs live in an inline array inside the value itself, so the
+// emit hot path — build attrs, publish, fan out — performs zero heap
+// allocations; larger sets spill into a map. Attrs is a value type: events
+// copy it by value into the ring and subscriber channels, which is exactly
+// what makes the inline representation safe.
+//
+// Construct with A (inline fast path) or AttrsFromMap; read with Get, Lookup,
+// Len, Each or Map. The zero value is an empty set.
+type Attrs struct {
+	n  int
+	kv [2 * attrsInline]string
+	m  map[string]string
+}
+
+// A builds an Attrs from alternating key, value strings. Up to attrsInline
+// pairs are stored inline with no allocation (the variadic slice does not
+// escape); beyond that the set spills into a map. A trailing unpaired key is
+// ignored.
+func A(kv ...string) Attrs {
+	var a Attrs
+	n := len(kv) / 2
+	if n <= attrsInline {
+		a.n = n
+		copy(a.kv[:], kv[:2*n])
+		return a
+	}
+	a.m = make(map[string]string, n)
+	for i := 0; i+1 < len(kv); i += 2 {
+		a.m[kv[i]] = kv[i+1]
+	}
+	return a
+}
+
+// AttrsFromMap adopts m (no copy) as an attribute set. Small maps are not
+// flattened inline: the caller already paid for the map, and adopting keeps
+// conversion at the map-based API borders (obs spans, consolidation hosts)
+// free.
+func AttrsFromMap(m map[string]string) Attrs {
+	if len(m) == 0 {
+		return Attrs{}
+	}
+	return Attrs{m: m}
+}
+
+// IsZero reports whether the set is empty; encoding/json's omitzero uses it
+// so empty attrs stay off the wire exactly like the former nil map.
+func (a Attrs) IsZero() bool { return a.Len() == 0 }
+
+// Len returns the number of pairs.
+func (a Attrs) Len() int {
+	if a.m != nil {
+		return len(a.m)
+	}
+	return a.n
+}
+
+// Get returns the value for key ("" when absent).
+func (a Attrs) Get(key string) string {
+	v, _ := a.Lookup(key)
+	return v
+}
+
+// Lookup returns the value for key and whether it is present.
+func (a Attrs) Lookup(key string) (string, bool) {
+	if a.m != nil {
+		v, ok := a.m[key]
+		return v, ok
+	}
+	for i := 0; i < a.n; i++ {
+		if a.kv[2*i] == key {
+			return a.kv[2*i+1], true
+		}
+	}
+	return "", false
+}
+
+// Each calls f for every pair. Iteration order is insertion order for inline
+// sets and map order otherwise.
+func (a Attrs) Each(f func(k, v string)) {
+	if a.m != nil {
+		for k, v := range a.m {
+			f(k, v)
+		}
+		return
+	}
+	for i := 0; i < a.n; i++ {
+		f(a.kv[2*i], a.kv[2*i+1])
+	}
+}
+
+// Map returns the pairs as a freshly allocated map (nil when empty) — the
+// bridge to map-based consumers such as the HTTP API encoders.
+func (a Attrs) Map() map[string]string {
+	if a.Len() == 0 {
+		return nil
+	}
+	m := make(map[string]string, a.Len())
+	a.Each(func(k, v string) { m[k] = v })
+	return m
+}
+
+// Set inserts or replaces a pair in place, spilling to a map when the inline
+// array is full.
+func (a *Attrs) Set(key, value string) {
+	if a.m != nil {
+		a.m[key] = value
+		return
+	}
+	for i := 0; i < a.n; i++ {
+		if a.kv[2*i] == key {
+			a.kv[2*i+1] = value
+			return
+		}
+	}
+	if a.n < attrsInline {
+		a.kv[2*a.n] = key
+		a.kv[2*a.n+1] = value
+		a.n++
+		return
+	}
+	a.m = make(map[string]string, a.n+1)
+	for i := 0; i < a.n; i++ {
+		a.m[a.kv[2*i]] = a.kv[2*i+1]
+	}
+	a.m[key] = value
+	a.n = 0
+}
+
+// MarshalJSON encodes the set as a JSON object with sorted keys, preserving
+// the wire format of the former map[string]string representation (null when
+// empty, matching omitempty expectations via Event's marshalling).
+func (a Attrs) MarshalJSON() ([]byte, error) {
+	if a.Len() == 0 {
+		return []byte("{}"), nil
+	}
+	keys := make([]string, 0, a.Len())
+	a.Each(func(k, _ string) { keys = append(keys, k) })
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		kb, err := json.Marshal(k)
+		if err != nil {
+			return nil, err
+		}
+		vb, err := json.Marshal(a.Get(k))
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(kb)
+		buf.WriteByte(':')
+		buf.Write(vb)
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
+}
+
+// UnmarshalJSON decodes a JSON object into the set.
+func (a *Attrs) UnmarshalJSON(data []byte) error {
+	var m map[string]string
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	*a = AttrsFromMap(m)
+	return nil
+}

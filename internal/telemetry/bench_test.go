@@ -112,6 +112,45 @@ func BenchmarkTelemetryJournalFanout(b *testing.B) {
 	close(done)
 }
 
+// BenchmarkTelemetryJournalEmit measures the steady-state emit hot path: one
+// vm.state event with inline attributes through Hub.Emit. The Attrs inline
+// representation (no per-event map) is what makes this 0 allocs/op — the
+// proof for the journal-emit satellite of the fleet-throughput work.
+func BenchmarkTelemetryJournalEmit(b *testing.B) {
+	h := NewHub(Options{})
+	entity := VMEntity("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Emit(EventVMState, entity, time.Duration(i), A(
+			"state", "running",
+			"node", "node/n001",
+			"reason", "monitor",
+		))
+	}
+}
+
+// BenchmarkTelemetryJournalEmitBatch measures the batched counterpart: 64
+// vm.state events per EmitBatch through a single journal lock acquisition,
+// the GM-sweep shape. The batch slice is reused, so steady state stays
+// allocation-free per event.
+func BenchmarkTelemetryJournalEmitBatch(b *testing.B) {
+	h := NewHub(Options{})
+	entity := VMEntity("bench")
+	const batch = 64
+	evs := make([]Event, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range evs {
+			evs[j] = Event{At: time.Duration(i), Type: EventVMState, Entity: entity,
+				Attrs: A("state", "running", "node", "node/n001", "reason", "monitor")}
+		}
+		h.EmitBatch(evs)
+	}
+	b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds()/1e6, "Mevents/s")
+}
+
 // BenchmarkRetentionAppend measures the Append hot path once the raw ring is
 // saturated: every append evicts a sample through the tier compaction
 // cascade (fold into the 1m pending bucket, periodically flush into the 1m

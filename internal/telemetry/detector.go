@@ -144,10 +144,10 @@ func (d *Detector) Observe(entity string, at time.Duration, st types.NodeStatus)
 		At:     at,
 		Type:   cond.event(),
 		Entity: entity,
-		Attrs: map[string]string{
-			"util": fmt.Sprintf("%.3f", u),
-			"vms":  fmt.Sprintf("%d", len(st.VMs)),
-		},
+		Attrs: A(
+			"util", fmt.Sprintf("%.3f", u),
+			"vms", fmt.Sprintf("%d", len(st.VMs)),
+		),
 	}, true
 }
 

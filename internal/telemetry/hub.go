@@ -151,15 +151,36 @@ var TerminalVMStates = map[string]bool{"terminated": true, "destroyed": true, "f
 // A vm.state event carrying a terminal state (TerminalVMStates) additionally
 // forgets the VM's series and detector state, so dead VMs stop lingering in
 // the store under churn.
-func (h *Hub) Emit(typ, entity string, at time.Duration, attrs map[string]string) Event {
+func (h *Hub) Emit(typ, entity string, at time.Duration, attrs Attrs) Event {
 	ev := h.journal.Publish(Event{At: at, Type: typ, Entity: entity, Attrs: attrs})
 	if h.reg != nil {
 		h.reg.Inc("telemetry.events", 1)
 	}
-	if typ == EventVMState && TerminalVMStates[attrs["state"]] {
+	if typ == EventVMState && TerminalVMStates[attrs.Get("state")] {
 		h.ForgetEntity(entity)
 	}
 	return ev
+}
+
+// EmitBatch publishes evs (At/Type/Entity/Attrs populated, Seq assigned here)
+// through a single journal lock acquisition — the batched counterpart of Emit
+// for hot loops that journal many events at once, such as the GM's liveness
+// sweep reaping a wave of vanished VMs. Terminal vm.state events forget their
+// entities exactly as Emit would. evs is updated in place with the completed
+// events.
+func (h *Hub) EmitBatch(evs []Event) {
+	if len(evs) == 0 {
+		return
+	}
+	h.journal.PublishBatch(evs)
+	if h.reg != nil {
+		h.reg.Inc("telemetry.events", int64(len(evs)))
+	}
+	for _, ev := range evs {
+		if ev.Type == EventVMState && TerminalVMStates[ev.Attrs.Get("state")] {
+			h.ForgetEntity(ev.Entity)
+		}
+	}
 }
 
 // RecordNode appends the standard per-node series from one monitored status:

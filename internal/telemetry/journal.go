@@ -35,11 +35,11 @@ const (
 // Event is one journal entry. Seq is assigned by the journal and is strictly
 // monotonic; At is runtime-relative (virtual time in simulation).
 type Event struct {
-	Seq    uint64            `json:"seq"`
-	At     time.Duration     `json:"at"`
-	Type   string            `json:"type"`
-	Entity string            `json:"entity,omitempty"`
-	Attrs  map[string]string `json:"attrs,omitempty"`
+	Seq    uint64        `json:"seq"`
+	At     time.Duration `json:"at"`
+	Type   string        `json:"type"`
+	Entity string        `json:"entity,omitempty"`
+	Attrs  Attrs         `json:"attrs,omitzero"`
 }
 
 // ErrLagged terminates a subscription whose consumer fell behind the
@@ -134,10 +134,10 @@ func (j *Journal) Observe(fn Observer) (cancel func()) {
 	}
 }
 
-// Publish assigns the next sequence number, retains the event and fans it out
-// to every subscription. It returns the completed event.
-func (j *Journal) Publish(ev Event) Event {
-	j.mu.Lock()
+// publishLocked assigns the next sequence number, retains the event and fans
+// it out to every subscription; the journal lock must be held. Subscribers
+// that cannot keep up are cut off with ErrLagged.
+func (j *Journal) publishLocked(ev Event) Event {
 	ev.Seq = j.nextSeq
 	j.nextSeq++
 	if j.n < len(j.buf) {
@@ -159,18 +159,56 @@ func (j *Journal) Publish(ev Event) Event {
 		delete(j.subs, s)
 		s.closeLocked(ErrLagged)
 	}
-	var observers []Observer
-	if len(j.obs) > 0 {
-		observers = make([]Observer, 0, len(j.obs))
-		for _, fn := range j.obs {
-			observers = append(observers, fn)
-		}
+	return ev
+}
+
+// observersLocked snapshots the registered observers (nil when none); the
+// journal lock must be held. Observers are invoked after the lock drops.
+func (j *Journal) observersLocked() []Observer {
+	if len(j.obs) == 0 {
+		return nil
 	}
+	observers := make([]Observer, 0, len(j.obs))
+	for _, fn := range j.obs {
+		observers = append(observers, fn)
+	}
+	return observers
+}
+
+// Publish assigns the next sequence number, retains the event and fans it out
+// to every subscription. It returns the completed event.
+func (j *Journal) Publish(ev Event) Event {
+	j.mu.Lock()
+	ev = j.publishLocked(ev)
+	observers := j.observersLocked()
 	j.mu.Unlock()
 	for _, fn := range observers {
 		fn(ev)
 	}
 	return ev
+}
+
+// PublishBatch publishes evs in order under a single lock acquisition — the
+// fan-out lock is the per-event cost batching amortizes, so a GM sweep that
+// journals dozens of vm.state transitions pays it once. Sequence numbers are
+// assigned contiguously in slice order; evs is updated in place with the
+// completed events. Observers run after the lock drops, seeing the batch in
+// sequence order.
+func (j *Journal) PublishBatch(evs []Event) {
+	if len(evs) == 0 {
+		return
+	}
+	j.mu.Lock()
+	for i := range evs {
+		evs[i] = j.publishLocked(evs[i])
+	}
+	observers := j.observersLocked()
+	j.mu.Unlock()
+	for _, fn := range observers {
+		for _, ev := range evs {
+			fn(ev)
+		}
+	}
 }
 
 // Replay returns up to max retained events with Seq >= from, oldest first

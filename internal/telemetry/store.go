@@ -223,6 +223,21 @@ func (s *Store) Generation(entity, metric string) uint64 {
 	return 0
 }
 
+// Newest returns the most recent retained sample of one series in O(1) — a
+// shard read-lock and a ring index, no window search. The GL uses it to test
+// whether a GM's rollup series is already fresh before re-recording a summary
+// it received over the wire.
+func (s *Store) Newest(entity, metric string) (Sample, bool) {
+	sh := s.shardFor(entity, metric)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	ser, ok := sh.series[Key{Entity: entity, Metric: metric}]
+	if !ok || ser.n == 0 {
+		return Sample{}, false
+	}
+	return ser.at(ser.n - 1), true
+}
+
 // Query returns the retained points of (entity, metric) with timestamps in
 // [from, to], oldest first, stitched across the retention tiers: history that
 // has left the raw ring is served from the downsampled tier rings (one point

@@ -461,12 +461,12 @@ func TestHubForgetsTerminalVMs(t *testing.T) {
 		t.Fatal("fixture: no samples recorded")
 	}
 	// Non-terminal states keep the series.
-	h.Emit(EventVMState, VMEntity("v1"), 3*time.Second, map[string]string{"state": "migrated"})
+	h.Emit(EventVMState, VMEntity("v1"), 3*time.Second, A("state", "migrated"))
 	if h.Store().Len(VMEntity("v1"), "cpu.used") == 0 {
 		t.Fatal("non-terminal vm.state dropped the series")
 	}
 	// Terminal state drops every series of the VM.
-	h.Emit(EventVMState, VMEntity("v1"), 4*time.Second, map[string]string{"state": "failed"})
+	h.Emit(EventVMState, VMEntity("v1"), 4*time.Second, A("state", "failed"))
 	for _, k := range h.Store().Keys() {
 		if k.Entity == VMEntity("v1") {
 			t.Fatalf("series %v lingers after terminal vm.state", k)
@@ -474,7 +474,7 @@ func TestHubForgetsTerminalVMs(t *testing.T) {
 	}
 	// Attr-less events (and other entities) are untouched.
 	h.Record(NodeEntity("n1"), "util", 5*time.Second, 0.5)
-	h.Emit(EventVMState, VMEntity("v2"), 6*time.Second, nil)
+	h.Emit(EventVMState, VMEntity("v2"), 6*time.Second, Attrs{})
 	if h.Store().Len(NodeEntity("n1"), "util") != 1 {
 		t.Fatal("unrelated series affected")
 	}
