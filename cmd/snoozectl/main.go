@@ -163,6 +163,32 @@ func main() {
 			fmt.Printf("%-32s n=%d mean=%.2f p95=%.2f p99=%.2f\n", name, s.N, s.Mean, s.P95, s.P99)
 		}
 
+	case "recovery":
+		// The failover state-recovery dashboard: the counters and latency
+		// series of the GM->GL state-sync / restore flow, plus the
+		// robustness counters (rejected reports, migration retry budget).
+		snap, err := cli.Metrics(ctx)
+		fatalIf(err)
+		shown := 0
+		for _, name := range []string{
+			"gm.state-syncs", "gl.state-syncs", "gl.recovery-fetches",
+			"gl.state-restores", "gm.recoveries", "gm.monitor-rejects",
+			"gm.migration-retries", "gm.migration-abandoned",
+		} {
+			if v, ok := snap.Counters[name]; ok {
+				fmt.Printf("%-24s %d\n", name, v)
+				shown++
+			}
+		}
+		if s, ok := snap.Series["gm.recovery-latency"]; ok {
+			fmt.Printf("%-24s n=%d mean=%.2fms p95=%.2fms p99=%.2fms\n",
+				"gm.recovery-latency", s.N, s.Mean, s.P95, s.P99)
+			shown++
+		}
+		if shown == 0 {
+			fmt.Println("no recovery activity recorded")
+		}
+
 	case "series":
 		fs := flag.NewFlagSet("series", flag.ExitOnError)
 		entity := fs.String("entity", "", "series entity (node/<id>, vm/<id>, gm/<id>); empty lists all keys")
@@ -445,6 +471,7 @@ commands:
   consolidate status|start|stop
                           control the online consolidation optimizer (per GM)
   metrics                 control-plane counters, gauges and latency series
+  recovery                failover state-recovery counters and latency
   series [-entity -metric -from -to -agg -step]
                           list telemetry series, or dump one as a table
   watch [-from SEQ] [-n N]
@@ -452,7 +479,7 @@ commands:
   trace VM-ID|TRACE-ID|ENTITY
                           show decision traces (dispatch -> placement chain
                           with per-candidate rejection reasons)
-  experiment ID           reproduce one evaluation table (e1..e8, a1, a2)`)
+  experiment ID           reproduce one evaluation table (e1..e9, a1, a2, f1)`)
 	os.Exit(2)
 }
 

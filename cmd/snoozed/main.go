@@ -89,6 +89,9 @@ func main() {
 	traceSample := flag.Int("trace-sample", 1, "control role: record every Nth decision trace (<=1 records all)")
 	dispatchBatch := flag.Int("dispatch-batch", 0, "control role: max VMs the GL coalesces into one placement request per GM (<=1 sequential dispatch)")
 	rollupInterval := flag.Duration("rollup-interval", 0, "control role: GM rollup series debounce (0 = heartbeat period; <0 disables rollups)")
+	stateSyncPeriod := flag.Duration("state-sync-period", 0, "control role: GM->GL telemetry state-sync period for warm failover (0 = auto: off on this process's shared hub; >0 forces; <0 disables)")
+	migrationRetries := flag.Int("migration-retries", 0, "control role: total migration attempts before abandoning (0 = default 3)")
+	migrationBackoff := flag.Duration("migration-backoff", 0, "control role: base backoff between migration retries (0 = default 500ms)")
 	pprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (profiling is opt-in)")
 	flag.Parse()
 
@@ -154,6 +157,15 @@ func main() {
 			cfg.VMLivenessGrace = *vmLivenessGrace
 			cfg.DispatchBatch = *dispatchBatch
 			cfg.RollupInterval = *rollupInterval
+			if *stateSyncPeriod != 0 {
+				cfg.StateSyncPeriod = *stateSyncPeriod
+			}
+			if *migrationRetries != 0 {
+				cfg.MigrationRetries = *migrationRetries
+			}
+			if *migrationBackoff != 0 {
+				cfg.MigrationBackoff = *migrationBackoff
+			}
 			cfg.Consolidation = online.Config{
 				Enabled:         *consolidation,
 				Period:          *consolidationPeriod,

@@ -56,6 +56,12 @@ type Config struct {
 	// the downsampled tier ladder (see telemetry.StoreConfig). Ignored when
 	// Telemetry is provided.
 	Retention telemetry.StoreConfig
+	// PerGMHubs gives every manager its own private telemetry hub instead of
+	// the deployment-shared one — the live-deployment topology, where a GM
+	// crash actually loses its windowed telemetry. The state-recovery e2e
+	// tests use it to exercise snapshot + journal-replay failover; the
+	// shared hub (default) keeps the single-process simulation cheap.
+	PerGMHubs bool
 	// AutoRole, when non-nil, enables autonomic manager-population control
 	// (the paper's Section V future work: the framework, not the
 	// administrator, decides which nodes act as GMs).
@@ -175,6 +181,13 @@ func New(cfg Config) *Cluster {
 		mcfg.Metrics = cfg.Metrics
 		mcfg.Telemetry = cfg.Telemetry
 		mcfg.Tracer = cfg.Tracer
+		if cfg.PerGMHubs {
+			// Nil makes NewManager create a private hub per process (sized
+			// by Retention); GM failover then really loses state unless the
+			// snapshot + journal-replay recovery restores it.
+			mcfg.Telemetry = nil
+			mcfg.Retention = cfg.Retention
+		}
 		m := hierarchy.NewManager(k, bus, svc, mcfg)
 		c.Managers = append(c.Managers, m)
 		if err := m.Start(); err != nil {
@@ -210,6 +223,10 @@ func New(cfg Config) *Cluster {
 			mcfg.Metrics = cfg.Metrics
 			mcfg.Telemetry = cfg.Telemetry
 			mcfg.Tracer = cfg.Tracer
+			if cfg.PerGMHubs {
+				mcfg.Telemetry = nil
+				mcfg.Retention = cfg.Retention
+			}
 			m := hierarchy.NewManager(k, bus, svc, mcfg)
 			if err := m.Start(); err != nil {
 				return nil, err
@@ -285,6 +302,15 @@ func mergeDefaults(mcfg hierarchy.ManagerConfig) hierarchy.ManagerConfig {
 		def.RollupInterval = mcfg.RollupInterval
 	}
 	def.DisableScanGating = mcfg.DisableScanGating
+	if mcfg.StateSyncPeriod != 0 {
+		def.StateSyncPeriod = mcfg.StateSyncPeriod
+	}
+	if mcfg.MigrationRetries != 0 {
+		def.MigrationRetries = mcfg.MigrationRetries
+	}
+	if mcfg.MigrationBackoff != 0 {
+		def.MigrationBackoff = mcfg.MigrationBackoff
+	}
 	return def
 }
 

@@ -65,6 +65,7 @@ func All(scale Scale) []Result {
 		E6SelfHealing(scale),
 		E7ACOAblation(scale),
 		E8DistributedACO(scale),
+		E9GrayFailures(scale),
 		A1EstimatorAblation(scale),
 		A2DispatchAblation(scale),
 		F1FleetThroughput(scale),
@@ -90,6 +91,8 @@ func ByID(id string, scale Scale) (Result, error) {
 		return E7ACOAblation(scale), nil
 	case "e8", "distributed-aco":
 		return E8DistributedACO(scale), nil
+	case "e9", "gray-failures":
+		return E9GrayFailures(scale), nil
 	case "a1", "estimator-ablation":
 		return A1EstimatorAblation(scale), nil
 	case "a2", "dispatch-ablation":

@@ -122,6 +122,41 @@ func TestE7AblationRuns(t *testing.T) {
 	tableText(t, r)
 }
 
+func TestE9GrayFailuresShape(t *testing.T) {
+	r := E9GrayFailures(ScaleQuick)
+	txt := tableText(t, r)
+	lines := strings.Split(strings.TrimSpace(txt), "\n")
+	rows := 0
+	for _, line := range lines[2:] {
+		fields := strings.Fields(line)
+		if len(fields) < 6 {
+			continue
+		}
+		rows++
+		name := fields[0]
+		before, err1 := strconv.Atoi(fields[2])
+		after, err2 := strconv.Atoi(fields[3])
+		rejects, err3 := strconv.Atoi(fields[4])
+		if err1 != nil || err2 != nil || err3 != nil {
+			t.Fatalf("unparseable row %q:\n%s", line, txt)
+		}
+		// No gray failure may lose running VMs once healed.
+		if after < before {
+			t.Fatalf("%s lost VMs: %d -> %d\n%s", name, before, after, txt)
+		}
+		// Corrupted reports must be rejected at ingestion, and only there.
+		if strings.HasPrefix(name, "corrupt-") && rejects == 0 {
+			t.Fatalf("%s produced no monitor rejects:\n%s", name, txt)
+		}
+		if !strings.HasPrefix(name, "corrupt-") && rejects != 0 {
+			t.Fatalf("%s unexpectedly rejected reports:\n%s", name, txt)
+		}
+	}
+	if rows != 5 {
+		t.Fatalf("expected 5 scenarios, got %d:\n%s", rows, txt)
+	}
+}
+
 func TestF1FleetThroughputShape(t *testing.T) {
 	r := F1FleetThroughput(ScaleQuick)
 	txt := tableText(t, r)

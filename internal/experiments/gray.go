@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"sort"
+	"time"
+
+	"snooze/internal/cluster"
+	"snooze/internal/faults"
+	"snooze/internal/metrics"
+	"snooze/internal/types"
+	"snooze/internal/workload"
+)
+
+// E9GrayFailures exercises the fault modes that are harder than crashes:
+// components that stay up but misbehave. A slow-but-alive LC delays and
+// duplicates its heartbeats, a corrupted LC reports NaN/negative/future
+// monitoring samples, and a one-way level partition silences LC→GM traffic
+// while the reverse direction stays intact. The hierarchy must neither
+// poison its capacity views (ingestion validation rejects bad reports) nor
+// lose running VMs, and LCs must rejoin after the partition heals.
+func E9GrayFailures(scale Scale) Result {
+	nodes, gms, vms := 18, 3, 36
+	if scale == ScaleQuick {
+		nodes, gms, vms = 9, 2, 12
+	}
+	type scenario struct {
+		name   string
+		inject func(c *cluster.Cluster, ids []types.NodeID) faults.Action
+	}
+	scenarios := []scenario{
+		{"slow-lc", func(c *cluster.Cluster, ids []types.NodeID) faults.Action {
+			return faults.SlowLC{IDs: ids, Delay: 900 * time.Millisecond, DupProbability: 0.3}
+		}},
+		{"corrupt-nan", func(c *cluster.Cluster, ids []types.NodeID) faults.Action {
+			return faults.CorruptReports{IDs: ids, Mode: faults.CorruptNaN}
+		}},
+		{"corrupt-negative", func(c *cluster.Cluster, ids []types.NodeID) faults.Action {
+			return faults.CorruptReports{IDs: ids, Mode: faults.CorruptNegative}
+		}},
+		{"corrupt-future", func(c *cluster.Cluster, ids []types.NodeID) faults.Action {
+			return faults.CorruptReports{IDs: ids, Mode: faults.CorruptFuture}
+		}},
+		{"partition-lc-gm", func(c *cluster.Cluster, ids []types.NodeID) faults.Action {
+			return faults.LevelPartition{Direction: "lc->gm"}
+		}},
+	}
+	tb := metrics.NewTable("scenario", "placed", "running-before", "running-after-heal", "monitor-rejects", "lc-rejoins")
+	for _, sc := range scenarios {
+		cfg := cluster.DefaultConfig(workload.Grid5000Topology(nodes, gms), 4900)
+		c := cluster.New(cfg)
+		c.Settle(30 * time.Second)
+		gen := workload.NewGenerator(9, nil)
+		resp, err := c.SubmitAndWait(gen.Batch(vms), time.Hour)
+		if err != nil {
+			tb.AddRow(sc.name, "ERROR: "+err.Error(), "-", "-", "-", "-")
+			continue
+		}
+		c.Settle(15 * time.Second)
+		before := c.RunningVMs()
+		// Degrade a third of the LCs (deterministic choice: lowest node IDs).
+		ids := make([]types.NodeID, 0, len(c.LCs))
+		for id := range c.LCs {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		ids = ids[:len(ids)/3]
+		sc.inject(c, ids).Apply(c)
+		c.Settle(45 * time.Second)
+		faults.Heal{}.Apply(c)
+		c.Settle(45 * time.Second)
+		rejoins := uint64(0)
+		for _, lc := range c.LCs {
+			rejoins += lc.Rejoins()
+		}
+		tb.AddRow(sc.name, len(resp.Placed), before, c.RunningVMs(),
+			c.Metrics.Count("gm.monitor-rejects"), rejoins)
+	}
+	return Result{
+		ID:    "E9",
+		Title: "Gray failures: slow LCs, corrupted reports, one-way level partitions",
+		Table: tb,
+		Notes: []string{
+			"expected shape: running VMs survive every gray failure (no false",
+			"rescheduling storms); corrupt-* rows show monitor-rejects > 0 with",
+			"capacity views untouched; partition-lc-gm recovers via LC rejoin",
+		},
+	}
+}

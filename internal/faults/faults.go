@@ -1,16 +1,23 @@
 // Package faults orchestrates fault-injection scenarios against a simulated
-// cluster: timed crash failures of the GL, GMs and nodes, message loss and
-// network partitions. Experiment E3 (fault tolerance, Section II-F) and E6
-// (self-healing latency) are driven by these scenarios.
+// cluster: timed crash failures of the GL, GMs and nodes, message loss,
+// network partitions, and gray failures — components that are degraded
+// rather than dead. SlowLC delays and duplicates an LC's outgoing messages,
+// CorruptReports poisons its monitoring payloads (NaN/negative usage,
+// future-stamped clocks) and LevelPartition cuts one hierarchy level off
+// from another in a single direction. Experiment E3 (fault tolerance,
+// Section II-F), E6 (self-healing latency) and E9 (gray failures) are
+// driven by these scenarios.
 package faults
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
 	"snooze/internal/cluster"
 	"snooze/internal/hierarchy"
+	"snooze/internal/protocol"
 	"snooze/internal/transport"
 	"snooze/internal/types"
 )
@@ -93,17 +100,147 @@ func (a Partition) Apply(c *cluster.Cluster) {
 // Describe implements Action.
 func (a Partition) Describe() string { return fmt.Sprintf("partition %d component(s)", len(a.Addrs)) }
 
-// Heal clears all partitions and message loss.
+// SlowLC makes the named LCs slow-but-alive: their outgoing messages are
+// delayed by Delay and duplicated with probability DupProbability. The LC
+// process itself keeps running, so this models a gray failure (overloaded
+// host, congested NIC) rather than a crash.
+type SlowLC struct {
+	IDs            []types.NodeID
+	Delay          time.Duration
+	DupProbability float64
+}
+
+// Apply implements Action.
+func (a SlowLC) Apply(c *cluster.Cluster) {
+	for _, id := range a.IDs {
+		addr := transport.Address("lc:" + string(id))
+		c.Bus.SetLinkDelay(addr, a.Delay)
+		c.Bus.SetDuplication(addr, a.DupProbability)
+	}
+}
+
+// Describe implements Action.
+func (a SlowLC) Describe() string {
+	return fmt.Sprintf("slow %d LC(s) by %v (dup %.0f%%)", len(a.IDs), a.Delay, a.DupProbability*100)
+}
+
+// Corruption modes for CorruptReports.
+const (
+	// CorruptNaN sets node and VM usage components to NaN.
+	CorruptNaN = "nan"
+	// CorruptNegative negates node usage (impossible negative utilization).
+	CorruptNegative = "negative"
+	// CorruptFuture stamps reports one hour into the future.
+	CorruptFuture = "future"
+)
+
+// CorruptReports poisons the monitoring reports of the named LCs according
+// to Mode (CorruptNaN, CorruptNegative or CorruptFuture). The GM's
+// ingestion validation must reject these without polluting capacity views.
+type CorruptReports struct {
+	IDs  []types.NodeID
+	Mode string
+}
+
+// Apply implements Action.
+func (a CorruptReports) Apply(c *cluster.Cluster) {
+	fn := corruptor(a.Mode)
+	for _, id := range a.IDs {
+		if lc, ok := c.LCs[id]; ok {
+			lc.SetCorrupt(fn)
+		}
+	}
+}
+
+// Describe implements Action.
+func (a CorruptReports) Describe() string {
+	return fmt.Sprintf("corrupt reports (%s) on %d LC(s)", a.Mode, len(a.IDs))
+}
+
+func corruptor(mode string) func(*protocol.MonitorReport) {
+	switch mode {
+	case CorruptNegative:
+		return func(rep *protocol.MonitorReport) {
+			rep.Status.Used = rep.Status.Used.Scale(-1)
+		}
+	case CorruptFuture:
+		return func(rep *protocol.MonitorReport) {
+			rep.AtNs += int64(time.Hour)
+		}
+	default: // CorruptNaN
+		return func(rep *protocol.MonitorReport) {
+			rep.Status.Used = rep.Status.Used.Scale(math.NaN())
+			for i := range rep.VMs {
+				rep.VMs[i].Used = rep.VMs[i].Used.Scale(math.NaN())
+			}
+		}
+	}
+}
+
+// LevelPartition blocks messages from one hierarchy level to another in a
+// single direction: LCs can no longer reach GMs ("lc->gm"), or GMs can no
+// longer reach the GL level ("gm->gl"). The reverse direction stays intact,
+// which is what distinguishes a gray partition from a clean split.
+type LevelPartition struct {
+	// Direction is "lc->gm" or "gm->gl".
+	Direction string
+}
+
+// Apply implements Action.
+func (a LevelPartition) Apply(c *cluster.Cluster) {
+	lcs := make([]transport.Address, 0, len(c.LCs))
+	for _, lc := range c.LCs {
+		lcs = append(lcs, lc.Addr())
+	}
+	mgrs := make([]transport.Address, 0, len(c.Managers))
+	for _, m := range c.Managers {
+		mgrs = append(mgrs, m.Addr())
+	}
+	switch a.Direction {
+	case "gm->gl":
+		// Managers can no longer talk to each other (GM->GL summaries,
+		// state sync, join calls) while LC traffic still flows.
+		for _, from := range mgrs {
+			for _, to := range mgrs {
+				if from != to {
+					c.Bus.BlockDirected(from, to)
+				}
+			}
+		}
+	default: // "lc->gm"
+		for _, from := range lcs {
+			for _, to := range mgrs {
+				c.Bus.BlockDirected(from, to)
+			}
+		}
+	}
+}
+
+// Describe implements Action.
+func (a LevelPartition) Describe() string {
+	dir := a.Direction
+	if dir == "" {
+		dir = "lc->gm"
+	}
+	return "level partition " + dir
+}
+
+// Heal clears all partitions, message loss, gray failures and report
+// corruption.
 type Heal struct{}
 
 // Apply implements Action.
 func (Heal) Apply(c *cluster.Cluster) {
 	c.Bus.ClearPartitions()
 	c.Bus.SetDropProbability(0)
+	c.Bus.ClearGrayFailures()
+	for _, lc := range c.LCs {
+		lc.SetCorrupt(nil)
+	}
 }
 
 // Describe implements Action.
-func (Heal) Describe() string { return "heal partitions and loss" }
+func (Heal) Describe() string { return "heal partitions, loss and gray failures" }
 
 // Event is one scheduled fault.
 type Event struct {

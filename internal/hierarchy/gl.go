@@ -119,6 +119,12 @@ func (m *Manager) glSweepTick() {
 	for _, id := range failedGMs {
 		m.emit(telemetry.EventGMFailed, telemetry.GMEntity(id), telemetry.Attrs{})
 	}
+	if len(failedGMs) > 0 {
+		// State-recovering failover: hand each dead GM's archived telemetry
+		// to the survivors, which adopt the history of the LCs about to
+		// rejoin them (see recovery.go).
+		m.glPushArchives(failedGMs)
+	}
 	if shed > 0 {
 		m.mark("gl.rebalances", 1)
 		m.emit(telemetry.EventRebalance, telemetry.GMEntity(shedID),

@@ -2,7 +2,9 @@ package hierarchy
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
+	"strconv"
 	"time"
 
 	"snooze/internal/consolidation"
@@ -65,6 +67,17 @@ func (m *Manager) becomeGMLocked(gl transport.Address) {
 		// covers series that predate this GM stint.
 		m.sweepUnsub = m.tel.Journal().Observe(m.onSweepEvent)
 		m.scheduleVMSweepLocked(m.rt.Now() + m.cfg.VMLivenessGrace)
+	}
+	if period := m.stateSyncPeriod(); period > 0 {
+		// State replication: push owned-telemetry snapshots + journal
+		// segments to the GL so a successor can rebuild this GM's hub after
+		// a failure. The bootstrap fetch below is the receiving end: a
+		// restarted/re-elected GM recovers what a previous incarnation
+		// replicated, restoring Fresh capacity views across the handoff.
+		m.addTicker(period, m.gmStateSyncTick)
+		m.lastSyncSeq = 0
+		started := m.rt.Now()
+		m.rt.After(0, func() { m.gmRecoverState(started) })
 	}
 	// Join the GL immediately (heartbeat-paced retries cover failures).
 	m.rt.After(0, m.gmJoinGL)
@@ -196,6 +209,14 @@ func (m *Manager) gmOnMonitor(req *transport.Request) {
 	if !ok {
 		return
 	}
+	if !validMonitorReport(rep, m.rt.Now()) {
+		// Corrupted input (NaN/Inf/negative usage, future-stamped clock)
+		// never reaches the store, the detector or the LC bookkeeping — a
+		// single bad sensor must not poison the windowed statistics every
+		// scheduling decision consumes.
+		m.mark("gm.monitor-rejects", 1)
+		return
+	}
 	m.mu.Lock()
 	if m.role != RoleGM || m.stopped {
 		m.mu.Unlock()
@@ -272,6 +293,10 @@ func (m *Manager) gmOnMonitor(req *transport.Request) {
 		m.mark("gm.rollups", 1)
 	}
 	m.tel.RecordNode(now, rep.Status)
+	// Stamp the node series too: besides fencing shared-hub sweeps, the
+	// claim scopes this entity into the GM's state-sync snapshot, so a
+	// successor inherits the node's utilization history on failover.
+	m.tel.Claim(telemetry.NodeEntity(id), string(m.cfg.ID))
 	for _, vm := range rep.VMs {
 		entity := telemetry.VMEntity(vm.Spec.ID)
 		m.tel.RecordVM(now, vm)
@@ -750,8 +775,39 @@ func (m *Manager) migrateVMLocked(mv types.Migration, done func(ok bool)) {
 
 // migrateVMTracedLocked is migrateVMLocked with the issuing decision span's
 // context, carried to the LC on the MigrateVMRequest and tagged onto the
-// vm.state journal event.
+// vm.state journal event. Failures are retried with exponential backoff up
+// to the configured attempt budget; an exhausted budget journals
+// gm.migration-abandoned and reports failure once.
 func (m *Manager) migrateVMTracedLocked(mv types.Migration, sc obs.SpanContext, done func(ok bool)) {
+	m.migrateAttemptLocked(mv, sc, 1, done)
+}
+
+// migrationAttempts resolves the bounded retry budget (total attempts,
+// minimum one).
+func (m *Manager) migrationAttempts() int {
+	if m.cfg.MigrationRetries < 1 {
+		return 1
+	}
+	return m.cfg.MigrationRetries
+}
+
+// migrationDelay computes the backoff before retry attempt next (2, 3, …):
+// exponential in the base plus a deterministic jitter hashed from the VM ID
+// and the attempt number — concurrent retries spread without shared random
+// state, so schedules are reproducible in simulation.
+func migrationDelay(base time.Duration, vm types.VMID, next int) time.Duration {
+	if base <= 0 {
+		base = 500 * time.Millisecond
+	}
+	d := base << uint(next-2)
+	h := fnv.New64a()
+	h.Write([]byte(vm))
+	h.Write([]byte{byte(next)})
+	return d + time.Duration(h.Sum64()%uint64(base))
+}
+
+// migrateAttemptLocked issues one attempt of a migration; m.mu must be held.
+func (m *Manager) migrateAttemptLocked(mv types.Migration, sc obs.SpanContext, attempt int, done func(ok bool)) {
 	src, okS := m.lcs[mv.From]
 	dst, okD := m.lcs[mv.To]
 	if !okS || !okD {
@@ -790,6 +846,27 @@ func (m *Manager) migrateVMTracedLocked(mv types.Migration, sc obs.SpanContext, 
 				ack, isAck := reply.(protocol.MigrateVMResponse)
 				if err != nil || !isAck || !ack.OK {
 					m.mark("gm.migrations-failed", 1)
+					if attempt < m.migrationAttempts() {
+						// Bounded retry: back off and re-issue. The endpoint
+						// records are re-resolved under the lock, so an LC
+						// that failed or was shed meanwhile aborts the retry.
+						m.mark("gm.migration-retries", 1)
+						m.rt.After(migrationDelay(m.cfg.MigrationBackoff, mv.VM, attempt+1), func() {
+							m.mu.Lock()
+							if m.role != RoleGM || m.stopped {
+								m.mu.Unlock()
+								done(false)
+								return
+							}
+							m.migrateAttemptLocked(mv, sc, attempt+1, done)
+							m.mu.Unlock()
+						})
+						return
+					}
+					m.mark("gm.migration-abandoned", 1)
+					m.emit(telemetry.EventMigrationAbandoned, telemetry.VMEntity(mv.VM),
+						vmStateAttrs(sc, "from", string(from), "to", string(to),
+							"attempts", strconv.Itoa(attempt)))
 					done(false)
 					return
 				}
@@ -1142,31 +1219,19 @@ func (m *Manager) gmReconfigTick() {
 	}
 	m.lastReconfigEpoch = m.viewEpoch
 	// Build the consolidation problem: active, non-busy LCs and their VMs
-	// with estimated demand.
-	var problem consolidation.Problem
-	current := types.Placement{}
-	specs := map[types.VMID]types.VMSpec{}
+	// with estimated demand, against residual (not full) node capacity.
 	now := m.rt.Now()
+	inputs := make([]reconfigNodeInput, 0, len(m.lcs))
 	for _, lc := range m.lcs {
 		if lc.sleeping || lc.busy > 0 || lc.status.Power != types.PowerOn {
 			continue
 		}
-		problem.Nodes = append(problem.Nodes, lc.status.Spec)
-		for _, vm := range lc.vms {
-			if vm.State != types.VMRunning {
-				continue
-			}
-			spec := vm.Spec
-			est := m.estimateVM(now, vm)
-			// Consolidate on max(estimate, reservation-scaled demand) to
-			// stay admission-safe: the hypervisor checks reservations.
-			spec.Requested = vm.Spec.Requested
-			_ = est
-			problem.VMs = append(problem.VMs, spec)
-			current[vm.Spec.ID] = lc.id
-			specs[vm.Spec.ID] = spec
-		}
+		inputs = append(inputs, reconfigNodeInput{Status: lc.status, VMs: lc.vms})
 	}
+	sort.Slice(inputs, func(i, j int) bool { return inputs[i].Status.Spec.ID < inputs[j].Status.Spec.ID })
+	problem, current, specs := buildReconfigProblem(inputs, func(vm types.VMStatus) types.ResourceVector {
+		return m.estimateVM(now, vm)
+	})
 	if len(problem.VMs) == 0 || len(problem.Nodes) < 2 {
 		m.mu.Unlock()
 		return
@@ -1201,6 +1266,71 @@ func (m *Manager) gmReconfigTick() {
 // ---------------------------------------------------------------------------
 
 var errBadPayload = fmt.Errorf("hierarchy: bad payload type")
+
+// validMonitorReport rejects corrupted monitoring input before it reaches
+// the telemetry store, the anomaly detector or the LC bookkeeping:
+// NaN/Inf/negative usage vectors and reports stamped in the future (a
+// corrupted or replayed sender clock). AtNs 0 means unstamped and is
+// accepted for compatibility with senders that do not stamp.
+func validMonitorReport(rep protocol.MonitorReport, now time.Duration) bool {
+	if rep.AtNs != 0 && time.Duration(rep.AtNs) > now {
+		return false
+	}
+	for _, c := range rep.Status.Used.Components() {
+		if !telemetry.ValidSample(c) {
+			return false
+		}
+	}
+	for _, vm := range rep.VMs {
+		for _, c := range vm.Used.Components() {
+			if !telemetry.ValidSample(c) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// reconfigNodeInput is one schedulable LC's contribution to the periodic
+// consolidation problem.
+type reconfigNodeInput struct {
+	Status types.NodeStatus
+	VMs    []types.VMStatus
+}
+
+// buildReconfigProblem assembles the consolidation problem over schedulable
+// LCs. Only running VMs are re-packed; every other resident reservation —
+// VMs mid-start or suspended, and optimistic in-flight placements — is
+// subtracted from its node's capacity, so the solver plans against residual
+// room and never produces placements that conflict with residents the plan
+// cannot move (the failed-migration storms the full-capacity problem used
+// to cause). Each re-packed VM is sized at the componentwise max of its
+// reservation and its estimated demand: admission checks reservations,
+// while the estimate keeps hot VMs from being packed as if idle.
+func buildReconfigProblem(inputs []reconfigNodeInput, estimate func(types.VMStatus) types.ResourceVector) (consolidation.Problem, types.Placement, map[types.VMID]types.VMSpec) {
+	var problem consolidation.Problem
+	current := types.Placement{}
+	specs := map[types.VMID]types.VMSpec{}
+	for _, in := range inputs {
+		node := in.Status.Spec
+		var included types.ResourceVector
+		for _, vm := range in.VMs {
+			if vm.State != types.VMRunning {
+				continue
+			}
+			spec := vm.Spec
+			spec.Requested = vm.Spec.Requested.Max(estimate(vm))
+			included = included.Add(vm.Spec.Requested)
+			problem.VMs = append(problem.VMs, spec)
+			current[vm.Spec.ID] = node.ID
+			specs[vm.Spec.ID] = spec
+		}
+		foreign := in.Status.Reserved.Sub(included).Max(types.ResourceVector{})
+		node.Capacity = node.Capacity.Sub(foreign).Max(types.ResourceVector{})
+		problem.Nodes = append(problem.Nodes, node)
+	}
+	return problem, current, specs
+}
 
 func vmIDs(specs []types.VMSpec) []types.VMID {
 	out := make([]types.VMID, len(specs))

@@ -75,6 +75,10 @@ type LC struct {
 	monitorTicker *simkernel.Ticker
 	sweepTicker   *simkernel.Ticker
 	rejoins       uint64
+	// corrupt, when set, mutates outgoing monitor reports in flight — the
+	// gray-failure injection hook (a sensor gone bad, a broken sender
+	// clock). Production code never sets it.
+	corrupt func(*protocol.MonitorReport)
 }
 
 // NewLC creates a Local Controller for the given node. addr is the LC's bus
@@ -102,6 +106,15 @@ func OOBAddress(lc transport.Address) transport.Address {
 
 // Addr returns the LC's bus address.
 func (lc *LC) Addr() transport.Address { return lc.addr }
+
+// SetCorrupt installs (or, with nil, clears) a hook mutating outgoing
+// monitor reports — the fault-injection entry point for gray failures
+// (NaN/negative usage, future-stamped clocks). See internal/faults.
+func (lc *LC) SetCorrupt(fn func(*protocol.MonitorReport)) {
+	lc.mu.Lock()
+	lc.corrupt = fn
+	lc.mu.Unlock()
+}
 
 // NodeID returns the managed node's ID.
 func (lc *LC) NodeID() types.NodeID { return lc.node.ID() }
@@ -365,13 +378,18 @@ func (lc *LC) monitorTick() {
 	lc.mu.Lock()
 	gm := lc.gmAddr
 	stopped := lc.stopped
+	corrupt := lc.corrupt
 	lc.mu.Unlock()
 	if stopped || gm == "" {
 		return
 	}
 	status := lc.node.Status()
 	vms := lc.node.VMs()
-	_ = lc.bus.Send(lc.addr, gm, protocol.KindMonitor, protocol.MonitorReport{Status: status, VMs: vms})
+	rep := protocol.MonitorReport{Status: status, VMs: vms, AtNs: int64(lc.rt.Now())}
+	if corrupt != nil {
+		corrupt(&rep)
+	}
+	_ = lc.bus.Send(lc.addr, gm, protocol.KindMonitor, rep)
 
 	over, under := lc.cfg.Thresholds.Classify(status)
 	if !over && !under {

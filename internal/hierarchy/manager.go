@@ -127,6 +127,33 @@ type ManagerConfig struct {
 	// surviving LCs (the hypervisor-snapshot recovery of Section II-E).
 	RescheduleOnLCFailure bool
 
+	// StateSyncPeriod paces the GM's state replication push to the GL
+	// (KindStateSync): a snapshot of the GM's owned telemetry plus the
+	// journal segment since the previous push. The GL archives the state so
+	// a successor GM can rebuild its hub after a failure (snapshot + journal
+	// replay) instead of starting from empty, stale capacity views.
+	// 0 is automatic: defaultStateSyncPeriod when this manager owns a
+	// private hub (no ManagerConfig.Telemetry supplied — the topology where
+	// a GM crash actually loses state), disabled on a shared hub where the
+	// successor reads the same store and replication would be pure
+	// overhead. Positive forces that period regardless of hub topology;
+	// negative disables replication.
+	StateSyncPeriod time.Duration
+
+	// MigrationRetries bounds how many times one migration is attempted
+	// before the GM gives up (journaling gm.migration-abandoned). The retry
+	// loop is shared by relocation, reconfiguration and the online
+	// consolidation optimizer — everything funnelling through the migration
+	// primitive. <=0 means a single attempt (no retries); the default is 3
+	// attempts total.
+	MigrationRetries int
+
+	// MigrationBackoff is the base delay before a migration retry; attempt n
+	// waits base<<(n-1) plus a deterministic jitter hashed from the VM ID and
+	// attempt number (no shared random state, so retry schedules are
+	// reproducible in simulation). Default 500ms.
+	MigrationBackoff time.Duration
+
 	// VMLivenessGrace drives the GM's deployment-level VM liveness sweep:
 	// a vm/* series whose VM is absent from this GM's inventory AND has not
 	// recorded a sample for this long is declared vanished — the GM journals
@@ -169,24 +196,26 @@ type ManagerConfig struct {
 // DefaultManagerConfig returns the configuration used by the experiments.
 func DefaultManagerConfig(id types.GroupManagerID, addr transport.Address) ManagerConfig {
 	return ManagerConfig{
-		ID:              id,
-		Addr:            addr,
-		HeartbeatPeriod: 2 * time.Second,
-		SummaryPeriod:   4 * time.Second,
-		LCTimeout:       12 * time.Second,
-		GMTimeout:       12 * time.Second,
-		CallTimeout:     90 * time.Second,
-		SessionTTL:      6 * time.Second,
-		Dispatch:        &scheduling.RoundRobinDispatch{},
-		Placement:       scheduling.FirstFit{},
-		Overload:        scheduling.OverloadRelocation{},
-		Underload:       scheduling.UnderloadRelocation{},
-		Estimator:       resource.LastValue{},
-		EnergyEnabled:   false,
-		IdleThreshold:   30 * time.Second,
-		PendingTimeout:  60 * time.Second,
-		ReconfigPeriod:  0,
-		ElectionBase:    "/snooze/election",
+		ID:               id,
+		Addr:             addr,
+		HeartbeatPeriod:  2 * time.Second,
+		SummaryPeriod:    4 * time.Second,
+		LCTimeout:        12 * time.Second,
+		GMTimeout:        12 * time.Second,
+		CallTimeout:      90 * time.Second,
+		SessionTTL:       6 * time.Second,
+		Dispatch:         &scheduling.RoundRobinDispatch{},
+		Placement:        scheduling.FirstFit{},
+		Overload:         scheduling.OverloadRelocation{},
+		Underload:        scheduling.UnderloadRelocation{},
+		Estimator:        resource.LastValue{},
+		EnergyEnabled:    false,
+		IdleThreshold:    30 * time.Second,
+		PendingTimeout:   60 * time.Second,
+		ReconfigPeriod:   0,
+		ElectionBase:     "/snooze/election",
+		MigrationRetries: 3,
+		MigrationBackoff: 500 * time.Millisecond,
 	}
 }
 
@@ -278,6 +307,23 @@ type Manager struct {
 	// under mu); 0 means none yet this stint.
 	lastRollup time.Duration
 
+	// privateHub records that this manager created its own telemetry hub
+	// (no ManagerConfig.Telemetry supplied): the topology where a crash
+	// loses the hub, which is what turns automatic state sync on.
+	privateHub bool
+
+	// lastSyncSeq is the journal sequence through which state-sync pushes
+	// have already shipped events to the GL (GM role, under mu); reset at
+	// each stint start so a new GL receives the full retained tail.
+	lastSyncSeq uint64
+
+	// archMu guards archives, the GL-side per-GM telemetry archive fed by
+	// KindStateSync pushes; it is served to a rejoining GM (RecoveryFetch)
+	// and pushed to the survivors when the sweep declares a GM dead
+	// (StateRestore). A separate lock keeps the archive copies off m.mu.
+	archMu   sync.Mutex
+	archives map[types.GroupManagerID]*gmArchive
+
 	// viewEpoch is the GM-wide cache epoch (under mu): the O(1) group-level
 	// stand-in for "max of the member series' Store.Generations", bumped by
 	// every state change that can alter the capacity views the GM schedules
@@ -359,14 +405,16 @@ func NewManager(rt simkernel.Runtime, bus *transport.Bus, svc *coord.Service, cf
 			cfg.VMLivenessGrace = 48 * time.Second
 		}
 	}
-	if cfg.Telemetry == nil {
+	privateHub := cfg.Telemetry == nil
+	if privateHub {
 		cfg.Telemetry = telemetry.NewHub(telemetry.Options{Metrics: cfg.Metrics, Store: cfg.Retention})
 	}
 	m := &Manager{
-		rt:  rt,
-		bus: bus,
-		cfg: cfg,
-		tel: cfg.Telemetry,
+		rt:         rt,
+		bus:        bus,
+		cfg:        cfg,
+		tel:        cfg.Telemetry,
+		privateHub: privateHub,
 		views: view.Builder{
 			Hub:        cfg.Telemetry,
 			Horizon:    cfg.ViewHorizon,
@@ -377,8 +425,9 @@ func NewManager(rt simkernel.Runtime, bus *transport.Bus, svc *coord.Service, cf
 			// dispatch fan-out, GM relocation scans) map lookups.
 			Cache: view.NewCache(),
 		},
-		lcs: make(map[types.NodeID]*lcRecord),
-		gms: make(map[types.GroupManagerID]*gmRecord),
+		lcs:      make(map[types.NodeID]*lcRecord),
+		gms:      make(map[types.GroupManagerID]*gmRecord),
+		archives: make(map[types.GroupManagerID]*gmArchive),
 	}
 	if cfg.Metrics != nil {
 		cfg.Metrics.SetGauge("scheduler.view-horizon-ns", float64(cfg.ViewHorizon))
@@ -445,6 +494,22 @@ func (m *Manager) Crash() {
 	}
 	m.cand.Abandon()
 	m.bus.SetDown(m.cfg.Addr, true)
+}
+
+// Restart revives a crashed manager: the bus address comes back up, the
+// handler is re-registered and the process re-enters the GL election as a
+// fresh candidate. State recovery happens in the GM bootstrap phase (the
+// manager fetches its previous incarnation's archived telemetry from the GL
+// via KindRecoveryFetch). Restart fails while the crashed incarnation's
+// election session has not expired yet; callers retry after the session TTL.
+func (m *Manager) Restart() error {
+	m.mu.Lock()
+	m.stopped = false
+	m.role = RoleIdle
+	m.mu.Unlock()
+	m.bus.SetDown(m.cfg.Addr, false)
+	m.bus.Register(m.cfg.Addr, m.handle)
+	return m.cand.Join()
 }
 
 // mark records a counter if metrics are configured.
@@ -581,6 +646,13 @@ func (m *Manager) handle(req *transport.Request) {
 		m.gmOnInventory(req)
 	case protocol.KindConsolidation:
 		m.gmOnConsolidation(req)
+	case protocol.KindStateRestore:
+		m.gmOnStateRestore(req)
+	// State replication messages handled in the GL role.
+	case protocol.KindStateSync:
+		m.glOnStateSync(req)
+	case protocol.KindRecoveryFetch:
+		m.glOnRecoveryFetch(req)
 	default:
 		req.RespondErr(fmt.Errorf("manager %s: unknown message kind %q", m.cfg.ID, req.Kind))
 	}

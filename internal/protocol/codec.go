@@ -45,6 +45,12 @@ func DecodeRequest(kind string, data json.RawMessage) (any, error) {
 		return decode[TopologyRequest](data)
 	case KindConsolidation:
 		return decode[ConsolidationCtlRequest](data)
+	case KindStateSync:
+		return decode[StateSync](data)
+	case KindRecoveryFetch:
+		return decode[RecoveryFetchRequest](data)
+	case KindStateRestore:
+		return decode[StateRestore](data)
 	case KindSuspendHost, KindWakeHost, KindGLQuery, KindRejoin, KindLCList, KindInventory:
 		return struct{}{}, nil
 	default:
@@ -81,8 +87,10 @@ func DecodeReply(kind string, data json.RawMessage) (any, error) {
 		return decode[InventoryResponse](data)
 	case KindConsolidation:
 		return decode[ConsolidationCtlResponse](data)
+	case KindRecoveryFetch:
+		return decode[RecoveryFetchResponse](data)
 	case KindGLHeartbeat, KindGMHeartbeat, KindSummary, KindMonitor, KindAnomaly,
-		KindStopVM, KindSuspendHost, KindWakeHost, KindRejoin:
+		KindStopVM, KindSuspendHost, KindWakeHost, KindRejoin, KindStateSync, KindStateRestore:
 		return struct{}{}, nil
 	default:
 		return nil, fmt.Errorf("protocol: unknown reply kind %q", kind)

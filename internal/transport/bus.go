@@ -102,6 +102,13 @@ type Bus struct {
 	delivered  uint64
 	dropped    uint64
 	unreliable uint64 // messages lost to injected drop probability
+
+	// Gray-failure injection (see SetLinkDelay, SetDuplication, BlockDirected):
+	// failures the crash-stop model cannot express — endpoints that are slow
+	// or duplicating but alive, and one-way reachability loss.
+	linkDelay map[Address]time.Duration
+	dupProb   map[Address]float64
+	blocked   map[Address]map[Address]struct{}
 }
 
 // NewBus creates a bus on the given runtime.
@@ -114,6 +121,9 @@ func NewBus(rt simkernel.Runtime, cfg Config) *Bus {
 		groups:    make(map[string]map[Address]struct{}),
 		down:      make(map[Address]struct{}),
 		partition: make(map[Address]int),
+		linkDelay: make(map[Address]time.Duration),
+		dupProb:   make(map[Address]float64),
+		blocked:   make(map[Address]map[Address]struct{}),
 	}
 }
 
@@ -190,6 +200,74 @@ func (b *Bus) ClearPartitions() {
 	b.partition = make(map[Address]int)
 }
 
+// SetLinkDelay injects d of extra one-way delay on every message SENT by
+// addr (0 removes it) — a slow-but-alive endpoint: its heartbeats and reports
+// still arrive, but late enough to flirt with liveness timeouts. Responses it
+// produces to inbound calls are delayed too (the reply travels its slow link).
+func (b *Bus) SetLinkDelay(addr Address, d time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if d <= 0 {
+		delete(b.linkDelay, addr)
+	} else {
+		b.linkDelay[addr] = d
+	}
+}
+
+// SetDuplication makes every message sent by addr be delivered twice with
+// probability p in [0,1) (0 removes it) — the duplicated-heartbeat gray
+// failure. Duplicated requests reach the handler twice; duplicated responses
+// are de-duplicated by the caller's once-only completion.
+func (b *Bus) SetDuplication(addr Address, p float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if p <= 0 {
+		delete(b.dupProb, addr)
+	} else {
+		if p >= 1 {
+			p = 0.999999
+		}
+		b.dupProb[addr] = p
+	}
+}
+
+// BlockDirected drops every message flowing from→to while leaving the
+// reverse direction intact — a one-way partition between hierarchy levels
+// (e.g. a GM whose pushes to the GL vanish while GL heartbeats still arrive).
+// Unlike SetPartition it is asymmetric and per-link.
+func (b *Bus) BlockDirected(from, to Address) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	set, ok := b.blocked[from]
+	if !ok {
+		set = make(map[Address]struct{})
+		b.blocked[from] = set
+	}
+	set[to] = struct{}{}
+}
+
+// UnblockDirected removes one directed block.
+func (b *Bus) UnblockDirected(from, to Address) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if set, ok := b.blocked[from]; ok {
+		delete(set, to)
+		if len(set) == 0 {
+			delete(b.blocked, from)
+		}
+	}
+}
+
+// ClearGrayFailures removes every injected link delay, duplication and
+// directed block (the gray-failure counterpart of ClearPartitions).
+func (b *Bus) ClearGrayFailures() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.linkDelay = make(map[Address]time.Duration)
+	b.dupProb = make(map[Address]float64)
+	b.blocked = make(map[Address]map[Address]struct{})
+}
+
 // Stats returns (delivered, dropped) message counts; dropped includes
 // unreachable destinations and injected loss.
 func (b *Bus) Stats() (delivered, dropped uint64) {
@@ -232,7 +310,7 @@ func (b *Bus) GroupMembers(group string) []Address {
 	return out
 }
 
-// canTalkLocked applies crash and partition rules.
+// canTalkLocked applies crash, partition and directed-block rules.
 func (b *Bus) canTalkLocked(from, to Address) bool {
 	if _, d := b.down[to]; d {
 		return false
@@ -240,17 +318,30 @@ func (b *Bus) canTalkLocked(from, to Address) bool {
 	if _, d := b.down[from]; d {
 		return false
 	}
+	if set, ok := b.blocked[from]; ok {
+		if _, blocked := set[to]; blocked {
+			return false
+		}
+	}
 	pf, pt := b.partition[from], b.partition[to]
 	return pf == pt
 }
 
-// delayLocked computes this message's delivery delay.
-func (b *Bus) delayLocked() time.Duration {
-	d := b.cfg.Latency
+// delayLocked computes this message's delivery delay, including any injected
+// slow-link delay on the sender.
+func (b *Bus) delayLocked(from Address) time.Duration {
+	d := b.cfg.Latency + b.linkDelay[from]
 	if b.cfg.Jitter > 0 {
 		d += time.Duration(b.rng.Int63n(int64(b.cfg.Jitter)))
 	}
 	return d
+}
+
+// duplicateRollLocked reports whether a message from the given sender should
+// be delivered twice.
+func (b *Bus) duplicateRollLocked(from Address) bool {
+	p := b.dupProb[from]
+	return p > 0 && b.rng.Float64() < p
 }
 
 // Send delivers a one-way message (no response expected). Returns
@@ -293,7 +384,7 @@ func (b *Bus) Call(from, to Address, kind string, payload any, timeout time.Dura
 			b.mu.Unlock()
 			return // caller's timeout will fire
 		}
-		d := b.delayLocked()
+		d := b.delayLocked(to)
 		b.delivered++
 		b.mu.Unlock()
 		b.rt.After(d, func() { finish(reply, err) })
@@ -331,27 +422,38 @@ func (b *Bus) dispatch(from, to Address, kind string, payload any, respond func(
 		b.mu.Unlock()
 		return nil // lost in flight: sender cannot tell
 	}
-	d := b.delayLocked()
+	d0 := b.delayLocked(from)
+	dup := b.duplicateRollLocked(from)
+	var d1 time.Duration
+	if dup {
+		d1 = b.delayLocked(from)
+	}
 	b.mu.Unlock()
 
-	b.rt.After(d, func() {
-		b.mu.Lock()
-		h, ok := b.handlers[to]
-		reachable := ok && b.canTalkLocked(from, to)
-		if reachable {
-			b.delivered++
-		} else {
-			b.dropped++
-		}
-		b.mu.Unlock()
-		if !reachable {
-			return
-		}
-		h(&Request{
-			Message: Message{From: from, To: to, Kind: kind, Payload: payload},
-			respond: respond,
+	deliver := func(d time.Duration) {
+		b.rt.After(d, func() {
+			b.mu.Lock()
+			h, ok := b.handlers[to]
+			reachable := ok && b.canTalkLocked(from, to)
+			if reachable {
+				b.delivered++
+			} else {
+				b.dropped++
+			}
+			b.mu.Unlock()
+			if !reachable {
+				return
+			}
+			h(&Request{
+				Message: Message{From: from, To: to, Kind: kind, Payload: payload},
+				respond: respond,
+			})
 		})
-	})
+	}
+	deliver(d0)
+	if dup {
+		deliver(d1)
+	}
 	return nil
 }
 
