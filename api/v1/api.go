@@ -125,11 +125,15 @@ type TopologyLC struct {
 	Capacity Resources `json:"capacity"`
 }
 
-// TopologyGM describes one Group Manager in a topology export.
+// TopologyGM describes one Group Manager in a topology export. Scheduling
+// is the GM's own reported policy configuration — present once the GM's
+// summary pushes have carried it, and the authoritative answer for
+// deployments whose groups run different policies than the GL's.
 type TopologyGM struct {
-	ID      string       `json:"id"`
-	Addr    string       `json:"addr"`
-	Summary GroupSummary `json:"summary"`
+	ID         string          `json:"id"`
+	Addr       string          `json:"addr"`
+	Summary    GroupSummary    `json:"summary"`
+	Scheduling *SchedulingInfo `json:"scheduling,omitempty"`
 	// LCs is present only in deep exports.
 	LCs []TopologyLC `json:"lcs,omitempty"`
 }
@@ -426,6 +430,26 @@ type SeriesData struct {
 	RawFromNs int64        `json:"rawFromNs,omitempty"`
 	Truncated bool         `json:"truncated,omitempty"`
 	Tiers     []SeriesTier `json:"tiers,omitempty"`
+	// Summary is the window's reduced distribution, answered from the
+	// store's mergeable quantile sketches (omitted for an empty window).
+	Summary *SeriesWindowSummary `json:"summary,omitempty"`
+}
+
+// SeriesWindowSummary is the sketch-derived statistical summary of one
+// queried series window. Weight counts the raw samples behind the summary —
+// on a decimated window it exceeds Count (the stitched point count) because
+// each retention bucket stands for the samples folded into it. P50/P95 carry
+// a relative error of at most QuantileError (0 when the store runs in exact
+// reference mode).
+type SeriesWindowSummary struct {
+	Count         int     `json:"count"`
+	Weight        uint64  `json:"weight"`
+	Min           float64 `json:"min"`
+	Max           float64 `json:"max"`
+	Avg           float64 `json:"avg"`
+	P50           float64 `json:"p50"`
+	P95           float64 `json:"p95"`
+	QuantileError float64 `json:"quantileError,omitempty"`
 }
 
 // Event is one entry of the telemetry journal as served by GET /v1/watch:

@@ -89,19 +89,24 @@ func FromSubmitResponse(resp protocol.SubmitResponse) SubmitResult {
 	return out
 }
 
+// fromSchedulingInfo converts a protocol scheduling description.
+func fromSchedulingInfo(s protocol.SchedulingInfo) SchedulingInfo {
+	return SchedulingInfo{
+		Dispatch:      s.Dispatch,
+		Placement:     s.Placement,
+		Overload:      s.Overload,
+		Underload:     s.Underload,
+		Estimator:     s.Estimator,
+		ViewHorizonNs: s.ViewHorizonNs,
+	}
+}
+
 // FromTopologyResponse converts the GL's hierarchy export.
 func FromTopologyResponse(resp protocol.TopologyResponse) Topology {
 	top := Topology{
-		GL:  resp.GL,
-		GMs: make([]TopologyGM, 0, len(resp.GMs)),
-		Scheduling: SchedulingInfo{
-			Dispatch:      resp.Scheduling.Dispatch,
-			Placement:     resp.Scheduling.Placement,
-			Overload:      resp.Scheduling.Overload,
-			Underload:     resp.Scheduling.Underload,
-			Estimator:     resp.Scheduling.Estimator,
-			ViewHorizonNs: resp.Scheduling.ViewHorizonNs,
-		},
+		GL:         resp.GL,
+		GMs:        make([]TopologyGM, 0, len(resp.GMs)),
+		Scheduling: fromSchedulingInfo(resp.Scheduling),
 	}
 	for _, gm := range resp.GMs {
 		out := TopologyGM{
@@ -115,6 +120,10 @@ func FromTopologyResponse(resp protocol.TopologyResponse) Topology {
 				AsleepLCs: gm.Summary.AsleepLCs,
 				VMs:       gm.Summary.VMs,
 			},
+		}
+		if gm.Scheduling != nil {
+			sched := fromSchedulingInfo(*gm.Scheduling)
+			out.Scheduling = &sched
 		}
 		for _, lc := range gm.LCs {
 			out.LCs = append(out.LCs, TopologyLC{

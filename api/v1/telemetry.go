@@ -73,6 +73,23 @@ func QueryHubSeries(h *telemetry.Hub, q SeriesQuery) (SeriesData, error) {
 	for _, s := range samples[lo:hi] {
 		out.Points = append(out.Points, SeriesPoint{AtNs: int64(s.At), Value: s.Value})
 	}
+	// The window's distribution, reduced through the store's quantile
+	// sketches: count-weighted over decimated history, with the quantiles'
+	// relative-error bound attached. The spec is per-call — SummarySpec
+	// carries reusable scratch state and QueryHubSeries runs concurrently.
+	spec := telemetry.SummarySpec{Percentiles: []float64{50, 95}}
+	if sum, ok := h.Store().Reduce(q.Entity, q.Metric, time.Duration(q.FromNs), time.Duration(q.ToNs), &spec); ok {
+		out.Summary = &SeriesWindowSummary{
+			Count:         sum.Count,
+			Weight:        sum.Weight,
+			Min:           sum.Min,
+			Max:           sum.Max,
+			Avg:           sum.Avg,
+			P50:           sum.Percentiles[0],
+			P95:           sum.Percentiles[1],
+			QuantileError: sum.QuantileError,
+		}
+	}
 	return out, nil
 }
 

@@ -232,6 +232,16 @@ func main() {
 		if data.Truncated {
 			fmt.Println("window TRUNCATED: part of it predates full-resolution retention (decimated or evicted)")
 		}
+		if s := data.Summary; s != nil {
+			fmt.Printf("summary: min=%.4f max=%.4f avg=%.4f p50=%.4f p95=%.4f (weight %d)",
+				s.Min, s.Max, s.Avg, s.P50, s.P95, s.Weight)
+			if s.QuantileError > 0 {
+				fmt.Printf(" ±%.1f%% quantile error", s.QuantileError*100)
+			} else {
+				fmt.Printf(" exact")
+			}
+			fmt.Println()
+		}
 		for _, p := range data.Points {
 			fmt.Printf("%14s  %.4f\n", time.Duration(p.AtNs), p.Value)
 		}
@@ -417,6 +427,19 @@ func printTopology(topo apiv1.Topology) {
 		s := gm.Summary
 		fmt.Printf("└─ GM %s (%s): %d active LCs, %d asleep, %d VMs, reserved cpu=%.2f of %.2f\n",
 			gm.ID, gm.Addr, s.ActiveLCs, s.AsleepLCs, s.VMs, s.Reserved.CPU, s.Total.CPU)
+		// Per-GM policies are printed only when they diverge from the GL's,
+		// so uniform deployments stay compact and mixed-policy ones visible.
+		if gs := gm.Scheduling; gs != nil && *gs != topo.Scheduling {
+			fmt.Printf("   scheduling: dispatch=%s placement=%s overload=%s underload=%s",
+				gs.Dispatch, gs.Placement, gs.Overload, gs.Underload)
+			if gs.Estimator != "" {
+				fmt.Printf(" estimator=%s", gs.Estimator)
+			}
+			if gs.ViewHorizonNs > 0 {
+				fmt.Printf(" view-horizon=%s", time.Duration(gs.ViewHorizonNs))
+			}
+			fmt.Println()
+		}
 		for _, lc := range gm.LCs {
 			fmt.Printf("   └─ LC %s [%s]: %d VMs, reserved cpu=%.2f of %.2f\n",
 				lc.ID, lc.Power, lc.VMs, lc.Reserved.CPU, lc.Capacity.CPU)

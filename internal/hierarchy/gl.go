@@ -181,8 +181,22 @@ func (m *Manager) glOnSummary(req *transport.Request) {
 		m.gms[up.Summary.GM] = rec
 	}
 	rec.summary = up.Summary
+	if up.Scheduling != nil {
+		rec.scheduling = up.Scheduling
+	}
 	rec.lastSeen = m.rt.Now()
 	m.mu.Unlock()
+	// The merged member-util sketch rides every summary, so the group series'
+	// quantiles answer over the members' actual utilization distribution
+	// instead of over the rollup's group averages. Adoption is monotone by
+	// count and happens on every push path, including the rollup skip below —
+	// the sketch is precisely the part of the push a shared-hub rollup does
+	// NOT already provide.
+	if up.UtilSketch != nil {
+		if m.tel.Store().AdoptSketch(telemetry.GMEntity(up.Summary.GM), "util", *up.UtilSketch) {
+			m.mark("gl.summary-sketch-adoptions", 1)
+		}
+	}
 	// A GM pushing rollups on a hub shared with this GL already appends the
 	// gm/<id> series from its own monitoring flow (gmOnMonitor) at heartbeat
 	// cadence; re-recording the coarser summary here would double-feed the
@@ -419,16 +433,18 @@ func (m *Manager) dispatchVM(spec types.VMSpec, cb func(node types.NodeID, ok bo
 // first-choice GM — one PlaceRequest per GM (chunked at DispatchBatch VMs)
 // instead of one probe chain per VM. VMs whose batch the GM rejected fall
 // back to the sequential per-VM probe, which walks the full candidate list
-// with refreshed views. The batch is ranked largest-first before grouping,
-// so under capacity pressure the placement order packs at least as well as
-// arrival order (first-fit-decreasing).
+// with refreshed views. Under AdmissionFFD (the default) the batch is ranked
+// largest-first before grouping, so under capacity pressure the placement
+// order packs at least as well as arrival order (first-fit-decreasing);
+// AdmissionArrival keeps the submission order.
 //
-// Under overcommit (aggregate demand exceeding fleet capacity) both paths
+// Under overcommit (aggregate demand exceeding fleet capacity) both orders
 // saturate the cluster and place identical resource totals, but the admitted
 // *set* differs: largest-first admits fewer, larger VMs where arrival order
 // admits more small ones. That is an admission-ordering property of FFD, not
 // a capacity loss — callers who care about admitted-VM count rather than
-// admitted resources under scarcity should keep DispatchBatch at 1.
+// admitted resources under scarcity should set AdmissionOrder to "arrival"
+// or keep DispatchBatch at 1.
 func (m *Manager) dispatchBatch(specs []types.VMSpec, done func(placed map[types.VMID]types.NodeID, unplaced []types.VMID)) {
 	m.mu.Lock()
 	if m.role != RoleGL || m.stopped {
@@ -451,17 +467,20 @@ func (m *Manager) dispatchBatch(specs []types.VMSpec, done func(placed map[types
 	// Rank the batch largest-first (decreasing CPU, then memory, ID
 	// tie-break): under capacity pressure the placement order decides how
 	// well the bins pack, and first-fit-decreasing beats arrival order.
+	// AdmissionArrival skips the ranking and admits in submission order.
 	ranked := append([]types.VMSpec(nil), specs...)
-	sort.Slice(ranked, func(i, j int) bool {
-		a, b := ranked[i].Requested, ranked[j].Requested
-		if a.CPU != b.CPU {
-			return a.CPU > b.CPU
-		}
-		if a.Memory != b.Memory {
-			return a.Memory > b.Memory
-		}
-		return ranked[i].ID < ranked[j].ID
-	})
+	if m.cfg.AdmissionOrder != AdmissionArrival {
+		sort.Slice(ranked, func(i, j int) bool {
+			a, b := ranked[i].Requested, ranked[j].Requested
+			if a.CPU != b.CPU {
+				return a.CPU > b.CPU
+			}
+			if a.Memory != b.Memory {
+				return a.Memory > b.Memory
+			}
+			return ranked[i].ID < ranked[j].ID
+		})
+	}
 	byGM := make(map[types.GroupManagerID][]types.VMSpec)
 	var gmOrder []types.GroupManagerID
 	var noCandidates []types.VMID
@@ -596,21 +615,16 @@ func (m *Manager) glOnTopology(req *transport.Request) {
 	}
 	resp := protocol.TopologyResponse{
 		GL: string(m.cfg.Addr),
-		// The active scheduling configuration travels with the topology so
-		// operators can see which policies and view horizon are in force
-		// (managers share one config template per deployment).
-		Scheduling: protocol.SchedulingInfo{
-			Dispatch:      m.cfg.Dispatch.Name(),
-			Placement:     m.cfg.Placement.Name(),
-			Overload:      m.cfg.Overload.Name(),
-			Underload:     m.cfg.Underload.Name(),
-			Estimator:     m.cfg.Estimator.Name(),
-			ViewHorizonNs: int64(m.cfg.ViewHorizon),
-		},
+		// The GL's own scheduling configuration travels with the topology;
+		// each GM additionally reports its own (via summary pushes), so the
+		// export stays truthful when groups run different policies.
+		Scheduling: m.schedulingInfo(),
 	}
 	addrs := make([]transport.Address, 0, len(m.gms))
 	for _, gm := range m.gms {
-		resp.GMs = append(resp.GMs, protocol.TopologyGM{GM: gm.id, Addr: string(gm.addr), Summary: gm.summary})
+		resp.GMs = append(resp.GMs, protocol.TopologyGM{
+			GM: gm.id, Addr: string(gm.addr), Summary: gm.summary, Scheduling: gm.scheduling,
+		})
 		addrs = append(addrs, gm.addr)
 	}
 	m.mu.Unlock()

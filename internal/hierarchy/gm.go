@@ -13,6 +13,7 @@ import (
 	"snooze/internal/scheduling"
 	"snooze/internal/scheduling/view"
 	"snooze/internal/telemetry"
+	"snooze/internal/telemetry/sketch"
 	"snooze/internal/transport"
 	"snooze/internal/types"
 )
@@ -119,7 +120,10 @@ func (m *Manager) gmHeartbeatTick() {
 }
 
 // gmSummaryTick pushes the aggregated group summary to the GL; it doubles as
-// the GM's heartbeat to the GL (Section II-B).
+// the GM's heartbeat to the GL (Section II-B). Beyond the point-in-time
+// aggregate, the push carries the merged quantile sketch of the members'
+// util series and this GM's scheduling configuration — the distribution and
+// policy facts a GL cannot reconstruct from group averages.
 func (m *Manager) gmSummaryTick() {
 	m.mu.Lock()
 	if m.role != RoleGM || m.stopped {
@@ -129,6 +133,10 @@ func (m *Manager) gmSummaryTick() {
 	gl := m.glAddr
 	joined := m.joined
 	summary := m.summaryLocked()
+	nodes := make([]types.NodeID, 0, len(m.lcs))
+	for id := range m.lcs {
+		nodes = append(nodes, id)
+	}
 	m.mu.Unlock()
 	if gl == "" {
 		return
@@ -136,11 +144,37 @@ func (m *Manager) gmSummaryTick() {
 	if !joined {
 		m.gmJoinGL()
 	}
-	_ = m.bus.Send(m.cfg.Addr, gl, protocol.KindSummary, protocol.SummaryUpdate{
-		Summary: summary,
-		Addr:    string(m.cfg.Addr),
-		Rollup:  m.rollupEvery() > 0,
-	})
+	sched := m.schedulingInfo()
+	up := protocol.SummaryUpdate{
+		Summary:    summary,
+		Addr:       string(m.cfg.Addr),
+		Rollup:     m.rollupEvery() > 0,
+		Scheduling: &sched,
+	}
+	if enc, ok := m.mergedUtilSketch(nodes); ok {
+		up.UtilSketch = &enc
+	}
+	_ = m.bus.Send(m.cfg.Addr, gl, protocol.KindSummary, up)
+}
+
+// mergedUtilSketch merges the lifetime util sketches of the given member
+// nodes into one group-level distribution. The store serializes each series'
+// sketch under its own locks, so this runs without m.mu held; it allocates a
+// few decode buffers once per summary period, far off any hot path.
+func (m *Manager) mergedUtilSketch(nodes []types.NodeID) (sketch.Encoded, bool) {
+	store := m.tel.Store()
+	merged := sketch.New(store.SketchAlpha())
+	for _, id := range nodes {
+		enc, ok := store.SeriesSketch(telemetry.NodeEntity(id), "util")
+		if !ok {
+			continue
+		}
+		merged.Merge(sketch.Decode(enc))
+	}
+	if merged.Count() == 0 {
+		return sketch.Encoded{}, false
+	}
+	return merged.Encode(), true
 }
 
 // summaryLocked aggregates used/total capacity over the GM's LCs, counting
@@ -1477,6 +1511,7 @@ func (m *Manager) gmOnInventory(req *transport.Request) {
 		}
 	}
 	m.mu.Unlock()
+	resp.Scheduling = m.schedulingInfo()
 	sort.Slice(resp.Nodes, func(i, j int) bool { return resp.Nodes[i].Status.Spec.ID < resp.Nodes[j].Status.Spec.ID })
 	sort.Slice(resp.VMs, func(i, j int) bool { return resp.VMs[i].Spec.ID < resp.VMs[j].Spec.ID })
 	req.Respond(resp)

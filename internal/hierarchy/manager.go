@@ -77,6 +77,16 @@ type ManagerConfig struct {
 	// (experiment E1).
 	DispatchBatch int
 
+	// AdmissionOrder selects how batched dispatch orders a submission's VMs
+	// before grouping them by first-choice GM: AdmissionFFD (the default)
+	// ranks largest-first so the placement order packs first-fit-decreasing;
+	// AdmissionArrival preserves the submission order, reproducing the
+	// paper's arrival-order admission inside the batched fast path. Both
+	// orders place identical resource totals when capacity suffices; under
+	// overcommit they admit different VM sets (see dispatchBatch). Ignored
+	// when DispatchBatch <= 1.
+	AdmissionOrder string
+
 	// RollupInterval debounces the GM-level rollup series: on monitor
 	// ingestion, at most once per interval, the GM aggregates its LC records
 	// (summaryLocked) and appends the gm/<id> series itself — so the group
@@ -237,12 +247,23 @@ type lcRecord struct {
 	idleAnnounced bool
 }
 
-// gmRecord is the GL's view of one Group Manager.
+// AdmissionOrder values (ManagerConfig.AdmissionOrder).
+const (
+	// AdmissionFFD ranks a dispatch batch largest-first (first-fit-decreasing).
+	AdmissionFFD = "ffd"
+	// AdmissionArrival keeps the submission's arrival order.
+	AdmissionArrival = "arrival"
+)
+
+// gmRecord is the GL's view of one Group Manager. scheduling is the policy
+// configuration the GM itself reported in its summary pushes (nil until the
+// first push carrying one arrives).
 type gmRecord struct {
-	id       types.GroupManagerID
-	addr     transport.Address
-	summary  types.GroupSummary
-	lastSeen time.Duration
+	id         types.GroupManagerID
+	addr       transport.Address
+	summary    types.GroupSummary
+	scheduling *protocol.SchedulingInfo
+	lastSeen   time.Duration
 }
 
 // pendingPlacement is a VM waiting for capacity (typically a wake).
@@ -398,6 +419,9 @@ func NewManager(rt simkernel.Runtime, bus *transport.Bus, svc *coord.Service, cf
 	if cfg.ElectionBase == "" {
 		cfg.ElectionBase = "/snooze/election"
 	}
+	if cfg.AdmissionOrder != AdmissionArrival {
+		cfg.AdmissionOrder = AdmissionFFD
+	}
 	if cfg.VMLivenessGrace == 0 {
 		if cfg.LCTimeout > 0 {
 			cfg.VMLivenessGrace = 4 * cfg.LCTimeout
@@ -534,6 +558,22 @@ func (m *Manager) observeValue(name string, v float64) {
 // Telemetry returns the manager's telemetry hub (shared across the
 // deployment when wired through cluster.Config / snoozed, private otherwise).
 func (m *Manager) Telemetry() *telemetry.Hub { return m.tel }
+
+// schedulingInfo reports this manager's active scheduling configuration. It
+// travels with topology exports, inventory responses and the GM's summary
+// pushes, so operators see the policies each group actually runs (managers
+// need not share one config template). cfg is immutable after NewManager, so
+// no lock is needed.
+func (m *Manager) schedulingInfo() protocol.SchedulingInfo {
+	return protocol.SchedulingInfo{
+		Dispatch:      m.cfg.Dispatch.Name(),
+		Placement:     m.cfg.Placement.Name(),
+		Overload:      m.cfg.Overload.Name(),
+		Underload:     m.cfg.Underload.Name(),
+		Estimator:     m.cfg.Estimator.Name(),
+		ViewHorizonNs: int64(m.cfg.ViewHorizon),
+	}
+}
 
 // emit publishes a hierarchy event on the telemetry journal.
 func (m *Manager) emit(typ, entity string, attrs telemetry.Attrs) {

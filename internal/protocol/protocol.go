@@ -7,6 +7,7 @@ package protocol
 
 import (
 	"snooze/internal/telemetry"
+	"snooze/internal/telemetry/sketch"
 	"snooze/internal/types"
 )
 
@@ -108,10 +109,20 @@ type GMJoinResponse struct {
 // that the sending GM also appends its own gm/<id> rollup series on monitor
 // ingestion, so a GL sharing the sender's telemetry hub need not re-record
 // the summary.
+//
+// UtilSketch carries the mergeable quantile sketch of the group's member
+// node-util distribution: the GM merges its per-node util sketches and ships
+// the result, so the GL's group capacity views answer p50/p95 over the
+// members' actual utilization instead of over the rollup series of group
+// averages (whose quantiles are quantiles-of-averages). Scheduling carries
+// the sender's own active policy configuration, so a GL fronting a
+// mixed-policy deployment can report which policies each group actually runs.
 type SummaryUpdate struct {
-	Summary types.GroupSummary `json:"summary"`
-	Addr    string             `json:"addr"`
-	Rollup  bool               `json:"rollup,omitempty"`
+	Summary    types.GroupSummary `json:"summary"`
+	Addr       string             `json:"addr"`
+	Rollup     bool               `json:"rollup,omitempty"`
+	UtilSketch *sketch.Encoded    `json:"utilSketch,omitempty"`
+	Scheduling *SchedulingInfo    `json:"scheduling,omitempty"`
 }
 
 // LCAssignRequest asks the GL for a GM assignment.
@@ -261,12 +272,16 @@ type TopologyLC struct {
 	Capacity types.ResourceVector `json:"capacity"`
 }
 
-// TopologyGM describes one GM in a topology export.
+// TopologyGM describes one GM in a topology export. Scheduling is the GM's
+// own reported policy configuration (learned from its summary pushes), so the
+// export surfaces mixed-policy deployments; nil when the GM has not reported
+// it yet.
 type TopologyGM struct {
-	GM      types.GroupManagerID `json:"gm"`
-	Addr    string               `json:"addr"`
-	Summary types.GroupSummary   `json:"summary"`
-	LCs     []TopologyLC         `json:"lcs,omitempty"` // deep export only
+	GM         types.GroupManagerID `json:"gm"`
+	Addr       string               `json:"addr"`
+	Summary    types.GroupSummary   `json:"summary"`
+	Scheduling *SchedulingInfo      `json:"scheduling,omitempty"`
+	LCs        []TopologyLC         `json:"lcs,omitempty"` // deep export only
 }
 
 // SchedulingInfo is the active scheduling configuration carried by topology
@@ -312,10 +327,13 @@ type InventoryNode struct {
 }
 
 // InventoryResponse is a GM's resource inventory. VM statuses carry the
-// hosting node in their Node field.
+// hosting node in their Node field. Scheduling is the responding GM's own
+// active policy configuration — per-GM ground truth for deployments whose
+// groups run different policies than the GL's template suggests.
 type InventoryResponse struct {
-	Nodes []InventoryNode  `json:"nodes"`
-	VMs   []types.VMStatus `json:"vms"`
+	Nodes      []InventoryNode  `json:"nodes"`
+	VMs        []types.VMStatus `json:"vms"`
+	Scheduling SchedulingInfo   `json:"scheduling"`
 }
 
 // KindConsolidation controls one GM's online consolidation optimizer

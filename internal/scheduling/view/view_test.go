@@ -38,10 +38,13 @@ func TestStatsFromHistory(t *testing.T) {
 	if st.Max != 0.9 {
 		t.Fatalf("max: %v", st.Max)
 	}
-	if math.Abs(st.P50-0.45) > 0.01 {
+	// Exact interpolated p50 is 0.45; the sketch-backed reduction answers
+	// the empirical rank-floor value 0.4 within its relative-error bound.
+	if st.P50 < 0.39 || st.P50 > 0.46 {
 		t.Fatalf("p50: %v", st.P50)
 	}
-	if st.P95 < 0.85 || st.P95 > 0.9 {
+	// Rank-floor p95 is 0.8 (exact interpolation would give 0.855).
+	if st.P95 < 0.79 || st.P95 > 0.9 {
 		t.Fatalf("p95: %v", st.P95)
 	}
 	// 0.1 per 3 seconds.

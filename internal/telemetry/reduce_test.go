@@ -12,7 +12,7 @@ func TestStoreReduceBasics(t *testing.T) {
 	for i := 0; i < 10; i++ { // values 0..9 at 0..9s
 		s.Append("e", "m", sec(i), float64(i))
 	}
-	spec := &SummarySpec{Percentiles: []float64{0, 50, 100}, Trend: true}
+	spec := &SummarySpec{Percentiles: []float64{0, 50, 100}, Trend: true, Exact: true}
 	sum, ok := s.Reduce("e", "m", sec(2), sec(7), spec)
 	if !ok || sum.Count != 6 {
 		t.Fatalf("reduce [2s,7s]: %+v %v", sum, ok)
@@ -78,13 +78,34 @@ func slopePerSecondRef(samples []Sample) float64 {
 	return (n*sumTV - sumT*sumV) / denom
 }
 
+// sketchWithin asserts a sketch-derived estimate is within relative error
+// alpha of the empirical value bracket at percentile rank q of sorted
+// (rank = q/100 * (n-1), floor/ceil endpoints).
+func sketchWithin(t *testing.T, est float64, sorted []float64, q, alpha float64, ctx string) {
+	t.Helper()
+	if len(sorted) == 0 {
+		return
+	}
+	rank := q / 100 * float64(len(sorted)-1)
+	lo := sorted[int(math.Floor(rank))]
+	hi := sorted[int(math.Ceil(rank))]
+	lob := lo - alpha*math.Abs(lo) - 1e-12
+	hib := hi + alpha*math.Abs(hi) + 1e-12
+	if est < lob || est > hib {
+		t.Fatalf("%s: p%.0f estimate %v outside [%v, %v] (alpha %v)", ctx, q, est, lob, hib, alpha)
+	}
+}
+
 // TestReduceMatchesDownsample is the property-style equivalence check: over
 // random series (including wrapped rings) and random windows, the single-
-// pass single-sort Reduce must reproduce the legacy three-pass pipeline —
-// Query copy + one whole-window Downsample per aggregate — bit for bit.
+// pass single-sort exact Reduce must reproduce the legacy three-pass
+// pipeline — Query copy + one whole-window Downsample per aggregate — bit
+// for bit, and the default sketch-backed Reduce must agree with it within
+// the configured relative-error bound.
 func TestReduceMatchesDownsample(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
-	spec := &SummarySpec{Percentiles: []float64{50, 95}, Trend: true}
+	spec := &SummarySpec{Percentiles: []float64{50, 95}, Trend: true, Exact: true}
+	skSpec := &SummarySpec{Percentiles: []float64{50, 95}, Trend: true}
 	for trial := 0; trial < 200; trial++ {
 		capacity := 4 + rng.Intn(60)
 		// NoTiers: this property pins the RAW single-pass reduction against
@@ -93,9 +114,12 @@ func TestReduceMatchesDownsample(t *testing.T) {
 		s := NewStore(StoreConfig{SeriesCapacity: capacity, Tiers: NoTiers})
 		n := 1 + rng.Intn(2*capacity) // under- and over-filled rings
 		at := time.Duration(0)
+		var allValues []float64
 		for i := 0; i < n; i++ {
 			at += time.Duration(1+rng.Intn(5)) * time.Second
-			s.Append("e", "m", at, rng.Float64()*100)
+			v := rng.Float64() * 100
+			s.Append("e", "m", at, v)
+			allValues = append(allValues, v)
 		}
 		from := time.Duration(rng.Intn(int(at/time.Second)+1)) * time.Second
 		to := from + time.Duration(rng.Intn(int(at/time.Second)+1))*time.Second
@@ -107,6 +131,9 @@ func TestReduceMatchesDownsample(t *testing.T) {
 		}
 		if !ok {
 			continue
+		}
+		if sum.QuantileError != 0 {
+			t.Fatalf("trial %d: exact reduction reported error bound %v", trial, sum.QuantileError)
 		}
 		for i, agg := range []Agg{"p50", "p95"} {
 			if want := Downsample(raw, 0, agg)[0].Value; sum.Percentiles[i] != want {
@@ -124,6 +151,42 @@ func TestReduceMatchesDownsample(t *testing.T) {
 		}
 		if want := slopePerSecondRef(raw); sum.Trend != want {
 			t.Fatalf("trial %d: trend = %v, want %v", trial, sum.Trend, want)
+		}
+
+		// The default sketch mode: a window covering the whole retained range
+		// answers from the lifetime sketch (every value ever appended, even
+		// ones the NoTiers ring dropped); any other window streams exactly
+		// the raw values the exact path sorted.
+		skSum, skOk := s.Reduce("e", "m", from, to, skSpec)
+		if skOk != ok {
+			t.Fatalf("trial %d: sketch ok=%v exact ok=%v", trial, skOk, ok)
+		}
+		if skSum.QuantileError <= 0 {
+			t.Fatalf("trial %d: sketch reduction reported no error bound", trial)
+		}
+		effTo := to
+		if effTo <= 0 {
+			effTo = 1 << 62 // Reduce's unbounded rewrite
+		}
+		ref := make([]float64, 0, len(allValues))
+		if from <= sum.OldestAt && effTo >= sum.NewestAt {
+			ref = append(ref, allValues...)
+		} else {
+			for _, sm := range raw {
+				ref = append(ref, sm.Value)
+			}
+		}
+		sortFloats(ref)
+		for i, q := range skSpec.Percentiles {
+			sketchWithin(t, skSum.Percentiles[i], ref, q, skSum.QuantileError, "sketch vs exact")
+		}
+	}
+}
+
+func sortFloats(v []float64) {
+	for i := 1; i < len(v); i++ { // insertion sort: tiny test inputs
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
 		}
 	}
 }

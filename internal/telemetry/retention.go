@@ -240,9 +240,15 @@ func bucketPoint(b bucket) point {
 }
 
 // evictRaw routes one sample evicted from the raw ring into the tiers (or
-// drops it when retention is raw-only).
+// drops it when retention is raw-only) and folds it into the eviction sketch
+// and moments, so history that the tier ladder decimates — or, with NoTiers,
+// drops outright — keeps its full value distribution at sketch resolution.
 func (s *series) evictRaw(sm Sample) {
 	s.evicted++
+	if s.evict != nil {
+		s.evict.Insert(sm.Value)
+		s.evictM.add(sm.At.Seconds(), sm.Value)
+	}
 	if len(s.tiers) > 0 {
 		absorb(s.tiers, 0, bucket{at: sm.At, min: sm.Value, max: sm.Value, sum: sm.Value, count: 1})
 	}
@@ -262,6 +268,32 @@ func (s *series) oldestAt() time.Duration {
 		}
 	}
 	return s.at(0).At
+}
+
+// oldestPoint returns the oldest retained stitched point (the coarsest
+// tier's oldest bucket, its pending bucket, or the oldest raw sample). Must
+// only be called on a non-empty series.
+func (s *series) oldestPoint() point {
+	for i := len(s.tiers) - 1; i >= 0; i-- {
+		t := &s.tiers[i]
+		if t.n > 0 {
+			return bucketPoint(t.at(0))
+		}
+		if t.pending.count > 0 {
+			return bucketPoint(t.pending)
+		}
+	}
+	return rawPoint(s.at(0))
+}
+
+// retainedPoints counts every retained stitched point across raw ring and
+// tiers — what a window covering the whole series would visit.
+func (s *series) retainedPoints() int {
+	n := s.n
+	for i := range s.tiers {
+		n += s.tiers[i].points()
+	}
+	return n
 }
 
 // rawFrom returns the timestamp where full-resolution coverage begins: the

@@ -245,9 +245,43 @@ func slopeRef(pts []point) float64 {
 	return (n*sumTV - sumT*sumV) / denom
 }
 
+// weightedSlopeRef recomputes the count-weighted least-squares slope with
+// the exact accumulation order Reduce uses (each point folded once, scaled
+// by its absorbed sample count), so the equivalence assertion is bit-exact.
+func weightedSlopeRef(pts []point) float64 {
+	var sumT, sumV, sumTT, sumTV float64
+	var weight uint64
+	for _, p := range pts {
+		w := float64(p.count)
+		ts := p.at.Seconds()
+		sumT += ts * w
+		sumV += p.value * w
+		sumTT += ts * ts * w
+		sumTV += ts * p.value * w
+		weight += uint64(p.count)
+	}
+	if weight < 2 {
+		return 0
+	}
+	n := float64(weight)
+	denom := n*sumTT - sumT*sumT
+	if denom == 0 || math.IsNaN(denom) {
+		return 0
+	}
+	return (n*sumTV - sumT*sumV) / denom
+}
+
+// TestTieredReduceMatchesReference pins the stitched exact reduction against
+// the reference retention model under COUNT-WEIGHTED semantics: a decimated
+// tier bucket contributes its average with the absorbed sample count as
+// weight — to Avg, Trend and the percentile multiset alike — instead of one
+// point per bucket. The expected percentiles are computed over the expanded
+// multiset (each point repeated count times). The default sketch mode is
+// checked against the same references within its error bound.
 func TestTieredReduceMatchesReference(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	spec := &SummarySpec{Percentiles: []float64{50, 95}, Trend: true}
+	spec := &SummarySpec{Percentiles: []float64{50, 95}, Trend: true, Exact: true}
+	skSpec := &SummarySpec{Percentiles: []float64{50, 95}, Trend: true}
 	for trial := 0; trial < 150; trial++ {
 		capacity := 2 + rng.Intn(20)
 		tiers := []TierConfig{
@@ -258,11 +292,13 @@ func TestTieredReduceMatchesReference(t *testing.T) {
 		ref := newRefSeries(capacity, tiers)
 		n := 1 + rng.Intn(300) // from under-filled raw to deep tier churn
 		at := time.Duration(0)
+		var allValues []float64
 		for i := 0; i < n; i++ {
 			at += time.Duration(1+rng.Intn(5)) * time.Second
 			sm := Sample{At: at, Value: rng.Float64() * 100}
 			s.Append("e", "m", sm.At, sm.Value)
 			ref.append(sm)
+			allValues = append(allValues, sm.Value)
 		}
 		from := time.Duration(rng.Intn(int(at/time.Second)+1)) * time.Second
 		to := from + time.Duration(rng.Intn(int(at/time.Second)+1))*time.Second
@@ -288,8 +324,10 @@ func TestTieredReduceMatchesReference(t *testing.T) {
 			continue
 		}
 		// Min/Max are exact: compare against the bucket-preserved extremes.
+		// Avg/Trend/Percentiles weight every point by its absorbed count.
 		mn, mx, total := want[0].min, want[0].max, 0.0
-		var vals []float64
+		var weight uint64
+		var expanded []float64
 		for _, p := range want {
 			if p.min < mn {
 				mn = p.min
@@ -297,26 +335,52 @@ func TestTieredReduceMatchesReference(t *testing.T) {
 			if p.max > mx {
 				mx = p.max
 			}
-			total += p.value
-			vals = append(vals, p.value)
+			total += p.value * float64(p.count)
+			weight += uint64(p.count)
+			for j := 0; j < p.count; j++ {
+				expanded = append(expanded, p.value)
+			}
 		}
 		if sum.Min != mn || sum.Max != mx {
 			t.Fatalf("trial %d: min/max %v/%v want %v/%v", trial, sum.Min, sum.Max, mn, mx)
 		}
-		if sum.Avg != total/float64(len(want)) {
-			t.Fatalf("trial %d: avg %v want %v", trial, sum.Avg, total/float64(len(want)))
+		if sum.Weight != weight {
+			t.Fatalf("trial %d: weight %d want %d", trial, sum.Weight, weight)
+		}
+		if sum.Avg != total/float64(weight) {
+			t.Fatalf("trial %d: avg %v want %v", trial, sum.Avg, total/float64(weight))
 		}
 		if sum.First != want[0].value || sum.Last != want[len(want)-1].value {
 			t.Fatalf("trial %d: first/last", trial)
 		}
-		if got := slopeRef(want); sum.Trend != got {
+		if got := weightedSlopeRef(want); sum.Trend != got {
 			t.Fatalf("trial %d: trend %v want %v", trial, sum.Trend, got)
 		}
-		srt := append([]float64(nil), vals...)
+		srt := sortedCopy(expanded)
 		for i, q := range spec.Percentiles {
-			if got := quantile(sortedCopy(srt), q); sum.Percentiles[i] != got {
+			if got := quantile(srt, q); sum.Percentiles[i] != got {
 				t.Fatalf("trial %d: p%.0f = %v want %v", trial, q, sum.Percentiles[i], got)
 			}
+		}
+
+		// Sketch mode over the same window: a covers-everything window
+		// answers from the lifetime sketch (every appended value); a partial
+		// window streams the identical weighted multiset the exact path
+		// expanded. Either way the bound holds against its reference.
+		skSum, skOk := s.Reduce("e", "m", from, to, skSpec)
+		if skOk != ok {
+			t.Fatalf("trial %d: sketch ok=%v exact ok=%v", trial, skOk, ok)
+		}
+		if skSum.QuantileError <= 0 {
+			t.Fatalf("trial %d: sketch reduction reported no error bound", trial)
+		}
+		skRef := expanded
+		if from <= sum.OldestAt && to >= sum.NewestAt {
+			skRef = append([]float64(nil), allValues...)
+		}
+		skSrt := sortedCopy(skRef)
+		for i, q := range skSpec.Percentiles {
+			sketchWithin(t, skSum.Percentiles[i], skSrt, q, skSum.QuantileError, "tiered sketch vs exact")
 		}
 	}
 }

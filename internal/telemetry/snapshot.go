@@ -4,6 +4,8 @@ import (
 	"math"
 	"sort"
 	"time"
+
+	"snooze/internal/telemetry/sketch"
 )
 
 // State snapshot and restore. A Store (and the Hub around it) can be
@@ -48,16 +50,25 @@ type TierSnapshot struct {
 }
 
 // SeriesSnapshot is one series in snapshot form: the raw samples oldest
-// first, the tier ladder, and the watermarks (Gen, Evicted) that preserve
-// cache-key and Truncated semantics across a restore.
+// first, the tier ladder, the watermarks (Gen, Evicted) that preserve
+// cache-key and Truncated semantics across a restore, and the mergeable
+// quantile sketches + moments that preserve the lifetime distribution.
+// Sketches ride even the trimmed SnapshotSince form — they are tiny next to
+// the raw window and are precisely what lets a failover adopter answer
+// honest percentiles for history the trim dropped.
 type SeriesSnapshot struct {
-	Entity      string         `json:"entity"`
-	Metric      string         `json:"metric"`
-	RawCapacity int            `json:"rawCapacity"`
-	Samples     []Sample       `json:"samples,omitempty"`
-	Gen         uint64         `json:"gen"`
-	Evicted     uint64         `json:"evicted"`
-	Tiers       []TierSnapshot `json:"tiers,omitempty"`
+	Entity      string          `json:"entity"`
+	Metric      string          `json:"metric"`
+	RawCapacity int             `json:"rawCapacity"`
+	Samples     []Sample        `json:"samples,omitempty"`
+	Gen         uint64          `json:"gen"`
+	Evicted     uint64          `json:"evicted"`
+	Tiers       []TierSnapshot  `json:"tiers,omitempty"`
+	Life        *sketch.Encoded `json:"life,omitempty"`
+	Evict       *sketch.Encoded `json:"evict,omitempty"`
+	Adopted     *sketch.Encoded `json:"adopted,omitempty"`
+	LifeM       Moments         `json:"lifeM"`
+	EvictM      Moments         `json:"evictM"`
 }
 
 // StoreSnapshot is a structural copy of (a filtered subset of) a Store.
@@ -109,6 +120,20 @@ func snapshotSeries(k Key, ser *series, from time.Duration) SeriesSnapshot {
 		RawCapacity: len(ser.buf),
 		Gen:         ser.gen,
 		Evicted:     ser.evicted,
+		LifeM:       ser.lifeM,
+		EvictM:      ser.evictM,
+	}
+	if ser.life != nil && ser.life.Count() > 0 {
+		enc := ser.life.Encode()
+		ss.Life = &enc
+	}
+	if ser.evict != nil && ser.evict.Count() > 0 {
+		enc := ser.evict.Encode()
+		ss.Evict = &enc
+	}
+	if ser.adopted != nil && ser.adopted.Count() > 0 {
+		enc := ser.adopted.Encode()
+		ss.Adopted = &enc
 	}
 	if from > 0 {
 		if ser.n > 0 {
@@ -196,8 +221,25 @@ func (s *Store) restoreSeries(ss *SeriesSnapshot) bool {
 	if capacity <= 0 {
 		capacity = s.capacity
 	}
-	ser := &series{buf: make([]Sample, capacity), n: len(ss.Samples), gen: ss.Gen, evicted: ss.Evicted}
+	ser := &series{buf: make([]Sample, capacity), n: len(ss.Samples), gen: ss.Gen, evicted: ss.Evicted, lifeM: ss.LifeM, evictM: ss.EvictM}
 	copy(ser.buf, ss.Samples)
+	// Rebuild the sketch plane. A snapshot that predates the sketches (or an
+	// empty series) still gets live empty sketches so future appends feed
+	// them; an encoded lifetime distribution is adopted verbatim, preserving
+	// quantiles across the handoff even where the raw window was trimmed.
+	if ss.Life != nil {
+		ser.life = sketch.Decode(*ss.Life)
+	} else {
+		ser.life = sketch.New(s.alpha)
+	}
+	if ss.Evict != nil {
+		ser.evict = sketch.Decode(*ss.Evict)
+	} else {
+		ser.evict = sketch.New(s.alpha)
+	}
+	if ss.Adopted != nil {
+		ser.adopted = sketch.Decode(*ss.Adopted)
+	}
 	if len(ss.Tiers) > 0 {
 		ser.tiers = make([]tier, len(ss.Tiers))
 		for i, ts := range ss.Tiers {

@@ -14,10 +14,13 @@
 package telemetry
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"snooze/internal/telemetry/sketch"
 )
 
 // Key names one series: an entity (canonical forms "node/<id>", "vm/<id>",
@@ -47,10 +50,59 @@ type StoreConfig struct {
 	// (1m × 512, 10m × 512); NoTiers (an empty slice) disables tiering and
 	// restores plain ring overwrite.
 	Tiers []TierConfig
+	// SketchAlpha is the relative-error bound of the per-series quantile
+	// sketches maintained on Append (default sketch.DefaultAlpha, 1%).
+	SketchAlpha float64
+	// ExactReduce forces every Reduce onto the exact sort-based reference
+	// reduction instead of the sketch-backed default — the escape hatch (and
+	// property-test oracle) for consumers that need bit-exact percentiles.
+	// Per-call SummarySpec.Exact selects the same path for one reduction.
+	ExactReduce bool
+}
+
+// Moments are running least-squares accumulators over (time, value) samples:
+// enough state to recover count, mean and the linear trend of everything ever
+// folded in, in O(1). The store keeps one per series for its lifetime and one
+// for the evicted prefix, so covers-everything reductions need no iteration.
+type Moments struct {
+	N     uint64  `json:"n"`
+	Sum   float64 `json:"sum"`
+	SumT  float64 `json:"sumT"`
+	SumTT float64 `json:"sumTT"`
+	SumTV float64 `json:"sumTV"`
+}
+
+// add folds one sample (t in seconds). Non-finite values are skipped, exactly
+// as the sketches skip them.
+func (m *Moments) add(t, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	m.N++
+	m.Sum += v
+	m.SumT += t
+	m.SumTT += t * t
+	m.SumTV += t * v
+}
+
+// trend returns the least-squares slope (per second), 0 below 2 samples.
+func (m *Moments) trend() float64 {
+	if m.N < 2 {
+		return 0
+	}
+	n := float64(m.N)
+	denom := n*m.SumTT - m.SumT*m.SumT
+	if denom == 0 || math.IsNaN(denom) {
+		return 0
+	}
+	return (n*m.SumTV - m.SumT*m.Sum) / denom
 }
 
 // series is a fixed-capacity ring buffer of time-ordered samples, backed by
-// downsampled retention tiers (retention.go) that absorb evicted samples.
+// downsampled retention tiers (retention.go) that absorb evicted samples and
+// shadowed by mergeable quantile sketches (sketch package) that keep the full
+// value distribution at relative-error resolution no matter how much raw
+// history the rings have decimated.
 type series struct {
 	buf     []Sample
 	head    int    // index of the oldest sample
@@ -58,6 +110,21 @@ type series struct {
 	gen     uint64 // generation of the newest append (store-wide unique)
 	evicted uint64 // raw samples pushed out of the raw ring
 	tiers   []tier // downsampled rings, finest first (bufs lazily allocated)
+
+	// life sketches every sample ever appended; evict sketches the samples
+	// pushed out of the raw ring (a prefix of life, so life alone answers
+	// covers-everything quantile queries honestly even past tier evictions).
+	// Both update in O(1) under the shard lock Append already holds.
+	life  *sketch.Sketch
+	evict *sketch.Sketch
+	// adopted is a replicated distribution installed by AdoptSketch (GM→GL
+	// rollups, failover restores): when present, covers-everything quantile
+	// queries prefer it over life, whose inputs on a rollup series are mere
+	// point averages.
+	adopted *sketch.Sketch
+	// lifeM / evictM mirror life/evict with trend moments.
+	lifeM  Moments
+	evictM Moments
 }
 
 func (s *series) append(sm Sample) {
@@ -134,6 +201,8 @@ type Store struct {
 	mask       uint64
 	capacity   int
 	tiers      []TierConfig  // sanitized retention ladder for new series
+	alpha      float64       // relative-error bound of the per-series sketches
+	exact      bool          // force the exact reference reduction store-wide
 	samples    atomic.Uint64 // total samples ever appended
 	reductions atomic.Uint64 // total Reduce calls ever served
 }
@@ -152,12 +221,17 @@ func NewStore(cfg StoreConfig) *Store {
 	for size < n {
 		size <<= 1
 	}
-	s := &Store{shards: make([]shard, size), mask: uint64(size - 1), capacity: cfg.SeriesCapacity, tiers: sanitizeTiers(cfg.Tiers)}
+	alpha := sketch.New(cfg.SketchAlpha).Alpha() // normalized exactly as sketches will see it
+	s := &Store{shards: make([]shard, size), mask: uint64(size - 1), capacity: cfg.SeriesCapacity, tiers: sanitizeTiers(cfg.Tiers), alpha: alpha, exact: cfg.ExactReduce}
 	for i := range s.shards {
 		s.shards[i].series = make(map[Key]*series)
 	}
 	return s
 }
+
+// SketchAlpha returns the store's configured relative-error bound — the
+// error bar API consumers attach to sketch-derived quantiles.
+func (s *Store) SketchAlpha() float64 { return s.alpha }
 
 // hashKey is FNV-1a over entity+"\x00"+metric.
 func hashKey(entity, metric string) uint64 {
@@ -191,7 +265,9 @@ func (s *Store) Append(entity, metric string, at time.Duration, v float64) {
 	sh.mu.Lock()
 	ser, ok := sh.series[key]
 	if !ok {
-		ser = &series{buf: make([]Sample, s.capacity)}
+		// The sketches allocate their bucket windows lazily on first insert,
+		// so the headers here cost a few words each.
+		ser = &series{buf: make([]Sample, s.capacity), life: sketch.New(s.alpha), evict: sketch.New(s.alpha)}
 		if len(s.tiers) > 0 {
 			// Tier headers only: the bucket rings allocate on first eviction,
 			// so short-lived series never pay for retention they don't use.
@@ -203,6 +279,8 @@ func (s *Store) Append(entity, metric string, at time.Duration, v float64) {
 		sh.series[key] = ser
 	}
 	ser.append(Sample{At: at, Value: v})
+	ser.life.Insert(v)
+	ser.lifeM.add(at.Seconds(), v)
 	// Generations draw from the store-wide sample counter, so they are unique
 	// across series: a series dropped by RemoveEntity and later recreated can
 	// never replay an old generation value to a caching consumer.
@@ -361,6 +439,68 @@ func (s *Store) NumSeries() int {
 		sh.mu.RUnlock()
 	}
 	return n
+}
+
+// SeriesSketch returns the serialized lifetime value distribution of one
+// series — the adopted replica when one was installed (it is the true
+// distribution behind a rollup series), the locally accumulated sketch
+// otherwise. ok is false for an unknown or empty-sketch series. This is what
+// a GM ships inside its rollup summaries and what property tests compare
+// against exact reductions.
+func (s *Store) SeriesSketch(entity, metric string) (sketch.Encoded, bool) {
+	sh := s.shardFor(entity, metric)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	ser, ok := sh.series[Key{Entity: entity, Metric: metric}]
+	if !ok {
+		return sketch.Encoded{}, false
+	}
+	src := ser.life
+	if ser.adopted != nil && ser.adopted.Count() > 0 {
+		src = ser.adopted
+	}
+	if src == nil || src.Count() == 0 {
+		return sketch.Encoded{}, false
+	}
+	return src.Encode(), true
+}
+
+// AdoptSketch installs a replicated distribution for one series: the GL calls
+// it when a GM's rollup summary arrives carrying the group's real utilization
+// sketch, so GL-side reductions over the rollup series answer quantiles from
+// the member distribution instead of the point averages the rollup ring
+// holds. Adoption is monotone by count (a replayed or stale sketch is a
+// no-op, making re-deliveries idempotent) and bumps the series generation so
+// view caches keyed on it refresh. The series is created if absent.
+func (s *Store) AdoptSketch(entity, metric string, enc sketch.Encoded) bool {
+	if enc.Total == 0 {
+		return false
+	}
+	dec := sketch.Decode(enc)
+	if dec.Count() == 0 {
+		return false // malformed encoding
+	}
+	sh := s.shardFor(entity, metric)
+	key := Key{Entity: entity, Metric: metric}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ser, ok := sh.series[key]
+	if !ok {
+		ser = &series{buf: make([]Sample, s.capacity), life: sketch.New(s.alpha), evict: sketch.New(s.alpha)}
+		if len(s.tiers) > 0 {
+			ser.tiers = make([]tier, len(s.tiers))
+			for i, tc := range s.tiers {
+				ser.tiers[i] = tier{step: tc.Step, cap: tc.Capacity}
+			}
+		}
+		sh.series[key] = ser
+	}
+	if ser.adopted != nil && ser.adopted.Count() >= dec.Count() {
+		return false
+	}
+	ser.adopted = dec
+	ser.gen = s.samples.Add(1)
+	return true
 }
 
 // TotalSamples returns the number of samples ever appended (including ones
